@@ -1,0 +1,101 @@
+// Reproduces Figure 4 and Tables 7/8 (§5.3, "Debugging configuration
+// bottlenecks"): VigNAT stamped flows at one-second granularity, so every
+// flow that should have expired during a second expired *at once* when the
+// second rolled over — a long per-packet latency tail affecting ~1.5% of
+// packets. The contract pointed at the dominant PCV `e`; the Distiller's
+// expired-flow distribution confirmed the batching; raising the stamp
+// granularity to a millisecond removed the tail.
+#include <cstdio>
+
+#include "core/distiller.h"
+#include "core/scenarios.h"
+#include "net/workload.h"
+#include "support/strings.h"
+
+using namespace bolt;
+
+namespace {
+
+core::DistillerReport run_nat(std::uint64_t granularity_ns,
+                              perf::PcvRegistry& reg,
+                              std::vector<net::Packet> packets) {
+  auto cfg = core::default_nat_config();
+  cfg.flow.stamp_granularity_ns = granularity_ns;
+  cfg.flow.ttl_ns = 1'000'000'000;  // 1 s flow lifetime
+  const core::NfInstance nat = core::make_nat(reg, cfg);
+  hw::RealisticSim testbed;
+  auto runner = nat.make_runner(nf::framework_full(), &testbed);
+  core::Distiller distiller(*runner, &testbed, &nat.methods);
+  return distiller.run(packets);
+}
+
+void print_ccdf(const core::DistillerReport& report, const char* label) {
+  std::printf("latency CCDF (%s): cycles -> P[latency > x]\n", label);
+  const auto ccdf = report.ccdf_of("cycles");
+  // Sample the CCDF at decades of interest.
+  const double probes[] = {0.5, 0.1, 0.05, 0.015, 0.005, 0.001, 0.0002};
+  for (const double p : probes) {
+    std::uint64_t cycles = 0;
+    for (const auto& [value, frac] : ccdf) {
+      if (frac >= p) cycles = value;
+    }
+    std::printf("  P > %.4f at ~%s cycles\n", p,
+                support::with_commas(static_cast<std::int64_t>(cycles)).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Churning traffic at 100 kpps over a 3 s window: ~1000 flows/s retire
+  // and later expire. Whether they expire smoothly or in bursts depends
+  // only on the timestamp granularity — the bug under investigation.
+  net::ChurnSpec spec;
+  spec.active_flows = 1024;
+  spec.churn = 0.01;
+  spec.packet_count = 300'000;
+  spec.timing.gap_ns = 10'000;
+  spec.in_port = 0;
+
+  std::printf("Figure 4 + Tables 7/8 — VigNAT expiry-batching bug\n\n");
+
+  perf::PcvRegistry reg1;
+  const auto original =
+      run_nat(1'000'000'000, reg1, net::churn_traffic(spec));
+  std::printf("== Second granularity (original VigNAT) ==\n");
+  std::printf("\nTable 7 — Distiller report, expired flows per packet:\n%s\n",
+              original.density_table(reg1.require("e"), reg1).c_str());
+  print_ccdf(original, "second granularity");
+
+  perf::PcvRegistry reg2;
+  const auto fixed = run_nat(1'000'000, reg2, net::churn_traffic(spec));
+  std::printf("\n== Millisecond granularity (fixed) ==\n");
+  std::printf("\nTable 8 — Distiller report, expired flows per packet:\n%s\n",
+              fixed.density_table(reg2.require("e"), reg2).c_str());
+  print_ccdf(fixed, "millisecond granularity");
+
+  // Headline numbers.
+  const std::uint64_t tail_orig = original.worst_measured("cycles");
+  const std::uint64_t tail_fixed = fixed.worst_measured("cycles");
+  std::uint64_t emax_orig = 0, emax_fixed = 0;
+  for (const auto& r : original.records) {
+    emax_orig = std::max(emax_orig, r.pcvs.get(reg1.require("e")));
+  }
+  for (const auto& r : fixed.records) {
+    emax_fixed = std::max(emax_fixed, r.pcvs.get(reg2.require("e")));
+  }
+  std::printf("\nWorst per-packet latency: %s cycles (second) vs %s cycles "
+              "(millisecond)\n",
+              support::with_commas(static_cast<std::int64_t>(tail_orig)).c_str(),
+              support::with_commas(static_cast<std::int64_t>(tail_fixed)).c_str());
+  std::printf("Worst expiry batch: e = %llu (second) vs e = %llu (millisecond)\n",
+              static_cast<unsigned long long>(emax_orig),
+              static_cast<unsigned long long>(emax_fixed));
+  std::printf(
+      "\nPaper's shape: second granularity batches hundreds of expiries on\n"
+      "one unlucky packet (Table 7: ~1.5%% of packets see e >= 64); raising\n"
+      "the granularity spreads expiry almost uniformly (Table 8: e <= 3)\n"
+      "and eliminates the latency tail at the cost of a slightly higher\n"
+      "median (more packets do a little expiry work).\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks of the stateful library itself: how fast
+// the *reproduction* executes (host-side), as opposed to the metered costs
+// the contracts describe. Useful for keeping the analysis pipeline and the
+// experiment harnesses fast.
+#include <benchmark/benchmark.h>
+
+#include "dslib/flow_table.h"
+#include "dslib/lpm.h"
+#include "dslib/maglev.h"
+#include "dslib/port_allocator.h"
+#include "net/flow.h"
+#include "support/random.h"
+
+using namespace bolt;
+
+namespace {
+
+void BM_FlowTableGetHit(benchmark::State& state) {
+  dslib::FlowTable table({4096, 1'000'000'000'000ULL, 1, 0});
+  ir::CostMeter meter;
+  for (std::uint64_t k = 0; k < 2048; ++k) table.put(k, k, 0, meter);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.get(key, meter));
+    key = (key + 1) & 2047;
+  }
+}
+BENCHMARK(BM_FlowTableGetHit);
+
+void BM_FlowTablePutUpdate(benchmark::State& state) {
+  dslib::FlowTable table({4096, 1'000'000'000'000ULL, 1, 0});
+  ir::CostMeter meter;
+  for (std::uint64_t k = 0; k < 2048; ++k) table.put(k, k, 0, meter);
+  std::uint64_t key = 0;
+  std::uint64_t now = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.put(key, key, now++, meter));
+    key = (key + 1) & 2047;
+  }
+}
+BENCHMARK(BM_FlowTablePutUpdate);
+
+void BM_FlowTableChurn(benchmark::State& state) {
+  dslib::FlowTable table({4096, 1'000'000ULL, 1, 0});
+  ir::CostMeter meter;
+  std::uint64_t key = 0;
+  std::uint64_t now = 1'000'000'000;
+  for (auto _ : state) {
+    table.put(key, key, now, meter);
+    ++key;
+    now += 1'000;
+    benchmark::DoNotOptimize(table.expire(now, meter));
+  }
+}
+BENCHMARK(BM_FlowTableChurn);
+
+void BM_LpmTrieLookup(benchmark::State& state) {
+  dslib::LpmTrie trie;
+  support::Rng rng(7);
+  for (int i = 0; i < 1024; ++i) {
+    const int len = static_cast<int>(rng.range(8, 28));
+    const std::uint32_t mask = ~((1u << (32 - len)) - 1);
+    trie.insert(static_cast<std::uint32_t>(rng.next()) & mask, len,
+                static_cast<std::uint16_t>(i & 0xff));
+  }
+  ir::CostMeter meter;
+  std::uint32_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup(addr, meter));
+    addr = addr * 2654435761u + 12345u;
+  }
+}
+BENCHMARK(BM_LpmTrieLookup);
+
+void BM_LpmDirLookup(benchmark::State& state) {
+  dslib::LpmDir24_8 lpm;
+  support::Rng rng(7);
+  for (int i = 0; i < 1024; ++i) {
+    const int len = static_cast<int>(rng.range(8, 30));
+    const std::uint32_t mask = ~((1u << (32 - len)) - 1);
+    lpm.insert(static_cast<std::uint32_t>(rng.next()) & mask, len,
+               static_cast<std::uint16_t>(i & 0xff));
+  }
+  ir::CostMeter meter;
+  std::uint32_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lpm.lookup(addr, meter));
+    addr = addr * 2654435761u + 12345u;
+  }
+}
+BENCHMARK(BM_LpmDirLookup);
+
+void BM_MaglevSelect(benchmark::State& state) {
+  dslib::MaglevRing ring({16, 4099, 5'000'000'000ULL});
+  ring.all_alive(1);
+  ir::CostMeter meter;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.select_alive(key++, 2, meter));
+  }
+}
+BENCHMARK(BM_MaglevSelect);
+
+void BM_AllocatorA(benchmark::State& state) {
+  dslib::PortAllocatorA alloc(1024, 4096);
+  ir::CostMeter meter;
+  for (auto _ : state) {
+    const auto r = alloc.alloc(meter);
+    alloc.free(r.port, meter);
+  }
+}
+BENCHMARK(BM_AllocatorA);
+
+void BM_AllocatorB_HighOccupancy(benchmark::State& state) {
+  dslib::PortAllocatorB alloc(1024, 4096);
+  ir::CostMeter meter;
+  for (int i = 0; i < 4000; ++i) alloc.alloc(meter);
+  for (auto _ : state) {
+    const auto r = alloc.alloc(meter);
+    alloc.free(r.port, meter);
+  }
+}
+BENCHMARK(BM_AllocatorB_HighOccupancy);
+
+}  // namespace

@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks of the analysis machinery: solver
+// throughput and end-to-end contract generation latency per NF. These
+// bound how long "recompute the contract after an NF change" takes in a
+// developer workflow.
+#include <benchmark/benchmark.h>
+
+#include "core/bolt.h"
+#include "core/scenarios.h"
+#include "symbex/solver.h"
+
+using namespace bolt;
+
+namespace {
+
+void BM_SolverHeaderConstraints(benchmark::State& state) {
+  symbex::SymbolTable syms;
+  const auto et = syms.fresh("ethertype", 16);
+  const auto vi = syms.fresh("ver_ihl", 8);
+  const auto port = syms.fresh("dst_port", 16);
+  using symbex::Expr;
+  using symbex::ExprOp;
+  std::vector<symbex::ExprPtr> cs = {
+      Expr::binary(ExprOp::kEq, Expr::symbol(et), Expr::constant(0x0800)),
+      Expr::binary(ExprOp::kEq,
+                   Expr::binary(ExprOp::kShr, Expr::symbol(vi), Expr::constant(4)),
+                   Expr::constant(4)),
+      Expr::binary(ExprOp::kEq,
+                   Expr::binary(ExprOp::kAnd, Expr::symbol(vi), Expr::constant(0xf)),
+                   Expr::constant(5)),
+      Expr::binary(ExprOp::kOr,
+                   Expr::binary(ExprOp::kLtU, Expr::symbol(port), Expr::constant(1024)),
+                   Expr::binary(ExprOp::kEq, Expr::symbol(port), Expr::constant(7000))),
+  };
+  symbex::Solver solver(syms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(cs));
+  }
+}
+BENCHMARK(BM_SolverHeaderConstraints);
+
+void BM_SolverUnsatDetection(benchmark::State& state) {
+  symbex::SymbolTable syms;
+  const auto x = syms.fresh("x", 8);
+  using symbex::Expr;
+  using symbex::ExprOp;
+  const auto masked =
+      Expr::binary(ExprOp::kAnd, Expr::symbol(x), Expr::constant(0xf));
+  std::vector<symbex::ExprPtr> cs = {
+      Expr::binary(ExprOp::kEq, masked, Expr::constant(5)),
+      Expr::binary(ExprOp::kNe, masked, Expr::constant(5)),
+  };
+  symbex::Solver solver(syms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(cs));
+  }
+}
+BENCHMARK(BM_SolverUnsatDetection);
+
+void BM_GenerateContract_SimpleLpm(benchmark::State& state) {
+  for (auto _ : state) {
+    perf::PcvRegistry reg;
+    const core::NfInstance nf = core::make_simple_lpm(reg);
+    core::ContractGenerator gen(reg);
+    benchmark::DoNotOptimize(gen.generate(nf.analysis()));
+  }
+}
+BENCHMARK(BM_GenerateContract_SimpleLpm);
+
+void BM_GenerateContract_Bridge(benchmark::State& state) {
+  for (auto _ : state) {
+    perf::PcvRegistry reg;
+    const core::NfInstance nf =
+        core::make_bridge(reg, core::default_bridge_config());
+    core::ContractGenerator gen(reg);
+    benchmark::DoNotOptimize(gen.generate(nf.analysis()));
+  }
+}
+BENCHMARK(BM_GenerateContract_Bridge);
+
+void BM_GenerateContract_Nat(benchmark::State& state) {
+  for (auto _ : state) {
+    perf::PcvRegistry reg;
+    const core::NfInstance nf = core::make_nat(reg, core::default_nat_config());
+    core::ContractGenerator gen(reg);
+    benchmark::DoNotOptimize(gen.generate(nf.analysis()));
+  }
+}
+BENCHMARK(BM_GenerateContract_Nat);
+
+void BM_GenerateContract_Lb(benchmark::State& state) {
+  for (auto _ : state) {
+    perf::PcvRegistry reg;
+    const core::NfInstance nf = core::make_lb(reg, core::default_lb_config());
+    core::ContractGenerator gen(reg);
+    benchmark::DoNotOptimize(gen.generate(nf.analysis()));
+  }
+}
+BENCHMARK(BM_GenerateContract_Lb);
+
+}  // namespace

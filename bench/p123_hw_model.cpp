@@ -1,0 +1,99 @@
+// Reproduces the paper's §5.1 hardware-model validation (P1/P2/P3):
+// three traversal programs with the same instruction mix but different
+// memory behaviour show how much of the cycle over-estimation is the
+// conservative hardware model's fault.
+//
+//   P1 — non-contiguously allocated linked list (random dependent misses):
+//        no prefetch, no MLP -> the model is nearly exact (paper: ~5%).
+//   P2 — contiguously allocated linked list (sequential dependent misses):
+//        prefetching helps, MLP does not (paper: ~6x over).
+//   P3 — array (sequential independent misses): both help (paper: ~9x).
+#include <cstdio>
+
+#include "core/bolt.h"
+#include "core/runner.h"
+#include "nf/framework.h"
+#include "nf/micro.h"
+#include "support/strings.h"
+
+using namespace bolt;
+
+namespace {
+
+struct Probe {
+  const char* id;
+  const char* description;
+  double paper_ratio;
+  ir::Program program;
+  std::vector<std::uint64_t> scratch;
+};
+
+void run(Probe& probe) {
+  // Contract (predicted cycles) via the BOLT pipeline.
+  perf::PcvRegistry reg;
+  dslib::MethodTable no_methods;
+  core::BoltOptions opts;
+  opts.framework = nf::framework_none();
+  opts.executor.max_loop_trips = 1u << 20;
+  opts.executor.max_steps_per_path = 50'000'000;
+  opts.executor.scratch_init = probe.scratch;
+  core::ContractGenerator generator(reg, opts);
+  core::NfAnalysis analysis{probe.id, {&probe.program}, &no_methods};
+  const auto generated = generator.generate(analysis);
+  const std::int64_t predicted =
+      generated.contract.entries().front().perf.get(perf::Metric::kCycles)
+          .eval(perf::PcvBinding{});
+
+  // Measured cycles on the realistic testbed simulator (cold caches: these
+  // probes stream far more data than any cache level retains).
+  hw::RealisticSim testbed;
+  ir::InterpreterOptions iopts;
+  iopts.sink = &testbed;
+  iopts.max_steps = 100'000'000;
+  ir::Interpreter interp(probe.program, nullptr, iopts);
+  interp.scratch() = probe.scratch;
+  net::Packet packet(std::vector<std::uint8_t>(60, 0), 1'000'000'000);
+  testbed.begin_packet();
+  interp.run(packet);
+  const std::uint64_t measured = testbed.packet_cycles();
+
+  std::printf("%-3s %-52s predicted %-13s measured %-13s ratio %5.2f  (paper ~%.2fx)\n",
+              probe.id, probe.description,
+              support::with_commas(predicted).c_str(),
+              support::with_commas(static_cast<std::int64_t>(measured)).c_str(),
+              static_cast<double>(predicted) / static_cast<double>(measured),
+              probe.paper_ratio);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("P1/P2/P3 — how much of the cycle gap is the hardware model\n\n");
+  constexpr std::size_t kNodes = 16'384;
+
+  // P1: nodes scattered 1 KiB apart over a 16 MiB footprint (beyond L3).
+  Probe p1{"P1", "non-contiguous linked list (random dependent misses)", 1.05,
+           nf::MicroTraversal::chase_program(kNodes, kNodes * 128),
+           nf::MicroTraversal::scattered_list(kNodes, 128, 0xbeef)};
+  run(p1);
+
+  // P2: nodes back to back, one per cache line: a dependent line stream.
+  Probe p2{"P2", "contiguous linked list (prefetch helps, MLP cannot)", 6.0,
+           nf::MicroTraversal::chase_program(kNodes, kNodes * 8),
+           nf::MicroTraversal::contiguous_list(kNodes)};
+  run(p2);
+
+  // P3: plain array walk, one element per line: independent line stream.
+  Probe p3{"P3", "array walk (prefetch and MLP both help)", 9.0,
+           nf::MicroTraversal::array_program(kNodes, 8, kNodes * 8),
+           std::vector<std::uint64_t>(kNodes * 8, 1)};
+  run(p3);
+
+  std::printf(
+      "\nThe more the memory behaviour defeats the hardware's hidden\n"
+      "machinery (P1), the more accurate the conservative model becomes;\n"
+      "the more the hardware can overlap (P3), the larger the gap — the\n"
+      "paper's argument that the cycle over-estimation is a *model*\n"
+      "limitation, not a contract limitation.\n");
+  return 0;
+}

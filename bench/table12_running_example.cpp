@@ -1,0 +1,85 @@
+// Reproduces the paper's running example (§2.1/§2.2): the simplified LPM
+// router of Algorithm 1 with its Patricia-trie lpmGet, whose contracts are
+// the paper's Tables 1 and 2. Also validates the generated contract against
+// real executions across all matched prefix lengths.
+#include <cstdio>
+
+#include "core/bolt.h"
+#include "core/distiller.h"
+#include "core/scenarios.h"
+#include "net/packet_builder.h"
+#include "support/strings.h"
+
+using namespace bolt;
+
+int main() {
+  perf::PcvRegistry reg;
+  const core::NfInstance router = core::make_simple_lpm(reg);
+  auto& trie = router.state_as<dslib::LpmTrieState>().trie();
+  // Nested routes along the alternating-bit pattern: one per prefix length,
+  // so every matched length l in 1..32 is exercisable.
+  constexpr std::uint32_t kPattern = 0xaaaaaaaau;
+  auto masked = [](int len) {
+    return len == 0 ? 0u
+                    : (kPattern & (len == 32 ? ~0u : ~((1u << (32 - len)) - 1)));
+  };
+  for (int len = 1; len <= 32; ++len) {
+    trie.insert(masked(len), len, static_cast<std::uint16_t>(len));
+  }
+
+  // Analyse at the NF-only level, like the paper's stylised example
+  // ("assumes the packet processing framework has zero impact").
+  core::BoltOptions opts;
+  opts.framework = nf::framework_none();
+  core::ContractGenerator generator(reg, opts);
+  const auto generated = generator.generate(router.analysis());
+
+  std::printf("Tables 1/2 — the running example's contracts\n\n");
+  std::printf("Table 2 analogue — lpmGet method contract: 4*l + 2 instructions,"
+              " l + 1 accesses\n\n");
+  std::printf("Table 1 analogue — whole-router contract:\n\n%s\n",
+              generated.contract.str_all(reg).c_str());
+
+  // Validate against real executions for every matched length.
+  auto runner = router.make_runner(nf::framework_none());
+  core::Distiller distiller(*runner, nullptr, &router.methods);
+  std::vector<net::Packet> packets;
+  for (int len = 1; len <= 32; ++len) {
+    // An address that matches exactly the length-len route: follow the
+    // pattern for len bits, then diverge (so the trie walk breaks at l=len).
+    std::uint32_t addr = masked(len);
+    if (len < 32) {
+      const std::uint32_t next_bit = (kPattern >> (31 - len)) & 1;
+      if (next_bit == 0) addr |= 1u << (31 - len);
+    }
+    net::PacketBuilder b;
+    b.ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1), net::Ipv4Address{addr})
+        .udp(1, 2)
+        .timestamp_ns(1'000'000'000 + std::uint64_t(len));
+    packets.push_back(b.build());
+  }
+  const auto report = distiller.run(packets);
+
+  const perf::PcvId l = reg.require("l");
+  const auto& valid = generated.contract.require("valid | lpm.get=lookup");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"matched l", "predicted IC", "measured IC", "predicted MA",
+                  "measured MA"});
+  for (const auto& rec : report.records) {
+    rows.push_back(
+        {std::to_string(rec.pcvs.get(l)),
+         support::with_commas(
+             valid.perf.get(perf::Metric::kInstructions).eval(rec.pcvs)),
+         support::with_commas(static_cast<std::int64_t>(rec.instructions)),
+         support::with_commas(
+             valid.perf.get(perf::Metric::kMemoryAccesses).eval(rec.pcvs)),
+         support::with_commas(static_cast<std::int64_t>(rec.mem_accesses))});
+  }
+  std::printf("Per-prefix-length validation (prediction must dominate):\n%s\n",
+              support::render_table(rows).c_str());
+  std::printf(
+      "The paper's Table 1 is 4*l+5 / l+3 for valid packets and 2 / 1 for\n"
+      "invalid packets; ours differs only by the stateless glue constants\n"
+      "(our parse is a few IR instructions, theirs was stylised to 2).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Table 3: accuracy of *execution-cycle* contracts for all
+// fourteen scenarios. The contract bound uses the conservative hardware
+// model (per-instruction worst case + everything-is-DRAM unless proven L1);
+// "measured" comes from the realistic testbed simulator. The paper reports
+// ratios of about 2-4x for typical classes, ~9x for the pathological
+// (unconstrained) classes, and 1.5-1.9x for the LPM.
+#include <cstdio>
+
+#include "core/experiments.h"
+#include "support/strings.h"
+
+using namespace bolt;
+
+int main() {
+  std::printf("Table 3 — execution-cycle contract accuracy\n\n");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"NF+Class", "Predicted Bound", "Measured Cycles", "Ratio"});
+
+  for (const std::string& id : core::all_scenario_ids()) {
+    perf::PcvRegistry reg;
+    core::Scenario scenario = core::make_scenario(id, reg);
+    const core::ScenarioResult r = core::run_scenario(scenario, reg);
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.2f", r.cycles_ratio());
+    rows.push_back(
+        {r.id, support::with_commas(r.predicted_cycles),
+         support::with_commas(static_cast<std::int64_t>(r.measured_cycles)),
+         ratio});
+  }
+  std::printf("%s\n", support::render_table(rows).c_str());
+  std::printf(
+      "Paper's shape: pathological (NAT1/Br1/LB1) ~9x, typical 1.9-4.1x,\n"
+      "LPM lowest (1.4-1.9x). Absolute values differ (scaled tables,\n"
+      "simulated testbed); the ordering and rough factors should hold.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Table 6: the VigNAT performance contract, five traffic
+// classes, instructions as a function of e (expired flows), c (hash
+// collisions) and t (bucket traversals).
+#include <cstdio>
+
+#include "core/bolt.h"
+#include "core/scenarios.h"
+#include "support/strings.h"
+
+using namespace bolt;
+
+int main() {
+  perf::PcvRegistry reg;
+  auto cfg = core::default_nat_config();
+  const core::NfInstance nat = core::make_nat(reg, cfg);
+  core::ContractGenerator generator(reg);
+  const core::GenerationResult result = generator.generate(nat.analysis());
+
+  std::printf("Table 6 — VigNAT performance contract (instructions)\n\n");
+
+  struct Row {
+    const char* paper_label;
+    const char* class_key;
+  };
+  const Row rows[] = {
+      {"Invalid packets (dropped)", "invalid"},
+      {"Known flows (forwarded)",
+       "internal_known | nat.expire=expire,nat.lookup_int=hit"},
+      {"New external flows (dropped)",
+       "external_drop | nat.expire=expire,nat.lookup_ext=miss"},
+      {"New internal flows; table full (dropped)",
+       "internal_table_full | "
+       "nat.expire=expire,nat.lookup_int=miss,nat.add_flow=full"},
+      {"New internal flows; table not full (forwarded)",
+       "internal_new | nat.expire=expire,nat.lookup_int=miss,nat.add_flow=ok"},
+  };
+
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"Traffic Type", "Instructions"});
+  for (const Row& row : rows) {
+    const perf::ContractEntry& entry = result.contract.require(row.class_key);
+    table.push_back({row.paper_label,
+                     entry.perf.get(perf::Metric::kInstructions).str(reg)});
+  }
+  std::printf("%s\n", support::render_table(table).c_str());
+
+  std::printf("Paper's Table 6 for comparison:\n");
+  std::printf("  Invalid packets    359*e + 80*e*c + 38*e*t + 425\n");
+  std::printf("  Known flows        359*e + 30*c + 18*t + 80*e*c + 38*e*t + 1030\n");
+  std::printf("  New external       359*e + 30*c + 18*t + 80*e*c + 38*e*t + 528\n");
+  std::printf("  New int., full     359*e + 30*c + 18*t + 80*e*c + 38*e*t + 639\n");
+  std::printf("  New int., ok       359*e + 30*c + 44*t + 80*e*c + 38*e*t + 1316\n\n");
+  std::printf(
+      "Same structure: the e / e*c / e*t terms are identical across classes\n"
+      "(they come from the shared expiry sweep); forwarded classes carry the\n"
+      "larger constants; the new-flow class pays the extra insertion work.\n"
+      "One deviation: our invalid-packet path drops *before* touching state,\n"
+      "so its row is a pure constant (the paper's NAT expired flows even on\n"
+      "invalid packets).\n\n");
+
+  std::printf("Full generated contract (%zu input classes):\n\n",
+              result.contract.entries().size());
+  std::printf("%s", result.contract.str(reg, perf::Metric::kInstructions).c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Developer use case (paper §5.3, "Debugging configuration bottlenecks"):
+// finding VigNAT's expiry-batching bug with a contract + the Distiller.
+//
+// Symptom: rare multi-microsecond latency spikes under churny traffic.
+// Step 1: read the contract — the PCV `e` dominates (its coefficient is an
+//         order of magnitude above the others), so whatever makes `e` large
+//         makes packets slow.
+// Step 2: distill a traffic sample — the expired-flows distribution shows
+//         huge batches, all landing on second boundaries.
+// Step 3: fix the timestamp granularity, re-distill, tail gone.
+#include <cstdio>
+
+#include "core/bolt.h"
+#include "core/distiller.h"
+#include "core/scenarios.h"
+#include "net/workload.h"
+#include "support/strings.h"
+
+using namespace bolt;
+
+namespace {
+
+core::DistillerReport distill(std::uint64_t granularity_ns,
+                              perf::PcvRegistry& reg) {
+  auto cfg = core::default_nat_config();
+  cfg.flow.stamp_granularity_ns = granularity_ns;
+  cfg.flow.ttl_ns = 1'000'000'000;
+  const core::NfInstance nat = core::make_nat(reg, cfg);
+  hw::RealisticSim testbed;
+  auto runner = nat.make_runner(nf::framework_full(), &testbed);
+  core::Distiller distiller(*runner, &testbed, &nat.methods);
+  net::ChurnSpec spec;
+  spec.active_flows = 1024;
+  spec.churn = 0.01;
+  spec.packet_count = 250'000;
+  auto packets = net::churn_traffic(spec);
+  return distiller.run(packets);
+}
+
+}  // namespace
+
+int main() {
+  perf::PcvRegistry pcvs;
+  auto cfg = core::default_nat_config();
+  cfg.flow.stamp_granularity_ns = 1'000'000'000;  // the buggy config
+  const core::NfInstance nat = core::make_nat(pcvs, cfg);
+
+  // Step 1 — the contract points at `e`.
+  core::ContractGenerator generator(pcvs);
+  const auto result = generator.generate(nat.analysis());
+  const auto& known = result.contract.require(
+      "internal_known | nat.expire=expire,nat.lookup_int=hit");
+  std::printf("== Step 1: read the contract ==\n\n");
+  std::printf("known flows: %s instructions\n\n",
+              known.perf.get(perf::Metric::kInstructions).str(pcvs).c_str());
+  const auto& instr = known.perf.get(perf::Metric::kInstructions);
+  std::printf("coefficient of e: %lld; of t: %lld; of c: %lld\n",
+              static_cast<long long>(
+                  instr.coefficient(perf::Monomial::pcv(pcvs.require("e")))),
+              static_cast<long long>(
+                  instr.coefficient(perf::Monomial::pcv(pcvs.require("t")))),
+              static_cast<long long>(
+                  instr.coefficient(perf::Monomial::pcv(pcvs.require("c")))));
+  std::printf("-> `e` dominates: latency spikes must come from expiry "
+              "batches.\n\n");
+
+  // Step 2 — distill and confirm the batching.
+  perf::PcvRegistry reg_bug;
+  const auto buggy = distill(1'000'000'000, reg_bug);
+  std::printf("== Step 2: distill with second-granularity stamps ==\n\n%s\n",
+              buggy.density_table(reg_bug.require("e"), reg_bug).c_str());
+  std::printf("worst per-packet latency: %s cycles\n\n",
+              support::with_commas(static_cast<std::int64_t>(
+                                       buggy.worst_measured("cycles")))
+                  .c_str());
+
+  // Step 3 — fix the granularity and re-distill.
+  perf::PcvRegistry reg_fixed;
+  const auto fixed = distill(1'000'000, reg_fixed);
+  std::printf("== Step 3: millisecond-granularity stamps ==\n\n%s\n",
+              fixed.density_table(reg_fixed.require("e"), reg_fixed).c_str());
+  std::printf("worst per-packet latency: %s cycles\n\n",
+              support::with_commas(static_cast<std::int64_t>(
+                                       fixed.worst_measured("cycles")))
+                  .c_str());
+  std::printf("The tail collapses: expiry now happens a few flows at a time\n"
+              "(the paper's Figure 4). The median rises slightly — more\n"
+              "packets do a little expiry work — which is the trade the\n"
+              "contract lets the developer see *before* shipping the fix.\n");
+  return 0;
+}

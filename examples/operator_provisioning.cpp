@@ -1,0 +1,94 @@
+// Operator use case (paper §5.2): provisioning a network around a MAC
+// bridge whose hash table defends itself by rehashing under suspected
+// collision attacks.
+//
+// The operator cannot read the bridge's code, but the contract tells them:
+//   * what normal traffic costs (and how that scales with the PCVs),
+//   * what the worst case under attack costs (the rehash cliff),
+//   * where to set the rehash threshold so the defence never fires on
+//     benign traffic — using the Distiller on a sample of real traffic.
+#include <cstdio>
+
+#include "core/bolt.h"
+#include "core/distiller.h"
+#include "core/scenarios.h"
+#include "net/workload.h"
+#include "support/strings.h"
+
+using namespace bolt;
+
+int main() {
+  perf::PcvRegistry pcvs;
+  const auto config = core::default_bridge_config();
+  const core::NfInstance bridge = core::make_bridge(pcvs, config);
+
+  core::ContractGenerator generator(pcvs);
+  const core::GenerationResult result = generator.generate(bridge.analysis());
+
+  const perf::PcvId t = pcvs.require("t");
+  const perf::PcvId o = pcvs.require("o");
+  const perf::PcvId e = pcvs.require("e");
+
+  // --- 1. What does normal unicast traffic cost? ---
+  const perf::ContractEntry& normal = result.contract.require(
+      "unicast | bridge.expire=expire,bridge.learn=known,bridge.lookup=hit");
+  perf::PcvBinding typical;
+  typical.set(t, 2);
+  std::printf("== Normal operation ==\n");
+  std::printf("known-station unicast, short chains (t=2): <= %s cycles/packet\n",
+              support::with_commas(
+                  normal.perf.get(perf::Metric::kCycles).eval(typical))
+                  .c_str());
+
+  // --- 2. What is the worst case when the defence fires? ---
+  const perf::ContractEntry& rehash = result.contract.require(
+      "unicast | bridge.expire=expire,bridge.learn=rehash,bridge.lookup=hit");
+  perf::PcvBinding attack;
+  attack.set(t, config.rehash_threshold + 1);
+  attack.set(o, config.capacity);  // full table must be rebuilt
+  std::printf("\n== Under attack (rehash fires, table full) ==\n");
+  std::printf("one rehash packet: <= %s instructions, <= %s cycles\n",
+              support::with_commas(
+                  rehash.perf.get(perf::Metric::kInstructions).eval(attack))
+                  .c_str(),
+              support::with_commas(
+                  rehash.perf.get(perf::Metric::kCycles).eval(attack))
+                  .c_str());
+  std::printf("-> provision a queue deep enough to absorb one such packet\n"
+              "   per rekeying, or rate-limit learning.\n");
+
+  // --- 3. Where should the rehash threshold sit? Ask the Distiller. ---
+  auto runner = bridge.make_runner();
+  core::Distiller distiller(*runner, nullptr, &bridge.methods);
+  net::BridgeSpec workload;
+  workload.stations = 3000;
+  workload.packet_count = 50'000;
+  auto packets = net::bridge_traffic(workload);
+  const core::DistillerReport report = distiller.run(packets);
+
+  std::printf("\n== Distiller: benign bucket-traversal distribution ==\n");
+  std::printf("%s\n", report.density_table(t, pcvs).c_str());
+  const auto ccdf = report.ccdf(t);
+  double beyond = 0.0;
+  for (const auto& [value, frac] : ccdf) {
+    if (value <= config.rehash_threshold) beyond = frac;
+  }
+  std::printf("fraction of benign packets beyond the threshold (%llu): %.5f%%\n",
+              static_cast<unsigned long long>(config.rehash_threshold),
+              beyond * 100.0);
+  std::printf("-> the defence will essentially never fire on this workload;\n"
+              "   an attacker who defeats the secret key still only gets one\n"
+              "   rehash per rekeying (the cliff priced above).\n");
+
+  // --- 4. Sanity: the mass-expiry worst case the operator also absorbs. ---
+  perf::PcvBinding idle_burst;
+  idle_burst.set(e, config.capacity);
+  idle_burst.set(t, 1);
+  const std::int64_t burst =
+      result.contract.worst_case(perf::Metric::kCycles, idle_burst);
+  std::printf("\n== After an idle period (all %zu entries expire at once) ==\n",
+              config.capacity);
+  std::printf("first packet pays <= %s cycles\n",
+              support::with_commas(burst).c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: generate a performance contract for an NF and use it.
+//
+// This walks the full BOLT workflow on the paper's running example (the
+// simplified LPM router of §2.1):
+//   1. wire up an NF instance (stateless IR program + stateful library),
+//   2. run the contract generator (symbolic execution -> solving -> replay),
+//   3. read the contract like the paper's Table 1,
+//   4. bind PCVs to predict concrete workloads,
+//   5. cross-check a prediction against a real packet.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/bolt.h"
+#include "core/distiller.h"
+#include "core/scenarios.h"
+#include "net/packet_builder.h"
+
+using namespace bolt;
+
+int main() {
+  // 1. An NF instance: the stateless program plus its stateful library
+  //    (a Patricia-trie LPM), wired through the dispatcher.
+  perf::PcvRegistry pcvs;
+  const core::NfInstance router = core::make_simple_lpm(pcvs);
+  auto& trie = router.state_as<dslib::LpmTrieState>().trie();
+  trie.insert(0x0a000000, 8, 1);   // 10.0.0.0/8      -> port 1
+  trie.insert(0x0a630000, 16, 2);  // 10.99.0.0/16    -> port 2
+
+  // 2. Generate the contract. The running example ignores the packet-I/O
+  //    framework, exactly like the paper's §2.
+  core::BoltOptions options;
+  options.framework = nf::framework_none();
+  core::ContractGenerator generator(pcvs, options);
+  const core::GenerationResult result = generator.generate(router.analysis());
+
+  std::printf("== The generated contract (paper Table 1) ==\n\n%s\n",
+              result.contract.str_all(pcvs).c_str());
+  std::printf("Paths explored: %zu, contract entries: %zu\n\n",
+              result.total_paths, result.contract.entries().size());
+
+  // 3. Predict without running: what does a packet matching a /16 cost?
+  const perf::ContractEntry& valid =
+      result.contract.require("valid | lpm.get=lookup");
+  perf::PcvBinding l16;
+  l16.set(pcvs.require("l"), 16);
+  std::printf("== Predictions ==\n");
+  std::printf("valid packet, matched prefix length 16: %lld instructions, "
+              "%lld memory accesses, <= %lld cycles\n",
+              static_cast<long long>(
+                  valid.perf.get(perf::Metric::kInstructions).eval(l16)),
+              static_cast<long long>(
+                  valid.perf.get(perf::Metric::kMemoryAccesses).eval(l16)),
+              static_cast<long long>(
+                  valid.perf.get(perf::Metric::kCycles).eval(l16)));
+
+  // 4. Cross-check against a real execution.
+  auto runner = router.make_runner(nf::framework_none());
+  net::PacketBuilder b;
+  b.ipv4(net::Ipv4Address::from_octets(192, 0, 2, 1),
+         net::Ipv4Address::from_octets(10, 99, 1, 2))  // matches the /16
+      .udp(4000, 80)
+      .timestamp_ns(1'000'000'000);
+  net::Packet packet = b.build();
+  const ir::RunResult run = runner->process(packet);
+  std::printf("real execution of such a packet:        %llu instructions, "
+              "%llu memory accesses (class '%s', out port %llu)\n",
+              static_cast<unsigned long long>(run.instructions),
+              static_cast<unsigned long long>(run.mem_accesses),
+              run.class_label().c_str(),
+              static_cast<unsigned long long>(run.out_port));
+
+  std::printf("\nThe prediction dominates the measurement (the contract's\n"
+              "essential property) and is tight: the only slack is the\n"
+              "deliberate bit-level coalescing inside lpmGet (paper §3.2).\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "core/classkey.h"
+
+namespace bolt::core {
+
+std::string class_key(const std::vector<std::string>& tags,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          call_cases) {
+  std::string key;
+  for (const auto& tag : tags) {
+    if (!key.empty()) key += '/';
+    key += tag;
+  }
+  if (key.empty()) key = "(untagged)";
+  std::string calls;
+  for (const auto& [method, case_label] : call_cases) {
+    if (!calls.empty()) calls += ',';
+    calls += method + "=" + case_label;
+  }
+  if (!calls.empty()) key += " | " + calls;
+  return key;
+}
+
+}  // namespace bolt::core

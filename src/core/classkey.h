@@ -1,0 +1,20 @@
+// Input-class keys.
+//
+// A path's input class is identified by (a) the stateless class tags it
+// crossed and (b) the abstract-state case of every stateful call it made
+// ("learn=known", "lookup=miss", ...). The contract generator groups paths
+// by this key, and the Distiller/benches rebuild the same key from concrete
+// runs to find the matching contract entry.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bolt::core {
+
+std::string class_key(const std::vector<std::string>& tags,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          call_cases);
+
+}  // namespace bolt::core

@@ -1,0 +1,141 @@
+#include "core/distiller.h"
+
+#include <algorithm>
+
+#include "core/classkey.h"
+#include "support/assert.h"
+#include "support/strings.h"
+
+namespace bolt::core {
+
+DistillerReport Distiller::run(std::vector<net::Packet>& packets) {
+  DistillerReport report;
+  report.records.reserve(packets.size());
+  for (net::Packet& packet : packets) {
+    if (sink_ != nullptr) sink_->begin_packet();
+    const ir::RunResult run = runner_.process(packet);
+
+    PacketRecord rec;
+    std::vector<std::pair<std::string, std::string>> cases;
+    cases.reserve(run.calls.size());
+    for (const ir::CallSite& c : run.calls) {
+      std::string name = "m" + std::to_string(c.method);
+      if (methods_ != nullptr) {
+        auto it = methods_->find(c.method);
+        if (it != methods_->end()) name = it->second.name;
+      }
+      cases.emplace_back(std::move(name), c.case_label);
+    }
+    rec.class_key = class_key(run.class_tags, cases);
+    rec.pcvs = run.pcvs;
+    rec.instructions = run.instructions;
+    rec.mem_accesses = run.mem_accesses;
+    rec.cycles = sink_ != nullptr ? sink_->packet_cycles() : 0;
+    rec.verdict = run.verdict;
+    report.records.push_back(std::move(rec));
+  }
+  return report;
+}
+
+std::map<std::uint64_t, std::uint64_t> DistillerReport::histogram(
+    perf::PcvId pcv) const {
+  std::map<std::uint64_t, std::uint64_t> out;
+  for (const PacketRecord& r : records) ++out[r.pcvs.get(pcv)];
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> DistillerReport::density(
+    perf::PcvId pcv) const {
+  const auto hist = histogram(pcv);
+  std::vector<std::pair<std::uint64_t, double>> out;
+  const double total = static_cast<double>(records.size());
+  out.reserve(hist.size());
+  for (const auto& [value, count] : hist) {
+    out.emplace_back(value, 100.0 * static_cast<double>(count) / total);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> DistillerReport::ccdf(
+    perf::PcvId pcv) const {
+  const auto hist = histogram(pcv);
+  std::vector<std::pair<std::uint64_t, double>> out;
+  const double total = static_cast<double>(records.size());
+  std::uint64_t at_most = 0;
+  for (const auto& [value, count] : hist) {
+    at_most += count;
+    out.emplace_back(value, 1.0 - static_cast<double>(at_most) / total);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> DistillerReport::ccdf_of(
+    const std::string& field) const {
+  std::vector<std::uint64_t> values;
+  values.reserve(records.size());
+  for (const PacketRecord& r : records) {
+    if (field == "cycles") values.push_back(r.cycles);
+    else if (field == "instructions") values.push_back(r.instructions);
+    else if (field == "mem_accesses") values.push_back(r.mem_accesses);
+    else BOLT_UNREACHABLE("unknown field: " + field);
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<std::pair<std::uint64_t, double>> out;
+  const double total = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    out.emplace_back(values[i], 1.0 - static_cast<double>(i + 1) / total);
+  }
+  return out;
+}
+
+perf::PcvBinding DistillerReport::worst_binding() const {
+  return worst_binding_for("");
+}
+
+perf::PcvBinding DistillerReport::worst_binding_for(
+    const std::string& class_substr) const {
+  perf::PcvBinding out;
+  for (const PacketRecord& r : records) {
+    if (!class_substr.empty() &&
+        r.class_key.find(class_substr) == std::string::npos) {
+      continue;
+    }
+    for (const auto& [id, v] : r.pcvs.values()) {
+      if (v > out.get(id)) out.set(id, v);
+    }
+  }
+  return out;
+}
+
+std::uint64_t DistillerReport::worst_measured(
+    const std::string& field, const std::string& class_substr) const {
+  std::uint64_t worst = 0;
+  for (const PacketRecord& r : records) {
+    if (!class_substr.empty() &&
+        r.class_key.find(class_substr) == std::string::npos) {
+      continue;
+    }
+    std::uint64_t v = 0;
+    if (field == "cycles") v = r.cycles;
+    else if (field == "instructions") v = r.instructions;
+    else if (field == "mem_accesses") v = r.mem_accesses;
+    else BOLT_UNREACHABLE("unknown field: " + field);
+    worst = std::max(worst, v);
+  }
+  return worst;
+}
+
+std::string DistillerReport::density_table(perf::PcvId pcv,
+                                           const perf::PcvRegistry& reg) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Number of " + reg.description(pcv), "Probability Density (%)"});
+  for (const auto& [value, pct] : density(pcv)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4g", pct);
+    rows.push_back({std::to_string(value), buf});
+  }
+  return support::render_table(rows);
+}
+
+}  // namespace bolt::core

@@ -1,0 +1,83 @@
+// The BOLT Distiller (paper §4).
+//
+// Feeds a traffic sample (typically read from a PCAP) through the real NF
+// and logs, per packet, the input class taken, the PCV values induced, and
+// the measured costs. The report supports the paper's workflows: PCV
+// distributions (Tables 7/8), CCDFs (Figures 2/4), and binding PCVs into a
+// contract to compare predicted vs measured (Figure 1 methodology).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "dslib/method.h"
+#include "hw/models.h"
+#include "net/packet.h"
+#include "perf/contract.h"
+#include "perf/pcv.h"
+
+namespace bolt::core {
+
+struct PacketRecord {
+  std::string class_key;
+  perf::PcvBinding pcvs;
+  std::uint64_t instructions = 0;
+  std::uint64_t mem_accesses = 0;
+  std::uint64_t cycles = 0;  ///< realistic-simulator cycles (0 if no sink)
+  net::NfVerdict verdict = net::NfVerdict::kDrop;
+};
+
+class DistillerReport {
+ public:
+  std::vector<PacketRecord> records;
+
+  /// Histogram of a PCV across all packets: value -> packet count.
+  std::map<std::uint64_t, std::uint64_t> histogram(perf::PcvId pcv) const;
+
+  /// Probability-density table like the paper's Tables 7/8 (value, %).
+  std::vector<std::pair<std::uint64_t, double>> density(perf::PcvId pcv) const;
+
+  /// CCDF points for a PCV: fraction of packets with value > x.
+  std::vector<std::pair<std::uint64_t, double>> ccdf(perf::PcvId pcv) const;
+
+  /// CCDF over a per-packet measured quantity selected by `field`:
+  /// "cycles", "instructions" or "mem_accesses".
+  std::vector<std::pair<std::uint64_t, double>> ccdf_of(
+      const std::string& field) const;
+
+  /// The worst observed binding (per-PCV max) — what operators feed into a
+  /// contract to get a concrete prediction for the sampled workload.
+  perf::PcvBinding worst_binding() const;
+  /// Worst binding restricted to packets of one class key.
+  perf::PcvBinding worst_binding_for(const std::string& class_substr) const;
+
+  /// Worst measured value for packets of one class ("" = all).
+  std::uint64_t worst_measured(const std::string& field,
+                               const std::string& class_substr = "") const;
+
+  std::string density_table(perf::PcvId pcv, const perf::PcvRegistry& reg) const;
+};
+
+class Distiller {
+ public:
+  /// `sink` (optional) supplies the measured-cycles column; pass a
+  /// RealisticSim to emulate the testbed, or nullptr to skip cycles.
+  /// `methods` (optional) lets records carry the same method names the
+  /// contract generator uses, so record class keys match contract entries.
+  Distiller(NfRunner& runner, hw::CycleModel* sink = nullptr,
+            const dslib::MethodTable* methods = nullptr)
+      : runner_(runner), sink_(sink), methods_(methods) {}
+
+  /// Processes the packets in order (mutating them, as the NF would).
+  DistillerReport run(std::vector<net::Packet>& packets);
+
+ private:
+  NfRunner& runner_;
+  hw::CycleModel* sink_;
+  const dslib::MethodTable* methods_;
+};
+
+}  // namespace bolt::core

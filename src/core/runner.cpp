@@ -1,0 +1,44 @@
+#include "core/runner.h"
+
+#include "support/assert.h"
+
+namespace bolt::core {
+
+NfRunner::NfRunner(std::vector<const ir::Program*> programs,
+                   ir::StatefulEnv* env, ir::InterpreterOptions options)
+    : programs_(std::move(programs)) {
+  BOLT_CHECK(!programs_.empty(), "NfRunner needs at least one program");
+  interps_.reserve(programs_.size());
+  for (const ir::Program* p : programs_) {
+    interps_.emplace_back(*p, env, options);
+  }
+}
+
+ir::RunResult NfRunner::process(net::Packet& packet) {
+  ir::RunResult merged;
+  const bool chain = programs_.size() > 1;
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    ir::RunResult r = interps_[i].run(packet);
+    merged.instructions += r.instructions;
+    merged.mem_accesses += r.mem_accesses;
+    merged.stateless_instructions += r.stateless_instructions;
+    merged.stateless_accesses += r.stateless_accesses;
+    for (const auto& [id, v] : r.pcvs.values()) {
+      if (v > merged.pcvs.get(id)) merged.pcvs.set(id, v);
+    }
+    for (auto& call : r.calls) merged.calls.push_back(std::move(call));
+    for (auto& tag : r.class_tags) {
+      merged.class_tags.push_back(chain ? programs_[i]->name + ":" + tag
+                                        : std::move(tag));
+    }
+    for (const auto& [loop, trips] : r.loop_trips) {
+      merged.loop_trips[static_cast<std::int64_t>(i) * 1000 + loop] += trips;
+    }
+    merged.verdict = r.verdict;
+    merged.out_port = r.out_port;
+    if (r.verdict == net::NfVerdict::kDrop) break;
+  }
+  return merged;
+}
+
+}  // namespace bolt::core

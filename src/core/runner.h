@@ -1,0 +1,38 @@
+// NfRunner — executes packets through an NF or an NF chain concretely,
+// merging per-program results the same way the symbolic executor does
+// (chain-prefixed class tags, chain-namespaced loop ids), so measured runs
+// and generated contracts speak the same class-key language.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/interp.h"
+#include "ir/program.h"
+#include "ir/stateful.h"
+#include "net/packet.h"
+
+namespace bolt::core {
+
+class NfRunner {
+ public:
+  NfRunner(std::vector<const ir::Program*> programs, ir::StatefulEnv* env,
+           ir::InterpreterOptions options = {});
+
+  /// Runs the packet through the chain (stopping at the first drop).
+  /// Counters/tags/calls/PCVs are merged across the chain.
+  ir::RunResult process(net::Packet& packet);
+
+  const std::vector<const ir::Program*>& programs() const { return programs_; }
+
+  /// Scratch memory of program `index` (for microbenchmark setup).
+  std::vector<std::uint64_t>& scratch(std::size_t index) {
+    return interps_[index].scratch();
+  }
+
+ private:
+  std::vector<const ir::Program*> programs_;
+  std::vector<ir::Interpreter> interps_;
+};
+
+}  // namespace bolt::core

@@ -1,0 +1,100 @@
+#include "core/scenarios.h"
+
+#include "nf/bridge.h"
+#include "nf/lb.h"
+#include "nf/lpm_router.h"
+#include "nf/nat.h"
+
+namespace bolt::core {
+
+dslib::MacTable::Config default_bridge_config() {
+  dslib::MacTable::Config cfg;
+  cfg.capacity = 4096;
+  cfg.ttl_ns = 30'000'000'000;
+  cfg.stamp_granularity_ns = 1'000'000;
+  cfg.rehash_threshold = 6;
+  return cfg;
+}
+
+dslib::NatState::Config default_nat_config() {
+  dslib::NatState::Config cfg;
+  cfg.flow.capacity = 4096;
+  cfg.flow.ttl_ns = 10'000'000'000;
+  cfg.flow.stamp_granularity_ns = 1'000'000;  // the *fixed* VigNAT
+  return cfg;
+}
+
+dslib::LbState::Config default_lb_config() {
+  dslib::LbState::Config cfg;
+  cfg.flow.capacity = 4096;
+  cfg.flow.ttl_ns = 10'000'000'000;
+  cfg.flow.stamp_granularity_ns = 1'000'000;
+  cfg.ring.backend_count = 16;
+  cfg.ring.table_size = 4099;
+  return cfg;
+}
+
+NfInstance make_bridge(perf::PcvRegistry& reg,
+                       const dslib::MacTable::Config& config) {
+  NfInstance nf;
+  nf.name = "bridge";
+  nf.program = nf::Bridge::program();
+  nf.methods = nf::Bridge::methods(reg, config);
+  auto state = std::make_shared<dslib::BridgeState>(config, reg);
+  nf.env = std::make_unique<dslib::DispatchEnv>();
+  state->bind(*nf.env);
+  nf.state = std::move(state);
+  return nf;
+}
+
+NfInstance make_nat(perf::PcvRegistry& reg,
+                    const dslib::NatState::Config& config) {
+  NfInstance nf;
+  nf.name = "nat";
+  nf.program = nf::Nat::program(config.external_ip);
+  nf.methods = nf::Nat::methods(reg, config);
+  auto state = std::make_shared<dslib::NatState>(config, reg);
+  nf.env = std::make_unique<dslib::DispatchEnv>();
+  state->bind(*nf.env);
+  nf.state = std::move(state);
+  return nf;
+}
+
+NfInstance make_lb(perf::PcvRegistry& reg,
+                   const dslib::LbState::Config& config) {
+  NfInstance nf;
+  nf.name = "lb";
+  nf.program = nf::Lb::program(config.heartbeat_port);
+  nf.methods = nf::Lb::methods(reg, config);
+  auto state = std::make_shared<dslib::LbState>(config, reg);
+  nf.env = std::make_unique<dslib::DispatchEnv>();
+  state->bind(*nf.env);
+  nf.state = std::move(state);
+  return nf;
+}
+
+NfInstance make_simple_lpm(perf::PcvRegistry& reg) {
+  NfInstance nf;
+  nf.name = "lpm_simple";
+  nf.program = nf::SimpleLpmRouter::program();
+  nf.methods = nf::SimpleLpmRouter::methods(reg);
+  auto state = std::make_shared<dslib::LpmTrieState>(reg);
+  nf.env = std::make_unique<dslib::DispatchEnv>();
+  state->bind(*nf.env);
+  nf.state = std::move(state);
+  return nf;
+}
+
+NfInstance make_dir_lpm(perf::PcvRegistry& reg) {
+  NfInstance nf;
+  nf.name = "lpm_dir24_8";
+  nf.program = nf::DirLpmRouter::program();
+  nf.methods = nf::DirLpmRouter::methods(reg);
+  auto state = std::make_shared<dslib::LpmDirState>(reg);
+  nf.env = std::make_unique<dslib::DispatchEnv>();
+  state->bind(*nf.env);
+  nf.state = std::move(state);
+  return nf;
+}
+
+}  // namespace bolt::core

@@ -1,0 +1,73 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace bolt::core {
+
+double SensitivityReport::growth() const {
+  if (points.size() < 2 || points.front().predicted == 0) return 0.0;
+  return static_cast<double>(points.back().predicted) /
+             static_cast<double>(points.front().predicted) -
+         1.0;
+}
+
+std::string SensitivityReport::table(const perf::PcvRegistry& reg) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({reg.name(pcv), "P[=x]", "CCDF P[>x]",
+                  std::string(perf::metric_name(metric)) + " predicted"});
+  for (const SensitivityPoint& p : points) {
+    char at[32], above[32];
+    std::snprintf(at, sizeof at, "%.5f", p.traffic_fraction_at);
+    std::snprintf(above, sizeof above, "%.5f", p.traffic_fraction_above);
+    rows.push_back({std::to_string(p.pcv_value), at, above,
+                    support::with_commas(p.predicted)});
+  }
+  return support::render_table(rows);
+}
+
+SensitivityReport sensitivity(const perf::ContractEntry& entry,
+                              perf::Metric metric, perf::PcvId pcv,
+                              const DistillerReport& sample,
+                              std::uint64_t max_value) {
+  SensitivityReport report;
+  report.pcv = pcv;
+  report.input_class = entry.input_class;
+  report.metric = metric;
+
+  const auto hist = sample.histogram(pcv);
+  std::uint64_t observed_max = 0;
+  std::uint64_t total = 0;
+  for (const auto& [value, count] : hist) {
+    observed_max = std::max(observed_max, value);
+    total += count;
+  }
+  const std::uint64_t sweep_max = std::max(observed_max, max_value);
+
+  // Pin the other PCVs at the class's observed worst (conservative), then
+  // override the swept one.
+  perf::PcvBinding base = sample.worst_binding_for(entry.input_class);
+
+  std::uint64_t at_most = 0;
+  for (std::uint64_t v = 0; v <= sweep_max; ++v) {
+    SensitivityPoint point;
+    point.pcv_value = v;
+    const auto it = hist.find(v);
+    const std::uint64_t count = it == hist.end() ? 0 : it->second;
+    at_most += count;
+    if (total > 0) {
+      point.traffic_fraction_at =
+          static_cast<double>(count) / static_cast<double>(total);
+      point.traffic_fraction_above =
+          1.0 - static_cast<double>(at_most) / static_cast<double>(total);
+    }
+    perf::PcvBinding bind = base;
+    bind.set(pcv, v);
+    point.predicted = entry.perf.get(metric).eval(bind);
+    report.points.push_back(point);
+  }
+  return report;
+}
+
+}  // namespace bolt::core

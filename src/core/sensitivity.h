@@ -1,0 +1,48 @@
+// Sensitivity analysis (paper §4): combine a contract with a Distiller
+// report to answer "how much does performance change as PCV X grows, and
+// how much of my traffic is actually affected?" — the analysis behind
+// Figure 2's threshold choice and the paper's 32%-worse-for-1%-of-traffic
+// example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distiller.h"
+#include "perf/contract.h"
+#include "perf/pcv.h"
+
+namespace bolt::core {
+
+struct SensitivityPoint {
+  std::uint64_t pcv_value = 0;
+  double traffic_fraction_at = 0.0;     ///< P[PCV == value] in the sample
+  double traffic_fraction_above = 0.0;  ///< P[PCV > value] (CCDF)
+  std::int64_t predicted = 0;           ///< metric at this PCV value
+};
+
+struct SensitivityReport {
+  perf::PcvId pcv = 0;
+  std::string input_class;
+  perf::Metric metric = perf::Metric::kInstructions;
+  std::vector<SensitivityPoint> points;
+
+  /// Relative cost growth from the first to the last point (the paper's
+  /// "longer prefixes lead to 32% worse performance" style of statement).
+  double growth() const;
+
+  std::string table(const perf::PcvRegistry& reg) const;
+};
+
+/// Sweeps `pcv` from 0 to the sample's maximum (or `max_value` if larger),
+/// evaluating `entry`'s expression with the remaining PCVs pinned at the
+/// sample's *median-like* values (the per-class worst binding with `pcv`
+/// overridden), and annotating each point with the observed traffic
+/// fraction.
+SensitivityReport sensitivity(const perf::ContractEntry& entry,
+                              perf::Metric metric, perf::PcvId pcv,
+                              const DistillerReport& sample,
+                              std::uint64_t max_value = 0);
+
+}  // namespace bolt::core

@@ -1,0 +1,164 @@
+#include "dslib/contract_exprs.h"
+
+#include "dslib/costs.h"
+#include "dslib/method.h"
+
+namespace bolt::dslib {
+
+using perf::Metric;
+using perf::MetricExprs;
+using perf::Monomial;
+using perf::PerfExpr;
+
+namespace {
+
+CostShape make(PerfExpr instr, PerfExpr ma, PerfExpr unique) {
+  CostShape out;
+  out.exprs.set(Metric::kInstructions, std::move(instr));
+  out.exprs.set(Metric::kMemoryAccesses, std::move(ma));
+  out.unique_lines = std::move(unique);
+  return out;
+}
+
+PerfExpr k(std::int64_t v) { return PerfExpr::constant(v); }
+PerfExpr v(perf::PcvId id) { return PerfExpr::pcv(id); }
+
+}  // namespace
+
+void add_case(perf::MethodContract& contract, const std::string& label,
+              const CostShape& shape) {
+  contract.add_case(label, shape.exprs);
+  contract.set_unique_lines(label, shape.unique_lines);
+}
+
+FlowPcvs FlowPcvs::standard(perf::PcvRegistry& reg) {
+  intern_standard_pcvs(reg);
+  return FlowPcvs{reg.require(pcv::kCollisions), reg.require(pcv::kTraversals),
+                  reg.require(pcv::kExpired), reg.require(pcv::kOccupancy)};
+}
+
+// Accounting notes (see flow_table.cpp):
+//   walk: 1 bucket read, t entry-tag reads (each a fresh entry line),
+//   c full-key reads (same line as the tag that matched), plus per-outcome
+//   finishes. Unique lines of a walk: bucket + t entries.
+
+CostShape ft_get_hit(const FlowPcvs& p) {
+  return make(
+      k(cost::kHash + cost::kBucketHead + cost::kHitFinish) +
+          v(p.t).scaled(cost::kTraverseHi) + v(p.c).scaled(cost::kCollisionHi),
+      v(p.t) + v(p.c) + k(3),
+      v(p.t) + k(1));
+}
+
+CostShape ft_touch_hit(const FlowPcvs& p) {
+  // get-hit plus the stamp refresh (a write to the already-fetched entry
+  // line, hence no extra unique line).
+  CostShape shape = ft_get_hit(p);
+  shape.exprs.set(Metric::kInstructions,
+                  shape.exprs.get(Metric::kInstructions) + k(cost::kRefresh));
+  shape.exprs.set(Metric::kMemoryAccesses,
+                  shape.exprs.get(Metric::kMemoryAccesses) + k(1));
+  return shape;
+}
+
+CostShape ft_get_miss(const FlowPcvs& p) {
+  return make(
+      k(cost::kHash + cost::kBucketHead + cost::kMissFinish) +
+          v(p.t).scaled(cost::kTraverseHi) + v(p.c).scaled(cost::kCollisionHi),
+      v(p.t) + v(p.c) + k(1),
+      v(p.t) + k(1));
+}
+
+CostShape ft_put_update(const FlowPcvs& p) {
+  return make(
+      k(cost::kHash + cost::kBucketHead + cost::kRefresh) +
+          v(p.t).scaled(cost::kTraverseHi) + v(p.c).scaled(cost::kCollisionHi),
+      v(p.t) + v(p.c) + k(4),
+      v(p.t) + k(1));
+}
+
+CostShape ft_put_new(const FlowPcvs& p) {
+  // The inserted entry occupies a fresh line (key write), the value write
+  // shares it, and the bucket-head write re-touches the bucket line.
+  return make(
+      k(cost::kHash + cost::kBucketHead + cost::kInsert) +
+          v(p.t).scaled(cost::kTraverseHi) + v(p.c).scaled(cost::kCollisionHi),
+      v(p.t) + v(p.c) + k(4),
+      v(p.t) + k(2));
+}
+
+CostShape ft_put_full(const FlowPcvs& p) {
+  return make(
+      k(cost::kHash + cost::kBucketHead + cost::kFullFinish) +
+          v(p.t).scaled(cost::kTraverseHi) + v(p.c).scaled(cost::kCollisionHi),
+      v(p.t) + v(p.c) + k(1),
+      v(p.t) + k(1));
+}
+
+CostShape ft_expire(const FlowPcvs& p, const CostShape* per_evict_extra) {
+  const Monomial et = Monomial::pcv(p.e) * Monomial::pcv(p.t);
+  const Monomial ec = Monomial::pcv(p.e) * Monomial::pcv(p.c);
+  // Per expired entry: one loop check + fixed erase/unlink cost, plus the
+  // amortised chain walk (e·t) and collision compares (e·c).
+  PerfExpr instr = k(cost::kExpireCheck) +
+                   v(p.e).scaled(cost::kExpireCheck + cost::kExpirePer) +
+                   PerfExpr::term(cost::kEraseStepHi, et) +
+                   PerfExpr::term(cost::kCollisionHi, ec);
+  // Accesses: loop stamp reads (e+1), per-entry bucket+tag walk+key walk+
+  // unlink+stamp (t+c+5 amortised — see flow_table.cpp accounting).
+  PerfExpr ma = k(1) + v(p.e).scaled(5) + PerfExpr::term(1, et) +
+                PerfExpr::term(1, ec);
+  // Unique lines: the walk's tag reads are fresh entry lines (e·t); the
+  // collision key reads, the unlink write and the stamp write re-touch
+  // lines the same erase already fetched. The LRU-head stamp read and the
+  // bucket re-read are counted unique per erase (the L1 cannot be assumed
+  // to retain them across a long sweep).
+  PerfExpr unique = k(1) + v(p.e).scaled(2) + PerfExpr::term(1, et);
+  if (per_evict_extra != nullptr) {
+    instr += v(p.e) * per_evict_extra->exprs.get(Metric::kInstructions);
+    ma += v(p.e) * per_evict_extra->exprs.get(Metric::kMemoryAccesses);
+    unique += v(p.e) * per_evict_extra->unique_lines;
+  }
+  return make(std::move(instr), std::move(ma), std::move(unique));
+}
+
+CostShape mac_rehash_extra(const FlowPcvs& p, std::size_t capacity) {
+  const Monomial to = Monomial::pcv(p.t) * Monomial::pcv(p.o);
+  PerfExpr instr = k(cost::kRehashFixed) +
+                   v(p.o).scaled(cost::kReinsertPer) +
+                   PerfExpr::term(cost::kReinsertStep, to);
+  PerfExpr ma = k(static_cast<std::int64_t>(capacity)) + v(p.o).scaled(3);
+  // Bucket-array clear streams capacity/8 lines; each reinserted entry
+  // touches its own line plus a bucket line.
+  PerfExpr unique =
+      k(static_cast<std::int64_t>(capacity / 8 + 1)) + v(p.o).scaled(2);
+  return make(std::move(instr), std::move(ma), std::move(unique));
+}
+
+CostShape alloc_a_cost() {
+  // alloc: head read + node read + head write + (maybe) new-head write;
+  // the head writes re-touch the head line.
+  return make(k(cost::kAllocA), k(4), k(2));
+}
+
+CostShape free_a_cost() {
+  return make(k(cost::kFreeA), k(3), k(2));
+}
+
+CostShape alloc_b_cost(perf::PcvId s) {
+  // The bitmap scan reads consecutive bytes; a fresh line only every 64
+  // probes, but the expert prices each probe's line conservatively.
+  return make(k(cost::kAllocBBase) + v(s).scaled(cost::kAllocBProbe),
+              v(s) + k(1), v(s) + k(1));
+}
+
+CostShape free_b_cost() {
+  return make(k(cost::kFreeB), k(1), k(1));
+}
+
+CostShape parse_flow_cost() {
+  // Six header reads spanning at most two packet lines.
+  return make(k(cost::kParseFlow), k(cost::kParseAccesses), k(2));
+}
+
+}  // namespace bolt::dslib

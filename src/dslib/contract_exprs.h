@@ -1,0 +1,71 @@
+// Shared builders for the manually derived method-contract expressions.
+//
+// Every coefficient here is read directly off the metered implementations
+// in flow_table.cpp / mac_table.cpp / port_allocator.cpp, with conservative
+// coalescing applied where the implementation's cost varies below the
+// coefficient (kTraverseHi vs kTraverseLo etc.). This is the "expert
+// pre-analysis" of the paper's §3.2 — done once per data structure, reused
+// by every NF.
+//
+// Each shape carries, besides the instruction/memory-access expressions,
+// the *unique-cache-line* expression: the accesses that touch a line the
+// call has not provably touched before. Entry records occupy one 64-byte
+// line each (tag/key/value/stamp/next), so e.g. a collision's full-key
+// compare re-reads the line its tag compare just fetched — the expert can
+// prove that L1 hit, and the conservative cycle model prices it as such
+// (paper §3.5's spatial/temporal locality tracking).
+#pragma once
+
+#include "perf/contract.h"
+#include "perf/pcv.h"
+
+namespace bolt::dslib {
+
+/// PCV ids a flow-table contract speaks about.
+struct FlowPcvs {
+  perf::PcvId c, t, e, o;
+  static FlowPcvs standard(perf::PcvRegistry& reg);
+};
+
+/// One method-case cost shape: metric expressions + unique-line accesses.
+struct CostShape {
+  perf::MetricExprs exprs;
+  perf::PerfExpr unique_lines;
+
+  CostShape operator+(const CostShape& other) const {
+    return CostShape{exprs + other.exprs, unique_lines + other.unique_lines};
+  }
+};
+
+/// Registers a case (expressions + unique lines) on a method contract.
+void add_case(perf::MethodContract& contract, const std::string& label,
+              const CostShape& shape);
+
+// FlowTable method shapes:
+CostShape ft_get_hit(const FlowPcvs& p);
+CostShape ft_get_miss(const FlowPcvs& p);
+/// get + timestamp refresh on hit (FlowTable::touch).
+CostShape ft_touch_hit(const FlowPcvs& p);
+CostShape ft_put_update(const FlowPcvs& p);
+CostShape ft_put_new(const FlowPcvs& p);
+CostShape ft_put_full(const FlowPcvs& p);
+/// expire() including the e·t / e·c cross terms; `per_evict_extra` adds a
+/// composite's per-eviction cost (e.g. NAT reverse-mapping erase + port
+/// free), expressed per expired entry.
+CostShape ft_expire(const FlowPcvs& p, const CostShape* per_evict_extra = nullptr);
+
+/// MacTable rehash addendum (added on top of ft_put_new for the rehash
+/// case): fixed rebuild + per-entry reinsertion, with the conservative
+/// t·o cross term. `capacity` prices the bucket-array clear.
+CostShape mac_rehash_extra(const FlowPcvs& p, std::size_t capacity);
+
+/// Port allocator costs.
+CostShape alloc_a_cost();
+CostShape free_a_cost();
+CostShape alloc_b_cost(perf::PcvId s);
+CostShape free_b_cost();
+
+/// Five-tuple parse performed inside composite stateful methods.
+CostShape parse_flow_cost();
+
+}  // namespace bolt::dslib

@@ -1,0 +1,86 @@
+// Central table of metering constants for the stateful library.
+//
+// These constants play the role of the data structures' machine code: every
+// dslib operation meters its work as multiples of these constants, and the
+// manually derived method contracts (the paper's §3.2 "base case") are
+// written against the *same* constants. The deliberate exceptions — places
+// where the implementation's real cost varies below the contract's
+// conservative coefficient (bit-dependent branches, §3.2's lpmGet example)
+// — are what produce the paper's small IC/MA over-estimation gap.
+#pragma once
+
+#include <cstdint>
+
+namespace bolt::dslib::cost {
+
+// --- hash table (flow table / MAC table) ------------------------------------
+inline constexpr std::uint64_t kHash = 12;          ///< hash computation, instr
+inline constexpr std::uint64_t kBucketHead = 5;     ///< bucket head load path
+/// Per-chain-node traversal. The implementation spends kTraverseLo or
+/// kTraverseHi instructions per node depending on a key bit (pointer
+/// arithmetic unfolding); contracts use kTraverseHi — conservative coalescing.
+inline constexpr std::uint64_t kTraverseLo = 16;
+inline constexpr std::uint64_t kTraverseHi = 18;
+/// Per mismatching full-key comparison (a hash collision). A 64-bit
+/// compare-and-branch: cheap and fixed, so the quadratic pathological
+/// terms stay memory-bound (and exactly priced).
+inline constexpr std::uint64_t kCollisionLo = 4;
+inline constexpr std::uint64_t kCollisionHi = 4;
+inline constexpr std::uint64_t kHitFinish = 22;     ///< found-entry bookkeeping
+inline constexpr std::uint64_t kMissFinish = 9;
+inline constexpr std::uint64_t kInsert = 34;        ///< link new entry + LRU
+inline constexpr std::uint64_t kRefresh = 15;       ///< timestamp + LRU move
+inline constexpr std::uint64_t kFullFinish = 11;    ///< table-full bail-out
+
+// --- expiry (LRU sweep) ------------------------------------------------------
+inline constexpr std::uint64_t kExpireCheck = 7;    ///< look at LRU head
+inline constexpr std::uint64_t kExpirePer = 41;     ///< per expired entry, fixed
+/// Per chain-walk step during an erase (the source of the e*t cross term).
+/// Fixed cost: load next pointer + tag compare + branch.
+inline constexpr std::uint64_t kEraseStepLo = 3;
+inline constexpr std::uint64_t kEraseStepHi = 3;
+
+// --- MAC table rehash defence -------------------------------------------------
+inline constexpr std::uint64_t kRehashFixed = 98'406;  ///< alloc+zero new arrays
+inline constexpr std::uint64_t kReinsertPer = 52;      ///< per entry re-insert
+inline constexpr std::uint64_t kReinsertStep = 14;     ///< per reinsert chain step
+
+// --- LPM: Patricia trie (running example) ------------------------------------
+/// Per-bit step: the implementation spends kTrieStepLo or kTrieStepHi
+/// depending on the prefix bit (paper §3.2); contracts use the high value.
+/// One memory access per step. Fixed part: 2 instructions + 1 access.
+inline constexpr std::uint64_t kTrieStepLo = 3;
+inline constexpr std::uint64_t kTrieStepHi = 4;
+inline constexpr std::uint64_t kTrieFixed = 2;
+
+// --- LPM: DIR-24-8 two-tier table ---------------------------------------------
+inline constexpr std::uint64_t kDir24Lookup = 21;    ///< tbl24 path, 1 access
+inline constexpr std::uint64_t kDir8Lookup = 17;     ///< tbl8 second hop, 1 access
+
+// --- Maglev ring ---------------------------------------------------------------
+inline constexpr std::uint64_t kRingLookup = 26;     ///< hash + table index
+inline constexpr std::uint64_t kHealthCheck = 8;     ///< backend health load
+inline constexpr std::uint64_t kHealthUpdate = 12;   ///< heartbeat bookkeeping
+/// Per step when walking the ring away from an unhealthy backend.
+inline constexpr std::uint64_t kRingStep = 9;
+
+// --- port allocators ------------------------------------------------------------
+// Allocator A: doubly-linked free list. Flat costs.
+inline constexpr std::uint64_t kAllocA = 44;
+inline constexpr std::uint64_t kFreeA = 38;
+// Allocator B: bitmap scan + singly-linked free push. Cheap when the scan
+// hits immediately, occupancy-dependent otherwise.
+inline constexpr std::uint64_t kAllocBBase = 23;
+inline constexpr std::uint64_t kAllocBProbe = 11;  ///< per scanned slot
+inline constexpr std::uint64_t kFreeB = 20;
+
+// --- composite glue --------------------------------------------------------------
+inline constexpr std::uint64_t kOccupancyCheck = 3;  ///< table-full pre-check
+
+// --- packet parsing inside composite stateful objects ---------------------------
+inline constexpr std::uint64_t kParseFlow = 35;   ///< five-tuple extraction
+inline constexpr std::uint64_t kParseAccesses = 6;
+inline constexpr std::uint64_t kRewrite = 29;     ///< NAT header rewrite
+inline constexpr std::uint64_t kRewriteAccesses = 5;
+
+}  // namespace bolt::dslib::cost

@@ -1,0 +1,78 @@
+#include "dslib/mac_table.h"
+
+#include "dslib/costs.h"
+#include "net/flow.h"
+
+namespace bolt::dslib {
+
+MacTable::MacTable(const Config& config)
+    : config_(config),
+      table_(FlowTable::Config{config.capacity, config.ttl_ns,
+                               config.stamp_granularity_ns,
+                               config.initial_hash_key}),
+      rekey_state_(config.rekey_seed) {}
+
+MacTable::LearnResult MacTable::learn(std::uint64_t mac, std::uint16_t port,
+                                      std::uint64_t now_ns,
+                                      ir::CostMeter& meter) {
+  LearnResult result;
+  const FlowTable::PutResult put = table_.put(mac, port, now_ns, meter);
+  result.stats = put.stats;
+  result.occupancy = table_.occupancy();
+  switch (put.outcome) {
+    case FlowTable::PutCase::kUpdate:
+      result.outcome = LearnCase::kKnown;
+      return result;
+    case FlowTable::PutCase::kFull:
+      result.outcome = LearnCase::kFull;
+      return result;
+    case FlowTable::PutCase::kNew:
+      break;
+  }
+  if (put.stats.traversals > config_.rehash_threshold) {
+    rehash(meter);
+    result.outcome = LearnCase::kRehash;
+    return result;
+  }
+  result.outcome = LearnCase::kNew;
+  return result;
+}
+
+void MacTable::rehash(ir::CostMeter& meter) {
+  ++rehash_count_;
+  // New secret key (splitmix64 step over the rekey state).
+  rekey_state_ += 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t new_key = net::mix64(rekey_state_);
+
+  // Fixed cost: allocate/zero the new bucket array.
+  meter.metered_instructions(cost::kRehashFixed);
+  for (std::size_t b = 0; b < table_.bucket_count(); ++b) {
+    meter.mem_write(ir::kScratchBase /*rebuild staging*/ + 8 * b, 8);
+  }
+  // Per-entry cost: read the entry, relink under the new key.
+  const std::size_t occupancy = table_.occupancy();
+  for (std::size_t i = 0; i < occupancy; ++i) {
+    meter.metered_instructions(cost::kReinsertPer + cost::kReinsertStep);
+    meter.mem_read(ir::kScratchBase + 8 * i, 8);
+    meter.mem_write(ir::kScratchBase + 8 * i, 8);
+    meter.mem_write(ir::kScratchBase + 8 * (i % table_.bucket_count()), 8);
+  }
+  table_.rekey(new_key);
+}
+
+MacTable::LookupResult MacTable::lookup(std::uint64_t mac,
+                                        ir::CostMeter& meter) {
+  LookupResult result;
+  const FlowTable::GetResult got = table_.get(mac, meter);
+  result.found = got.found;
+  result.port = static_cast<std::uint16_t>(got.value);
+  result.stats = got.stats;
+  return result;
+}
+
+FlowTable::ExpireResult MacTable::expire(std::uint64_t now_ns,
+                                         ir::CostMeter& meter) {
+  return table_.expire(now_ns, meter);
+}
+
+}  // namespace bolt::dslib

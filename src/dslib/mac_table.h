@@ -1,0 +1,64 @@
+// MAC-learning table with the randomised-key rehash defence (paper §5.2).
+//
+// Thin composition over FlowTable: keys are 48-bit MACs, values are switch
+// ports. The hash mixes in a secret random key; if a learn operation's
+// bucket walk exceeds `rehash_threshold` traversals (suspected collision
+// attack), the table renews the key and rebuilds every chain — expensive,
+// which is exactly the performance cliff Table 4's third row prices.
+#pragma once
+
+#include <cstdint>
+
+#include "dslib/flow_table.h"
+#include "ir/cost.h"
+
+namespace bolt::dslib {
+
+class MacTable {
+ public:
+  struct Config {
+    std::size_t capacity = 4096;
+    std::uint64_t ttl_ns = 30'000'000'000;  ///< MAC entry lifetime
+    std::uint64_t stamp_granularity_ns = 1'000'000;
+    std::uint64_t rehash_threshold = 6;  ///< traversals that trigger rehash
+    std::uint64_t initial_hash_key = 0;  ///< 0 = "leaked key" attack setup
+    std::uint64_t rekey_seed = 0xdefea7;
+  };
+
+  explicit MacTable(const Config& config);
+
+  enum class LearnCase { kKnown, kNew, kRehash, kFull };
+  struct LearnResult {
+    LearnCase outcome = LearnCase::kKnown;
+    FlowTable::OpStats stats;      ///< c, t of the learn walk
+    std::uint64_t occupancy = 0;   ///< o (bound on rehash)
+  };
+  LearnResult learn(std::uint64_t mac, std::uint16_t port, std::uint64_t now_ns,
+                    ir::CostMeter& meter);
+
+  struct LookupResult {
+    bool found = false;
+    std::uint16_t port = 0;
+    FlowTable::OpStats stats;
+  };
+  LookupResult lookup(std::uint64_t mac, ir::CostMeter& meter);
+
+  FlowTable::ExpireResult expire(std::uint64_t now_ns, ir::CostMeter& meter);
+
+  std::size_t occupancy() const { return table_.occupancy(); }
+  std::size_t capacity() const { return table_.capacity(); }
+  std::uint64_t rehash_count() const { return rehash_count_; }
+  std::uint64_t hash_key() const { return table_.hash_key(); }
+  const Config& config() const { return config_; }
+  FlowTable& raw_table() { return table_; }
+
+ private:
+  void rehash(ir::CostMeter& meter);
+
+  Config config_;
+  FlowTable table_;
+  std::uint64_t rekey_state_;
+  std::uint64_t rehash_count_ = 0;
+};
+
+}  // namespace bolt::dslib

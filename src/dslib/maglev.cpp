@@ -1,0 +1,100 @@
+#include "dslib/maglev.h"
+
+#include "dslib/costs.h"
+#include "net/flow.h"
+#include "support/assert.h"
+
+namespace bolt::dslib {
+
+MaglevRing::MaglevRing(const Config& config)
+    : config_(config), arena_base_(ir::ArenaAllocator::next_base()) {
+  BOLT_CHECK(config_.backend_count >= 1, "need at least one backend");
+  BOLT_CHECK(config_.table_size > config_.backend_count,
+             "table must exceed backend count");
+  last_heartbeat_.assign(config_.backend_count, 0);
+  populate();
+}
+
+void MaglevRing::populate() {
+  // Maglev population: backend i has offset/skip derived from two hashes;
+  // backends take turns claiming their next preferred empty slot.
+  const std::size_t m = config_.table_size;
+  const std::size_t n = config_.backend_count;
+  table_.assign(m, 0);
+  std::vector<bool> taken(m, false);
+  std::vector<std::size_t> offset(n), skip(n), index(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    offset[i] = net::mix64(0x0ff5e7'0000ULL + i) % m;
+    skip[i] = net::mix64(0x5417'0000ULL + i) % (m - 1) + 1;
+  }
+  std::size_t filled = 0;
+  while (filled < m) {
+    for (std::size_t i = 0; i < n && filled < m; ++i) {
+      // Next preference of backend i that is still free.
+      std::size_t slot;
+      do {
+        slot = (offset[i] + index[i] * skip[i]) % m;
+        ++index[i];
+      } while (taken[slot]);
+      taken[slot] = true;
+      table_[slot] = static_cast<std::uint32_t>(i);
+      ++filled;
+    }
+  }
+}
+
+MaglevRing::SelectResult MaglevRing::lookup(std::uint64_t key,
+                                            ir::CostMeter& meter) const {
+  SelectResult result;
+  meter.metered_instructions(cost::kRingLookup);
+  const std::size_t slot = net::mix64(key) % table_.size();
+  meter.mem_read(arena_base_ + 4ULL * slot, 4);
+  result.backend = table_[slot];
+  return result;
+}
+
+bool MaglevRing::alive(std::uint32_t backend, std::uint64_t now_ns,
+                       ir::CostMeter& meter) const {
+  BOLT_CHECK(backend < config_.backend_count, "backend out of range");
+  meter.metered_instructions(cost::kHealthCheck);
+  meter.mem_read(arena_base_ + 4ULL * table_.size() + 8ULL * backend, 8);
+  const std::uint64_t hb = last_heartbeat_[backend];
+  return hb != 0 && hb + config_.heartbeat_timeout_ns > now_ns;
+}
+
+MaglevRing::SelectResult MaglevRing::select_alive(std::uint64_t key,
+                                                  std::uint64_t now_ns,
+                                                  ir::CostMeter& meter) const {
+  SelectResult result = lookup(key, meter);
+  const std::size_t home = net::mix64(key) % table_.size();
+  std::size_t slot = home;
+  for (std::size_t walked = 0; walked < table_.size(); ++walked) {
+    const std::uint32_t candidate = table_[slot];
+    if (alive(candidate, now_ns, meter)) {
+      result.backend = candidate;
+      return result;
+    }
+    ++result.ring_steps;
+    meter.metered_instructions(cost::kRingStep);
+    slot = slot + 1 == table_.size() ? 0 : slot + 1;
+    meter.mem_read(arena_base_ + 4ULL * slot, 4);
+  }
+  // Every backend is dead; hand back the home backend (the LB will fail the
+  // connection upstream). Steps reflect the full scan.
+  result.backend = table_[home];
+  return result;
+}
+
+void MaglevRing::heartbeat(std::uint32_t backend, std::uint64_t now_ns,
+                           ir::CostMeter& meter) {
+  BOLT_CHECK(backend < config_.backend_count, "backend out of range");
+  meter.metered_instructions(cost::kHealthUpdate);
+  meter.mem_write(arena_base_ + 4ULL * table_.size() + 8ULL * backend, 8);
+  last_heartbeat_[backend] = now_ns;
+}
+
+void MaglevRing::all_alive(std::uint64_t now_ns) {
+  for (auto& hb : last_heartbeat_) hb = now_ns;
+}
+
+}  // namespace bolt::dslib

@@ -1,0 +1,73 @@
+// Maglev consistent-hashing ring with backend health tracking.
+//
+// Implements the lookup-table population algorithm from the Maglev paper
+// (Eisenbud et al., NSDI 2016) that the paper's load balancer is modelled
+// on: each backend fills the ring according to its own permutation of the
+// table, giving near-equal shares and minimal disruption when the backend
+// set changes.
+//
+// Health: backends are alive while their last heartbeat is fresh. When a
+// flow's cached backend is unresponsive the LB walks the ring from the
+// flow's home slot until it finds an alive backend; the number of steps is
+// the PCV `b` of the LB contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/cost.h"
+
+namespace bolt::dslib {
+
+class MaglevRing {
+ public:
+  struct Config {
+    std::size_t backend_count = 16;
+    std::size_t table_size = 4099;  ///< prime, per the Maglev construction
+    std::uint64_t heartbeat_timeout_ns = 5'000'000'000;
+  };
+
+  explicit MaglevRing(const Config& config);
+
+  /// (Re)builds the lookup table from the current backend set.
+  void populate();
+
+  struct SelectResult {
+    std::uint32_t backend = 0;
+    std::uint64_t ring_steps = 0;  ///< PCV b: slots walked past dead backends
+  };
+
+  /// Home backend of a key (one table read).
+  SelectResult lookup(std::uint64_t key, ir::CostMeter& meter) const;
+
+  /// Like lookup, but walks the ring past unresponsive backends. `now_ns`
+  /// decides liveness. If every backend is dead, falls back to the home
+  /// backend after a full walk (steps == table entries scanned).
+  SelectResult select_alive(std::uint64_t key, std::uint64_t now_ns,
+                            ir::CostMeter& meter) const;
+
+  /// True if the backend's heartbeat is fresh.
+  bool alive(std::uint32_t backend, std::uint64_t now_ns,
+             ir::CostMeter& meter) const;
+
+  /// Records a heartbeat from `backend`.
+  void heartbeat(std::uint32_t backend, std::uint64_t now_ns,
+                 ir::CostMeter& meter);
+
+  /// Forces a backend silent (tests / scenario setup).
+  void kill_backend(std::uint32_t backend) { last_heartbeat_[backend] = 0; }
+  /// Marks all backends alive as of `now_ns` (scenario setup).
+  void all_alive(std::uint64_t now_ns);
+
+  std::size_t backend_count() const { return config_.backend_count; }
+  std::size_t table_size() const { return table_.size(); }
+  std::uint32_t table_entry(std::size_t i) const { return table_[i]; }
+
+ private:
+  Config config_;
+  std::uint64_t arena_base_;
+  std::vector<std::uint32_t> table_;           ///< slot -> backend
+  std::vector<std::uint64_t> last_heartbeat_;  ///< backend -> stamp (0 = dead)
+};
+
+}  // namespace bolt::dslib

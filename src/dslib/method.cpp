@@ -1,0 +1,33 @@
+#include "dslib/method.h"
+
+#include "support/assert.h"
+
+namespace bolt::dslib {
+
+void DispatchEnv::register_method(std::int64_t id, Handler handler) {
+  BOLT_CHECK(handlers_.find(id) == handlers_.end(), "duplicate method id");
+  handlers_.emplace(id, std::move(handler));
+}
+
+ir::CallOutcome DispatchEnv::call(std::int64_t method, std::uint64_t arg0,
+                                  std::uint64_t arg1,
+                                  const net::Packet& packet,
+                                  ir::CostMeter& meter) {
+  auto it = handlers_.find(method);
+  BOLT_CHECK(it != handlers_.end(),
+             "no handler for stateful method " + std::to_string(method));
+  return it->second(arg0, arg1, packet, meter);
+}
+
+void intern_standard_pcvs(perf::PcvRegistry& reg) {
+  reg.intern(pcv::kCollisions, "hash collisions encountered");
+  reg.intern(pcv::kTraversals, "hash bucket traversals");
+  reg.intern(pcv::kExpired, "entries expired by this packet");
+  reg.intern(pcv::kOccupancy, "table occupancy");
+  reg.intern(pcv::kPrefixLen, "matched LPM prefix length");
+  reg.intern(pcv::kIpOptions, "IP options in the packet");
+  reg.intern(pcv::kAllocProbes, "port-allocator scan probes");
+  reg.intern(pcv::kRingSteps, "Maglev ring walk steps");
+}
+
+}  // namespace bolt::dslib

@@ -1,0 +1,106 @@
+#include "dslib/port_allocator.h"
+
+#include "dslib/costs.h"
+#include "support/assert.h"
+
+namespace bolt::dslib {
+
+PortAllocatorA::PortAllocatorA(std::uint16_t first_port, std::size_t count)
+    : first_port_(first_port),
+      count_(count),
+      arena_base_(ir::ArenaAllocator::next_base()) {
+  BOLT_CHECK(count >= 1 && first_port + count - 1 <= 65535,
+             "bad port range for allocator A");
+  prev_.resize(count);
+  next_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    prev_[i] = static_cast<std::int32_t>(i) - 1;
+    next_[i] = i + 1 < count ? static_cast<std::int32_t>(i) + 1 : kNil;
+  }
+  free_head_ = 0;
+}
+
+PortAllocator::AllocResult PortAllocatorA::alloc(ir::CostMeter& meter) {
+  AllocResult result;
+  meter.metered_instructions(cost::kAllocA);
+  meter.mem_read(arena_base_, 8);  // free-list head
+  if (free_head_ == kNil) return result;
+  const std::int32_t idx = free_head_;
+  meter.mem_read(arena_base_ + 16ULL * idx, 8);
+  meter.mem_write(arena_base_, 8);
+  free_head_ = next_[idx];
+  if (free_head_ != kNil) {
+    prev_[free_head_] = kNil;
+    meter.mem_write(arena_base_ + 16ULL * free_head_, 8);
+  }
+  next_[idx] = prev_[idx] = kNil;
+  ++in_use_;
+  result.ok = true;
+  result.port = static_cast<std::uint16_t>(first_port_ + idx);
+  return result;
+}
+
+void PortAllocatorA::free(std::uint16_t port, ir::CostMeter& meter) {
+  meter.metered_instructions(cost::kFreeA);
+  const std::size_t idx = static_cast<std::size_t>(port - first_port_);
+  BOLT_CHECK(idx < count_, "allocator A: port out of range");
+  // Push at head of the doubly-linked free list.
+  next_[idx] = free_head_;
+  prev_[idx] = kNil;
+  meter.mem_write(arena_base_ + 16ULL * idx, 8);
+  if (free_head_ != kNil) {
+    prev_[free_head_] = static_cast<std::int32_t>(idx);
+    meter.mem_write(arena_base_ + 16ULL * free_head_, 8);
+  }
+  free_head_ = static_cast<std::int32_t>(idx);
+  meter.mem_write(arena_base_, 8);
+  BOLT_CHECK(in_use_ > 0, "allocator A: double free");
+  --in_use_;
+}
+
+PortAllocatorB::PortAllocatorB(std::uint16_t first_port, std::size_t count)
+    : first_port_(first_port),
+      count_(count),
+      arena_base_(ir::ArenaAllocator::next_base()) {
+  BOLT_CHECK(count >= 1 && first_port + count - 1 <= 65535,
+             "bad port range for allocator B");
+  used_.assign(count, 0);
+}
+
+PortAllocator::AllocResult PortAllocatorB::alloc(ir::CostMeter& meter) {
+  AllocResult result;
+  meter.metered_instructions(cost::kAllocBBase);
+  if (in_use_ == count_) {
+    meter.mem_read(arena_base_, 8);
+    return result;
+  }
+  // Scan the bitmap from the cursor; each probe is metered.
+  std::size_t probes = 0;
+  while (true) {
+    ++probes;
+    meter.metered_instructions(cost::kAllocBProbe);
+    meter.mem_read(arena_base_ + cursor_, 1);
+    if (used_[cursor_] == 0) break;
+    cursor_ = cursor_ + 1 == count_ ? 0 : cursor_ + 1;
+  }
+  used_[cursor_] = 1;
+  meter.mem_write(arena_base_ + cursor_, 1);
+  ++in_use_;
+  result.ok = true;
+  result.port = static_cast<std::uint16_t>(first_port_ + cursor_);
+  result.probes = probes;
+  cursor_ = cursor_ + 1 == count_ ? 0 : cursor_ + 1;
+  return result;
+}
+
+void PortAllocatorB::free(std::uint16_t port, ir::CostMeter& meter) {
+  meter.metered_instructions(cost::kFreeB);
+  const std::size_t idx = static_cast<std::size_t>(port - first_port_);
+  BOLT_CHECK(idx < count_, "allocator B: port out of range");
+  BOLT_CHECK(used_[idx] == 1, "allocator B: double free");
+  used_[idx] = 0;
+  meter.mem_write(arena_base_ + idx, 1);
+  --in_use_;
+}
+
+}  // namespace bolt::dslib

@@ -1,0 +1,84 @@
+// The two NAT port allocators compared in the paper's §5.3 (Figures 5–7).
+//
+// Both allocate ports from a fixed range and are O(1) in the big-O sense,
+// but with different constants in different regimes:
+//
+//  * Allocator A — doubly-linked free list. alloc() unlinks the head,
+//    free() relinks anywhere: flat cost regardless of occupancy or churn,
+//    with somewhat heavy constants (two-way pointer maintenance).
+//
+//  * Allocator B — occupancy bitmap + rotating scan cursor. free() flips a
+//    bit (cheap). alloc() scans the bitmap from the cursor until a free
+//    slot is found: nearly free at low occupancy, increasingly expensive as
+//    the range fills up (the probe count `s` is the contract's PCV).
+//
+// Both implement PortAllocator so NatState can be instantiated with either.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/cost.h"
+
+namespace bolt::dslib {
+
+class PortAllocator {
+ public:
+  virtual ~PortAllocator() = default;
+
+  struct AllocResult {
+    bool ok = false;
+    std::uint16_t port = 0;
+    std::uint64_t probes = 0;  ///< PCV s (allocator B; 0 for A)
+  };
+
+  virtual AllocResult alloc(ir::CostMeter& meter) = 0;
+  virtual void free(std::uint16_t port, ir::CostMeter& meter) = 0;
+  virtual std::size_t in_use() const = 0;
+  virtual std::size_t range_size() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Allocator A: doubly-linked free list over the port range.
+class PortAllocatorA final : public PortAllocator {
+ public:
+  PortAllocatorA(std::uint16_t first_port, std::size_t count);
+
+  AllocResult alloc(ir::CostMeter& meter) override;
+  void free(std::uint16_t port, ir::CostMeter& meter) override;
+  std::size_t in_use() const override { return in_use_; }
+  std::size_t range_size() const override { return count_; }
+  const char* name() const override { return "allocator-A(dlist)"; }
+
+ private:
+  static constexpr std::int32_t kNil = -1;
+  std::uint16_t first_port_;
+  std::size_t count_;
+  std::uint64_t arena_base_;
+  std::vector<std::int32_t> prev_, next_;
+  std::int32_t free_head_ = kNil;
+  std::size_t in_use_ = 0;
+};
+
+/// Allocator B: occupancy bitmap with a rotating scan cursor.
+class PortAllocatorB final : public PortAllocator {
+ public:
+  PortAllocatorB(std::uint16_t first_port, std::size_t count);
+
+  AllocResult alloc(ir::CostMeter& meter) override;
+  void free(std::uint16_t port, ir::CostMeter& meter) override;
+  std::size_t in_use() const override { return in_use_; }
+  std::size_t range_size() const override { return count_; }
+  const char* name() const override { return "allocator-B(bitmap)"; }
+
+ private:
+  std::uint16_t first_port_;
+  std::size_t count_;
+  std::uint64_t arena_base_;
+  std::vector<std::uint8_t> used_;
+  std::size_t cursor_ = 0;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace bolt::dslib

@@ -1,0 +1,64 @@
+#include "hw/cache.h"
+
+#include "support/assert.h"
+
+namespace bolt::hw {
+
+Cache::Cache(std::size_t size_bytes, std::size_t ways) : ways_(ways) {
+  BOLT_CHECK(ways >= 1, "cache needs at least one way");
+  const std::size_t lines = size_bytes / kCacheLineBytes;
+  BOLT_CHECK(lines >= ways, "cache too small for its associativity");
+  sets_ = lines / ways;
+  BOLT_CHECK((sets_ & (sets_ - 1)) == 0, "cache set count must be a power of 2");
+  slots_.resize(sets_ * ways_);
+}
+
+bool Cache::access(std::uint64_t line) {
+  const std::size_t base = set_of(line) * ways_;
+  ++tick_;
+  std::size_t victim = base;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Way& way = slots_[base + w];
+    if (way.line == line) {
+      way.lru = tick_;
+      return true;
+    }
+    if (way.lru < slots_[victim].lru) victim = base + w;
+  }
+  slots_[victim].line = line;
+  slots_[victim].lru = tick_;
+  return false;
+}
+
+void Cache::insert(std::uint64_t line) {
+  const std::size_t base = set_of(line) * ways_;
+  ++tick_;
+  std::size_t victim = base;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Way& way = slots_[base + w];
+    if (way.line == line) {
+      return;  // already resident; prefetch is a no-op
+    }
+    if (way.lru < slots_[victim].lru) victim = base + w;
+  }
+  slots_[victim].line = line;
+  slots_[victim].lru = tick_;
+}
+
+bool Cache::contains(std::uint64_t line) const {
+  const std::size_t base = set_of(line) * ways_;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (slots_[base + w].line == line) return true;
+  }
+  return false;
+}
+
+void Cache::clear() {
+  for (auto& way : slots_) {
+    way.line = ~0ULL;
+    way.lru = 0;
+  }
+  tick_ = 0;
+}
+
+}  // namespace bolt::hw

@@ -1,0 +1,50 @@
+// Set-associative cache model with LRU replacement, used by both hardware
+// models (the conservative model's L1D must-hit analysis and the realistic
+// simulator's L1/L2/L3 hierarchy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bolt::hw {
+
+inline constexpr std::uint32_t kCacheLineBytes = 64;
+
+inline std::uint64_t line_of(std::uint64_t addr) {
+  return addr / kCacheLineBytes;
+}
+
+class Cache {
+ public:
+  /// `size_bytes` total capacity; `ways` associativity; LRU within sets.
+  Cache(std::size_t size_bytes, std::size_t ways);
+
+  /// Looks up (and on miss inserts) the line; returns true on hit.
+  bool access(std::uint64_t line);
+
+  /// Inserts without counting as a demand access (prefetch fills).
+  void insert(std::uint64_t line);
+
+  /// True if the line is currently resident (no LRU update).
+  bool contains(std::uint64_t line) const;
+
+  void clear();
+
+  std::size_t sets() const { return sets_; }
+  std::size_t ways() const { return ways_; }
+
+ private:
+  struct Way {
+    std::uint64_t line = ~0ULL;
+    std::uint64_t lru = 0;  // higher = more recently used
+  };
+
+  std::size_t set_of(std::uint64_t line) const { return line & (sets_ - 1); }
+
+  std::size_t sets_;
+  std::size_t ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> slots_;  // sets_ * ways_
+};
+
+}  // namespace bolt::hw

@@ -1,0 +1,125 @@
+// The two hardware models (paper §3.5 and §5.1).
+//
+// * ConservativeModel — what BOLT's cycle contracts assume. Per-instruction
+//   worst-case costs ("Intel manual" style), and every memory access is
+//   charged main-memory latency unless a *must-hit* L1D analysis proves the
+//   line resident from this same packet's earlier accesses. No cross-packet
+//   state, no prefetching, no memory-level parallelism, no overlap: this is
+//   deliberately pessimistic, which is exactly why the paper observes
+//   2–4x over-estimation on typical traffic and ~9x on pathological
+//   streaming workloads.
+//
+// * RealisticSim — the reproduction's stand-in for the Xeon E5-2667v2
+//   testbed ("measured" numbers). Persistent L1/L2/L3 caches across
+//   packets, a next-line streaming prefetcher, and pipelined instruction
+//   issue. Both models consume the identical execution trace via
+//   ir::TraceSink, so predicted-vs-measured gaps arise for the same reasons
+//   they do on hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/cache.h"
+#include "ir/cost.h"
+
+namespace bolt::hw {
+
+/// Calibration constants shared by contracts and models.
+struct CycleCosts {
+  // Conservative model.
+  std::uint64_t cons_alu = 2;    ///< worst-case cycles per instruction
+  std::uint64_t cons_l1 = 4;     ///< proven-L1 access
+  std::uint64_t cons_dram = 200; ///< any unproven access
+  // Realistic simulator.
+  std::uint64_t real_ipc_num = 3;   ///< instr cost = num/den cycles
+  std::uint64_t real_ipc_den = 2;   ///< (3/2 = dependent-chain IPC 0.67)
+  std::uint64_t real_l1 = 4;
+  std::uint64_t real_l2 = 10;
+  std::uint64_t real_l3 = 25;
+  std::uint64_t real_dram = 190;
+  /// Effective cost cap for misses inside an established line stream:
+  /// the prefetcher hides most of the latency of a *dependent* chase
+  /// (it stays one line ahead), and memory-level parallelism overlaps
+  /// *independent* streamed misses almost fully.
+  std::uint64_t real_stream_dependent = 25;
+  std::uint64_t real_stream_independent = 10;
+};
+
+inline const CycleCosts& default_cycle_costs() {
+  static const CycleCosts costs;
+  return costs;
+}
+
+/// Base interface: a trace sink that also tracks per-packet cycle totals.
+class CycleModel : public ir::TraceSink {
+ public:
+  /// Marks a packet boundary. The conservative model resets its must-hit
+  /// analysis here (it may assume nothing about prior packets); the
+  /// realistic simulator keeps its caches warm.
+  virtual void begin_packet() = 0;
+  virtual std::uint64_t total_cycles() const = 0;
+  virtual std::uint64_t packet_cycles() const = 0;  ///< since begin_packet
+};
+
+/// Conservative, contract-grade model (per-packet must-hit L1D only).
+class ConservativeModel final : public CycleModel {
+ public:
+  explicit ConservativeModel(const CycleCosts& costs = default_cycle_costs());
+
+  void begin_packet() override;
+  std::uint64_t total_cycles() const override { return cycles_; }
+  std::uint64_t packet_cycles() const override {
+    return cycles_ - packet_start_;
+  }
+
+  void on_instruction(ir::Op op) override;
+  void on_metered_instructions(std::uint64_t n) override;
+  void on_access(std::uint64_t addr, std::uint32_t size, bool is_write,
+                 bool dependent) override;
+
+  /// Worst-case cycles for one stateless IR instruction.
+  static std::uint64_t op_cycles(ir::Op op, const CycleCosts& costs);
+
+ private:
+  CycleCosts costs_;
+  Cache l1_;  ///< must-hit analysis state, cleared per packet
+  std::uint64_t cycles_ = 0;
+  std::uint64_t packet_start_ = 0;
+};
+
+/// Realistic testbed simulator (persistent hierarchy + prefetch).
+class RealisticSim final : public CycleModel {
+ public:
+  explicit RealisticSim(const CycleCosts& costs = default_cycle_costs());
+
+  void begin_packet() override;
+  std::uint64_t total_cycles() const override { return cycles_; }
+  std::uint64_t packet_cycles() const override {
+    return cycles_ - packet_start_;
+  }
+
+  void on_instruction(ir::Op op) override;
+  void on_metered_instructions(std::uint64_t n) override;
+  void on_access(std::uint64_t addr, std::uint32_t size, bool is_write,
+                 bool dependent) override;
+
+  /// Hit distribution counters (exposed for experiments/tests).
+  struct Stats {
+    std::uint64_t l1_hits = 0, l2_hits = 0, l3_hits = 0;
+    std::uint64_t prefetch_hits = 0, mlp_hits = 0, dram = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  CycleCosts costs_;
+  Cache l1_, l2_, l3_;
+  std::uint64_t last_miss_line_ = ~0ULL - 8;
+  std::int64_t stream_delta_ = 0;  ///< direction of the current miss stream
+  std::uint64_t stream_run_ = 0;   ///< consecutive same-direction line misses
+  std::uint64_t cycles_ = 0;
+  std::uint64_t packet_start_ = 0;
+  std::uint64_t instr_carry_ = 0;  ///< fractional instruction cycles
+  Stats stats_;
+};
+
+}  // namespace bolt::hw

@@ -1,0 +1,312 @@
+#include "ir/builder.h"
+
+#include "support/assert.h"
+
+namespace bolt::ir {
+
+IrBuilder::IrBuilder(std::string program_name) {
+  program_.name = std::move(program_name);
+}
+
+Reg IrBuilder::reg() { return program_.num_regs++; }
+
+std::int32_t IrBuilder::emit(Instr ins) {
+  BOLT_CHECK(!finished_, "builder already finished");
+  program_.code.push_back(std::move(ins));
+  pending_t_.push_back(-1);
+  pending_f_.push_back(-1);
+  return static_cast<std::int32_t>(program_.code.size()) - 1;
+}
+
+Reg IrBuilder::imm(std::uint64_t value, std::string comment) {
+  const Reg d = reg();
+  Instr ins;
+  ins.op = Op::kConst;
+  ins.dst = d;
+  ins.imm = static_cast<std::int64_t>(value);
+  ins.comment = std::move(comment);
+  emit(std::move(ins));
+  return d;
+}
+
+Reg IrBuilder::binary(Op op, Reg a, Reg b) {
+  const Reg d = reg();
+  Instr ins;
+  ins.op = op;
+  ins.dst = d;
+  ins.a = a;
+  ins.b = b;
+  emit(std::move(ins));
+  return d;
+}
+
+Reg IrBuilder::add(Reg a, Reg b) { return binary(Op::kAdd, a, b); }
+Reg IrBuilder::sub(Reg a, Reg b) { return binary(Op::kSub, a, b); }
+Reg IrBuilder::mul(Reg a, Reg b) { return binary(Op::kMul, a, b); }
+Reg IrBuilder::band(Reg a, Reg b) { return binary(Op::kAnd, a, b); }
+Reg IrBuilder::bor(Reg a, Reg b) { return binary(Op::kOr, a, b); }
+Reg IrBuilder::bxor(Reg a, Reg b) { return binary(Op::kXor, a, b); }
+Reg IrBuilder::shl(Reg a, Reg b) { return binary(Op::kShl, a, b); }
+Reg IrBuilder::shr(Reg a, Reg b) { return binary(Op::kShr, a, b); }
+
+Reg IrBuilder::bnot(Reg a) {
+  const Reg d = reg();
+  Instr ins;
+  ins.op = Op::kNot;
+  ins.dst = d;
+  ins.a = a;
+  emit(std::move(ins));
+  return d;
+}
+
+Reg IrBuilder::mov(Reg a) {
+  const Reg d = reg();
+  Instr ins;
+  ins.op = Op::kMov;
+  ins.dst = d;
+  ins.a = a;
+  emit(std::move(ins));
+  return d;
+}
+
+void IrBuilder::assign(Reg dst, Reg src) {
+  Instr ins;
+  ins.op = Op::kMov;
+  ins.dst = dst;
+  ins.a = src;
+  emit(std::move(ins));
+}
+
+Reg IrBuilder::eq(Reg a, Reg b) { return binary(Op::kEq, a, b); }
+Reg IrBuilder::ne(Reg a, Reg b) { return binary(Op::kNe, a, b); }
+Reg IrBuilder::ltu(Reg a, Reg b) { return binary(Op::kLtU, a, b); }
+Reg IrBuilder::leu(Reg a, Reg b) { return binary(Op::kLeU, a, b); }
+Reg IrBuilder::gtu(Reg a, Reg b) { return binary(Op::kGtU, a, b); }
+Reg IrBuilder::geu(Reg a, Reg b) { return binary(Op::kGeU, a, b); }
+
+Reg IrBuilder::eq_imm(Reg a, std::uint64_t v) { return eq(a, imm(v)); }
+Reg IrBuilder::ne_imm(Reg a, std::uint64_t v) { return ne(a, imm(v)); }
+Reg IrBuilder::add_imm(Reg a, std::uint64_t v) { return add(a, imm(v)); }
+Reg IrBuilder::and_imm(Reg a, std::uint64_t v) { return band(a, imm(v)); }
+Reg IrBuilder::shr_imm(Reg a, unsigned bits) { return shr(a, imm(bits)); }
+Reg IrBuilder::shl_imm(Reg a, unsigned bits) { return shl(a, imm(bits)); }
+
+Reg IrBuilder::load_pkt(Reg offset, std::uint8_t width, std::string comment) {
+  const Reg d = reg();
+  Instr ins;
+  ins.op = Op::kLoadPkt;
+  ins.dst = d;
+  ins.a = offset;
+  ins.width = width;
+  ins.comment = std::move(comment);
+  emit(std::move(ins));
+  return d;
+}
+
+Reg IrBuilder::load_pkt_at(std::uint64_t offset, std::uint8_t width,
+                           std::string comment) {
+  return load_pkt(imm(offset), width, std::move(comment));
+}
+
+void IrBuilder::store_pkt(Reg offset, Reg value, std::uint8_t width) {
+  Instr ins;
+  ins.op = Op::kStorePkt;
+  ins.a = offset;
+  ins.b = value;
+  ins.width = width;
+  emit(std::move(ins));
+}
+
+void IrBuilder::store_pkt_at(std::uint64_t offset, Reg value, std::uint8_t width) {
+  store_pkt(imm(offset), value, width);
+}
+
+Reg IrBuilder::pkt_len() {
+  const Reg d = reg();
+  Instr ins;
+  ins.op = Op::kPktLen;
+  ins.dst = d;
+  emit(std::move(ins));
+  return d;
+}
+
+Reg IrBuilder::pkt_port() {
+  const Reg d = reg();
+  Instr ins;
+  ins.op = Op::kPktPort;
+  ins.dst = d;
+  emit(std::move(ins));
+  return d;
+}
+
+Reg IrBuilder::pkt_time() {
+  const Reg d = reg();
+  Instr ins;
+  ins.op = Op::kPktTime;
+  ins.dst = d;
+  emit(std::move(ins));
+  return d;
+}
+
+std::int32_t IrBuilder::local(std::string name) {
+  (void)name;
+  return program_.num_locals++;
+}
+
+Reg IrBuilder::load_local(std::int32_t slot) {
+  const Reg d = reg();
+  Instr ins;
+  ins.op = Op::kLoadLocal;
+  ins.dst = d;
+  ins.imm = slot;
+  emit(std::move(ins));
+  return d;
+}
+
+void IrBuilder::store_local(std::int32_t slot, Reg value) {
+  Instr ins;
+  ins.op = Op::kStoreLocal;
+  ins.a = value;
+  ins.imm = slot;
+  emit(std::move(ins));
+}
+
+void IrBuilder::set_scratch_slots(std::size_t slots) {
+  program_.scratch_slots = slots;
+}
+
+Reg IrBuilder::load_mem(Reg slot_index) {
+  const Reg d = reg();
+  Instr ins;
+  ins.op = Op::kLoadMem;
+  ins.dst = d;
+  ins.a = slot_index;
+  ins.width = 8;
+  emit(std::move(ins));
+  return d;
+}
+
+void IrBuilder::store_mem(Reg slot_index, Reg value) {
+  Instr ins;
+  ins.op = Op::kStoreMem;
+  ins.a = slot_index;
+  ins.b = value;
+  ins.width = 8;
+  emit(std::move(ins));
+}
+
+std::pair<Reg, Reg> IrBuilder::call(std::int64_t method, Reg arg0, Reg arg1,
+                                    std::string comment) {
+  const Reg d0 = reg();
+  const Reg d1 = reg();
+  Instr ins;
+  ins.op = Op::kCall;
+  ins.dst = d0;
+  ins.dst2 = d1;
+  ins.a = arg0;
+  ins.b = arg1;
+  ins.imm = method;
+  ins.comment = std::move(comment);
+  emit(std::move(ins));
+  return {d0, d1};
+}
+
+Label IrBuilder::make_label() {
+  Label l;
+  l.id = static_cast<std::int32_t>(label_pc_.size());
+  label_pc_.push_back(-1);
+  return l;
+}
+
+void IrBuilder::bind(Label label) {
+  BOLT_CHECK(label.id >= 0 && label.id < static_cast<std::int32_t>(label_pc_.size()),
+             "bad label");
+  BOLT_CHECK(label_pc_[label.id] == -1, "label bound twice");
+  label_pc_[label.id] = static_cast<std::int32_t>(program_.code.size());
+}
+
+void IrBuilder::br(Reg cond, Label if_true, Label if_false) {
+  Instr ins;
+  ins.op = Op::kBr;
+  ins.a = cond;
+  const std::int32_t pc = emit(std::move(ins));
+  pending_t_[pc] = if_true.id;
+  pending_f_[pc] = if_false.id;
+}
+
+void IrBuilder::br_true(Reg cond, Label if_true) {
+  Label fall = make_label();
+  br(cond, if_true, fall);
+  bind(fall);
+}
+
+void IrBuilder::br_false(Reg cond, Label if_false) {
+  Label fall = make_label();
+  br(cond, fall, if_false);
+  bind(fall);
+}
+
+void IrBuilder::jmp(Label target) {
+  Instr ins;
+  ins.op = Op::kJmp;
+  const std::int32_t pc = emit(std::move(ins));
+  pending_t_[pc] = target.id;
+}
+
+void IrBuilder::forward(Reg port) {
+  Instr ins;
+  ins.op = Op::kForward;
+  ins.a = port;
+  emit(std::move(ins));
+}
+
+void IrBuilder::forward_imm(std::uint64_t port) { forward(imm(port)); }
+
+void IrBuilder::drop() {
+  Instr ins;
+  ins.op = Op::kDrop;
+  emit(std::move(ins));
+}
+
+void IrBuilder::class_tag(const std::string& name) {
+  Instr ins;
+  ins.op = Op::kClassTag;
+  ins.imm = static_cast<std::int64_t>(program_.class_tags.size());
+  program_.class_tags.push_back(name);
+  emit(std::move(ins));
+}
+
+std::int64_t IrBuilder::loop_head(const std::string& name) {
+  const std::int64_t id = static_cast<std::int64_t>(program_.loops.size());
+  program_.loops.push_back(name);
+  loop_head_here(id);
+  return id;
+}
+
+void IrBuilder::loop_head_here(std::int64_t loop_id) {
+  Instr ins;
+  ins.op = Op::kLoopHead;
+  ins.imm = loop_id;
+  emit(std::move(ins));
+}
+
+Program IrBuilder::finish() {
+  BOLT_CHECK(!finished_, "builder already finished");
+  finished_ = true;
+  for (std::size_t pc = 0; pc < program_.code.size(); ++pc) {
+    if (pending_t_[pc] >= 0) {
+      const std::int32_t target = label_pc_[pending_t_[pc]];
+      BOLT_CHECK(target >= 0, program_.name + ": unbound label (t)");
+      program_.code[pc].t = target;
+    }
+    if (pending_f_[pc] >= 0) {
+      const std::int32_t target = label_pc_[pending_f_[pc]];
+      BOLT_CHECK(target >= 0, program_.name + ": unbound label (f)");
+      program_.code[pc].f = target;
+    }
+  }
+  program_.validate();
+  return std::move(program_);
+}
+
+}  // namespace bolt::ir

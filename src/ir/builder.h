@@ -1,0 +1,113 @@
+// Fluent construction of IR programs with automatic register allocation
+// and label resolution. All NFs in src/nf are written against this API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace bolt::ir {
+
+/// Forward-referencing jump label.
+struct Label {
+  std::int32_t id = -1;
+};
+
+class IrBuilder {
+ public:
+  explicit IrBuilder(std::string program_name);
+
+  // --- registers / constants
+  Reg reg();                       ///< fresh register
+  Reg imm(std::uint64_t value, std::string comment = "");
+
+  // --- ALU (each returns a fresh destination register)
+  Reg add(Reg a, Reg b);
+  Reg sub(Reg a, Reg b);
+  Reg mul(Reg a, Reg b);
+  Reg band(Reg a, Reg b);
+  Reg bor(Reg a, Reg b);
+  Reg bxor(Reg a, Reg b);
+  Reg shl(Reg a, Reg b);
+  Reg shr(Reg a, Reg b);
+  Reg bnot(Reg a);
+  Reg mov(Reg a);
+  /// Writes `src` into the *existing* register `dst` (loop-carried state).
+  void assign(Reg dst, Reg src);
+
+  // --- comparisons (0/1 results)
+  Reg eq(Reg a, Reg b);
+  Reg ne(Reg a, Reg b);
+  Reg ltu(Reg a, Reg b);
+  Reg leu(Reg a, Reg b);
+  Reg gtu(Reg a, Reg b);
+  Reg geu(Reg a, Reg b);
+
+  // convenience: compare against an immediate
+  Reg eq_imm(Reg a, std::uint64_t v);
+  Reg ne_imm(Reg a, std::uint64_t v);
+  Reg add_imm(Reg a, std::uint64_t v);
+  Reg and_imm(Reg a, std::uint64_t v);
+  Reg shr_imm(Reg a, unsigned bits);
+  Reg shl_imm(Reg a, unsigned bits);
+
+  // --- packet access
+  Reg load_pkt(Reg offset, std::uint8_t width, std::string comment = "");
+  Reg load_pkt_at(std::uint64_t offset, std::uint8_t width,
+                  std::string comment = "");
+  void store_pkt(Reg offset, Reg value, std::uint8_t width);
+  void store_pkt_at(std::uint64_t offset, Reg value, std::uint8_t width);
+  Reg pkt_len();
+  Reg pkt_port();
+  Reg pkt_time();
+
+  // --- locals / scratch
+  std::int32_t local(std::string name = "");  ///< allocate a local slot
+  Reg load_local(std::int32_t slot);
+  void store_local(std::int32_t slot, Reg value);
+  void set_scratch_slots(std::size_t slots);
+  Reg load_mem(Reg slot_index);
+  void store_mem(Reg slot_index, Reg value);
+
+  // --- stateful calls: returns (v0, v1)
+  std::pair<Reg, Reg> call(std::int64_t method, Reg arg0 = kNoReg,
+                           Reg arg1 = kNoReg, std::string comment = "");
+
+  // --- control flow
+  Label make_label();
+  void bind(Label label);
+  void br(Reg cond, Label if_true, Label if_false);
+  /// Branch where the false edge falls through to the next instruction.
+  void br_true(Reg cond, Label if_true);
+  /// Branch where the true edge falls through to the next instruction.
+  void br_false(Reg cond, Label if_false);
+  void jmp(Label target);
+
+  // --- terminals / annotations
+  void forward(Reg port);
+  void forward_imm(std::uint64_t port);
+  void drop();
+  /// Tags the current path with a named input class (zero cost).
+  void class_tag(const std::string& name);
+  /// Marks a loop header (zero cost); symbex counts trips per path.
+  std::int64_t loop_head(const std::string& name);
+  void loop_head_here(std::int64_t loop_id);
+
+  /// Finalises: resolves labels, validates, and returns the program.
+  Program finish();
+
+ private:
+  Reg binary(Op op, Reg a, Reg b);
+  std::int32_t emit(Instr ins);
+
+  Program program_;
+  std::vector<std::int32_t> label_pc_;   // label id -> bound pc, or -1
+  // Pending label references, patched at finish():
+  std::vector<std::int32_t> pending_t_;  // per instruction: label id for .t
+  std::vector<std::int32_t> pending_f_;  // per instruction: label id for .f
+  bool finished_ = false;
+};
+
+}  // namespace bolt::ir

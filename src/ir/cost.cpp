@@ -1,0 +1,14 @@
+#include "ir/cost.h"
+
+namespace bolt::ir {
+namespace {
+std::uint64_t g_next_arena = 0;
+}  // namespace
+
+std::uint64_t ArenaAllocator::next_base() {
+  return kArenaBase + (g_next_arena++) * kArenaStride;
+}
+
+void ArenaAllocator::reset() { g_next_arena = 0; }
+
+}  // namespace bolt::ir

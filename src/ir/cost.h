@@ -1,0 +1,113 @@
+// Cost metering interfaces shared by the interpreter and the stateful
+// data-structure library.
+//
+// Real BOLT instruments replayed executions with Intel Pin, logging every
+// x86 instruction and memory address. Here, the interpreter logs stateless
+// IR instructions itself, and dslib implementations *meter* their own work
+// through `CostMeter` (they are the "pre-analysed" code whose cost the
+// manual contracts describe). Hardware models subscribe to the combined
+// stream through `TraceSink`.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.h"
+
+namespace bolt::ir {
+
+/// Synthetic address-space bases. Packet buffers and NF locals live at fixed
+/// virtual addresses (a run-to-completion NF reuses the same mbuf), and each
+/// dslib object gets a deterministic arena so cache simulations are
+/// reproducible run-to-run.
+inline constexpr std::uint64_t kPacketBase = 0x1000'0000ULL;
+inline constexpr std::uint64_t kMbufBase = 0x0f00'0000ULL;  // rx/tx metadata
+inline constexpr std::uint64_t kLocalsBase = 0x2000'0000ULL;
+inline constexpr std::uint64_t kScratchBase = 0x3000'0000ULL;
+inline constexpr std::uint64_t kArenaBase = 0x4000'0000ULL;
+inline constexpr std::uint64_t kArenaStride = 0x0100'0000ULL;  // 16 MiB each
+
+/// Receives the low-level event stream of one execution; implemented by the
+/// hardware models (conservative and realistic).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// A stateless IR instruction executed.
+  virtual void on_instruction(Op op) = 0;
+  /// `n` generic (metered, data-structure-internal) instructions executed.
+  virtual void on_metered_instructions(std::uint64_t n) = 0;
+  /// A memory access. `dependent` marks loads whose address derives from a
+  /// previous load (pointer chases) — such misses cannot be overlapped by
+  /// memory-level parallelism, which the realistic model cares about.
+  virtual void on_access(std::uint64_t addr, std::uint32_t size, bool is_write,
+                         bool dependent) = 0;
+};
+
+/// Accumulates instruction and memory-access counts; forwards to an optional
+/// TraceSink. Passed into every dslib method so the structures can report
+/// the work they actually performed.
+class CostMeter {
+ public:
+  explicit CostMeter(TraceSink* sink = nullptr) : sink_(sink) {}
+
+  void metered_instructions(std::uint64_t n) {
+    instructions_ += n;
+    if (sink_ != nullptr) sink_->on_metered_instructions(n);
+  }
+
+  void stateless_instruction(Op op) {
+    ++instructions_;
+    ++stateless_instructions_;
+    if (sink_ != nullptr) sink_->on_instruction(op);
+  }
+
+  void mem_read(std::uint64_t addr, std::uint32_t size, bool dependent = false) {
+    ++accesses_;
+    if (sink_ != nullptr) sink_->on_access(addr, size, false, dependent);
+  }
+
+  void mem_write(std::uint64_t addr, std::uint32_t size) {
+    ++accesses_;
+    if (sink_ != nullptr) sink_->on_access(addr, size, true, false);
+  }
+
+  void stateless_mem_read(std::uint64_t addr, std::uint32_t size,
+                          bool dependent = false) {
+    ++stateless_accesses_;
+    mem_read(addr, size, dependent);
+  }
+
+  void stateless_mem_write(std::uint64_t addr, std::uint32_t size) {
+    ++stateless_accesses_;
+    mem_write(addr, size);
+  }
+
+  std::uint64_t instructions() const { return instructions_; }
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t stateless_instructions() const { return stateless_instructions_; }
+  std::uint64_t stateless_accesses() const { return stateless_accesses_; }
+
+  void reset() {
+    instructions_ = accesses_ = 0;
+    stateless_instructions_ = stateless_accesses_ = 0;
+  }
+
+  TraceSink* sink() const { return sink_; }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t stateless_instructions_ = 0;
+  std::uint64_t stateless_accesses_ = 0;
+};
+
+/// Deterministic arena-address allocator for dslib objects.
+class ArenaAllocator {
+ public:
+  /// Returns the base address for the next arena (16 MiB apart).
+  static std::uint64_t next_base();
+  /// Resets numbering (tests/benches call this for full determinism).
+  static void reset();
+};
+
+}  // namespace bolt::ir

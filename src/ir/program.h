@@ -1,0 +1,114 @@
+// The BOLT-repro intermediate representation (IR).
+//
+// The paper analyses NFs at the level of x86 machine code: KLEE enumerates
+// paths through the stateless logic, Pin replays them instruction by
+// instruction. Our reproduction substitutes a small register IR with exactly
+// the features that analysis depends on:
+//   * straight-line ALU work over 64-bit registers,
+//   * packet byte loads/stores (the only interaction with the input),
+//   * loads/stores to NF-local scratch memory (for per-NF arrays),
+//   * conditional branches (the source of path multiplicity),
+//   * calls into *stateful* data-structure methods (opaque to symbex,
+//     modelled + contracted separately, per the Vigor split), and
+//   * terminal actions: forward or drop.
+//
+// Stateless NF logic is written against this IR via `IrBuilder`; the same
+// program is executed concretely (`Interpreter`) and symbolically
+// (`symbex::Executor`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bolt::ir {
+
+using Reg = std::int32_t;
+inline constexpr Reg kNoReg = -1;
+
+enum class Op : std::uint8_t {
+  // data movement / ALU (dst = a <op> b unless noted)
+  kConst,   ///< dst = imm
+  kMov,     ///< dst = a
+  kAdd, kSub, kMul,
+  kAnd, kOr, kXor,
+  kShl, kShr,        ///< logical shifts; shift amount in b (mod 64)
+  kNot,              ///< dst = ~a
+  // comparisons produce 0/1 (unsigned)
+  kEq, kNe, kLtU, kLeU, kGtU, kGeU,
+  // packet interaction
+  kLoadPkt,   ///< dst = big-endian load of `width` bytes at offset reg a
+  kStorePkt,  ///< store low `width` bytes of b (big-endian) at offset reg a
+  kPktLen,    ///< dst = packet length in bytes
+  kPktPort,   ///< dst = ingress port
+  kPktTime,   ///< dst = packet timestamp (ns); NF time source
+  // NF-local scratch
+  kLoadLocal,   ///< dst = locals[imm]          (one memory access)
+  kStoreLocal,  ///< locals[imm] = a            (one memory access)
+  kLoadMem,     ///< dst = scratch[a]  8-byte slot index in reg a
+  kStoreMem,    ///< scratch[a] = b
+  // stateful library
+  kCall,  ///< (dst, dst2) = method imm(args a, b); see StatefulEnv
+  // control flow
+  kBr,   ///< if a != 0 goto t else goto f
+  kJmp,  ///< goto t
+  // terminal actions
+  kForward,  ///< forward to port in a; ends processing
+  kDrop,     ///< drop; ends processing
+  // zero-cost annotations (not counted in any metric)
+  kClassTag,  ///< tags the current path with input-class id imm
+  kLoopHead,  ///< marks loop header imm; symbex counts trips per path
+};
+
+const char* op_name(Op op);
+
+/// True for the annotation opcodes that carry no performance cost.
+constexpr bool is_annotation(Op op) {
+  return op == Op::kClassTag || op == Op::kLoopHead;
+}
+
+/// True for opcodes that perform exactly one memory access.
+constexpr bool is_memory_op(Op op) {
+  switch (op) {
+    case Op::kLoadPkt: case Op::kStorePkt:
+    case Op::kLoadLocal: case Op::kStoreLocal:
+    case Op::kLoadMem: case Op::kStoreMem:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct Instr {
+  Op op{};
+  Reg dst = kNoReg;
+  Reg dst2 = kNoReg;   ///< second result of kCall
+  Reg a = kNoReg;
+  Reg b = kNoReg;
+  std::int64_t imm = 0;
+  std::int32_t t = -1;  ///< branch target (instruction index)
+  std::int32_t f = -1;  ///< branch fall-through target
+  std::uint8_t width = 0;  ///< byte width for packet/scratch accesses
+  std::string comment;     ///< for disassembly / debugging
+};
+
+/// A complete stateless NF program.
+struct Program {
+  std::string name;
+  std::int32_t num_regs = 0;
+  std::int32_t num_locals = 0;
+  std::size_t scratch_slots = 0;  ///< 8-byte slots of NF-local scratch memory
+  std::vector<Instr> code;
+  /// Input-class tag names, indexed by the imm of kClassTag.
+  std::vector<std::string> class_tags;
+  /// Loop names, indexed by the imm of kLoopHead.
+  std::vector<std::string> loops;
+
+  /// Validates internal consistency (register/target ranges); aborts on error.
+  void validate() const;
+
+  /// Human-readable disassembly.
+  std::string disassemble() const;
+};
+
+}  // namespace bolt::ir

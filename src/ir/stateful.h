@@ -1,0 +1,42 @@
+// Interface between stateless IR programs and the stateful library.
+//
+// Mirrors the Vigor/BOLT split (paper §3.1): the stateless NF logic calls
+// into pre-analysed stateful methods through an opaque boundary. During
+// concrete execution the boundary is implemented by real dslib structures;
+// during symbolic execution by their symbolic models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/cost.h"
+#include "net/packet.h"
+#include "perf/pcv.h"
+
+namespace bolt::ir {
+
+/// Result of a concrete stateful call. Besides the return values the
+/// structure reports *which contract case* the call took (e.g. "hit" vs
+/// "miss") and the PCV values it induced (collisions, traversals, expired
+/// entries, ...). The Distiller and the accuracy experiments feed on these.
+struct CallOutcome {
+  std::uint64_t v0 = 0;
+  std::uint64_t v1 = 0;
+  std::string case_label;
+  perf::PcvBinding pcvs;
+};
+
+/// Concrete implementation of the stateful boundary: maps method ids to
+/// real data-structure operations. The packet is passed through because
+/// stateful methods (like VigNAT's flow manager) parse flow identity
+/// themselves; `meter` must receive every instruction and memory access the
+/// method performs.
+class StatefulEnv {
+ public:
+  virtual ~StatefulEnv() = default;
+  virtual CallOutcome call(std::int64_t method, std::uint64_t arg0,
+                           std::uint64_t arg1, const net::Packet& packet,
+                           CostMeter& meter) = 0;
+};
+
+}  // namespace bolt::ir

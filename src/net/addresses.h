@@ -1,0 +1,47 @@
+// MAC and IPv4 address value types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace bolt::net {
+
+/// 48-bit Ethernet MAC address.
+struct MacAddress {
+  std::array<std::uint8_t, 6> bytes{};
+
+  static MacAddress broadcast() {
+    return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+  /// Builds a MAC from the low 48 bits of `value` (big-endian layout).
+  static MacAddress from_u64(std::uint64_t value);
+  /// The MAC as an integer (low 48 bits used).
+  std::uint64_t to_u64() const;
+
+  bool is_broadcast() const { return *this == broadcast(); }
+  /// Multicast bit: LSB of the first byte.
+  bool is_multicast() const { return (bytes[0] & 1) != 0; }
+
+  std::string str() const;
+
+  auto operator<=>(const MacAddress&) const = default;
+};
+
+/// IPv4 address stored in host order for arithmetic convenience.
+struct Ipv4Address {
+  std::uint32_t value = 0;  // host order
+
+  static Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                 std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address{(std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+                       (std::uint32_t(c) << 8) | d};
+  }
+
+  std::string str() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+};
+
+}  // namespace bolt::net

@@ -1,0 +1,28 @@
+#include "net/checksum.h"
+
+namespace bolt::net {
+
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t accumulator) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    accumulator += (std::uint32_t(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    accumulator += std::uint32_t(data[i]) << 8;  // odd trailing byte
+  }
+  return accumulator;
+}
+
+std::uint16_t checksum_finish(std::uint32_t accumulator) {
+  while (accumulator >> 16) {
+    accumulator = (accumulator & 0xffff) + (accumulator >> 16);
+  }
+  return static_cast<std::uint16_t>(~accumulator & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return checksum_finish(checksum_accumulate(data));
+}
+
+}  // namespace bolt::net

@@ -1,0 +1,47 @@
+// Five-tuple flow identity and hashing.
+//
+// The NAT and load balancer key their state on the five-tuple. The hash
+// here is deliberately simple and *public* — the MAC bridge's rehash-defence
+// experiment (paper §5.2) depends on an attacker being able to construct
+// collisions against a known hash, which our adversarial workload generator
+// does, and on the defence being a secret random key mixed into the hash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addresses.h"
+#include "net/packet.h"
+
+namespace bolt::net {
+
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// Packs the tuple into a 64-bit key the dslib flow table uses:
+  /// a 64-bit mix of the 104 tuple bits. Collisions of the *key* are
+  /// astronomically unlikely for test workloads; collisions of the *bucket*
+  /// are what the PCVs track.
+  std::uint64_t key() const;
+
+  /// Reversed tuple (for return traffic).
+  FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+};
+
+/// Extracts the five-tuple of a TCP/UDP-over-IPv4 frame (no VLAN).
+/// Returns nullopt for anything else (non-IPv4, other protocols, truncated).
+std::optional<FiveTuple> extract_five_tuple(const Packet& packet);
+
+/// The public 64 -> 64 bit mixing function used by dslib hash tables.
+/// (splitmix64 finaliser; fast, invertible, and well distributed.)
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace bolt::net

@@ -1,0 +1,218 @@
+#include "net/headers.h"
+
+#include <cstdio>
+
+#include "net/checksum.h"
+#include "support/assert.h"
+
+namespace bolt::net {
+
+MacAddress MacAddress::from_u64(std::uint64_t value) {
+  MacAddress m;
+  for (int i = 5; i >= 0; --i) {
+    m.bytes[i] = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+  }
+  return m;
+}
+
+std::uint64_t MacAddress::to_u64() const {
+  std::uint64_t v = 0;
+  for (std::uint8_t b : bytes) v = (v << 8) | b;
+  return v;
+}
+
+std::string MacAddress::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+std::string Ipv4Address::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::uint16_t load_be16(std::span<const std::uint8_t> buf, std::size_t offset) {
+  BOLT_CHECK(offset + 2 <= buf.size(), "load_be16 out of range");
+  return static_cast<std::uint16_t>((buf[offset] << 8) | buf[offset + 1]);
+}
+
+std::uint32_t load_be32(std::span<const std::uint8_t> buf, std::size_t offset) {
+  BOLT_CHECK(offset + 4 <= buf.size(), "load_be32 out of range");
+  return (std::uint32_t(buf[offset]) << 24) |
+         (std::uint32_t(buf[offset + 1]) << 16) |
+         (std::uint32_t(buf[offset + 2]) << 8) | buf[offset + 3];
+}
+
+std::uint64_t load_be48(std::span<const std::uint8_t> buf, std::size_t offset) {
+  BOLT_CHECK(offset + 6 <= buf.size(), "load_be48 out of range");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 6; ++i) v = (v << 8) | buf[offset + i];
+  return v;
+}
+
+void store_be16(std::span<std::uint8_t> buf, std::size_t offset, std::uint16_t v) {
+  BOLT_CHECK(offset + 2 <= buf.size(), "store_be16 out of range");
+  buf[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void store_be32(std::span<std::uint8_t> buf, std::size_t offset, std::uint32_t v) {
+  BOLT_CHECK(offset + 4 <= buf.size(), "store_be32 out of range");
+  for (int i = 3; i >= 0; --i) {
+    buf[offset + std::size_t(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+void store_be48(std::span<std::uint8_t> buf, std::size_t offset, std::uint64_t v) {
+  BOLT_CHECK(offset + 6 <= buf.size(), "store_be48 out of range");
+  for (int i = 5; i >= 0; --i) {
+    buf[offset + std::size_t(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+std::optional<EthernetHeader> parse_ethernet(std::span<const std::uint8_t> buf) {
+  if (buf.size() < kEthernetHeaderSize) return std::nullopt;
+  EthernetHeader h;
+  for (std::size_t i = 0; i < 6; ++i) h.dst.bytes[i] = buf[i];
+  for (std::size_t i = 0; i < 6; ++i) h.src.bytes[i] = buf[6 + i];
+  h.ether_type = load_be16(buf, 12);
+  return h;
+}
+
+std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> buf,
+                                     std::size_t offset) {
+  if (offset + kIpv4MinHeaderSize > buf.size()) return std::nullopt;
+  Ipv4Header h;
+  const std::uint8_t vihl = buf[offset];
+  h.version = vihl >> 4;
+  h.ihl = vihl & 0x0f;
+  if (h.version != 4 || h.ihl < 5) return std::nullopt;
+  if (offset + h.header_size() > buf.size()) return std::nullopt;
+  h.dscp_ecn = buf[offset + 1];
+  h.total_length = load_be16(buf, offset + 2);
+  h.identification = load_be16(buf, offset + 4);
+  h.flags_fragment = load_be16(buf, offset + 6);
+  h.ttl = buf[offset + 8];
+  h.protocol = buf[offset + 9];
+  h.checksum = load_be16(buf, offset + 10);
+  h.src.value = load_be32(buf, offset + 12);
+  h.dst.value = load_be32(buf, offset + 16);
+  if (h.has_options()) {
+    const std::size_t opt_len = h.header_size() - kIpv4MinHeaderSize;
+    h.options.assign(buf.begin() + std::ptrdiff_t(offset + kIpv4MinHeaderSize),
+                     buf.begin() + std::ptrdiff_t(offset + kIpv4MinHeaderSize + opt_len));
+  }
+  return h;
+}
+
+std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> buf,
+                                   std::size_t offset) {
+  if (offset + kUdpHeaderSize > buf.size()) return std::nullopt;
+  UdpHeader h;
+  h.src_port = load_be16(buf, offset);
+  h.dst_port = load_be16(buf, offset + 2);
+  h.length = load_be16(buf, offset + 4);
+  h.checksum = load_be16(buf, offset + 6);
+  return h;
+}
+
+std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> buf,
+                                   std::size_t offset) {
+  if (offset + kTcpMinHeaderSize > buf.size()) return std::nullopt;
+  TcpHeader h;
+  h.src_port = load_be16(buf, offset);
+  h.dst_port = load_be16(buf, offset + 2);
+  h.seq = load_be32(buf, offset + 4);
+  h.ack = load_be32(buf, offset + 8);
+  h.data_offset = buf[offset + 12] >> 4;
+  h.flags = buf[offset + 13];
+  h.window = load_be16(buf, offset + 14);
+  h.checksum = load_be16(buf, offset + 16);
+  h.urgent = load_be16(buf, offset + 18);
+  return h;
+}
+
+void write_ethernet(std::span<std::uint8_t> buf, const EthernetHeader& h) {
+  BOLT_CHECK(buf.size() >= kEthernetHeaderSize, "buffer too small for ethernet");
+  for (std::size_t i = 0; i < 6; ++i) buf[i] = h.dst.bytes[i];
+  for (std::size_t i = 0; i < 6; ++i) buf[6 + i] = h.src.bytes[i];
+  store_be16(buf, 12, h.ether_type);
+}
+
+void write_ipv4(std::span<std::uint8_t> buf, std::size_t offset,
+                const Ipv4Header& h) {
+  BOLT_CHECK(h.options.size() % 4 == 0, "IPv4 options must be padded to 4B");
+  const std::uint8_t ihl =
+      static_cast<std::uint8_t>(5 + h.options.size() / 4);
+  BOLT_CHECK(ihl <= 15, "IPv4 options too long");
+  BOLT_CHECK(offset + std::size_t(ihl) * 4 <= buf.size(),
+             "buffer too small for IPv4 header");
+  buf[offset] = static_cast<std::uint8_t>((4 << 4) | ihl);
+  buf[offset + 1] = h.dscp_ecn;
+  store_be16(buf, offset + 2, h.total_length);
+  store_be16(buf, offset + 4, h.identification);
+  store_be16(buf, offset + 6, h.flags_fragment);
+  buf[offset + 8] = h.ttl;
+  buf[offset + 9] = h.protocol;
+  store_be16(buf, offset + 10, 0);  // checksum placeholder
+  store_be32(buf, offset + 12, h.src.value);
+  store_be32(buf, offset + 16, h.dst.value);
+  for (std::size_t i = 0; i < h.options.size(); ++i) {
+    buf[offset + kIpv4MinHeaderSize + i] = h.options[i];
+  }
+  const std::uint16_t csum = internet_checksum(
+      std::span<const std::uint8_t>(buf.data() + offset, std::size_t(ihl) * 4));
+  store_be16(buf, offset + 10, csum);
+}
+
+void write_udp(std::span<std::uint8_t> buf, std::size_t offset,
+               const UdpHeader& h) {
+  BOLT_CHECK(offset + kUdpHeaderSize <= buf.size(), "buffer too small for UDP");
+  store_be16(buf, offset, h.src_port);
+  store_be16(buf, offset + 2, h.dst_port);
+  store_be16(buf, offset + 4, h.length);
+  store_be16(buf, offset + 6, h.checksum);
+}
+
+void write_tcp(std::span<std::uint8_t> buf, std::size_t offset,
+               const TcpHeader& h) {
+  BOLT_CHECK(offset + kTcpMinHeaderSize <= buf.size(), "buffer too small for TCP");
+  store_be16(buf, offset, h.src_port);
+  store_be16(buf, offset + 2, h.dst_port);
+  store_be32(buf, offset + 4, h.seq);
+  store_be32(buf, offset + 8, h.ack);
+  buf[offset + 12] = static_cast<std::uint8_t>(h.data_offset << 4);
+  buf[offset + 13] = h.flags;
+  store_be16(buf, offset + 14, h.window);
+  store_be16(buf, offset + 16, h.checksum);
+  store_be16(buf, offset + 18, h.urgent);
+}
+
+std::optional<int> count_ipv4_options(std::span<const std::uint8_t> options) {
+  int count = 0;
+  std::size_t i = 0;
+  while (i < options.size()) {
+    const std::uint8_t kind = options[i];
+    if (kind == kIpOptEnd) break;
+    if (kind == kIpOptNop) {
+      ++count;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= options.size()) return std::nullopt;
+    const std::uint8_t len = options[i + 1];
+    if (len < 2 || i + len > options.size()) return std::nullopt;
+    ++count;
+    i += len;
+  }
+  return count;
+}
+
+}  // namespace bolt::net

@@ -1,0 +1,122 @@
+// Protocol header layouts and parse/serialise helpers.
+//
+// Headers are parsed from / written to raw byte buffers in network byte
+// order; the structs below hold host-order values. Offsets follow the wire
+// layout exactly so that NF code written against the IR (which loads packet
+// bytes by offset) and host-side helpers agree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/addresses.h"
+
+namespace bolt::net {
+
+// --- Well-known constants (wire values) ------------------------------------
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+
+inline constexpr std::uint8_t kIpProtoIcmp = 1;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+inline constexpr std::size_t kEthernetHeaderSize = 14;
+inline constexpr std::size_t kIpv4MinHeaderSize = 20;
+inline constexpr std::size_t kUdpHeaderSize = 8;
+inline constexpr std::size_t kTcpMinHeaderSize = 20;
+
+/// IPv4 option kinds used by the static router experiment (Table 5).
+inline constexpr std::uint8_t kIpOptEnd = 0;
+inline constexpr std::uint8_t kIpOptNop = 1;
+inline constexpr std::uint8_t kIpOptTimestamp = 68;  // RFC 781
+
+// --- Byte-order helpers -----------------------------------------------------
+
+std::uint16_t load_be16(std::span<const std::uint8_t> buf, std::size_t offset);
+std::uint32_t load_be32(std::span<const std::uint8_t> buf, std::size_t offset);
+std::uint64_t load_be48(std::span<const std::uint8_t> buf, std::size_t offset);
+void store_be16(std::span<std::uint8_t> buf, std::size_t offset, std::uint16_t v);
+void store_be32(std::span<std::uint8_t> buf, std::size_t offset, std::uint32_t v);
+void store_be48(std::span<std::uint8_t> buf, std::size_t offset, std::uint64_t v);
+
+// --- Parsed header views ----------------------------------------------------
+
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = 0;
+};
+
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  ///< header length in 32-bit words (5..15)
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::vector<std::uint8_t> options;  ///< raw option bytes (padded to 4B)
+
+  std::size_t header_size() const { return std::size_t(ihl) * 4; }
+  bool has_options() const { return ihl > 5; }
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+  std::uint16_t checksum = 0;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  ///< in 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+};
+
+// --- Parsing ----------------------------------------------------------------
+
+/// Parses the Ethernet header at offset 0; nullopt if the buffer is short.
+std::optional<EthernetHeader> parse_ethernet(std::span<const std::uint8_t> buf);
+
+/// Parses an IPv4 header at `offset`; validates version/ihl/lengths.
+std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> buf,
+                                     std::size_t offset);
+
+std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> buf,
+                                   std::size_t offset);
+std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> buf,
+                                   std::size_t offset);
+
+// --- Serialisation (used by PacketBuilder) ----------------------------------
+
+void write_ethernet(std::span<std::uint8_t> buf, const EthernetHeader& h);
+/// Writes the IPv4 header (including options) and computes its checksum.
+void write_ipv4(std::span<std::uint8_t> buf, std::size_t offset,
+                const Ipv4Header& h);
+void write_udp(std::span<std::uint8_t> buf, std::size_t offset,
+               const UdpHeader& h);
+void write_tcp(std::span<std::uint8_t> buf, std::size_t offset,
+               const TcpHeader& h);
+
+/// Counts IPv4 options in the raw option bytes (NOPs count; END terminates;
+/// multi-byte options advance by their length byte). Returns nullopt for
+/// malformed encodings. This mirrors the static router's option walk.
+std::optional<int> count_ipv4_options(std::span<const std::uint8_t> options);
+
+}  // namespace bolt::net

@@ -1,0 +1,6 @@
+#include "net/packet.h"
+
+// Packet is header-only today; this file anchors the translation unit so the
+// library has a stable archive member for the type (and room to grow, e.g.
+// reference-counted buffers for zero-copy chains).
+namespace bolt::net {}

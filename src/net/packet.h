@@ -1,0 +1,46 @@
+// Packet — an owned byte buffer plus receive metadata.
+//
+// This is the unit of work for every NF in the repository: workload
+// generators produce packets, PCAP files store them, and the IR interpreter
+// exposes their bytes to NF programs via packet-load instructions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bolt::net {
+
+/// Nanosecond timestamps; NF time (flow expiry etc.) is driven by these.
+using TimestampNs = std::uint64_t;
+
+inline constexpr std::size_t kMinFrameSize = 60;    // without FCS
+inline constexpr std::size_t kMaxFrameSize = 1514;  // standard MTU frame
+
+class Packet {
+ public:
+  Packet() = default;
+  Packet(std::vector<std::uint8_t> data, TimestampNs timestamp_ns,
+         std::uint16_t in_port = 0)
+      : data_(std::move(data)), timestamp_ns_(timestamp_ns), in_port_(in_port) {}
+
+  std::span<const std::uint8_t> bytes() const { return data_; }
+  std::span<std::uint8_t> mutable_bytes() { return data_; }
+  std::size_t size() const { return data_.size(); }
+
+  TimestampNs timestamp_ns() const { return timestamp_ns_; }
+  void set_timestamp_ns(TimestampNs t) { timestamp_ns_ = t; }
+
+  std::uint16_t in_port() const { return in_port_; }
+  void set_in_port(std::uint16_t p) { in_port_ = p; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  TimestampNs timestamp_ns_ = 0;
+  std::uint16_t in_port_ = 0;
+};
+
+/// What an NF did with a packet.
+enum class NfVerdict : std::uint8_t { kDrop = 0, kForward = 1, kFlood = 2 };
+
+}  // namespace bolt::net

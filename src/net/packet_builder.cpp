@@ -1,0 +1,160 @@
+#include "net/packet_builder.h"
+
+#include "support/assert.h"
+
+namespace bolt::net {
+
+PacketBuilder::PacketBuilder() {
+  eth_.src = MacAddress::from_u64(0x020000000001);
+  eth_.dst = MacAddress::from_u64(0x020000000002);
+  eth_.ether_type = kEtherTypeIpv4;
+}
+
+PacketBuilder& PacketBuilder::eth(const MacAddress& src, const MacAddress& dst,
+                                  std::uint16_t ether_type) {
+  eth_.src = src;
+  eth_.dst = dst;
+  eth_.ether_type = ether_type;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ether_type(std::uint16_t ether_type) {
+  eth_.ether_type = ether_type;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ipv4(Ipv4Address src, Ipv4Address dst,
+                                   std::uint8_t protocol, std::uint8_t ttl) {
+  has_ip_ = true;
+  ip_.src = src;
+  ip_.dst = dst;
+  ip_.protocol = protocol;
+  ip_.ttl = ttl;
+  eth_.ether_type = kEtherTypeIpv4;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ip_option(std::uint8_t kind,
+                                        const std::vector<std::uint8_t>& payload) {
+  if (kind == kIpOptNop || kind == kIpOptEnd) {
+    ip_options_.push_back(kind);
+  } else {
+    ip_options_.push_back(kind);
+    ip_options_.push_back(static_cast<std::uint8_t>(2 + payload.size()));
+    ip_options_.insert(ip_options_.end(), payload.begin(), payload.end());
+  }
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ip_nop_options(int n) {
+  for (int i = 0; i < n; ++i) ip_option(kIpOptNop);
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ip_timestamp_option(int slots) {
+  // RFC 781 layout: kind, length, pointer, overflow/flags, then 4B slots.
+  std::vector<std::uint8_t> payload;
+  payload.push_back(5);  // pointer: first free slot
+  payload.push_back(0);  // flags: timestamps only
+  payload.resize(2 + std::size_t(slots) * 4, 0);
+  return ip_option(kIpOptTimestamp, payload);
+}
+
+PacketBuilder& PacketBuilder::udp(std::uint16_t src_port, std::uint16_t dst_port) {
+  l4_ = L4::kUdp;
+  sport_ = src_port;
+  dport_ = dst_port;
+  if (has_ip_) ip_.protocol = kIpProtoUdp;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::tcp(std::uint16_t src_port, std::uint16_t dst_port) {
+  l4_ = L4::kTcp;
+  sport_ = src_port;
+  dport_ = dst_port;
+  if (has_ip_) ip_.protocol = kIpProtoTcp;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::payload(std::vector<std::uint8_t> bytes) {
+  payload_ = std::move(bytes);
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::frame_size(std::size_t size) {
+  BOLT_CHECK(size >= kMinFrameSize && size <= kMaxFrameSize,
+             "frame size out of range");
+  frame_size_ = size;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::timestamp_ns(TimestampNs t) {
+  timestamp_ns_ = t;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::in_port(std::uint16_t port) {
+  in_port_ = port;
+  return *this;
+}
+
+Packet PacketBuilder::build() const {
+  std::vector<std::uint8_t> options = ip_options_;
+  while (options.size() % 4 != 0) options.push_back(kIpOptEnd);
+  BOLT_CHECK(options.size() <= 40, "IPv4 options exceed 40 bytes");
+
+  const std::size_t ip_header = has_ip_ ? kIpv4MinHeaderSize + options.size() : 0;
+  std::size_t l4_header = 0;
+  if (l4_ == L4::kUdp) l4_header = kUdpHeaderSize;
+  if (l4_ == L4::kTcp) l4_header = kTcpMinHeaderSize;
+
+  std::size_t natural =
+      kEthernetHeaderSize + ip_header + l4_header + payload_.size();
+  std::size_t total = std::max(natural, kMinFrameSize);
+  if (frame_size_ != 0) {
+    BOLT_CHECK(frame_size_ >= natural, "frame_size smaller than headers+payload");
+    total = frame_size_;
+  }
+
+  std::vector<std::uint8_t> data(total, 0);
+  write_ethernet(data, eth_);
+
+  if (has_ip_) {
+    Ipv4Header ip = ip_;
+    ip.options = options;
+    ip.total_length = static_cast<std::uint16_t>(total - kEthernetHeaderSize);
+    write_ipv4(data, kEthernetHeaderSize, ip);
+
+    const std::size_t l4_off = kEthernetHeaderSize + ip_header;
+    if (l4_ == L4::kUdp) {
+      UdpHeader u;
+      u.src_port = sport_;
+      u.dst_port = dport_;
+      u.length = static_cast<std::uint16_t>(total - l4_off);
+      write_udp(data, l4_off, u);
+    } else if (l4_ == L4::kTcp) {
+      TcpHeader t;
+      t.src_port = sport_;
+      t.dst_port = dport_;
+      t.flags = 0x18;  // PSH|ACK, an established-connection segment
+      t.window = 0xffff;
+      write_tcp(data, l4_off, t);
+    }
+    const std::size_t payload_off = l4_off + l4_header;
+    for (std::size_t i = 0; i < payload_.size(); ++i) {
+      data[payload_off + i] = payload_[i];
+    }
+  } else {
+    // Non-IP frame: payload goes right after the Ethernet header.
+    for (std::size_t i = 0; i < payload_.size() &&
+                            kEthernetHeaderSize + i < data.size();
+         ++i) {
+      data[kEthernetHeaderSize + i] = payload_[i];
+    }
+  }
+
+  Packet pkt(std::move(data), timestamp_ns_, in_port_);
+  return pkt;
+}
+
+}  // namespace bolt::net

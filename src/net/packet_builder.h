@@ -1,0 +1,65 @@
+// Fluent construction of well-formed test packets.
+//
+// Workload generators and tests use this to assemble Ethernet/IPv4/TCP/UDP
+// frames (optionally with IPv4 options) without hand-computing offsets,
+// lengths, or checksums.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace bolt::net {
+
+class PacketBuilder {
+ public:
+  PacketBuilder();
+
+  PacketBuilder& eth(const MacAddress& src, const MacAddress& dst,
+                     std::uint16_t ether_type = kEtherTypeIpv4);
+  /// Sets a non-IPv4 ethertype (for "invalid packet" classes).
+  PacketBuilder& ether_type(std::uint16_t ether_type);
+
+  PacketBuilder& ipv4(Ipv4Address src, Ipv4Address dst,
+                      std::uint8_t protocol = kIpProtoUdp,
+                      std::uint8_t ttl = 64);
+  /// Appends raw IPv4 option bytes (will be padded to a 4-byte boundary
+  /// with END bytes at build time).
+  PacketBuilder& ip_option(std::uint8_t kind,
+                           const std::vector<std::uint8_t>& payload = {});
+  /// Appends `n` one-byte NOP options (the cheap way to get "n options").
+  PacketBuilder& ip_nop_options(int n);
+  /// Appends an RFC 781 timestamp option with room for `slots` timestamps.
+  PacketBuilder& ip_timestamp_option(int slots);
+
+  PacketBuilder& udp(std::uint16_t src_port, std::uint16_t dst_port);
+  PacketBuilder& tcp(std::uint16_t src_port, std::uint16_t dst_port);
+
+  PacketBuilder& payload(std::vector<std::uint8_t> bytes);
+  /// Pads the payload so the final frame is exactly `size` bytes.
+  PacketBuilder& frame_size(std::size_t size);
+
+  PacketBuilder& timestamp_ns(TimestampNs t);
+  PacketBuilder& in_port(std::uint16_t port);
+
+  /// Assembles the frame: computes lengths and checksums, applies padding.
+  Packet build() const;
+
+ private:
+  enum class L4 { kNone, kUdp, kTcp };
+
+  EthernetHeader eth_{};
+  bool has_ip_ = false;
+  Ipv4Header ip_{};
+  std::vector<std::uint8_t> ip_options_;
+  L4 l4_ = L4::kNone;
+  std::uint16_t sport_ = 0, dport_ = 0;
+  std::vector<std::uint8_t> payload_;
+  std::size_t frame_size_ = 0;  // 0 = natural size (>= kMinFrameSize)
+  TimestampNs timestamp_ns_ = 0;
+  std::uint16_t in_port_ = 0;
+};
+
+}  // namespace bolt::net

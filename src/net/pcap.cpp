@@ -1,0 +1,146 @@
+#include "net/pcap.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/assert.h"
+
+namespace bolt::net {
+namespace {
+
+constexpr std::uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNano = 0xa1b23c4d;
+constexpr std::uint32_t kMagicMicroSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNanoSwapped = 0x4d3cb2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+std::uint32_t bswap32(std::uint32_t v) {
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) |
+         (v >> 24);
+}
+
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool swapped = false;
+
+  bool done() const { return pos >= size; }
+
+  std::uint32_t u32() {
+    BOLT_CHECK(pos + 4 <= size, "pcap: truncated file");
+    std::uint32_t v;
+    std::memcpy(&v, data + pos, 4);
+    pos += 4;
+    return swapped ? bswap32(v) : v;
+  }
+
+  std::uint16_t u16() {
+    BOLT_CHECK(pos + 2 <= size, "pcap: truncated file");
+    std::uint16_t v;
+    std::memcpy(&v, data + pos, 2);
+    pos += 2;
+    return swapped ? static_cast<std::uint16_t>((v << 8) | (v >> 8)) : v;
+  }
+};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+}  // namespace
+
+std::vector<Packet> parse_pcap(const std::vector<std::uint8_t>& bytes) {
+  Cursor cur{bytes.data(), bytes.size()};
+  BOLT_CHECK(bytes.size() >= 24, "pcap: file shorter than global header");
+
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), 4);
+  bool nano = false;
+  switch (magic) {
+    case kMagicMicro: break;
+    case kMagicNano: nano = true; break;
+    case kMagicMicroSwapped: cur.swapped = true; break;
+    case kMagicNanoSwapped:
+      cur.swapped = true;
+      nano = true;
+      break;
+    default: BOLT_UNREACHABLE("pcap: bad magic number");
+  }
+  cur.pos = 4;
+  cur.u16();  // version major
+  cur.u16();  // version minor
+  cur.u32();  // thiszone
+  cur.u32();  // sigfigs
+  cur.u32();  // snaplen
+  const std::uint32_t link_type = cur.u32();
+  BOLT_CHECK(link_type == kLinkTypeEthernet, "pcap: only EN10MB supported");
+
+  std::vector<Packet> packets;
+  while (!cur.done()) {
+    const std::uint64_t ts_sec = cur.u32();
+    const std::uint64_t ts_frac = cur.u32();
+    const std::uint32_t incl_len = cur.u32();
+    const std::uint32_t orig_len = cur.u32();
+    (void)orig_len;
+    BOLT_CHECK(cur.pos + incl_len <= cur.size, "pcap: truncated record");
+    std::vector<std::uint8_t> data(bytes.begin() + std::ptrdiff_t(cur.pos),
+                                   bytes.begin() + std::ptrdiff_t(cur.pos + incl_len));
+    cur.pos += incl_len;
+    const TimestampNs ts =
+        ts_sec * 1'000'000'000ULL + (nano ? ts_frac : ts_frac * 1'000ULL);
+    packets.emplace_back(std::move(data), ts);
+  }
+  return packets;
+}
+
+std::vector<std::uint8_t> serialize_pcap(const std::vector<Packet>& packets) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagicNano);
+  put_u16(out, 2);   // version 2.4
+  put_u16(out, 4);
+  put_u32(out, 0);   // thiszone
+  put_u32(out, 0);   // sigfigs
+  put_u32(out, 65535);  // snaplen
+  put_u32(out, kLinkTypeEthernet);
+  for (const Packet& p : packets) {
+    put_u32(out, static_cast<std::uint32_t>(p.timestamp_ns() / 1'000'000'000ULL));
+    put_u32(out, static_cast<std::uint32_t>(p.timestamp_ns() % 1'000'000'000ULL));
+    put_u32(out, static_cast<std::uint32_t>(p.size()));
+    put_u32(out, static_cast<std::uint32_t>(p.size()));
+    out.insert(out.end(), p.bytes().begin(), p.bytes().end());
+  }
+  return out;
+}
+
+std::vector<Packet> read_pcap(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  BOLT_CHECK(f != nullptr, "pcap: cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(len));
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  BOLT_CHECK(got == bytes.size(), "pcap: short read on " + path);
+  return parse_pcap(bytes);
+}
+
+void write_pcap(const std::string& path, const std::vector<Packet>& packets) {
+  const std::vector<std::uint8_t> bytes = serialize_pcap(packets);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  BOLT_CHECK(f != nullptr, "pcap: cannot open " + path + " for writing");
+  const std::size_t put = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  BOLT_CHECK(put == bytes.size(), "pcap: short write on " + path);
+}
+
+}  // namespace bolt::net

@@ -1,0 +1,27 @@
+// PCAP file reading and writing (implemented from scratch — no libpcap).
+//
+// The Distiller (paper §4) consumes traffic samples as PCAP files, and our
+// workload generators can persist their traces the same way. We support the
+// classic libpcap format, both microsecond (0xa1b2c3d4) and nanosecond
+// (0xa1b23c4d) variants, in either byte order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace bolt::net {
+
+/// Reads all packets from a PCAP file. Aborts on malformed files (analysis
+/// inputs are trusted, truncation is a usage error we surface loudly).
+std::vector<Packet> read_pcap(const std::string& path);
+
+/// Writes packets as a nanosecond-resolution PCAP file (link type EN10MB).
+void write_pcap(const std::string& path, const std::vector<Packet>& packets);
+
+/// In-memory variants used by tests.
+std::vector<Packet> parse_pcap(const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> serialize_pcap(const std::vector<Packet>& packets);
+
+}  // namespace bolt::net

@@ -1,0 +1,236 @@
+#include "net/workload.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "net/packet_builder.h"
+#include "support/assert.h"
+#include "support/random.h"
+
+namespace bolt::net {
+
+FiveTuple tuple_for_index(std::uint64_t index, bool internal) {
+  FiveTuple t;
+  if (internal) {
+    t.src_ip = Ipv4Address{0x0a000000u | static_cast<std::uint32_t>(index % (1u << 24))};
+    t.dst_ip = Ipv4Address{0xc6120000u | static_cast<std::uint32_t>((index / 7) % 65536)};
+  } else {
+    t.src_ip = Ipv4Address{0xc6120000u | static_cast<std::uint32_t>(index % 65536)};
+    t.dst_ip = Ipv4Address{0x0a000000u | static_cast<std::uint32_t>((index / 3) % (1u << 24))};
+  }
+  t.src_port = static_cast<std::uint16_t>(1024 + (index % 60000));
+  t.dst_port = static_cast<std::uint16_t>(80 + (index % 8));
+  t.protocol = kIpProtoUdp;
+  return t;
+}
+
+Packet packet_for_tuple(const FiveTuple& t, TimestampNs ts,
+                        std::uint16_t in_port) {
+  PacketBuilder b;
+  b.eth(MacAddress::from_u64(0x020000000000ULL | (t.src_ip.value & 0xffffff)),
+        MacAddress::from_u64(0x020000001000ULL | (t.dst_ip.value & 0xffffff)));
+  b.ipv4(t.src_ip, t.dst_ip, t.protocol);
+  if (t.protocol == kIpProtoTcp) {
+    b.tcp(t.src_port, t.dst_port);
+  } else {
+    b.udp(t.src_port, t.dst_port);
+  }
+  b.timestamp_ns(ts).in_port(in_port);
+  return b.build();
+}
+
+Packet invalid_packet(TimestampNs ts) {
+  PacketBuilder b;
+  b.ether_type(kEtherTypeArp).timestamp_ns(ts);
+  return b.build();
+}
+
+std::vector<Packet> uniform_random_traffic(const UniformSpec& spec) {
+  support::Rng rng(spec.seed);
+  std::vector<Packet> out;
+  out.reserve(spec.packet_count);
+  TimestampNs ts = spec.timing.start_ns;
+  for (std::size_t i = 0; i < spec.packet_count; ++i) {
+    const std::uint64_t flow = rng.below(spec.flow_pool);
+    out.push_back(packet_for_tuple(tuple_for_index(flow, spec.internal_side),
+                                   ts, spec.in_port));
+    ts += spec.timing.gap_ns;
+  }
+  return out;
+}
+
+std::vector<Packet> churn_traffic(const ChurnSpec& spec) {
+  support::Rng rng(spec.seed);
+  std::deque<std::uint64_t> active;
+  std::uint64_t next_flow = 0;
+  for (std::size_t i = 0; i < spec.active_flows; ++i) active.push_back(next_flow++);
+
+  std::vector<Packet> out;
+  out.reserve(spec.packet_count);
+  TimestampNs ts = spec.timing.start_ns;
+  for (std::size_t i = 0; i < spec.packet_count; ++i) {
+    std::uint64_t flow;
+    if (rng.chance(spec.churn)) {
+      // Retire a *random* active flow (real flow lifetimes are not FIFO)
+      // and admit a brand-new one, sending its first packet.
+      flow = next_flow++;
+      active[rng.below(active.size())] = flow;
+    } else {
+      flow = active[rng.below(active.size())];
+    }
+    out.push_back(packet_for_tuple(tuple_for_index(flow), ts, spec.in_port));
+    ts += spec.timing.gap_ns;
+  }
+  return out;
+}
+
+std::vector<Packet> bridge_traffic(const BridgeSpec& spec) {
+  support::Rng rng(spec.seed);
+  std::vector<Packet> out;
+  out.reserve(spec.packet_count);
+  TimestampNs ts = spec.timing.start_ns;
+  for (std::size_t i = 0; i < spec.packet_count; ++i) {
+    const std::uint64_t src_station = rng.below(spec.stations);
+    const MacAddress src = MacAddress::from_u64(0x020000100000ULL + src_station);
+    MacAddress dst;
+    if (rng.chance(spec.broadcast_fraction)) {
+      dst = MacAddress::broadcast();
+    } else {
+      std::uint64_t dst_station = rng.below(spec.stations);
+      if (dst_station == src_station) {
+        dst_station = (dst_station + 1) % spec.stations;
+      }
+      dst = MacAddress::from_u64(0x020000100000ULL + dst_station);
+    }
+    PacketBuilder b;
+    b.eth(src, dst)
+        .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+              Ipv4Address::from_octets(10, 0, 0, 2))
+        .udp(4000, 4001)
+        .timestamp_ns(ts)
+        .in_port(static_cast<std::uint16_t>(src_station % 8));
+    out.push_back(b.build());
+    ts += spec.timing.gap_ns;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> colliding_keys(std::size_t count, std::size_t bucket,
+                                          std::size_t table_buckets,
+                                          std::uint64_t hash_key,
+                                          std::uint64_t start) {
+  BOLT_CHECK(table_buckets != 0 && (table_buckets & (table_buckets - 1)) == 0,
+             "table_buckets must be a power of two");
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  const std::uint64_t mask = table_buckets - 1;
+  for (std::uint64_t candidate = start; keys.size() < count; ++candidate) {
+    if ((mix64(candidate ^ hash_key) & mask) == bucket) {
+      keys.push_back(candidate);
+    }
+  }
+  return keys;
+}
+
+std::vector<Packet> bridge_collision_attack(const BridgeAttackSpec& spec) {
+  support::Rng rng(spec.seed);
+  // MAC-table keys are the 48-bit MAC as an integer; pick MACs in the
+  // locally-administered range whose hash collides in bucket 0.
+  const std::vector<std::uint64_t> macs = colliding_keys(
+      spec.stations, /*bucket=*/0, spec.table_buckets, /*hash_key=*/0,
+      /*start=*/0x020000200000ULL);
+  std::vector<Packet> out;
+  out.reserve(spec.packet_count);
+  TimestampNs ts = spec.timing.start_ns;
+  for (std::size_t i = 0; i < spec.packet_count; ++i) {
+    const std::uint64_t src = macs[rng.below(macs.size())];
+    std::uint64_t dst = macs[rng.below(macs.size())];
+    if (dst == src) dst = macs[(i + 1) % macs.size()];
+    PacketBuilder b;
+    b.eth(MacAddress::from_u64(src), MacAddress::from_u64(dst))
+        .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+              Ipv4Address::from_octets(10, 0, 0, 2))
+        .udp(4000, 4001)
+        .timestamp_ns(ts);
+    out.push_back(b.build());
+    ts += spec.timing.gap_ns;
+  }
+  return out;
+}
+
+LpmWorkload lpm_traffic(const LpmSpec& spec) {
+  BOLT_CHECK(spec.min_prefix_len >= 1 && spec.max_prefix_len <= 32 &&
+                 spec.min_prefix_len <= spec.max_prefix_len,
+             "bad LPM prefix length range");
+  support::Rng rng(spec.seed);
+  LpmWorkload out;
+
+  // Install routes: for each length in range, `routes_per_length` prefixes
+  // spread across the address space. Longer routes nest inside shorter ones
+  // only by accident; matched length is computed against the final set.
+  for (int len = spec.min_prefix_len; len <= spec.max_prefix_len; ++len) {
+    for (std::size_t r = 0; r < spec.routes_per_length; ++r) {
+      const std::uint32_t mask =
+          len == 32 ? 0xffffffffu : ~((1u << (32 - len)) - 1);
+      LpmRoute route;
+      route.prefix = static_cast<std::uint32_t>(rng.next()) & mask;
+      route.length = len;
+      route.port = static_cast<std::uint16_t>(1 + (rng.next() % 14));
+      out.routes.push_back(route);
+    }
+  }
+
+  auto matched = [&](std::uint32_t addr) {
+    int best = 0;
+    for (const LpmRoute& r : out.routes) {
+      const std::uint32_t mask =
+          r.length == 32 ? 0xffffffffu : ~((1u << (32 - r.length)) - 1);
+      if ((addr & mask) == r.prefix && r.length > best) best = r.length;
+    }
+    return best;
+  };
+
+  out.packets.reserve(spec.packet_count);
+  out.matched_length.reserve(spec.packet_count);
+  TimestampNs ts = spec.timing.start_ns;
+  for (std::size_t i = 0; i < spec.packet_count; ++i) {
+    // Aim at a random installed route; add host bits below its length.
+    const LpmRoute& target = out.routes[rng.below(out.routes.size())];
+    const std::uint32_t host_bits =
+        target.length == 32
+            ? 0
+            : static_cast<std::uint32_t>(rng.next()) &
+                  ((1u << (32 - target.length)) - 1);
+    const Ipv4Address dst{target.prefix | host_bits};
+    PacketBuilder b;
+    b.ipv4(Ipv4Address::from_octets(192, 0, 2, 1), dst).udp(5000, 5001)
+        .timestamp_ns(ts);
+    out.packets.push_back(b.build());
+    out.matched_length.push_back(matched(dst.value));
+    ts += spec.timing.gap_ns;
+  }
+  return out;
+}
+
+std::vector<Packet> heartbeat_traffic(const HeartbeatSpec& spec) {
+  support::Rng rng(spec.seed);
+  std::vector<Packet> out;
+  out.reserve(spec.packet_count);
+  TimestampNs ts = spec.timing.start_ns;
+  for (std::size_t i = 0; i < spec.packet_count; ++i) {
+    const std::uint32_t backend =
+        static_cast<std::uint32_t>(rng.below(spec.backends));
+    PacketBuilder b;
+    // Backends live in 172.16.0.0/16; heartbeat = UDP to the magic port.
+    b.ipv4(Ipv4Address{0xac100000u | (backend + 1)},
+           Ipv4Address::from_octets(10, 0, 0, 100))
+        .udp(static_cast<std::uint16_t>(30000 + backend), spec.heartbeat_port)
+        .timestamp_ns(ts)
+        .in_port(1);
+    out.push_back(b.build());
+    ts += spec.timing.gap_ns;
+  }
+  return out;
+}
+
+}  // namespace bolt::net

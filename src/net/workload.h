@@ -1,0 +1,130 @@
+// Workload generation — the reproduction's stand-in for MoonGen + CASTAN.
+//
+// Every evaluation scenario in the paper is driven by a packet class
+// (paper §5.1): unconstrained/adversarial traffic, broadcast/unicast MAC
+// traffic, new vs established flows, heartbeats, LPM prefixes of specific
+// lengths. The generators here synthesise PCAP-able packet vectors for each
+// of those classes deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/addresses.h"
+#include "net/flow.h"
+#include "net/packet.h"
+
+namespace bolt::net {
+
+/// Timing knobs shared by all generators.
+struct TrafficTiming {
+  TimestampNs start_ns = 1'000'000'000;  ///< first packet timestamp
+  TimestampNs gap_ns = 10'000;           ///< inter-arrival (100kpps default)
+};
+
+/// UDP packets drawn uniformly from a fixed pool of five-tuple flows.
+struct UniformSpec {
+  std::uint64_t seed = 1;
+  std::size_t flow_pool = 1024;   ///< number of distinct flows
+  std::size_t packet_count = 10'000;
+  TrafficTiming timing;
+  std::uint16_t in_port = 0;
+  bool internal_side = true;  ///< NAT direction (internal -> external)
+};
+std::vector<Packet> uniform_random_traffic(const UniformSpec& spec);
+
+/// Flow-churn traffic: a working set of `active_flows` flows; with
+/// probability `churn` a packet retires the oldest flow and starts a fresh
+/// one. High churn exercises allocation; low churn exercises lookups.
+struct ChurnSpec {
+  std::uint64_t seed = 1;
+  std::size_t active_flows = 512;
+  double churn = 0.05;  ///< probability a packet begins a brand-new flow
+  std::size_t packet_count = 20'000;
+  TrafficTiming timing;
+  std::uint16_t in_port = 0;
+};
+std::vector<Packet> churn_traffic(const ChurnSpec& spec);
+
+/// Ethernet traffic for the MAC bridge: a pool of source stations sending
+/// to known stations (unicast) or to ff:ff:ff:ff:ff:ff (broadcast).
+struct BridgeSpec {
+  std::uint64_t seed = 1;
+  std::size_t stations = 256;
+  double broadcast_fraction = 0.0;
+  std::size_t packet_count = 10'000;
+  TrafficTiming timing;
+};
+std::vector<Packet> bridge_traffic(const BridgeSpec& spec);
+
+/// Adversarial bridge traffic (CASTAN-like): source MACs chosen so that
+/// *every* station hashes to the same bucket of a `table_buckets`-bucket
+/// table under the public mix64 hash (secret key assumed zero / leaked).
+struct BridgeAttackSpec {
+  std::uint64_t seed = 1;
+  std::size_t stations = 64;
+  std::size_t table_buckets = 1024;  ///< must be a power of two
+  std::size_t packet_count = 2'000;
+  TrafficTiming timing;
+};
+std::vector<Packet> bridge_collision_attack(const BridgeAttackSpec& spec);
+
+/// Brute-force search for `count` distinct keys whose hash lands in bucket
+/// `bucket` of a power-of-two table (under mix64 ^ key0). Exposed separately
+/// so tests and state-synthesis can reuse it.
+std::vector<std::uint64_t> colliding_keys(std::size_t count, std::size_t bucket,
+                                          std::size_t table_buckets,
+                                          std::uint64_t hash_key = 0,
+                                          std::uint64_t start = 1);
+
+/// IPv4 traffic whose destination addresses match LPM prefixes with lengths
+/// drawn from [min_prefix_len, max_prefix_len]. Used for LPM1 (>24) and
+/// LPM2 (<=24).
+struct LpmSpec {
+  std::uint64_t seed = 1;
+  int min_prefix_len = 8;
+  int max_prefix_len = 24;
+  std::size_t packet_count = 10'000;
+  TrafficTiming timing;
+  /// Route set generator callback: receives (prefix, length, index).
+  /// The same routes must be installed in the router under test; see
+  /// `lpm_route_plan` below.
+  std::size_t routes_per_length = 16;
+};
+struct LpmRoute {
+  std::uint32_t prefix = 0;  ///< host-order, low bits zero
+  int length = 0;
+  std::uint16_t port = 0;
+};
+struct LpmWorkload {
+  std::vector<LpmRoute> routes;
+  std::vector<Packet> packets;
+  std::vector<int> matched_length;  ///< per packet, expected LPM match length
+};
+LpmWorkload lpm_traffic(const LpmSpec& spec);
+
+/// Maglev heartbeat datagrams from backend servers (LB5 class).
+struct HeartbeatSpec {
+  std::uint64_t seed = 1;
+  std::size_t backends = 16;
+  std::size_t packet_count = 1'000;
+  TrafficTiming timing;
+  std::uint16_t heartbeat_port = 7000;  ///< UDP dst port the LB recognises
+};
+std::vector<Packet> heartbeat_traffic(const HeartbeatSpec& spec);
+
+/// A single minimal non-IPv4 frame (the "invalid packet" class).
+Packet invalid_packet(TimestampNs ts = 1'000'000'000);
+
+/// Builds the canonical UDP packet for a five-tuple (convenience used by
+/// generators, tests, and state synthesis).
+Packet packet_for_tuple(const FiveTuple& t, TimestampNs ts,
+                        std::uint16_t in_port = 0);
+
+/// Deterministic five-tuple for an index (distinct tuples for distinct
+/// indices). `internal` picks 10.0.0.0/8 sources (NAT inside) vs
+/// 198.18.0.0/15 sources (outside).
+FiveTuple tuple_for_index(std::uint64_t index, bool internal = true);
+
+}  // namespace bolt::net

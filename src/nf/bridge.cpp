@@ -1,0 +1,44 @@
+#include "nf/bridge.h"
+
+#include "ir/builder.h"
+#include "nf/framework.h"
+
+namespace bolt::nf {
+
+ir::Program Bridge::program() {
+  ir::IrBuilder b("bridge");
+
+  // Expire stale MAC entries (time comes from the packet timestamp).
+  b.call(dslib::BridgeState::kExpire, ir::kNoReg, ir::kNoReg, "expire MACs");
+
+  // Learn the source MAC on the ingress port.
+  const ir::Reg src_mac = b.load_pkt_at(kOffEthSrc, 6, "source MAC");
+  const ir::Reg in_port = b.pkt_port();
+  b.call(dslib::BridgeState::kLearn, src_mac, in_port, "learn source");
+
+  // Broadcast destination -> flood.
+  const ir::Reg dst_mac = b.load_pkt_at(kOffEthDst, 6, "destination MAC");
+  const ir::Reg is_bcast = b.eq_imm(dst_mac, 0xffffffffffffULL);
+  ir::Label bcast = b.make_label();
+  b.br_true(is_bcast, bcast);
+
+  // Unicast: look up the destination.
+  const auto [found, out_port] =
+      b.call(dslib::BridgeState::kLookup, dst_mac, ir::kNoReg, "lookup dst");
+  ir::Label miss = b.make_label();
+  b.br_false(found, miss);
+  b.class_tag("unicast");
+  b.forward(out_port);
+
+  b.bind(miss);
+  b.class_tag("unicast_miss");
+  b.forward_imm(kFloodPort);
+
+  b.bind(bcast);
+  b.class_tag("broadcast");
+  b.forward_imm(kFloodPort);
+
+  return b.finish();
+}
+
+}  // namespace bolt::nf

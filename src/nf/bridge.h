@@ -1,0 +1,25 @@
+// The MAC learning bridge (paper NF "Br").
+//
+// Per packet: expire stale MAC entries, learn the source MAC, then either
+// flood (broadcast destination or unknown destination) or forward to the
+// learned port. Stateful methods live in dslib::BridgeState.
+#pragma once
+
+#include "dslib/bridge_state.h"
+#include "dslib/mac_table.h"
+#include "ir/program.h"
+#include "perf/pcv.h"
+
+namespace bolt::nf {
+
+struct Bridge {
+  /// Stateless IR program (class tags: broadcast / unicast / unicast_miss).
+  static ir::Program program();
+
+  static dslib::MethodTable methods(perf::PcvRegistry& reg,
+                                    const dslib::MacTable::Config& config) {
+    return dslib::BridgeState::method_table(reg, config);
+  }
+};
+
+}  // namespace bolt::nf

@@ -1,0 +1,140 @@
+#include "nf/firewall.h"
+
+#include "ir/builder.h"
+#include "nf/framework.h"
+
+namespace bolt::nf {
+
+ir::Program Firewall::program() {
+  ir::IrBuilder b("firewall");
+  ir::Label invalid = b.make_label();
+  ir::Label denied = b.make_label();
+
+  const ir::Reg ether_type = b.load_pkt_at(kOffEtherType, 2, "ethertype");
+  b.br_false(b.eq_imm(ether_type, 0x0800), invalid);
+  const ir::Reg ver_ihl = b.load_pkt_at(kOffIpVerIhl, 1, "version/ihl");
+  b.br_false(b.eq_imm(b.shr_imm(ver_ihl, 4), 4), invalid);
+
+  // Policy 1: drop anything with IP options.
+  const ir::Reg ihl = b.and_imm(ver_ihl, 0xf);
+  ir::Label options = b.make_label();
+  b.br_false(b.eq_imm(ihl, 5), options);
+
+  // Policy 2: stateless allowlist — small match chain over proto and dst
+  // port ranges (this is the firewall's "477 instructions" of real work).
+  const ir::Reg proto = b.load_pkt_at(kOffIpProto, 1, "protocol");
+  const ir::Reg is_tcp = b.eq_imm(proto, 6);
+  const ir::Reg is_udp = b.eq_imm(proto, 17);
+  b.br_false(b.bor(is_tcp, is_udp), denied);
+
+  const ir::Reg dst_port = b.load_pkt_at(kOffL4Dst, 2, "dst port");
+  // Allowed: well-known services (<1024), the 5000-5999 block, and 7000.
+  const ir::Reg wk = b.ltu(dst_port, b.imm(1024));
+  const ir::Reg blk_lo = b.geu(dst_port, b.imm(5000));
+  const ir::Reg blk_hi = b.ltu(dst_port, b.imm(6000));
+  const ir::Reg blk = b.band(blk_lo, blk_hi);
+  const ir::Reg hb = b.eq_imm(dst_port, 7000);
+  const ir::Reg allowed = b.bor(b.bor(wk, blk), hb);
+  b.br_false(allowed, denied);
+
+  // Bogon source check (two prefixes).
+  const ir::Reg src_ip = b.load_pkt_at(kOffIpSrc, 4, "src IP");
+  const ir::Reg bogon1 = b.eq_imm(b.shr_imm(src_ip, 24), 127);   // 127/8
+  const ir::Reg bogon2 = b.eq_imm(b.shr_imm(src_ip, 28), 0xe);   // 224/4
+  b.br_true(b.bor(bogon1, bogon2), denied);
+
+  b.class_tag("no_options");
+  b.forward_imm(0);
+
+  b.bind(options);
+  b.class_tag("ip_options");
+  b.drop();
+
+  b.bind(denied);
+  b.class_tag("denied");
+  b.drop();
+
+  b.bind(invalid);
+  b.class_tag("invalid");
+  b.drop();
+
+  return b.finish();
+}
+
+ir::Program StaticRouter::program() {
+  ir::IrBuilder b("static_router");
+  ir::Label invalid = b.make_label();
+
+  const ir::Reg ether_type = b.load_pkt_at(kOffEtherType, 2, "ethertype");
+  b.br_false(b.eq_imm(ether_type, 0x0800), invalid);
+  const ir::Reg ver_ihl = b.load_pkt_at(kOffIpVerIhl, 1, "version/ihl");
+  b.br_false(b.eq_imm(b.shr_imm(ver_ihl, 4), 4), invalid);
+
+  // TTL handling (fixed cost on every forwarded packet).
+  const ir::Reg ttl = b.load_pkt_at(22, 1, "TTL");
+  b.br_false(b.gtu(ttl, b.imm(1)), invalid);
+  b.store_pkt_at(22, b.sub(ttl, b.imm(1)), 1);
+
+  const ir::Reg ihl = b.and_imm(ver_ihl, 0xf);
+  ir::Label has_options = b.make_label();
+  b.br_false(b.eq_imm(ihl, 5), has_options);
+  b.class_tag("no_options");
+  b.forward_imm(1);
+
+  // --- IP options walk: one 32-bit option word at a time ---
+  b.bind(has_options);
+  b.class_tag("ip_options");
+  const std::int32_t off_slot = b.local("option offset");
+  const std::int32_t end_slot = b.local("options end");
+  b.store_local(off_slot, b.imm(34, "first option word"));
+  const ir::Reg hdr_bytes = b.shl_imm(ihl, 2);
+  b.store_local(end_slot, b.add(b.imm(14), hdr_bytes));
+
+  ir::Label loop = b.make_label();
+  ir::Label done = b.make_label();
+  b.bind(loop);
+  b.loop_head("n");
+  const ir::Reg off = b.load_local(off_slot);
+  const ir::Reg end = b.load_local(end_slot);
+  b.br_false(b.ltu(off, end), done);
+
+  const ir::Reg kind = b.load_pkt(off, 1, "option kind");
+  // RFC 781 timestamp option: record a timestamp into the option data
+  // (an expensive read-modify-write); anything else is skipped cheaply.
+  ir::Label next = b.make_label();
+  const ir::Reg is_ts = b.eq_imm(kind, 68);
+  ir::Label not_ts = b.make_label();
+  b.br_false(is_ts, not_ts);
+  {
+    const ir::Reg now = b.pkt_time();
+    // Millisecond timestamp per RFC 781 (ns / 2^20 approximates ms cheaply;
+    // the router trades precision for speed, like real fast paths do).
+    const ir::Reg ms = b.shr_imm(now, 20);
+    const ir::Reg data_off = b.add_imm(off, 2);
+    const ir::Reg old = b.load_pkt(data_off, 2, "ts slot state");
+    const ir::Reg merged = b.bxor(b.and_imm(ms, 0xffff), b.and_imm(old, 0));
+    b.store_pkt(data_off, merged, 2);
+    b.jmp(next);
+  }
+  b.bind(not_ts);
+  {
+    // Non-timestamp option: validate the kind byte range (cheap).
+    const ir::Reg upper = b.leu(kind, b.imm(148));
+    (void)upper;
+    b.jmp(next);
+  }
+  b.bind(next);
+  b.store_local(off_slot, b.add_imm(off, 4));
+  b.jmp(loop);
+
+  b.bind(done);
+  b.forward_imm(1);
+
+  b.bind(invalid);
+  b.class_tag("invalid");
+  b.drop();
+
+  return b.finish();
+}
+
+}  // namespace bolt::nf

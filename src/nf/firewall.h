@@ -1,0 +1,27 @@
+// Stateless firewall + static IP router (paper §5.2, Table 5, Figure 3).
+//
+// The firewall drops any IPv4 packet carrying IP options (and non-IPv4
+// frames), then applies a small stateless allowlist. The static router
+// forwards everything on a fixed next hop but *processes IP options*
+// (notably RFC 781 timestamps), which is expensive: 32-bit option words are
+// walked one by one, so the router's contract is linear in the option count
+// n. Chaining the firewall in front masks that worst case — the paper's
+// composition experiment.
+#pragma once
+
+#include "ir/program.h"
+
+namespace bolt::nf {
+
+struct Firewall {
+  /// Class tags: invalid / ip_options (dropped) / no_options (forwarded).
+  static ir::Program program();
+};
+
+struct StaticRouter {
+  /// Class tags: invalid / no_options / ip_options.
+  /// Loop "options" counts 32-bit option words -> PCV n via linearisation.
+  static ir::Program program();
+};
+
+}  // namespace bolt::nf

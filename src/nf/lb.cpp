@@ -1,0 +1,72 @@
+#include "nf/lb.h"
+
+#include "ir/builder.h"
+#include "nf/framework.h"
+
+namespace bolt::nf {
+
+ir::Program Lb::program(std::uint16_t heartbeat_port) {
+  ir::IrBuilder b("lb");
+
+  ir::Label invalid = b.make_label();
+
+  const ir::Reg ether_type = b.load_pkt_at(kOffEtherType, 2, "ethertype");
+  b.br_false(b.eq_imm(ether_type, 0x0800), invalid);
+  const ir::Reg ver_ihl = b.load_pkt_at(kOffIpVerIhl, 1, "version/ihl");
+  b.br_false(b.eq_imm(b.shr_imm(ver_ihl, 4), 4), invalid);
+  b.br_false(b.eq_imm(b.and_imm(ver_ihl, 0xf), 5), invalid);
+  const ir::Reg proto = b.load_pkt_at(kOffIpProto, 1, "protocol");
+  const ir::Reg is_tcp = b.eq_imm(proto, 6);
+  const ir::Reg is_udp = b.eq_imm(proto, 17);
+  b.br_false(b.bor(is_tcp, is_udp), invalid);
+
+  // Heartbeats: UDP datagrams to the health port from the backend subnet
+  // (172.16.0.0/16).
+  ir::Label not_heartbeat = b.make_label();
+  b.br_false(is_udp, not_heartbeat);
+  const ir::Reg dst_port = b.load_pkt_at(kOffL4Dst, 2, "L4 dst port");
+  b.br_false(b.eq_imm(dst_port, heartbeat_port), not_heartbeat);
+  const ir::Reg src_ip = b.load_pkt_at(kOffIpSrc, 4, "src IP");
+  b.br_false(b.eq_imm(b.shr_imm(src_ip, 16), 0xac10), not_heartbeat);
+  b.class_tag("heartbeat");
+  b.call(dslib::LbState::kHeartbeat, ir::kNoReg, ir::kNoReg, "heartbeat");
+  b.drop();
+
+  b.bind(not_heartbeat);
+  b.call(dslib::LbState::kExpire, ir::kNoReg, ir::kNoReg, "expire flows");
+
+  const auto [found, backend] = b.call(dslib::LbState::kFlowLookup, ir::kNoReg,
+                                       ir::kNoReg, "flow lookup");
+  ir::Label new_flow = b.make_label();
+  b.br_false(found, new_flow);
+
+  const auto [alive, unused] = b.call(dslib::LbState::kBackendAlive, backend,
+                                      ir::kNoReg, "health check");
+  (void)unused;
+  ir::Label dead = b.make_label();
+  b.br_false(alive, dead);
+  b.class_tag("existing_live");
+  b.forward(backend);
+
+  b.bind(dead);
+  const auto [new_backend, u2] = b.call(dslib::LbState::kReselect, ir::kNoReg,
+                                        ir::kNoReg, "reselect backend");
+  (void)u2;
+  b.class_tag("existing_unresponsive");
+  b.forward(new_backend);
+
+  b.bind(new_flow);
+  const auto [selected, u3] = b.call(dslib::LbState::kRingSelect, ir::kNoReg,
+                                     ir::kNoReg, "ring select");
+  (void)u3;
+  b.class_tag("new_flow");
+  b.forward(selected);
+
+  b.bind(invalid);
+  b.class_tag("invalid");
+  b.drop();
+
+  return b.finish();
+}
+
+}  // namespace bolt::nf

@@ -1,0 +1,25 @@
+// The Maglev-like load balancer (paper NF "LB").
+//
+// Heartbeats from backends refresh health state; external flows are pinned
+// to backends via the flow table, falling back to the Maglev ring for new
+// flows and for flows whose backend stopped responding.
+#pragma once
+
+#include "dslib/lb_state.h"
+#include "ir/program.h"
+#include "perf/pcv.h"
+
+namespace bolt::nf {
+
+struct Lb {
+  /// Class tags: invalid / heartbeat / new_flow / existing_live /
+  /// existing_unresponsive.
+  static ir::Program program(std::uint16_t heartbeat_port = 7000);
+
+  static dslib::MethodTable methods(perf::PcvRegistry& reg,
+                                    const dslib::LbState::Config& config) {
+    return dslib::LbState::method_table(reg, config);
+  }
+};
+
+}  // namespace bolt::nf

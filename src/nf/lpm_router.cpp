@@ -1,0 +1,49 @@
+#include "nf/lpm_router.h"
+
+#include "ir/builder.h"
+#include "nf/framework.h"
+
+namespace bolt::nf {
+
+ir::Program SimpleLpmRouter::program() {
+  // Algorithm 1: if etherType == IPv4 { forward(lpmGet(dst)) } else drop.
+  ir::IrBuilder b("lpm_simple");
+  ir::Label invalid = b.make_label();
+  const ir::Reg ether_type = b.load_pkt_at(kOffEtherType, 2, "ethertype");
+  b.br_false(b.eq_imm(ether_type, 0x0800), invalid);
+  const ir::Reg dst = b.load_pkt_at(kOffIpDst, 4, "dst address");
+  const auto [port, unused] =
+      b.call(dslib::LpmTrieState::kLookup, dst, ir::kNoReg, "lpmGet");
+  (void)unused;
+  b.class_tag("valid");
+  b.forward(port);
+  b.bind(invalid);
+  b.class_tag("invalid");
+  b.drop();
+  return b.finish();
+}
+
+ir::Program DirLpmRouter::program() {
+  ir::IrBuilder b("lpm_dir24_8");
+  ir::Label invalid = b.make_label();
+  const ir::Reg ether_type = b.load_pkt_at(kOffEtherType, 2, "ethertype");
+  b.br_false(b.eq_imm(ether_type, 0x0800), invalid);
+  const ir::Reg ver_ihl = b.load_pkt_at(kOffIpVerIhl, 1, "version/ihl");
+  b.br_false(b.eq_imm(b.shr_imm(ver_ihl, 4), 4), invalid);
+  // TTL check + decrement (routers do this; adds a store to the trace).
+  const ir::Reg ttl = b.load_pkt_at(22, 1, "TTL");
+  b.br_false(b.gtu(ttl, b.imm(1)), invalid);
+  b.store_pkt_at(22, b.sub(ttl, b.imm(1)), 1);
+  const ir::Reg dst = b.load_pkt_at(kOffIpDst, 4, "dst address");
+  const auto [port, unused] =
+      b.call(dslib::LpmDirState::kLookup, dst, ir::kNoReg, "LPM lookup");
+  (void)unused;
+  b.class_tag("ipv4");
+  b.forward(port);
+  b.bind(invalid);
+  b.class_tag("invalid");
+  b.drop();
+  return b.finish();
+}
+
+}  // namespace bolt::nf

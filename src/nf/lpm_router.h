@@ -1,0 +1,31 @@
+// The two LPM routers.
+//
+// * SimpleLpmRouter — the paper's running example (§2.1, Algorithm 1,
+//   Tables 1/2): classify IPv4 vs not, Patricia-trie lookup, forward.
+// * DirLpmRouter — the evaluation's router (LPM1/LPM2) on the DPDK-style
+//   DIR-24-8 table: <=24-bit matches take one lookup, longer two.
+#pragma once
+
+#include "dslib/lpm_state.h"
+#include "ir/program.h"
+#include "perf/pcv.h"
+
+namespace bolt::nf {
+
+struct SimpleLpmRouter {
+  /// Class tags: invalid / valid.
+  static ir::Program program();
+  static dslib::MethodTable methods(perf::PcvRegistry& reg) {
+    return dslib::LpmTrieState::method_table(reg);
+  }
+};
+
+struct DirLpmRouter {
+  /// Class tags: invalid / ipv4 (tier split comes from the call case).
+  static ir::Program program();
+  static dslib::MethodTable methods(perf::PcvRegistry& reg) {
+    return dslib::LpmDirState::method_table(reg);
+  }
+};
+
+}  // namespace bolt::nf

@@ -1,0 +1,110 @@
+#include "nf/micro.h"
+
+#include <algorithm>
+
+#include "ir/builder.h"
+#include "support/assert.h"
+#include "support/random.h"
+
+namespace bolt::nf {
+
+ir::Program MicroTraversal::chase_program(std::size_t nodes,
+                                          std::size_t scratch_slots) {
+  // Loop state lives in registers (as a compiled traversal's would), so the
+  // per-node cost is the load plus minimal loop overhead.
+  ir::IrBuilder b("micro_chase");
+  b.set_scratch_slots(scratch_slots);
+  const ir::Reg node = b.imm(0, "list head");
+  const ir::Reg count = b.imm(0);
+  const ir::Reg one = b.imm(1);
+  const ir::Reg limit = b.imm(nodes);
+
+  ir::Label loop = b.make_label();
+  ir::Label done = b.make_label();
+  b.bind(loop);
+  b.loop_head("chase");
+  b.br_false(b.ltu(count, limit), done);
+  b.assign(node, b.load_mem(node));  // node = scratch[node]
+  b.assign(count, b.add(count, one));
+  b.jmp(loop);
+
+  b.bind(done);
+  b.class_tag("traversal");
+  b.drop();
+  return b.finish();
+}
+
+ir::Program MicroTraversal::array_program(std::size_t nodes,
+                                          std::size_t stride_slots,
+                                          std::size_t scratch_slots) {
+  ir::IrBuilder b("micro_array");
+  b.set_scratch_slots(scratch_slots);
+  const ir::Reg slot = b.imm(0);
+  const ir::Reg acc = b.imm(0);
+  const ir::Reg count = b.imm(0);
+  const ir::Reg one = b.imm(1);
+  const ir::Reg stride = b.imm(stride_slots);
+  const ir::Reg limit = b.imm(nodes);
+
+  ir::Label loop = b.make_label();
+  ir::Label done = b.make_label();
+  b.bind(loop);
+  b.loop_head("walk");
+  b.br_false(b.ltu(count, limit), done);
+  // Address from the induction variable: independent loads -> MLP applies.
+  const ir::Reg v = b.load_mem(slot);
+  b.assign(acc, b.add(acc, v));
+  b.assign(slot, b.add(slot, stride));
+  b.assign(count, b.add(count, one));
+  b.jmp(loop);
+
+  b.bind(done);
+  b.class_tag("traversal");
+  b.drop();
+  return b.finish();
+}
+
+std::vector<std::uint64_t> MicroTraversal::scattered_list(
+    std::size_t nodes, std::size_t spread_slots, std::uint64_t seed) {
+  BOLT_CHECK(nodes >= 2, "need at least two nodes");
+  // Random cycle over node positions i*spread_slots (Sattolo's algorithm
+  // produces a single cycle, so the chase visits every node).
+  support::Rng rng(seed);
+  std::vector<std::size_t> order(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) order[i] = i;
+  for (std::size_t i = nodes - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(order[i], order[j]);
+  }
+  std::vector<std::uint64_t> scratch(nodes * spread_slots, 0);
+  // Link positions in `order` into a cycle, anchored so slot 0 is on it.
+  // order[k] -> order[k+1]; finally order[last] -> order[0].
+  std::vector<std::uint64_t> slot_of(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) slot_of[i] = i * spread_slots;
+  // Make sure the chain starts at slot 0 (node order[0] may not be 0):
+  // rotate the order so order[0] == 0.
+  std::size_t zero_pos = 0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    if (order[i] == 0) { zero_pos = i; break; }
+  }
+  std::rotate(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(zero_pos),
+              order.end());
+  for (std::size_t k = 0; k < nodes; ++k) {
+    const std::size_t from = slot_of[order[k]];
+    const std::size_t to = slot_of[order[(k + 1) % nodes]];
+    scratch[from] = to;
+  }
+  return scratch;
+}
+
+std::vector<std::uint64_t> MicroTraversal::contiguous_list(std::size_t nodes) {
+  // One node per cache line (8 slots of 8 B): node i at slot 8*i points to
+  // slot 8*(i+1); the tail closes the cycle.
+  std::vector<std::uint64_t> scratch(nodes * 8, 0);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    scratch[8 * i] = 8 * ((i + 1) % nodes);
+  }
+  return scratch;
+}
+
+}  // namespace bolt::nf

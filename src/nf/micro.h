@@ -1,0 +1,40 @@
+// The P1/P2/P3 microbenchmark programs of paper §5.1 ("Results for our
+// hardware-dependent metric"): three traversals with identical instruction
+// mixes but very different memory behaviour, used to validate how much of
+// the cycle over-estimation comes from the conservative hardware model.
+//
+//  * P1 — linked list scattered across a >L3 footprint: dependent random
+//    misses; neither prefetching nor MLP helps, so the conservative model
+//    is nearly exact.
+//  * P2 — linked list allocated contiguously: dependent sequential misses;
+//    the prefetcher helps, MLP does not.
+//  * P3 — array walk: independent sequential misses; both help.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace bolt::nf {
+
+struct MicroTraversal {
+  /// Pointer-chase program: node = scratch[node], `nodes` times.
+  /// Used for P1 and P2 (the layout differs, the program does not).
+  static ir::Program chase_program(std::size_t nodes, std::size_t scratch_slots);
+
+  /// Array-walk program: reads scratch[i * stride_slots] for i in [0, nodes).
+  static ir::Program array_program(std::size_t nodes, std::size_t stride_slots,
+                                   std::size_t scratch_slots);
+
+  /// Scratch image for P1: a random-permutation cycle over `nodes` nodes
+  /// placed `spread_slots` apart (footprint = nodes * spread_slots * 8 B).
+  static std::vector<std::uint64_t> scattered_list(std::size_t nodes,
+                                                   std::size_t spread_slots,
+                                                   std::uint64_t seed);
+
+  /// Scratch image for P2: nodes laid out back to back, one per cache line.
+  static std::vector<std::uint64_t> contiguous_list(std::size_t nodes);
+};
+
+}  // namespace bolt::nf

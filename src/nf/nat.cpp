@@ -1,0 +1,84 @@
+#include "nf/nat.h"
+
+#include "ir/builder.h"
+#include "nf/framework.h"
+
+namespace bolt::nf {
+
+ir::Program Nat::program(std::uint32_t external_ip) {
+  ir::IrBuilder b("nat");
+
+  ir::Label invalid = b.make_label();
+
+  // --- validation: Ethernet/IPv4/{TCP,UDP}, no IP options ---
+  const ir::Reg ether_type = b.load_pkt_at(kOffEtherType, 2, "ethertype");
+  b.br_false(b.eq_imm(ether_type, 0x0800), invalid);
+
+  const ir::Reg ver_ihl = b.load_pkt_at(kOffIpVerIhl, 1, "version/ihl");
+  b.br_false(b.eq_imm(b.shr_imm(ver_ihl, 4), 4), invalid);
+  b.br_false(b.eq_imm(b.and_imm(ver_ihl, 0xf), 5), invalid);
+
+  const ir::Reg proto = b.load_pkt_at(kOffIpProto, 1, "protocol");
+  const ir::Reg is_tcp = b.eq_imm(proto, 6);
+  const ir::Reg is_udp = b.eq_imm(proto, 17);
+  b.br_false(b.bor(is_tcp, is_udp), invalid);
+
+  // --- expiry (paper §5.3: the batching bug lives in the stamp config) ---
+  b.call(dslib::NatState::kExpire, ir::kNoReg, ir::kNoReg, "expire flows");
+
+  // --- direction ---
+  const ir::Reg in_port = b.pkt_port();
+  ir::Label external = b.make_label();
+  b.br_false(b.eq_imm(in_port, kInternalPort), external);
+
+  {  // internal -> external
+    const auto [found, ext_port] = b.call(dslib::NatState::kLookupInt,
+                                          ir::kNoReg, ir::kNoReg, "int lookup");
+    ir::Label miss = b.make_label();
+    b.br_false(found, miss);
+    b.class_tag("internal_known");
+    b.store_pkt_at(kOffIpSrc, b.imm(external_ip, "NAT external IP"), 4);
+    b.store_pkt_at(kOffL4Src, ext_port, 2);
+    b.forward_imm(kExternalPort);
+
+    b.bind(miss);
+    const auto [ok, new_port] = b.call(dslib::NatState::kAddFlow, ir::kNoReg,
+                                       ir::kNoReg, "allocate mapping");
+    ir::Label full = b.make_label();
+    b.br_false(ok, full);
+    b.class_tag("internal_new");
+    b.store_pkt_at(kOffIpSrc, b.imm(external_ip), 4);
+    b.store_pkt_at(kOffL4Src, new_port, 2);
+    b.forward_imm(kExternalPort);
+
+    b.bind(full);
+    b.class_tag("internal_table_full");
+    b.drop();
+  }
+
+  b.bind(external);
+  {  // external -> internal
+    const auto [found, endpoint] = b.call(dslib::NatState::kLookupExt,
+                                          ir::kNoReg, ir::kNoReg, "ext lookup");
+    ir::Label miss = b.make_label();
+    b.br_false(found, miss);
+    b.class_tag("external_known");
+    const ir::Reg int_ip = b.shr_imm(endpoint, 16);
+    const ir::Reg int_port = b.and_imm(endpoint, 0xffff);
+    b.store_pkt_at(kOffIpDst, int_ip, 4);
+    b.store_pkt_at(kOffL4Dst, int_port, 2);
+    b.forward_imm(kInternalPort);
+
+    b.bind(miss);
+    b.class_tag("external_drop");
+    b.drop();
+  }
+
+  b.bind(invalid);
+  b.class_tag("invalid");
+  b.drop();
+
+  return b.finish();
+}
+
+}  // namespace bolt::nf

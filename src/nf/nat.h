@@ -1,0 +1,30 @@
+// The VigNAT-style NAT (paper NF "NAT", §5.3's debugging subject).
+//
+// Internal traffic (ingress port 0) is translated to the NAT's external
+// address with an allocated port; external traffic (ingress port 1) is
+// translated back if a mapping exists and dropped otherwise. Packets that
+// are not plain TCP/UDP-over-IPv4 are dropped. Stateful methods live in
+// dslib::NatState.
+#pragma once
+
+#include "dslib/nat_state.h"
+#include "ir/program.h"
+#include "perf/pcv.h"
+
+namespace bolt::nf {
+
+struct Nat {
+  static constexpr std::uint64_t kInternalPort = 0;
+  static constexpr std::uint64_t kExternalPort = 1;
+
+  /// Class tags: invalid / internal_known / internal_new /
+  /// internal_table_full / external_known / external_drop.
+  static ir::Program program(std::uint32_t external_ip);
+
+  static dslib::MethodTable methods(perf::PcvRegistry& reg,
+                                    const dslib::NatState::Config& config) {
+    return dslib::NatState::method_table(reg, config);
+  }
+};
+
+}  // namespace bolt::nf

@@ -1,0 +1,121 @@
+#include "perf/contract.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+#include "support/strings.h"
+
+namespace bolt::perf {
+
+MetricExprs MetricExprs::operator+(const MetricExprs& other) const {
+  MetricExprs out;
+  for (Metric m : kAllMetrics) out.set(m, get(m) + other.get(m));
+  return out;
+}
+
+MetricExprs MetricExprs::upper_max(const MetricExprs& a, const MetricExprs& b) {
+  MetricExprs out;
+  for (Metric m : kAllMetrics) {
+    out.set(m, PerfExpr::upper_max(a.get(m), b.get(m)));
+  }
+  return out;
+}
+
+void Contract::add(ContractEntry entry) { entries_.push_back(std::move(entry)); }
+
+const ContractEntry* Contract::find(const std::string& label) const {
+  for (const auto& e : entries_) {
+    if (e.input_class == label) return &e;
+  }
+  return nullptr;
+}
+
+const ContractEntry& Contract::require(const std::string& label) const {
+  const ContractEntry* e = find(label);
+  BOLT_CHECK(e != nullptr,
+             "contract for " + nf_name_ + " has no input class '" + label + "'");
+  return *e;
+}
+
+std::int64_t Contract::worst_case(Metric metric, const PcvBinding& binding) const {
+  std::int64_t worst = 0;
+  for (const auto& e : entries_) {
+    worst = std::max(worst, e.perf.get(metric).eval(binding));
+  }
+  return worst;
+}
+
+std::int64_t Contract::worst_case_matching(Metric metric,
+                                           const PcvBinding& binding,
+                                           const std::string& substr) const {
+  std::int64_t worst = 0;
+  for (const auto& e : entries_) {
+    if (e.input_class.find(substr) == std::string::npos) continue;
+    worst = std::max(worst, e.perf.get(metric).eval(binding));
+  }
+  return worst;
+}
+
+std::string Contract::str(const PcvRegistry& reg, Metric metric) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Input Class", std::string(metric_name(metric)), "Paths"});
+  for (const auto& e : entries_) {
+    rows.push_back({e.input_class, e.perf.get(metric).str(reg),
+                    std::to_string(e.paths_coalesced)});
+  }
+  return "Performance contract for " + nf_name_ + " [" +
+         std::string(metric_name(metric)) + "]\n" +
+         support::render_table(rows);
+}
+
+std::string Contract::str_all(const PcvRegistry& reg) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Input Class", "Instructions", "Memory Accesses", "Cycles"});
+  for (const auto& e : entries_) {
+    rows.push_back({e.input_class,
+                    e.perf.get(Metric::kInstructions).str(reg),
+                    e.perf.get(Metric::kMemoryAccesses).str(reg),
+                    e.perf.get(Metric::kCycles).str(reg)});
+  }
+  return "Performance contract for " + nf_name_ + "\n" +
+         support::render_table(rows);
+}
+
+void MethodContract::add_case(const std::string& case_label, MetricExprs exprs) {
+  BOLT_CHECK(cases_.find(case_label) == cases_.end(),
+             "duplicate case '" + case_label + "' in contract for " + method_name_);
+  cases_.emplace(case_label, std::move(exprs));
+}
+
+bool MethodContract::has_case(const std::string& case_label) const {
+  return cases_.find(case_label) != cases_.end();
+}
+
+const MetricExprs& MethodContract::for_case(const std::string& case_label) const {
+  auto it = cases_.find(case_label);
+  BOLT_CHECK(it != cases_.end(), "method contract for " + method_name_ +
+                                     " has no case '" + case_label + "'");
+  return it->second;
+}
+
+void MethodContract::set_unique_lines(const std::string& case_label,
+                                      PerfExpr expr) {
+  BOLT_CHECK(cases_.find(case_label) != cases_.end(),
+             "set_unique_lines for unknown case '" + case_label + "'");
+  unique_lines_[case_label] = std::move(expr);
+}
+
+const PerfExpr& MethodContract::unique_lines(const std::string& case_label) const {
+  auto it = unique_lines_.find(case_label);
+  if (it != unique_lines_.end()) return it->second;
+  return for_case(case_label).get(Metric::kMemoryAccesses);
+}
+
+std::vector<std::string> MethodContract::case_labels() const {
+  std::vector<std::string> out;
+  out.reserve(cases_.size());
+  for (const auto& [label, exprs] : cases_) out.push_back(label);
+  return out;
+}
+
+}  // namespace bolt::perf

@@ -1,0 +1,121 @@
+// Performance contracts (paper §2.2).
+//
+// A contract C^U_N maps *input classes* to *performance expressions*:
+// for every class of inputs (e.g. "valid IPv4 packets"), the contract gives
+// a closed-form expression over PCVs that upper-bounds the chosen metric for
+// any input in that class. A `Contract` here carries expressions for all
+// three metrics side by side, the way the paper's tables present them.
+//
+// Contracts exist at two granularities:
+//  * `MethodContract` — the manually derived, per-case contract of one
+//    stateful data-structure method (paper §3.2, the "base case").
+//  * `Contract` — the automatically generated contract of a whole NF
+//    (or NF chain), one entry per input class.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/metric.h"
+#include "perf/pcv.h"
+#include "perf/perf_expr.h"
+
+namespace bolt::perf {
+
+/// Per-metric bundle of expressions. Missing metrics read as zero.
+class MetricExprs {
+ public:
+  MetricExprs() = default;
+
+  void set(Metric m, PerfExpr e) { exprs_[metric_index(m)] = std::move(e); }
+  const PerfExpr& get(Metric m) const { return exprs_[metric_index(m)]; }
+
+  MetricExprs operator+(const MetricExprs& other) const;
+  static MetricExprs upper_max(const MetricExprs& a, const MetricExprs& b);
+
+ private:
+  std::array<PerfExpr, 3> exprs_;
+};
+
+/// One entry of an NF contract: an input class plus its expressions.
+struct ContractEntry {
+  std::string input_class;    ///< short label, e.g. "Unknown Source MAC; Rehashing"
+  std::string description;    ///< human-readable constraint summary
+  MetricExprs perf;
+  std::size_t paths_coalesced = 1;  ///< how many symbex paths were folded in
+};
+
+/// Contract of a whole NF: input class -> per-metric expressions.
+class Contract {
+ public:
+  explicit Contract(std::string nf_name = "") : nf_name_(std::move(nf_name)) {}
+
+  const std::string& nf_name() const { return nf_name_; }
+
+  void add(ContractEntry entry);
+  const std::vector<ContractEntry>& entries() const { return entries_; }
+
+  /// Entry whose input_class matches `label` exactly, or nullptr.
+  const ContractEntry* find(const std::string& label) const;
+  /// Like find(), but aborts when missing (for experiment harnesses).
+  const ContractEntry& require(const std::string& label) const;
+
+  /// Worst-case value of `metric` across all entries at the given binding —
+  /// this is what "unconstrained traffic" queries return (paper §5.1).
+  std::int64_t worst_case(Metric metric, const PcvBinding& binding) const;
+
+  /// Worst-case restricted to entries whose label contains `substr`.
+  std::int64_t worst_case_matching(Metric metric, const PcvBinding& binding,
+                                   const std::string& substr) const;
+
+  /// Renders the contract as an aligned text table in the paper's style.
+  std::string str(const PcvRegistry& reg, Metric metric) const;
+  /// All metrics side by side.
+  std::string str_all(const PcvRegistry& reg) const;
+
+ private:
+  std::string nf_name_;
+  std::vector<ContractEntry> entries_;
+};
+
+/// Manually derived contract for one stateful data-structure method.
+///
+/// A method can behave differently depending on the *abstract state* it finds
+/// (e.g. flow present vs absent); each such case has its own expressions. The
+/// symbolic model of the method emits a case label per forked outcome, and
+/// Algorithm 2 (line 11) selects the matching case here.
+class MethodContract {
+ public:
+  MethodContract() = default;
+  explicit MethodContract(std::string method_name)
+      : method_name_(std::move(method_name)) {}
+
+  const std::string& method_name() const { return method_name_; }
+
+  void add_case(const std::string& case_label, MetricExprs exprs);
+  bool has_case(const std::string& case_label) const;
+  /// Expressions for a case; aborts if the case is unknown (a model/contract
+  /// mismatch is a library bug we want to fail loudly on).
+  const MetricExprs& for_case(const std::string& case_label) const;
+
+  /// Unique-cache-line accesses of a case: the subset of memory accesses
+  /// that touch a line the *same call* has not provably touched before.
+  /// The conservative cycle model charges these main-memory latency and the
+  /// remainder L1 latency (spatial/temporal locality the expert can prove
+  /// from the structure's layout — paper §3.5). Defaults to the full MA
+  /// expression (maximally conservative) when unset.
+  void set_unique_lines(const std::string& case_label, PerfExpr expr);
+  const PerfExpr& unique_lines(const std::string& case_label) const;
+
+  std::vector<std::string> case_labels() const;
+
+ private:
+  std::string method_name_;
+  std::map<std::string, MetricExprs> cases_;
+  std::map<std::string, PerfExpr> unique_lines_;
+};
+
+}  // namespace bolt::perf

@@ -1,0 +1,238 @@
+#include "perf/contract_io.h"
+
+#include <cctype>
+
+#include "support/assert.h"
+
+namespace bolt::perf {
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  out += '"';
+}
+
+void expr_to_json(std::string& out, const PerfExpr& expr,
+                  const PcvRegistry& reg) {
+  out += '[';
+  bool first_term = true;
+  for (const auto& [monomial, coeff] : expr.terms()) {
+    if (!first_term) out += ',';
+    first_term = false;
+    out += "{\"coeff\":" + std::to_string(coeff) + ",\"pcvs\":[";
+    bool first_pcv = true;
+    for (const auto& [id, exponent] : monomial.factors()) {
+      for (int i = 0; i < exponent; ++i) {
+        if (!first_pcv) out += ',';
+        first_pcv = false;
+        escape_into(out, reg.name(id));
+      }
+    }
+    out += "]}";
+  }
+  out += ']';
+}
+
+/// Minimal recursive-descent JSON reader, sufficient for the schema above.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    BOLT_CHECK(pos_ < text_.size() && text_[pos_] == c,
+               std::string("contract json: expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc; break;
+        }
+      }
+      out += c;
+    }
+    BOLT_CHECK(pos_ < text_.size(), "contract json: unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::int64_t integer() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    BOLT_CHECK(pos_ > start, "contract json: expected integer");
+    return std::stoll(text_.substr(start, pos_ - start));
+  }
+
+  /// Reads `"key":` and checks the key name.
+  void key(const char* name) {
+    const std::string k = string();
+    BOLT_CHECK(k == name, "contract json: expected key '" + std::string(name) +
+                              "', got '" + k + "'");
+    expect(':');
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+PerfExpr expr_from_json(JsonReader& r, PcvRegistry& reg) {
+  PerfExpr expr;
+  r.expect('[');
+  if (r.try_consume(']')) return expr;
+  do {
+    r.expect('{');
+    r.key("coeff");
+    const std::int64_t coeff = r.integer();
+    r.expect(',');
+    r.key("pcvs");
+    Monomial monomial;
+    r.expect('[');
+    if (!r.try_consume(']')) {
+      do {
+        monomial = monomial * Monomial::pcv(reg.intern(r.string()));
+      } while (r.try_consume(','));
+      r.expect(']');
+    }
+    r.expect('}');
+    expr += PerfExpr::term(coeff, monomial);
+  } while (r.try_consume(','));
+  r.expect(']');
+  return expr;
+}
+
+}  // namespace
+
+std::string contract_to_json(const Contract& contract, const PcvRegistry& reg) {
+  std::string out = "{\"version\":1,\"nf\":";
+  escape_into(out, contract.nf_name());
+  out += ",\"pcvs\":[";
+  bool first = true;
+  for (const PcvId id : reg.all()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    escape_into(out, reg.name(id));
+    out += ",\"description\":";
+    escape_into(out, reg.description(id));
+    out += '}';
+  }
+  out += "],\"entries\":[";
+  first = true;
+  for (const ContractEntry& entry : contract.entries()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"input_class\":";
+    escape_into(out, entry.input_class);
+    out += ",\"paths_coalesced\":" + std::to_string(entry.paths_coalesced);
+    out += ",\"metrics\":{";
+    bool first_metric = true;
+    for (const Metric m : kAllMetrics) {
+      if (!first_metric) out += ',';
+      first_metric = false;
+      escape_into(out, std::string(metric_name(m)));
+      out += ':';
+      expr_to_json(out, entry.perf.get(m), reg);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Contract contract_from_json(const std::string& json, PcvRegistry& reg) {
+  JsonReader r(json);
+  r.expect('{');
+  r.key("version");
+  BOLT_CHECK(r.integer() == 1, "contract json: unsupported version");
+  r.expect(',');
+  r.key("nf");
+  Contract contract(r.string());
+  r.expect(',');
+  r.key("pcvs");
+  r.expect('[');
+  if (!r.try_consume(']')) {
+    do {
+      r.expect('{');
+      r.key("name");
+      const std::string name = r.string();
+      r.expect(',');
+      r.key("description");
+      const std::string description = r.string();
+      r.expect('}');
+      reg.intern(name, description);
+    } while (r.try_consume(','));
+    r.expect(']');
+  }
+  r.expect(',');
+  r.key("entries");
+  r.expect('[');
+  if (!r.try_consume(']')) {
+    do {
+      r.expect('{');
+      ContractEntry entry;
+      r.key("input_class");
+      entry.input_class = r.string();
+      r.expect(',');
+      r.key("paths_coalesced");
+      entry.paths_coalesced = static_cast<std::size_t>(r.integer());
+      r.expect(',');
+      r.key("metrics");
+      r.expect('{');
+      do {
+        const std::string metric = r.string();
+        r.expect(':');
+        const PerfExpr expr = expr_from_json(r, reg);
+        for (const Metric m : kAllMetrics) {
+          if (metric == metric_name(m)) entry.perf.set(m, expr);
+        }
+      } while (r.try_consume(','));
+      r.expect('}');
+      r.expect('}');
+      contract.add(std::move(entry));
+    } while (r.try_consume(','));
+    r.expect(']');
+  }
+  r.expect('}');
+  return contract;
+}
+
+}  // namespace bolt::perf

@@ -1,0 +1,42 @@
+// JSON serialisation for contracts — the interchange format a network
+// operator's tooling would consume (the paper argues operators use
+// contracts *without* access to the NF implementation; this is the
+// artifact they would actually be handed).
+//
+// Schema (stable, versioned):
+// {
+//   "version": 1,
+//   "nf": "bridge",
+//   "pcvs": [{"name": "e", "description": "..."}, ...],
+//   "entries": [
+//     {
+//       "input_class": "...",
+//       "paths_coalesced": 3,
+//       "metrics": {
+//         "instructions": [{"coeff": 245, "pcvs": ["e"]},
+//                          {"coeff": 82, "pcvs": ["e", "c"]},
+//                          {"coeff": 882, "pcvs": []}],
+//         ...
+//       }
+//     }, ...
+//   ]
+// }
+//
+// The writer/parser are self-contained (no external JSON dependency).
+#pragma once
+
+#include <string>
+
+#include "perf/contract.h"
+#include "perf/pcv.h"
+
+namespace bolt::perf {
+
+/// Serialises a contract (and the PCVs it references) to JSON.
+std::string contract_to_json(const Contract& contract, const PcvRegistry& reg);
+
+/// Parses a contract back. PCVs are interned into `reg`. Aborts on
+/// malformed input (contracts are trusted build artifacts).
+Contract contract_from_json(const std::string& json, PcvRegistry& reg);
+
+}  // namespace bolt::perf

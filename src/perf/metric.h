@@ -1,0 +1,32 @@
+// Performance metrics supported by the contract machinery.
+//
+// The paper's BOLT prototype supports exactly these three (§3): dynamic
+// instruction count, number of memory accesses, and execution cycles.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace bolt::perf {
+
+enum class Metric : int {
+  kInstructions = 0,   ///< dynamic instruction count ("IC" in the paper)
+  kMemoryAccesses = 1, ///< loads + stores ("MA" in the paper)
+  kCycles = 2,         ///< execution cycles under a hardware model
+};
+
+inline constexpr std::array<Metric, 3> kAllMetrics = {
+    Metric::kInstructions, Metric::kMemoryAccesses, Metric::kCycles};
+
+constexpr std::string_view metric_name(Metric m) {
+  switch (m) {
+    case Metric::kInstructions: return "instructions";
+    case Metric::kMemoryAccesses: return "memory accesses";
+    case Metric::kCycles: return "cycles";
+  }
+  return "?";
+}
+
+constexpr int metric_index(Metric m) { return static_cast<int>(m); }
+
+}  // namespace bolt::perf

@@ -1,0 +1,64 @@
+#include "perf/pcv.h"
+
+#include "support/assert.h"
+
+namespace bolt::perf {
+
+PcvId PcvRegistry::intern(const std::string& name,
+                          const std::string& description) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (!description.empty() && descriptions_[it->second].empty()) {
+      descriptions_[it->second] = description;
+    }
+    return it->second;
+  }
+  const PcvId id = static_cast<PcvId>(names_.size());
+  names_.push_back(name);
+  descriptions_.push_back(description);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+PcvId PcvRegistry::require(const std::string& name) const {
+  auto it = by_name_.find(name);
+  BOLT_CHECK(it != by_name_.end(), "unknown PCV: " + name);
+  return it->second;
+}
+
+bool PcvRegistry::contains(const std::string& name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+const std::string& PcvRegistry::name(PcvId id) const {
+  BOLT_CHECK(id < names_.size(), "PCV id out of range");
+  return names_[id];
+}
+
+const std::string& PcvRegistry::description(PcvId id) const {
+  BOLT_CHECK(id < descriptions_.size(), "PCV id out of range");
+  return descriptions_[id];
+}
+
+std::vector<PcvId> PcvRegistry::all() const {
+  std::vector<PcvId> ids(names_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PcvId>(i);
+  return ids;
+}
+
+void PcvBinding::set(PcvId id, std::uint64_t value) { values_[id] = value; }
+
+std::uint64_t PcvBinding::get(PcvId id) const {
+  auto it = values_.find(id);
+  return it == values_.end() ? 0 : it->second;
+}
+
+bool PcvBinding::has(PcvId id) const {
+  return values_.find(id) != values_.end();
+}
+
+void PcvBinding::merge(const PcvBinding& other) {
+  for (const auto& [id, v] : other.values_) values_[id] = v;
+}
+
+}  // namespace bolt::perf

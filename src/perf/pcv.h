@@ -1,0 +1,72 @@
+// Performance-critical variables (PCVs).
+//
+// A PCV (paper §2) summarises the impact of everything *other than the
+// current input packet* — state, configuration, history — on the NF's
+// performance. Examples from the paper: hash collisions `c`, bucket
+// traversals `t`, expired entries `e`, table occupancy `o`, matched prefix
+// length `l`, number of IP options `n`.
+//
+// PCVs are interned in a registry so expressions can refer to them by a
+// small integer id; the registry carries the human-readable name and a
+// one-line description used when rendering contracts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bolt::perf {
+
+using PcvId = std::uint32_t;
+
+/// Interning registry for performance-critical variables.
+///
+/// One registry is shared per analysis so data-structure contracts and
+/// NF contracts agree on ids. Interning the same name twice returns the
+/// same id (the description of the first interning wins).
+class PcvRegistry {
+ public:
+  /// Returns the id for `name`, creating it if needed.
+  PcvId intern(const std::string& name, const std::string& description = "");
+
+  /// Returns the id for an existing PCV; aborts if it does not exist.
+  PcvId require(const std::string& name) const;
+
+  /// True if a PCV with this name has been interned.
+  bool contains(const std::string& name) const;
+
+  const std::string& name(PcvId id) const;
+  const std::string& description(PcvId id) const;
+  std::size_t size() const { return names_.size(); }
+
+  /// All interned ids, in interning order.
+  std::vector<PcvId> all() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::string> descriptions_;
+  std::map<std::string, PcvId> by_name_;
+};
+
+/// A concrete assignment of values to PCVs, used to evaluate expressions.
+/// PCVs are counts and are therefore non-negative.
+class PcvBinding {
+ public:
+  PcvBinding() = default;
+
+  void set(PcvId id, std::uint64_t value);
+  /// Value of `id`, or 0 if unbound (an unbound PCV means "did not occur").
+  std::uint64_t get(PcvId id) const;
+  bool has(PcvId id) const;
+
+  const std::map<PcvId, std::uint64_t>& values() const { return values_; }
+
+  /// Merge: entries in `other` overwrite entries here.
+  void merge(const PcvBinding& other);
+
+ private:
+  std::map<PcvId, std::uint64_t> values_;
+};
+
+}  // namespace bolt::perf

@@ -1,0 +1,197 @@
+#include "perf/perf_expr.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace bolt::perf {
+
+Monomial Monomial::pcv(PcvId id) {
+  Monomial m;
+  m.factors_.emplace_back(id, 1);
+  return m;
+}
+
+Monomial Monomial::operator*(const Monomial& other) const {
+  Monomial out;
+  auto a = factors_.begin();
+  auto b = other.factors_.begin();
+  while (a != factors_.end() || b != other.factors_.end()) {
+    if (b == other.factors_.end() || (a != factors_.end() && a->first < b->first)) {
+      out.factors_.push_back(*a++);
+    } else if (a == factors_.end() || b->first < a->first) {
+      out.factors_.push_back(*b++);
+    } else {
+      out.factors_.emplace_back(a->first, a->second + b->second);
+      ++a;
+      ++b;
+    }
+  }
+  return out;
+}
+
+int Monomial::degree() const {
+  int d = 0;
+  for (const auto& [id, exp] : factors_) d += exp;
+  return d;
+}
+
+std::uint64_t Monomial::eval(const PcvBinding& binding) const {
+  std::uint64_t out = 1;
+  for (const auto& [id, exp] : factors_) {
+    const std::uint64_t v = binding.get(id);
+    for (int i = 0; i < exp; ++i) out *= v;
+  }
+  return out;
+}
+
+std::string Monomial::str(const PcvRegistry& reg) const {
+  std::string out;
+  for (const auto& [id, exp] : factors_) {
+    for (int i = 0; i < exp; ++i) {
+      if (!out.empty()) out += "*";
+      out += reg.name(id);
+    }
+  }
+  return out;
+}
+
+PerfExpr PerfExpr::constant(std::int64_t value) {
+  PerfExpr e;
+  e.add_term(Monomial{}, value);
+  return e;
+}
+
+PerfExpr PerfExpr::pcv(PcvId id) {
+  PerfExpr e;
+  e.add_term(Monomial::pcv(id), 1);
+  return e;
+}
+
+PerfExpr PerfExpr::term(std::int64_t coefficient, const Monomial& monomial) {
+  PerfExpr e;
+  e.add_term(monomial, coefficient);
+  return e;
+}
+
+void PerfExpr::add_term(const Monomial& m, std::int64_t coefficient) {
+  if (coefficient == 0) return;
+  auto [it, inserted] = terms_.emplace(m, coefficient);
+  if (!inserted) {
+    it->second += coefficient;
+    if (it->second == 0) terms_.erase(it);
+  }
+}
+
+PerfExpr PerfExpr::operator+(const PerfExpr& other) const {
+  PerfExpr out = *this;
+  out += other;
+  return out;
+}
+
+PerfExpr& PerfExpr::operator+=(const PerfExpr& other) {
+  for (const auto& [m, c] : other.terms_) add_term(m, c);
+  return *this;
+}
+
+PerfExpr PerfExpr::operator*(const PerfExpr& other) const {
+  PerfExpr out;
+  for (const auto& [ma, ca] : terms_) {
+    for (const auto& [mb, cb] : other.terms_) {
+      out.add_term(ma * mb, ca * cb);
+    }
+  }
+  return out;
+}
+
+PerfExpr PerfExpr::scaled(std::int64_t factor) const {
+  PerfExpr out;
+  for (const auto& [m, c] : terms_) out.add_term(m, c * factor);
+  return out;
+}
+
+PerfExpr PerfExpr::upper_max(const PerfExpr& a, const PerfExpr& b) {
+  PerfExpr out = a;
+  for (const auto& [m, c] : b.terms_) {
+    auto it = out.terms_.find(m);
+    if (it == out.terms_.end()) {
+      out.terms_.emplace(m, c);
+    } else {
+      it->second = std::max(it->second, c);
+    }
+  }
+  return out;
+}
+
+std::int64_t PerfExpr::eval(const PcvBinding& binding) const {
+  std::int64_t total = 0;
+  for (const auto& [m, c] : terms_) {
+    total += c * static_cast<std::int64_t>(m.eval(binding));
+  }
+  return total;
+}
+
+bool PerfExpr::is_constant() const {
+  if (terms_.empty()) return true;
+  return terms_.size() == 1 && terms_.begin()->first.is_constant();
+}
+
+std::int64_t PerfExpr::constant_term() const {
+  auto it = terms_.find(Monomial{});
+  return it == terms_.end() ? 0 : it->second;
+}
+
+std::int64_t PerfExpr::coefficient(const Monomial& m) const {
+  auto it = terms_.find(m);
+  return it == terms_.end() ? 0 : it->second;
+}
+
+int PerfExpr::degree() const {
+  int d = 0;
+  for (const auto& [m, c] : terms_) d = std::max(d, m.degree());
+  return d;
+}
+
+std::vector<PcvId> PerfExpr::pcvs() const {
+  std::vector<PcvId> out;
+  for (const auto& [m, c] : terms_) {
+    for (const auto& [id, exp] : m.factors()) {
+      if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string PerfExpr::str(const PcvRegistry& reg) const {
+  if (terms_.empty()) return "0";
+  // Paper style: non-constant terms first (by degree descending is not what
+  // the paper does; it lists linear terms, then cross terms, then the
+  // constant). We order: degree 1 terms, then higher degrees, then constant.
+  std::vector<const std::pair<const Monomial, std::int64_t>*> ordered;
+  for (const auto& t : terms_) ordered.push_back(&t);
+  std::sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    const int da = a->first.degree();
+    const int db = b->first.degree();
+    // Constants (degree 0) last; otherwise ascending degree, then monomial.
+    if ((da == 0) != (db == 0)) return db == 0;
+    if (da != db) return da < db;
+    return a->first < b->first;
+  });
+  std::string out;
+  for (const auto* t : ordered) {
+    const auto& [m, c] = *t;
+    if (!out.empty()) out += c < 0 ? " - " : " + ";
+    const std::int64_t mag = c < 0 && !out.empty() ? -c : c;
+    if (m.is_constant()) {
+      out += std::to_string(mag);
+    } else if (mag == 1) {
+      out += m.str(reg);
+    } else {
+      out += std::to_string(mag) + "*" + m.str(reg);
+    }
+  }
+  return out;
+}
+
+}  // namespace bolt::perf

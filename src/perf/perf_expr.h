@@ -1,0 +1,102 @@
+// PerfExpr — the closed-form performance expressions that appear in
+// performance contracts.
+//
+// Contracts in the paper have shapes like
+//     245·e + 144·c + 36·t + 82·e·c + 19·e·t + 882          (Table 4)
+// i.e. multivariate polynomials over PCVs with non-negative integer
+// coefficients. PerfExpr represents exactly that: a sum of monomials
+// (products of PCV powers) with int64 coefficients.
+//
+// The key non-arithmetic operation is `upper_max`, the *conservative
+// coalescing* the paper performs when folding several execution paths into
+// one contract entry (§3.2, §6): because every PCV is a non-negative count,
+// the term-wise maximum of two polynomials dominates both of them point-wise,
+// so the coalesced expression is a sound upper bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perf/pcv.h"
+
+namespace bolt::perf {
+
+/// A product of PCV powers, e.g. e·c or t². The empty monomial is the
+/// constant term. Kept sorted by PCV id; exponents are >= 1.
+class Monomial {
+ public:
+  Monomial() = default;
+  static Monomial pcv(PcvId id);
+
+  /// Product of two monomials (adds exponents).
+  Monomial operator*(const Monomial& other) const;
+
+  bool is_constant() const { return factors_.empty(); }
+  /// Total degree (sum of exponents).
+  int degree() const;
+
+  std::uint64_t eval(const PcvBinding& binding) const;
+  std::string str(const PcvRegistry& reg) const;
+
+  bool operator<(const Monomial& other) const { return factors_ < other.factors_; }
+  bool operator==(const Monomial& other) const { return factors_ == other.factors_; }
+
+  const std::vector<std::pair<PcvId, int>>& factors() const { return factors_; }
+
+ private:
+  std::vector<std::pair<PcvId, int>> factors_;  // sorted by PcvId
+};
+
+/// Multivariate polynomial over PCVs.
+class PerfExpr {
+ public:
+  PerfExpr() = default;  // the zero expression
+
+  static PerfExpr constant(std::int64_t value);
+  static PerfExpr pcv(PcvId id);
+  /// coefficient * monomial convenience: term(82, e*c).
+  static PerfExpr term(std::int64_t coefficient, const Monomial& monomial);
+
+  PerfExpr operator+(const PerfExpr& other) const;
+  PerfExpr& operator+=(const PerfExpr& other);
+  PerfExpr operator*(const PerfExpr& other) const;
+  PerfExpr scaled(std::int64_t factor) const;
+
+  /// Conservative coalescing: term-wise max over the union of monomials.
+  /// Sound upper bound for both inputs when all PCVs are >= 0 and all
+  /// coefficients are >= 0 (which BOLT guarantees for generated contracts).
+  static PerfExpr upper_max(const PerfExpr& a, const PerfExpr& b);
+
+  /// Evaluates at a concrete PCV binding (unbound PCVs read as 0).
+  std::int64_t eval(const PcvBinding& binding) const;
+
+  bool is_zero() const { return terms_.empty(); }
+  bool is_constant() const;
+  /// Constant term (0 if absent).
+  std::int64_t constant_term() const;
+  /// Coefficient of the given monomial (0 if absent).
+  std::int64_t coefficient(const Monomial& m) const;
+  /// Highest total degree among terms (0 for constants / zero).
+  int degree() const;
+  /// All PCVs mentioned by this expression.
+  std::vector<PcvId> pcvs() const;
+  std::size_t term_count() const { return terms_.size(); }
+
+  /// Human-readable rendering in the paper's style:
+  /// "245*e + 82*e*c + 882". Terms are ordered by decreasing degree then
+  /// by monomial, constants last, matching the paper's tables.
+  std::string str(const PcvRegistry& reg) const;
+
+  bool operator==(const PerfExpr& other) const { return terms_ == other.terms_; }
+
+  const std::map<Monomial, std::int64_t>& terms() const { return terms_; }
+
+ private:
+  void add_term(const Monomial& m, std::int64_t coefficient);
+
+  std::map<Monomial, std::int64_t> terms_;  // monomial -> coefficient, no zeros
+};
+
+}  // namespace bolt::perf

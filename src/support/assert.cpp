@@ -1,0 +1,14 @@
+#include "support/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bolt::support {
+
+void fatal(const std::string& message, const char* file, int line) {
+  std::fprintf(stderr, "[bolt fatal] %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace bolt::support

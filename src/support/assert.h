@@ -1,0 +1,30 @@
+// Assertion and fatal-error helpers used across the BOLT reproduction.
+//
+// These are *always on* (they do not compile away in release builds):
+// BOLT is an analysis tool, and a silently wrong contract is far worse
+// than an aborted analysis run.
+#pragma once
+
+#include <string>
+
+namespace bolt::support {
+
+/// Aborts the process with a formatted message. Marked [[noreturn]] so the
+/// compiler understands control flow at call sites.
+[[noreturn]] void fatal(const std::string& message, const char* file, int line);
+
+}  // namespace bolt::support
+
+/// Always-on invariant check. Usage: BOLT_CHECK(x > 0, "x must be positive").
+#define BOLT_CHECK(cond, msg)                                     \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::bolt::support::fatal(std::string("check failed: ") + #cond + \
+                                 " — " + (msg),                   \
+                             __FILE__, __LINE__);                 \
+    }                                                             \
+  } while (0)
+
+/// Marks unreachable code paths.
+#define BOLT_UNREACHABLE(msg) \
+  ::bolt::support::fatal(std::string("unreachable: ") + (msg), __FILE__, __LINE__)

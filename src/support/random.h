@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the reproduction (workload generation, solver search,
+// hash seeds) flows through this class so experiments are reproducible
+// bit-for-bit given a seed. The generator is xoshiro256**, seeded via
+// splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+
+namespace bolt::support {
+
+/// Fast, high-quality, deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bolt::support

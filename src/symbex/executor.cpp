@@ -1,0 +1,412 @@
+#include "symbex/executor.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace bolt::symbex {
+
+std::string PathResult::class_label() const {
+  std::string out;
+  for (const auto& tag : class_tags) {
+    if (!out.empty()) out += '/';
+    out += tag;
+  }
+  return out.empty() ? "(untagged)" : out;
+}
+
+ModelOutcome fresh_value_outcome(SymbolTable& symbols, const std::string& label,
+                                 const std::string& sym_name, int width_bits) {
+  ModelOutcome outcome;
+  outcome.case_label = label;
+  outcome.ret0 = Expr::symbol(symbols.fresh(sym_name, width_bits));
+  return outcome;
+}
+
+struct Executor::State {
+  std::size_t prog_index = 0;
+  std::size_t pc = 0;
+  std::uint64_t steps = 0;
+  std::vector<ExprPtr> regs;
+  std::vector<ExprPtr> locals;
+  std::vector<ExprPtr> scratch;  // shared layout, copied on fork
+  PathResult path;
+  // Packet field symbols (shared packet across a chain).
+  std::map<std::pair<std::uint64_t, std::uint8_t>, SymId> field_syms;
+  // Packet writes, newest last.
+  std::vector<std::tuple<std::uint64_t, std::uint8_t, ExprPtr>> writes;
+};
+
+Executor::Executor(std::vector<const ir::Program*> programs,
+                   std::map<std::int64_t, SymbolicModel> models,
+                   ExecutorOptions options)
+    : programs_(std::move(programs)),
+      models_(std::move(models)),
+      options_(std::move(options)) {
+  BOLT_CHECK(!programs_.empty(), "executor needs at least one program");
+  for (const ir::Program* p : programs_) p->validate();
+}
+
+std::vector<PathResult> Executor::run() {
+  std::vector<PathResult> results;
+  Solver solver(symbols_, options_.solver);
+
+  auto enter_program = [&](State& s, std::size_t index) {
+    s.prog_index = index;
+    s.pc = 0;
+    const ir::Program& p = *programs_[index];
+    s.regs.assign(static_cast<std::size_t>(p.num_regs), nullptr);
+    s.locals.assign(static_cast<std::size_t>(p.num_locals), Expr::constant(0));
+    if (p.scratch_slots > 0 && s.scratch.empty()) {
+      s.scratch.resize(p.scratch_slots, Expr::constant(0));
+      for (std::size_t i = 0;
+           i < std::min(options_.scratch_init.size(), p.scratch_slots); ++i) {
+        s.scratch[i] = Expr::constant(options_.scratch_init[i]);
+      }
+    }
+  };
+
+  auto ensure_len_sym = [&](State& s) {
+    if (!s.path.has_len_sym) {
+      s.path.len_sym = symbols_.fresh("pkt.len", 16);
+      s.path.has_len_sym = true;
+      const ExprPtr len = Expr::symbol(s.path.len_sym);
+      s.path.constraints.push_back(
+          Expr::binary(ExprOp::kGeU, len, Expr::constant(60)));
+      s.path.constraints.push_back(
+          Expr::binary(ExprOp::kLeU, len, Expr::constant(1514)));
+    }
+  };
+
+  // Feasibility probe for a candidate extension of a path.
+  auto feasible = [&](const std::vector<ExprPtr>& constraints) {
+    if (!options_.prune_infeasible) return true;
+    // Constant-false fast path.
+    for (const ExprPtr& c : constraints) {
+      if (c->is_const() && c->const_value() == 0) return false;
+    }
+    const SolveStatus st = solver.quick_check(constraints);
+    if (st == SolveStatus::kUnsat) {
+      ++stats_.pruned_branches;
+      return false;
+    }
+    if (st == SolveStatus::kUnknown) ++stats_.solver_unknowns;
+    return true;
+  };
+
+  std::vector<State> stack;
+  {
+    State init;
+    enter_program(init, 0);
+    stack.push_back(std::move(init));
+  }
+
+  while (!stack.empty() && results.size() < options_.max_paths) {
+    State s = std::move(stack.back());
+    stack.pop_back();
+
+    bool alive = true;
+    while (alive) {
+      const ir::Program& prog = *programs_[s.prog_index];
+      BOLT_CHECK(s.pc < prog.code.size(), prog.name + ": symbolic pc escape");
+      if (++s.steps > options_.max_steps_per_path) {
+        ++stats_.abandoned_paths;
+        alive = false;
+        break;
+      }
+      const ir::Instr& ins = prog.code[s.pc];
+      std::size_t next = s.pc + 1;
+
+      if (!ir::is_annotation(ins.op)) {
+        ++s.path.symbex_instructions;
+        if (ir::is_memory_op(ins.op)) ++s.path.symbex_accesses;
+      }
+
+      auto R = [&](ir::Reg r) -> const ExprPtr& {
+        BOLT_CHECK(r >= 0 && s.regs[static_cast<std::size_t>(r)] != nullptr,
+                   prog.name + ": read of undefined register");
+        return s.regs[static_cast<std::size_t>(r)];
+      };
+      auto setR = [&](ir::Reg r, ExprPtr v) {
+        s.regs[static_cast<std::size_t>(r)] = std::move(v);
+      };
+      auto concrete_u64 = [&](const ExprPtr& e, const char* what) {
+        BOLT_CHECK(e->is_const(), prog.name + ": symbolic " + what +
+                                      " not supported by the executor");
+        return e->const_value();
+      };
+
+      switch (ins.op) {
+        case ir::Op::kConst:
+          setR(ins.dst, Expr::constant(static_cast<std::uint64_t>(ins.imm)));
+          break;
+        case ir::Op::kMov:
+          setR(ins.dst, R(ins.a));
+          break;
+        case ir::Op::kNot:
+          setR(ins.dst, Expr::unary(ExprOp::kNot, R(ins.a)));
+          break;
+        case ir::Op::kAdd: setR(ins.dst, Expr::binary(ExprOp::kAdd, R(ins.a), R(ins.b))); break;
+        case ir::Op::kSub: setR(ins.dst, Expr::binary(ExprOp::kSub, R(ins.a), R(ins.b))); break;
+        case ir::Op::kMul: setR(ins.dst, Expr::binary(ExprOp::kMul, R(ins.a), R(ins.b))); break;
+        case ir::Op::kAnd: setR(ins.dst, Expr::binary(ExprOp::kAnd, R(ins.a), R(ins.b))); break;
+        case ir::Op::kOr:  setR(ins.dst, Expr::binary(ExprOp::kOr, R(ins.a), R(ins.b))); break;
+        case ir::Op::kXor: setR(ins.dst, Expr::binary(ExprOp::kXor, R(ins.a), R(ins.b))); break;
+        case ir::Op::kShl: setR(ins.dst, Expr::binary(ExprOp::kShl, R(ins.a), R(ins.b))); break;
+        case ir::Op::kShr: setR(ins.dst, Expr::binary(ExprOp::kShr, R(ins.a), R(ins.b))); break;
+        case ir::Op::kEq:  setR(ins.dst, Expr::binary(ExprOp::kEq, R(ins.a), R(ins.b))); break;
+        case ir::Op::kNe:  setR(ins.dst, Expr::binary(ExprOp::kNe, R(ins.a), R(ins.b))); break;
+        case ir::Op::kLtU: setR(ins.dst, Expr::binary(ExprOp::kLtU, R(ins.a), R(ins.b))); break;
+        case ir::Op::kLeU: setR(ins.dst, Expr::binary(ExprOp::kLeU, R(ins.a), R(ins.b))); break;
+        case ir::Op::kGtU: setR(ins.dst, Expr::binary(ExprOp::kGtU, R(ins.a), R(ins.b))); break;
+        case ir::Op::kGeU: setR(ins.dst, Expr::binary(ExprOp::kGeU, R(ins.a), R(ins.b))); break;
+
+        case ir::Op::kLoadPkt: {
+          const std::uint64_t offset = concrete_u64(R(ins.a), "packet offset");
+          const std::uint8_t width = ins.width;
+          // Most recent overlapping write wins; require exact ranges.
+          ExprPtr from_write;
+          for (auto it = s.writes.rbegin(); it != s.writes.rend(); ++it) {
+            const auto& [woff, wwidth, wexpr] = *it;
+            const bool overlap =
+                offset < woff + wwidth && woff < offset + width;
+            if (!overlap) continue;
+            BOLT_CHECK(woff == offset && wwidth == width,
+                       prog.name + ": partially overlapping packet access");
+            from_write = wexpr;
+            break;
+          }
+          if (from_write != nullptr) {
+            setR(ins.dst, std::move(from_write));
+            break;
+          }
+          const auto key = std::make_pair(offset, width);
+          auto it = s.field_syms.find(key);
+          SymId sym;
+          if (it != s.field_syms.end()) {
+            sym = it->second;
+          } else {
+            for (const auto& [k, v] : s.field_syms) {
+              const bool overlap =
+                  offset < k.first + k.second && k.first < offset + width;
+              BOLT_CHECK(!overlap || (k.first == offset && k.second == width),
+                         prog.name + ": partially overlapping packet fields");
+            }
+            sym = symbols_.fresh("pkt[" + std::to_string(offset) + ":" +
+                                     std::to_string(width) + "]",
+                                 8 * width);
+            s.field_syms.emplace(key, sym);
+            s.path.fields.push_back(PacketField{offset, width, sym});
+            if (offset + width > 60) {
+              ensure_len_sym(s);
+              s.path.constraints.push_back(
+                  Expr::binary(ExprOp::kGeU, Expr::symbol(s.path.len_sym),
+                               Expr::constant(offset + width)));
+            }
+          }
+          setR(ins.dst, Expr::symbol(sym));
+          break;
+        }
+        case ir::Op::kStorePkt: {
+          const std::uint64_t offset = concrete_u64(R(ins.a), "packet offset");
+          s.writes.emplace_back(offset, ins.width, R(ins.b));
+          break;
+        }
+        case ir::Op::kPktLen: {
+          ensure_len_sym(s);
+          setR(ins.dst, Expr::symbol(s.path.len_sym));
+          break;
+        }
+        case ir::Op::kPktPort: {
+          if (!s.path.has_port_sym) {
+            s.path.port_sym = symbols_.fresh("pkt.port", 16);
+            s.path.has_port_sym = true;
+          }
+          setR(ins.dst, Expr::symbol(s.path.port_sym));
+          break;
+        }
+        case ir::Op::kPktTime: {
+          if (!s.path.has_time_sym) {
+            s.path.time_sym = symbols_.fresh("pkt.time", 64);
+            s.path.has_time_sym = true;
+          }
+          setR(ins.dst, Expr::symbol(s.path.time_sym));
+          break;
+        }
+        case ir::Op::kLoadLocal:
+          setR(ins.dst, s.locals[static_cast<std::size_t>(ins.imm)]);
+          break;
+        case ir::Op::kStoreLocal:
+          s.locals[static_cast<std::size_t>(ins.imm)] = R(ins.a);
+          break;
+        case ir::Op::kLoadMem: {
+          const std::uint64_t slot = concrete_u64(R(ins.a), "scratch index");
+          BOLT_CHECK(slot < s.scratch.size(),
+                     prog.name + ": scratch load out of range");
+          setR(ins.dst, s.scratch[slot]);
+          break;
+        }
+        case ir::Op::kStoreMem: {
+          const std::uint64_t slot = concrete_u64(R(ins.a), "scratch index");
+          BOLT_CHECK(slot < s.scratch.size(),
+                     prog.name + ": scratch store out of range");
+          s.scratch[slot] = R(ins.b);
+          break;
+        }
+
+        case ir::Op::kCall: {
+          auto mit = models_.find(ins.imm);
+          BOLT_CHECK(mit != models_.end(),
+                     prog.name + ": no symbolic model for method " +
+                         std::to_string(ins.imm));
+          const ExprPtr arg0 = ins.a != ir::kNoReg ? R(ins.a) : nullptr;
+          const ExprPtr arg1 = ins.b != ir::kNoReg ? R(ins.b) : nullptr;
+          std::vector<ModelOutcome> outcomes = mit->second(symbols_, arg0, arg1);
+          BOLT_CHECK(!outcomes.empty(), "model produced no outcomes");
+
+          // Fork one state per feasible outcome; continue with the first
+          // feasible one in place.
+          bool continued = false;
+          for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            ModelOutcome& outcome = outcomes[i];
+            State candidate = (i + 1 == outcomes.size() && !continued)
+                                  ? std::move(s)
+                                  : s;  // last reuse avoids one copy
+            for (ExprPtr& c : outcome.constraints) {
+              candidate.path.constraints.push_back(c);
+            }
+            if (!outcome.constraints.empty() &&
+                !feasible(candidate.path.constraints)) {
+              continue;
+            }
+            PathCall call;
+            call.method = ins.imm;
+            call.case_label = outcome.case_label;
+            call.arg0 = arg0;
+            call.arg1 = arg1;
+            call.ret0 = outcome.ret0 != nullptr ? outcome.ret0 : Expr::constant(0);
+            call.ret1 = outcome.ret1 != nullptr ? outcome.ret1 : Expr::constant(0);
+            candidate.path.calls.push_back(call);
+            if (ins.dst != ir::kNoReg) {
+              candidate.regs[static_cast<std::size_t>(ins.dst)] = call.ret0;
+            }
+            if (ins.dst2 != ir::kNoReg) {
+              candidate.regs[static_cast<std::size_t>(ins.dst2)] = call.ret1;
+            }
+            candidate.pc = next;
+            stack.push_back(std::move(candidate));
+            continued = true;
+          }
+          // All outcomes pushed onto the stack; current state is done.
+          alive = false;
+          break;
+        }
+
+        case ir::Op::kBr: {
+          const ExprPtr cond = R(ins.a);
+          if (cond->is_const()) {
+            next = cond->const_value() != 0 ? static_cast<std::size_t>(ins.t)
+                                            : static_cast<std::size_t>(ins.f);
+            break;
+          }
+          // Fork: true branch continues in place, false branch is pushed.
+          State false_state = s;
+          false_state.path.constraints.push_back(logical_not(cond));
+          false_state.pc = static_cast<std::size_t>(ins.f);
+          if (feasible(false_state.path.constraints)) {
+            stack.push_back(std::move(false_state));
+          }
+          s.path.constraints.push_back(cond);
+          if (!feasible(s.path.constraints)) {
+            alive = false;
+            break;
+          }
+          next = static_cast<std::size_t>(ins.t);
+          break;
+        }
+        case ir::Op::kJmp:
+          next = static_cast<std::size_t>(ins.t);
+          break;
+
+        case ir::Op::kForward: {
+          if (s.prog_index + 1 < programs_.size()) {
+            // Chain hand-off: next NF sees the (possibly rewritten) packet.
+            enter_program(s, s.prog_index + 1);
+            next = 0;
+            break;
+          }
+          s.path.action = PathAction::kForward;
+          s.path.out_port = R(ins.a);
+          results.push_back(std::move(s.path));
+          ++stats_.completed_paths;
+          alive = false;
+          break;
+        }
+        case ir::Op::kDrop: {
+          s.path.action = PathAction::kDrop;
+          results.push_back(std::move(s.path));
+          ++stats_.completed_paths;
+          alive = false;
+          break;
+        }
+
+        case ir::Op::kClassTag: {
+          std::string tag = prog.class_tags[static_cast<std::size_t>(ins.imm)];
+          if (programs_.size() > 1) tag = prog.name + ":" + tag;
+          s.path.class_tags.push_back(std::move(tag));
+          break;
+        }
+        case ir::Op::kLoopHead: {
+          // Loop ids are namespaced per program within a chain.
+          const std::int64_t loop_key =
+              static_cast<std::int64_t>(s.prog_index) * 1000 + ins.imm;
+          const std::uint64_t trips = ++s.path.loop_trips[loop_key];
+          if (trips > options_.max_loop_trips) {
+            ++stats_.abandoned_paths;
+            alive = false;
+          }
+          break;
+        }
+      }
+      if (alive && ins.op != ir::Op::kCall) s.pc = next;
+      if (ins.op == ir::Op::kCall) break;  // state consumed by forks
+    }
+  }
+  return results;
+}
+
+void Executor::solve_inputs(std::vector<PathResult>& paths) const {
+  Solver solver(symbols_, options_.solver);
+  for (PathResult& path : paths) {
+    SolveResult solved = solver.solve(path.constraints);
+    if (solved.status != SolveStatus::kSat) {
+      path.solved = false;
+      continue;
+    }
+    path.model = std::move(solved.model);
+    path.solved = true;
+    // Fill in symbols the constraints never mentioned.
+    auto ensure = [&](SymId id, std::uint64_t fallback) {
+      if (path.model.find(id) == path.model.end()) path.model[id] = fallback;
+    };
+    std::uint64_t min_len = 60;
+    for (const PacketField& f : path.fields) {
+      ensure(f.sym, 0);
+      min_len = std::max(min_len, f.offset + f.width);
+    }
+    if (path.has_len_sym) {
+      ensure(path.len_sym, min_len);
+      path.model[path.len_sym] = std::max(path.model[path.len_sym], min_len);
+    }
+    if (path.has_port_sym) ensure(path.port_sym, 0);
+    if (path.has_time_sym) ensure(path.time_sym, 1'000'000'000ULL);
+    for (const PathCall& call : path.calls) {
+      std::vector<SymId> syms;
+      if (call.ret0 != nullptr) call.ret0->collect_symbols(syms);
+      if (call.ret1 != nullptr) call.ret1->collect_symbols(syms);
+      for (SymId id : syms) ensure(id, 0);
+    }
+  }
+}
+
+}  // namespace bolt::symbex

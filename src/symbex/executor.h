@@ -1,0 +1,73 @@
+// Symbolic executor over the IR (the reproduction's KLEE).
+//
+// Explores every feasible path through one stateless NF program — or a
+// *chain* of programs executed back to back, which implements the paper's
+// joint chain analysis (§3.4) — forking at symbolic branches and at each
+// modelled stateful call's abstract-state cases. Loop headers are trip-
+// counted per path so the contract generator can fold unrolled loop
+// families back into closed forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/program.h"
+#include "symbex/expr.h"
+#include "symbex/model.h"
+#include "symbex/path.h"
+#include "symbex/solver.h"
+
+namespace bolt::symbex {
+
+struct ExecutorOptions {
+  std::size_t max_paths = 4096;          ///< total completed paths
+  std::uint64_t max_steps_per_path = 100'000;
+  std::uint64_t max_loop_trips = 64;     ///< per loop header per path
+  bool prune_infeasible = true;          ///< solver-check each fork
+  SolverOptions solver;
+  /// Initial contents of NF-local scratch memory. Scratch is configuration,
+  /// not input, so the executor treats it concretely (the P1/P2/P3
+  /// microprograms chase pointers through it).
+  std::vector<std::uint64_t> scratch_init;
+};
+
+struct ExecutorStats {
+  std::size_t completed_paths = 0;
+  std::size_t pruned_branches = 0;   ///< forks proved infeasible
+  std::size_t abandoned_paths = 0;   ///< loop/step budget exceeded
+  std::size_t solver_unknowns = 0;   ///< feasibility checks that timed out
+};
+
+class Executor {
+ public:
+  /// `programs` is a chain executed in order while each forwards; a single
+  /// NF is a chain of length one. `models` maps method id -> symbolic model
+  /// and is shared by all programs in the chain.
+  Executor(std::vector<const ir::Program*> programs,
+           std::map<std::int64_t, SymbolicModel> models,
+           ExecutorOptions options = {});
+
+  /// Exhaustively executes and returns all completed paths (unsolved;
+  /// run `solve_inputs` afterwards or let the bolt pipeline do it).
+  std::vector<PathResult> run();
+
+  /// Solves each path's constraints for a concrete input (paper Alg. 2,
+  /// GetInputsForPath). Marks paths `solved` and fills `model`.
+  void solve_inputs(std::vector<PathResult>& paths) const;
+
+  const ExecutorStats& stats() const { return stats_; }
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+ private:
+  struct State;  // defined in executor.cpp
+
+  std::vector<const ir::Program*> programs_;
+  std::map<std::int64_t, SymbolicModel> models_;
+  ExecutorOptions options_;
+  SymbolTable symbols_;
+  ExecutorStats stats_;
+};
+
+}  // namespace bolt::symbex

@@ -1,0 +1,246 @@
+#include "symbex/expr.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace bolt::symbex {
+
+const char* expr_op_name(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kAnd: return "&";
+    case ExprOp::kOr: return "|";
+    case ExprOp::kXor: return "^";
+    case ExprOp::kShl: return "<<";
+    case ExprOp::kShr: return ">>";
+    case ExprOp::kNot: return "~";
+    case ExprOp::kEq: return "==";
+    case ExprOp::kNe: return "!=";
+    case ExprOp::kLtU: return "<";
+    case ExprOp::kLeU: return "<=";
+    case ExprOp::kGtU: return ">";
+    case ExprOp::kGeU: return ">=";
+  }
+  return "?";
+}
+
+std::uint64_t apply_op(ExprOp op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case ExprOp::kAdd: return a + b;
+    case ExprOp::kSub: return a - b;
+    case ExprOp::kMul: return a * b;
+    case ExprOp::kAnd: return a & b;
+    case ExprOp::kOr: return a | b;
+    case ExprOp::kXor: return a ^ b;
+    case ExprOp::kShl: return a << (b & 63);
+    case ExprOp::kShr: return a >> (b & 63);
+    case ExprOp::kNot: return ~a;
+    case ExprOp::kEq: return a == b ? 1 : 0;
+    case ExprOp::kNe: return a != b ? 1 : 0;
+    case ExprOp::kLtU: return a < b ? 1 : 0;
+    case ExprOp::kLeU: return a <= b ? 1 : 0;
+    case ExprOp::kGtU: return a > b ? 1 : 0;
+    case ExprOp::kGeU: return a >= b ? 1 : 0;
+  }
+  BOLT_UNREACHABLE("bad ExprOp");
+}
+
+ExprPtr Expr::constant(std::uint64_t value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kConst;
+  e->value_ = value;
+  return e;
+}
+
+ExprPtr Expr::symbol(SymId id) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kSym;
+  e->value_ = id;
+  return e;
+}
+
+ExprPtr Expr::unary(ExprOp op, ExprPtr a) {
+  BOLT_CHECK(op == ExprOp::kNot, "only kNot is unary");
+  if (a->is_const()) return constant(~a->const_value());
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kUnary;
+  e->op_ = op;
+  e->a_ = std::move(a);
+  return e;
+}
+
+ExprPtr Expr::binary(ExprOp op, ExprPtr a, ExprPtr b) {
+  BOLT_CHECK(op != ExprOp::kNot, "kNot is not binary");
+  if (a->is_const() && b->is_const()) {
+    return constant(apply_op(op, a->const_value(), b->const_value()));
+  }
+  // Cheap algebraic identities. These keep path constraints readable and
+  // help the solver's pattern matcher; they are not meant to be exhaustive.
+  if (b->is_const()) {
+    const std::uint64_t c = b->const_value();
+    if (c == 0) {
+      switch (op) {
+        case ExprOp::kAdd: case ExprOp::kSub: case ExprOp::kOr:
+        case ExprOp::kXor: case ExprOp::kShl: case ExprOp::kShr:
+          return a;
+        case ExprOp::kMul: case ExprOp::kAnd:
+          return constant(0);
+        default: break;
+      }
+    }
+    if (c == 1 && op == ExprOp::kMul) return a;
+    if (c == ~0ULL && op == ExprOp::kAnd) return a;
+  }
+  if (a->is_const()) {
+    const std::uint64_t c = a->const_value();
+    if (c == 0) {
+      switch (op) {
+        case ExprOp::kAdd: case ExprOp::kOr: case ExprOp::kXor:
+          return b;
+        case ExprOp::kMul: case ExprOp::kAnd:
+          return constant(0);
+        default: break;
+      }
+    }
+    if (c == 1 && op == ExprOp::kMul) return b;
+  }
+  const bool same_value =
+      a.get() == b.get() ||
+      (a->is_sym() && b->is_sym() && a->sym_id() == b->sym_id());
+  if (same_value) {
+    switch (op) {
+      case ExprOp::kSub: case ExprOp::kXor: return constant(0);
+      case ExprOp::kAnd: case ExprOp::kOr: return a;
+      case ExprOp::kEq: case ExprOp::kLeU: case ExprOp::kGeU: return constant(1);
+      case ExprOp::kNe: case ExprOp::kLtU: case ExprOp::kGtU: return constant(0);
+      default: break;
+    }
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->op_ = op;
+  e->a_ = std::move(a);
+  e->b_ = std::move(b);
+  return e;
+}
+
+std::uint64_t Expr::const_value() const {
+  BOLT_CHECK(is_const(), "not a constant expression");
+  return value_;
+}
+
+SymId Expr::sym_id() const {
+  BOLT_CHECK(is_sym(), "not a symbol");
+  return static_cast<SymId>(value_);
+}
+
+std::uint64_t Expr::eval(const Assignment& assignment) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return value_;
+    case ExprKind::kSym: {
+      auto it = assignment.find(static_cast<SymId>(value_));
+      BOLT_CHECK(it != assignment.end(), "eval: unassigned symbol");
+      return it->second;
+    }
+    case ExprKind::kUnary:
+      return ~a_->eval(assignment);
+    case ExprKind::kBinary:
+      return apply_op(op_, a_->eval(assignment), b_->eval(assignment));
+  }
+  BOLT_UNREACHABLE("bad ExprKind");
+}
+
+void Expr::collect_symbols(std::vector<SymId>& out) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return;
+    case ExprKind::kSym:
+      out.push_back(static_cast<SymId>(value_));
+      return;
+    case ExprKind::kUnary:
+      a_->collect_symbols(out);
+      return;
+    case ExprKind::kBinary:
+      a_->collect_symbols(out);
+      b_->collect_symbols(out);
+      return;
+  }
+}
+
+void Expr::collect_constants(std::vector<std::uint64_t>& out) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      out.push_back(value_);
+      return;
+    case ExprKind::kSym:
+      return;
+    case ExprKind::kUnary:
+      a_->collect_constants(out);
+      return;
+    case ExprKind::kBinary:
+      a_->collect_constants(out);
+      b_->collect_constants(out);
+      return;
+  }
+}
+
+std::string Expr::str(const std::function<std::string(SymId)>& sym_name) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return std::to_string(value_);
+    case ExprKind::kSym:
+      return sym_name ? sym_name(static_cast<SymId>(value_))
+                      : "s" + std::to_string(value_);
+    case ExprKind::kUnary:
+      return "~(" + a_->str(sym_name) + ")";
+    case ExprKind::kBinary:
+      return "(" + a_->str(sym_name) + " " + expr_op_name(op_) + " " +
+             b_->str(sym_name) + ")";
+  }
+  BOLT_UNREACHABLE("bad ExprKind");
+}
+
+ExprPtr logical_not(const ExprPtr& e) {
+  // Negate comparisons structurally when possible (keeps solver patterns).
+  if (e->kind() == ExprKind::kBinary) {
+    switch (e->op()) {
+      case ExprOp::kEq: return Expr::binary(ExprOp::kNe, e->lhs(), e->rhs());
+      case ExprOp::kNe: return Expr::binary(ExprOp::kEq, e->lhs(), e->rhs());
+      case ExprOp::kLtU: return Expr::binary(ExprOp::kGeU, e->lhs(), e->rhs());
+      case ExprOp::kLeU: return Expr::binary(ExprOp::kGtU, e->lhs(), e->rhs());
+      case ExprOp::kGtU: return Expr::binary(ExprOp::kLeU, e->lhs(), e->rhs());
+      case ExprOp::kGeU: return Expr::binary(ExprOp::kLtU, e->lhs(), e->rhs());
+      default: break;
+    }
+  }
+  return Expr::binary(ExprOp::kEq, e, Expr::constant(0));
+}
+
+SymId SymbolTable::fresh(const std::string& name, int width_bits) {
+  BOLT_CHECK(width_bits >= 1 && width_bits <= 64, "bad symbol width");
+  const SymId id = static_cast<SymId>(names_.size());
+  names_.push_back(name);
+  widths_.push_back(width_bits);
+  return id;
+}
+
+const std::string& SymbolTable::name(SymId id) const {
+  BOLT_CHECK(id < names_.size(), "symbol id out of range");
+  return names_[id];
+}
+
+int SymbolTable::width_bits(SymId id) const {
+  BOLT_CHECK(id < widths_.size(), "symbol id out of range");
+  return widths_[id];
+}
+
+std::uint64_t SymbolTable::max_value(SymId id) const {
+  const int w = width_bits(id);
+  return w == 64 ? ~0ULL : ((1ULL << w) - 1);
+}
+
+}  // namespace bolt::symbex

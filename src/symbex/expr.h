@@ -1,0 +1,97 @@
+// Symbolic expressions for the BOLT-repro symbolic execution engine.
+//
+// Expressions form an immutable DAG over 64-bit values: constants, symbols
+// (unknown inputs: packet fields, packet length, ingress port, timestamp,
+// and values returned by stateful models), and the IR's ALU/compare
+// operators. Smart constructors fold constants and apply cheap algebraic
+// simplifications so path constraints stay small.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bolt::symbex {
+
+enum class ExprOp : std::uint8_t {
+  kAdd, kSub, kMul, kAnd, kOr, kXor, kShl, kShr, kNot,
+  kEq, kNe, kLtU, kLeU, kGtU, kGeU,
+};
+
+const char* expr_op_name(ExprOp op);
+
+enum class ExprKind : std::uint8_t { kConst, kSym, kUnary, kBinary };
+
+using SymId = std::uint32_t;
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  // Factory functions (the only way to create expressions).
+  static ExprPtr constant(std::uint64_t value);
+  static ExprPtr symbol(SymId id);
+  static ExprPtr unary(ExprOp op, ExprPtr a);
+  static ExprPtr binary(ExprOp op, ExprPtr a, ExprPtr b);
+
+  ExprKind kind() const { return kind_; }
+  bool is_const() const { return kind_ == ExprKind::kConst; }
+  bool is_sym() const { return kind_ == ExprKind::kSym; }
+
+  std::uint64_t const_value() const;  ///< requires is_const()
+  SymId sym_id() const;               ///< requires is_sym()
+  ExprOp op() const { return op_; }
+  const ExprPtr& lhs() const { return a_; }
+  const ExprPtr& rhs() const { return b_; }
+
+  /// Evaluates under a concrete assignment; aborts on unassigned symbols.
+  std::uint64_t eval(const std::map<SymId, std::uint64_t>& assignment) const;
+
+  /// Collects all symbol ids into `out` (deduplicated by the caller's set
+  /// semantics: out is a sorted unique vector on return).
+  void collect_symbols(std::vector<SymId>& out) const;
+
+  /// Collects constants appearing in the DAG (used by the solver's
+  /// candidate-value harvesting).
+  void collect_constants(std::vector<std::uint64_t>& out) const;
+
+  std::string str(
+      const std::function<std::string(SymId)>& sym_name = nullptr) const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kConst;
+  ExprOp op_ = ExprOp::kAdd;
+  std::uint64_t value_ = 0;  // const value or symbol id
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+/// Truthiness helpers: a *constraint* is an expression meaning "e != 0".
+ExprPtr logical_not(const ExprPtr& e);  ///< (e == 0)
+/// Applies the comparison/ALU semantics concretely (shared by the expression
+/// folder, the interpreter cross-checks, and the solver).
+std::uint64_t apply_op(ExprOp op, std::uint64_t a, std::uint64_t b);
+
+/// Registry of symbols with names and bit widths (domain [0, 2^width)).
+class SymbolTable {
+ public:
+  SymId fresh(const std::string& name, int width_bits);
+  const std::string& name(SymId id) const;
+  int width_bits(SymId id) const;
+  std::uint64_t max_value(SymId id) const;
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<int> widths_;
+};
+
+using Assignment = std::map<SymId, std::uint64_t>;
+
+}  // namespace bolt::symbex

@@ -1,0 +1,40 @@
+// Symbolic models of stateful data-structure methods (paper §3.3, Alg. 3).
+//
+// During symbolic execution, calls into the stateful library are replaced
+// by models. A model does two things:
+//   * returns fresh symbols for the method's outputs (Algorithm 3), and
+//   * enumerates the *abstract-state cases* the method can be in (flow
+//     present/absent, table full/not, rehash triggered/not). Each case
+//     forks the current path, is labelled (the label selects the matching
+//     branch of the method's manually written performance contract), and
+//     may constrain the returned symbols.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "symbex/expr.h"
+
+namespace bolt::symbex {
+
+/// One forked outcome of a modelled stateful call.
+struct ModelOutcome {
+  std::string case_label;            ///< contract case, e.g. "hit" / "miss"
+  ExprPtr ret0;                      ///< v0 (null = constant 0)
+  ExprPtr ret1;                      ///< v1 (null = constant 0)
+  std::vector<ExprPtr> constraints;  ///< extra path constraints for this case
+};
+
+/// A symbolic model: given the symbolic arguments, produce all outcomes.
+/// Models may mint fresh symbols through the provided SymbolTable.
+using SymbolicModel = std::function<std::vector<ModelOutcome>(
+    SymbolTable& symbols, const ExprPtr& arg0, const ExprPtr& arg1)>;
+
+/// Convenience: an outcome that returns a fresh unconstrained symbol as v0
+/// (Algorithm 3's `return <new symbol>`).
+ModelOutcome fresh_value_outcome(SymbolTable& symbols, const std::string& label,
+                                 const std::string& sym_name, int width_bits);
+
+}  // namespace bolt::symbex

@@ -1,0 +1,63 @@
+// PathResult — one feasible execution path through the stateless NF code.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "symbex/expr.h"
+
+namespace bolt::symbex {
+
+/// Terminal action of a path.
+enum class PathAction : std::uint8_t { kDrop, kForward };
+
+/// A stateful call observed along a path.
+struct PathCall {
+  std::int64_t method = 0;
+  std::string case_label;
+  ExprPtr arg0, arg1;  ///< symbolic arguments (may be null)
+  ExprPtr ret0, ret1;  ///< symbolic return values (may be null)
+};
+
+/// A symbolic packet-field access: `width` bytes at concrete `offset`,
+/// represented by symbol `sym`.
+struct PacketField {
+  std::uint64_t offset = 0;
+  std::uint8_t width = 0;
+  SymId sym = 0;
+};
+
+struct PathResult {
+  std::vector<ExprPtr> constraints;  ///< conjunction; each means "expr != 0"
+  std::vector<PathCall> calls;
+  PathAction action = PathAction::kDrop;
+  ExprPtr out_port;                  ///< for kForward
+  std::vector<std::string> class_tags;
+  std::map<std::int64_t, std::uint64_t> loop_trips;  ///< loop id -> trips
+  /// IR instructions executed along this path during symbolic execution
+  /// (annotation ops excluded). The concrete replay recomputes this; the two
+  /// must agree, which the pipeline checks.
+  std::uint64_t symbex_instructions = 0;
+  std::uint64_t symbex_accesses = 0;
+
+  // Input reconstruction data:
+  std::vector<PacketField> fields;   ///< packet-field symbols
+  SymId len_sym = 0;
+  bool has_len_sym = false;
+  SymId port_sym = 0;
+  bool has_port_sym = false;
+  SymId time_sym = 0;
+  bool has_time_sym = false;
+
+  /// Concrete model satisfying `constraints` (filled by the pipeline after
+  /// solving); empty if the solver returned unknown.
+  Assignment model;
+  bool solved = false;
+
+  /// Joined class tags (the input-class label this path belongs to).
+  std::string class_label() const;
+};
+
+}  // namespace bolt::symbex

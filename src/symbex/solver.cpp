@@ -1,0 +1,488 @@
+#include "symbex/solver.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "support/assert.h"
+#include "support/random.h"
+
+namespace bolt::symbex {
+
+Solver::Solver(const SymbolTable& symbols, SolverOptions options)
+    : symbols_(symbols), options_(options) {}
+
+bool Solver::constrain(const ExprPtr& e, std::uint64_t lo, std::uint64_t hi,
+                       std::vector<Domain>& domains) const {
+  if (lo > hi) return false;
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      return e->const_value() >= lo && e->const_value() <= hi;
+    case ExprKind::kSym: {
+      Domain& d = domains[e->sym_id()];
+      d.lo = std::max(d.lo, lo);
+      d.hi = std::min(d.hi, hi);
+      return !d.empty();
+    }
+    case ExprKind::kUnary:
+      // ~x in [lo,hi]  <=>  x in [~hi,~lo]
+      return constrain(e->lhs(), ~hi, ~lo, domains);
+    case ExprKind::kBinary:
+      break;
+  }
+  // Binary: propagate through op with a constant on one side where the
+  // inversion is exact. Anything else is left to the search phase.
+  const ExprPtr& a0 = e->lhs();
+  const ExprPtr& b0 = e->rhs();
+  // Commutative ops with the constant on the left: swap.
+  const bool swap = a0->is_const() && !b0->is_const() &&
+                    (e->op() == ExprOp::kAdd || e->op() == ExprOp::kMul ||
+                     e->op() == ExprOp::kAnd || e->op() == ExprOp::kOr ||
+                     e->op() == ExprOp::kXor);
+  const ExprPtr& a = swap ? b0 : a0;
+  const ExprPtr& b = swap ? a0 : b0;
+  if (b->is_const()) {
+    const std::uint64_t c = b->const_value();
+    switch (e->op()) {
+      case ExprOp::kAdd: {
+        // x + c in [lo,hi]: exact when the window doesn't wrap.
+        const std::uint64_t nlo = lo - c;
+        const std::uint64_t nhi = hi - c;
+        if (nlo <= nhi) return constrain(a, nlo, nhi, domains);
+        return true;  // wrapped: imprecise, defer to search
+      }
+      case ExprOp::kSub: {
+        const std::uint64_t nlo = lo + c;
+        const std::uint64_t nhi = hi + c;
+        if (nlo <= nhi) return constrain(a, nlo, nhi, domains);
+        return true;
+      }
+      case ExprOp::kShr: {
+        // (x >> c) in [lo,hi] => x in [lo<<c, (hi<<c)|ones(c)] when no overflow.
+        const std::uint64_t shift = c & 63;
+        if (shift == 0) return constrain(a, lo, hi, domains);
+        if (hi <= (~0ULL >> shift)) {
+          const std::uint64_t ones = (1ULL << shift) - 1;
+          return constrain(a, lo << shift, (hi << shift) | ones, domains);
+        }
+        return true;
+      }
+      case ExprOp::kShl: {
+        const std::uint64_t shift = c & 63;
+        if (shift == 0) return constrain(a, lo, hi, domains);
+        // (x << s) in [lo,hi] => x in [ceil(lo / 2^s), hi >> s].
+        // Exact for the small header-arithmetic shifts NF constraints use
+        // (wraparound would need x near 2^64, which field widths exclude).
+        const std::uint64_t nlo = (lo + (1ULL << shift) - 1) >> shift;
+        const std::uint64_t nhi = hi >> shift;
+        if (nlo > nhi) return false;
+        return constrain(a, nlo, nhi, domains);
+      }
+      case ExprOp::kAnd:
+        // The masked value can never exceed the mask.
+        if (lo > c) return false;
+        return true;  // exact bit pinning is left to the search phase
+      default:
+        return true;
+    }
+  }
+  return true;
+}
+
+bool Solver::propagate(std::span<const ExprPtr> constraints,
+                       std::vector<Domain>& domains) const {
+  // Expression-view domains: comparisons against constants are intersected
+  // per *structurally identical* left-hand expression. This catches
+  // contradictions the per-symbol pass cannot invert — e.g. a chained NF
+  // re-deriving (x & 0xf) and branching the other way, or a loop whose
+  // continuation bound conflicts with an earlier exit bound.
+  std::map<std::string, Domain> views;
+  auto view_constrain = [&](const ExprPtr& expr, ExprOp op, std::uint64_t k) {
+    if (expr->is_const()) return true;  // folded elsewhere
+    Domain& d = views[expr->str(nullptr)];
+    switch (op) {
+      case ExprOp::kEq:
+        d.lo = std::max(d.lo, k);
+        d.hi = std::min(d.hi, k);
+        break;
+      case ExprOp::kNe:
+        d.excluded.push_back(k);
+        break;
+      case ExprOp::kLtU:
+        if (k == 0) return false;
+        d.hi = std::min(d.hi, k - 1);
+        break;
+      case ExprOp::kLeU:
+        d.hi = std::min(d.hi, k);
+        break;
+      case ExprOp::kGtU:
+        if (k == ~0ULL) return false;
+        d.lo = std::max(d.lo, k + 1);
+        break;
+      case ExprOp::kGeU:
+        d.lo = std::max(d.lo, k);
+        break;
+      default:
+        return true;
+    }
+    if (d.empty()) return false;
+    if (d.lo == d.hi) {
+      for (const std::uint64_t x : d.excluded) {
+        if (x == d.lo) return false;
+      }
+    }
+    return true;
+  };
+
+  for (const ExprPtr& c : constraints) {
+    if (c->is_const()) {
+      if (c->const_value() == 0) return false;
+      continue;
+    }
+    if (c->kind() != ExprKind::kBinary) continue;
+    const ExprPtr& a = c->lhs();
+    const ExprPtr& b = c->rhs();
+    // Normalise to have the constant on the right where possible.
+    const bool const_right = b->is_const();
+    const bool const_left = a->is_const();
+    if (!const_right && !const_left) continue;
+    const ExprPtr& var = const_right ? a : b;
+    const std::uint64_t k = (const_right ? b : a)->const_value();
+    // Mirror the operator if the constant is on the left.
+    ExprOp op = c->op();
+    if (const_left) {
+      switch (op) {
+        case ExprOp::kLtU: op = ExprOp::kGtU; break;
+        case ExprOp::kLeU: op = ExprOp::kGeU; break;
+        case ExprOp::kGtU: op = ExprOp::kLtU; break;
+        case ExprOp::kGeU: op = ExprOp::kLeU; break;
+        default: break;  // kEq/kNe are symmetric
+      }
+    }
+    if (!view_constrain(var, op, k)) return false;
+    switch (op) {
+      case ExprOp::kEq:
+        if (!constrain(var, k, k, domains)) return false;
+        break;
+      case ExprOp::kNe:
+        if (var->is_sym()) {
+          Domain& d = domains[var->sym_id()];
+          d.excluded.push_back(k);
+          if (d.lo == d.hi && d.lo == k) return false;
+        }
+        break;
+      case ExprOp::kLtU:
+        if (k == 0) return false;
+        if (!constrain(var, 0, k - 1, domains)) return false;
+        break;
+      case ExprOp::kLeU:
+        if (!constrain(var, 0, k, domains)) return false;
+        break;
+      case ExprOp::kGtU:
+        if (k == ~0ULL) return false;
+        if (!constrain(var, k + 1, ~0ULL, domains)) return false;
+        break;
+      case ExprOp::kGeU:
+        if (!constrain(var, k, ~0ULL, domains)) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+bool Solver::invert_assign(const ExprPtr& e, std::uint64_t target,
+                           Assignment& model, support::Rng& rng) const {
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      return e->const_value() == target;
+    case ExprKind::kSym: {
+      const SymId id = e->sym_id();
+      model[id] = target & symbols_.max_value(id);
+      return true;
+    }
+    case ExprKind::kUnary:
+      return invert_assign(e->lhs(), ~target, model, rng);
+    case ExprKind::kBinary:
+      break;
+  }
+  const ExprPtr& a0 = e->lhs();
+  const ExprPtr& b0 = e->rhs();
+  const bool const_left = a0->is_const() && !b0->is_const();
+  const ExprPtr& var = const_left ? b0 : a0;
+  const ExprPtr& konst = const_left ? a0 : b0;
+  if (!konst->is_const()) {
+    // Two variable sides: fix one at its current value, solve the other.
+    const ExprPtr& hold = rng.chance(0.5) ? a0 : b0;
+    const ExprPtr& move = hold.get() == a0.get() ? b0 : a0;
+    const std::uint64_t held = hold->eval(model);
+    std::uint64_t sub_target;
+    switch (e->op()) {
+      case ExprOp::kAdd: sub_target = target - held; break;
+      case ExprOp::kXor: sub_target = target ^ held; break;
+      case ExprOp::kSub:
+        sub_target = move.get() == a0.get() ? target + held : held - target;
+        break;
+      default:
+        return false;
+    }
+    return invert_assign(move, sub_target, model, rng);
+  }
+  const std::uint64_t c = konst->const_value();
+  const std::uint64_t current = var->eval(model);
+  switch (e->op()) {
+    case ExprOp::kAdd:
+      return invert_assign(var, target - c, model, rng);
+    case ExprOp::kSub:
+      return invert_assign(var, const_left ? c - target : target + c, model, rng);
+    case ExprOp::kXor:
+      return invert_assign(var, target ^ c, model, rng);
+    case ExprOp::kShl: {
+      const std::uint64_t s = c & 63;
+      // Preserve the low bits the shift discards.
+      const std::uint64_t low = s == 0 ? 0 : current & ((1ULL << s) - 1);
+      return invert_assign(var, (target >> s) | low, model, rng);
+    }
+    case ExprOp::kShr: {
+      const std::uint64_t s = c & 63;
+      const std::uint64_t low = s == 0 ? 0 : current & ((1ULL << s) - 1);
+      return invert_assign(var, (target << s) | low, model, rng);
+    }
+    case ExprOp::kAnd:
+      // Set the masked bits to the target, keep the rest.
+      if ((target & ~c) != 0) return false;  // impossible under this mask
+      return invert_assign(var, (current & ~c) | (target & c), model, rng);
+    case ExprOp::kOr:
+      if ((target & c) != c) return false;  // the const bits are always set
+      return invert_assign(var, (current & c) | (target & ~c), model, rng);
+    case ExprOp::kMul:
+      if (c != 0 && target % c == 0) {
+        return invert_assign(var, target / c, model, rng);
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+bool Solver::repair(const ExprPtr& constraint, Assignment& model,
+                    support::Rng& rng) const {
+  // Make `constraint` truthy under `model`.
+  if (constraint->kind() == ExprKind::kBinary) {
+    const ExprOp op = constraint->op();
+    const ExprPtr& a = constraint->lhs();
+    const ExprPtr& b = constraint->rhs();
+    switch (op) {
+      case ExprOp::kOr: {
+        // Satisfy one branch (comparisons yield 0/1, so truthy | works).
+        const ExprPtr& pick = rng.chance(0.5) ? a : b;
+        return repair(pick, model, rng);
+      }
+      case ExprOp::kAnd: {
+        // Both sides must be truthy; fix a failing one.
+        if (a->eval(model) == 0) return repair(a, model, rng);
+        if (b->eval(model) == 0) return repair(b, model, rng);
+        return true;
+      }
+      case ExprOp::kEq: case ExprOp::kNe: case ExprOp::kLtU:
+      case ExprOp::kLeU: case ExprOp::kGtU: case ExprOp::kGeU: {
+        const bool const_left = a->is_const() && !b->is_const();
+        const ExprPtr& var = const_left ? b : a;
+        const ExprPtr& other = const_left ? a : b;
+        const std::uint64_t k = other->eval(model);
+        ExprOp norm = op;
+        if (const_left) {
+          switch (op) {
+            case ExprOp::kLtU: norm = ExprOp::kGtU; break;
+            case ExprOp::kLeU: norm = ExprOp::kGeU; break;
+            case ExprOp::kGtU: norm = ExprOp::kLtU; break;
+            case ExprOp::kGeU: norm = ExprOp::kLeU; break;
+            default: break;
+          }
+        }
+        std::uint64_t target = k;
+        switch (norm) {
+          case ExprOp::kEq: target = k; break;
+          case ExprOp::kNe: target = k + 1 + rng.below(7); break;
+          case ExprOp::kLtU:
+            if (k == 0) return false;
+            target = rng.below(k);
+            break;
+          case ExprOp::kLeU: target = rng.below(k + 1); break;
+          case ExprOp::kGtU:
+            if (k == ~0ULL) return false;
+            target = k + 1 + rng.below(16);
+            break;
+          case ExprOp::kGeU: target = k + rng.below(16); break;
+          default: break;
+        }
+        return invert_assign(var, target, model, rng);
+      }
+      default:
+        break;
+    }
+  }
+  // Fallback: the constraint itself must evaluate non-zero.
+  return invert_assign(constraint, 1, model, rng);
+}
+
+bool Solver::search(std::span<const ExprPtr> constraints,
+                    const std::vector<Domain>& domains, int probes,
+                    Assignment& model) const {
+  // Gather the symbols that actually appear.
+  std::vector<SymId> syms;
+  for (const ExprPtr& c : constraints) c->collect_symbols(syms);
+  std::sort(syms.begin(), syms.end());
+  syms.erase(std::unique(syms.begin(), syms.end()), syms.end());
+
+  // Candidate values per symbol: interval endpoints, harvested constants
+  // (and neighbours), and a few fixed favourites.
+  std::vector<std::uint64_t> harvested;
+  for (const ExprPtr& c : constraints) c->collect_constants(harvested);
+  std::sort(harvested.begin(), harvested.end());
+  harvested.erase(std::unique(harvested.begin(), harvested.end()),
+                  harvested.end());
+
+  std::vector<std::vector<std::uint64_t>> candidates(syms.size());
+  for (std::size_t i = 0; i < syms.size(); ++i) {
+    const Domain& d = domains[syms[i]];
+    auto& cand = candidates[i];
+    auto push = [&](std::uint64_t v) {
+      if (v >= d.lo && v <= d.hi &&
+          std::find(d.excluded.begin(), d.excluded.end(), v) ==
+              d.excluded.end() &&
+          static_cast<int>(cand.size()) < options_.per_symbol_candidates) {
+        cand.push_back(v);
+      }
+    };
+    push(d.lo);
+    push(d.hi);
+    push(0);
+    push(1);
+    for (std::uint64_t h : harvested) {
+      push(h);
+      push(h + 1);
+      push(h - 1);
+    }
+    if (cand.empty()) {
+      // Domain may consist entirely of excluded endpoints; probe inward.
+      for (std::uint64_t v = d.lo; v <= d.hi && cand.size() < 8; ++v) push(v);
+    }
+    if (cand.empty()) return false;
+  }
+
+  auto satisfied = [&](const Assignment& a) {
+    for (const ExprPtr& c : constraints) {
+      if (c->eval(a) == 0) return false;
+    }
+    return true;
+  };
+
+  // Initial assignment: first candidate of each symbol.
+  for (std::size_t i = 0; i < syms.size(); ++i) {
+    model[syms[i]] = candidates[i].front();
+  }
+  if (satisfied(model)) return true;
+
+  // Guided search: enumerate candidate combinations for small systems,
+  // then fall back to random probing.
+  support::Rng rng(options_.seed);
+  std::uint64_t combo_budget = 1;
+  for (const auto& cand : candidates) {
+    combo_budget *= cand.size();
+    if (combo_budget > 4096) break;
+  }
+  if (!syms.empty() && combo_budget <= 4096) {
+    std::vector<std::size_t> idx(syms.size(), 0);
+    while (true) {
+      for (std::size_t i = 0; i < syms.size(); ++i) {
+        model[syms[i]] = candidates[i][idx[i]];
+      }
+      if (satisfied(model)) return true;
+      // Odometer increment.
+      std::size_t k = 0;
+      while (k < idx.size() && ++idx[k] == candidates[k].size()) {
+        idx[k] = 0;
+        ++k;
+      }
+      if (k == idx.size()) break;
+    }
+  }
+
+  // WalkSAT-style repair: pick a failing constraint and invert its
+  // expression chain to satisfy it, occasionally randomising to escape
+  // cycles. This is what cracks bit-level disjunctions (port allowlists,
+  // bogon prefixes) that blind probing cannot hit.
+  for (int round = 0; round < probes; ++round) {
+    std::vector<const ExprPtr*> failing;
+    for (const ExprPtr& c : constraints) {
+      if (c->eval(model) == 0) failing.push_back(&c);
+    }
+    if (failing.empty()) return true;
+    const ExprPtr& target = *failing[rng.below(failing.size())];
+    if (!repair(target, model, rng) || rng.chance(0.05)) {
+      // Escape: randomise one involved symbol within its domain.
+      std::vector<SymId> involved;
+      target.get()->collect_symbols(involved);
+      if (!involved.empty()) {
+        const SymId id = involved[rng.below(involved.size())];
+        const Domain& d = domains[id];
+        model[id] = d.hi - d.lo == ~0ULL
+                        ? rng.next()
+                        : d.lo + rng.below(d.hi - d.lo + 1);
+      }
+    }
+  }
+
+  // Last resort: blind random probing.
+  for (int probe = 0; probe < probes; ++probe) {
+    for (std::size_t i = 0; i < syms.size(); ++i) {
+      const Domain& d = domains[syms[i]];
+      std::uint64_t v;
+      if (rng.chance(0.5) && !candidates[i].empty()) {
+        v = candidates[i][rng.below(candidates[i].size())];
+      } else if (d.hi - d.lo == ~0ULL) {
+        v = rng.next();
+      } else {
+        v = d.lo + rng.below(d.hi - d.lo + 1);
+      }
+      model[syms[i]] = v;
+    }
+    if (satisfied(model)) return true;
+  }
+  return false;
+}
+
+SolveResult Solver::solve(std::span<const ExprPtr> constraints) const {
+  SolveResult result;
+  std::vector<Domain> domains(symbols_.size());
+  for (SymId id = 0; id < symbols_.size(); ++id) {
+    domains[id].hi = symbols_.max_value(id);
+  }
+  if (!propagate(constraints, domains)) {
+    result.status = SolveStatus::kUnsat;
+    return result;
+  }
+  if (search(constraints, domains, options_.random_probes, result.model)) {
+    result.status = SolveStatus::kSat;
+    return result;
+  }
+  result.status = SolveStatus::kUnknown;
+  return result;
+}
+
+SolveStatus Solver::quick_check(std::span<const ExprPtr> constraints) const {
+  std::vector<Domain> domains(symbols_.size());
+  for (SymId id = 0; id < symbols_.size(); ++id) {
+    domains[id].hi = symbols_.max_value(id);
+  }
+  if (!propagate(constraints, domains)) return SolveStatus::kUnsat;
+  Assignment model;
+  if (search(constraints, domains, options_.random_probes / 8, model)) {
+    return SolveStatus::kSat;
+  }
+  return SolveStatus::kUnknown;
+}
+
+}  // namespace bolt::symbex

@@ -1,0 +1,89 @@
+// Constraint solver for path constraints (the reproduction's Z3/STP).
+//
+// NF path constraints are shallow: equalities and unsigned comparisons over
+// packet-field symbols, often through a few arithmetic/masking steps. The
+// solver therefore combines three techniques, cheapest first:
+//   1. constant folding (done already by Expr's smart constructors),
+//   2. interval + exclusion propagation per symbol, with backward
+//      propagation through invertible unary chains (+c, -c, <<c, >>c,
+//      & contiguous-mask), which decides most constraints outright, and
+//   3. guided concrete search: candidate values harvested from the
+//      constraint DAG (constants, interval endpoints) plus bounded random
+//      probing, re-evaluating all constraints concretely.
+//
+// The result is three-valued: kSat (with a model), kUnsat (proved empty by
+// propagation), or kUnknown (search exhausted its budget). Callers treat
+// kUnknown conservatively: branch feasibility checks keep the path alive.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/random.h"
+#include "symbex/expr.h"
+
+namespace bolt::symbex {
+
+enum class SolveStatus { kSat, kUnsat, kUnknown };
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  Assignment model;  ///< valid when status == kSat
+};
+
+struct SolverOptions {
+  std::uint64_t seed = 0x5eed;
+  int random_probes = 4'000;       ///< random assignments tried in search
+  int per_symbol_candidates = 64;  ///< cap on harvested candidates per symbol
+};
+
+class Solver {
+ public:
+  Solver(const SymbolTable& symbols, SolverOptions options = {});
+
+  /// Full solve: propagation + search.
+  SolveResult solve(std::span<const ExprPtr> constraints) const;
+
+  /// Quick feasibility probe with a reduced search budget (used on every
+  /// symbolic branch, so it must be fast).
+  SolveStatus quick_check(std::span<const ExprPtr> constraints) const;
+
+ private:
+  struct Domain {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = ~0ULL;
+    std::vector<std::uint64_t> excluded;  // small set of != values
+    bool empty() const { return lo > hi; }
+  };
+
+  /// Interval propagation; returns false if some domain became empty
+  /// (definitely unsat).
+  bool propagate(std::span<const ExprPtr> constraints,
+                 std::vector<Domain>& domains) const;
+
+  /// Constrains `e` (which must reduce to a symbol through an invertible
+  /// chain) so that its value lies in [lo, hi]. Returns false on empty.
+  bool constrain(const ExprPtr& e, std::uint64_t lo, std::uint64_t hi,
+                 std::vector<Domain>& domains) const;
+
+  bool search(std::span<const ExprPtr> constraints,
+              const std::vector<Domain>& domains, int probes,
+              Assignment& model) const;
+
+  /// WalkSAT-style repair: mutates `model` so that `constraint` becomes
+  /// true, inverting the constraint's expression chain bit-exactly where
+  /// possible (through +c, -c, <<, >>, &mask, ^c and one branch of |/&).
+  /// Returns false when no repair rule applies.
+  bool repair(const ExprPtr& constraint, Assignment& model,
+              support::Rng& rng) const;
+  /// Assigns `target` to the symbol at the bottom of expression `e`,
+  /// preserving bits that `e` does not observe. Helper of repair().
+  bool invert_assign(const ExprPtr& e, std::uint64_t target, Assignment& model,
+                     support::Rng& rng) const;
+
+  const SymbolTable& symbols_;
+  SolverOptions options_;
+};
+
+}  // namespace bolt::symbex

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "core/distiller.h"
+#include "core/scenarios.h"
+#include "net/pcap.h"
+#include "net/workload.h"
+
+namespace bolt::core {
+namespace {
+
+class DistillerTest : public ::testing::Test {
+ protected:
+  DistillerTest() : bridge(make_bridge(reg, default_bridge_config())) {
+    runner = bridge.make_runner();
+  }
+
+  DistillerReport distill(std::vector<net::Packet> packets) {
+    Distiller distiller(*runner, nullptr, &bridge.methods);
+    return distiller.run(packets);
+  }
+
+  perf::PcvRegistry reg;
+  NfInstance bridge;
+  std::unique_ptr<NfRunner> runner;
+};
+
+TEST_F(DistillerTest, RecordsOnePerPacket) {
+  net::BridgeSpec spec;
+  spec.packet_count = 123;
+  const auto report = distill(net::bridge_traffic(spec));
+  EXPECT_EQ(report.records.size(), 123u);
+}
+
+TEST_F(DistillerTest, ClassKeysMatchContractEntries) {
+  ContractGenerator gen(reg);
+  const auto generated = gen.generate(bridge.analysis());
+  net::BridgeSpec spec;
+  spec.packet_count = 500;
+  spec.broadcast_fraction = 0.3;
+  const auto report = distill(net::bridge_traffic(spec));
+  for (const auto& rec : report.records) {
+    EXPECT_NE(generated.contract.find(rec.class_key), nullptr)
+        << rec.class_key;
+  }
+}
+
+TEST_F(DistillerTest, HistogramCountsSumToPackets) {
+  net::BridgeSpec spec;
+  spec.packet_count = 400;
+  const auto report = distill(net::bridge_traffic(spec));
+  const auto hist = report.histogram(reg.require("t"));
+  std::uint64_t total = 0;
+  for (const auto& [value, count] : hist) total += count;
+  EXPECT_EQ(total, 400u);
+}
+
+TEST_F(DistillerTest, DensitySumsToHundredPercent) {
+  net::BridgeSpec spec;
+  spec.packet_count = 300;
+  const auto report = distill(net::bridge_traffic(spec));
+  double total = 0;
+  for (const auto& [value, pct] : report.density(reg.require("t"))) {
+    total += pct;
+  }
+  EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST_F(DistillerTest, CcdfIsMonotoneDecreasing) {
+  net::BridgeSpec spec;
+  spec.packet_count = 2000;
+  spec.stations = 600;
+  const auto report = distill(net::bridge_traffic(spec));
+  const auto ccdf = report.ccdf(reg.require("t"));
+  ASSERT_FALSE(ccdf.empty());
+  for (std::size_t i = 1; i < ccdf.size(); ++i) {
+    EXPECT_GT(ccdf[i].first, ccdf[i - 1].first);
+    EXPECT_LE(ccdf[i].second, ccdf[i - 1].second);
+  }
+  EXPECT_NEAR(ccdf.back().second, 0.0, 1e-9);  // nothing above the max
+}
+
+TEST_F(DistillerTest, CcdfOfMeasuredFields) {
+  net::BridgeSpec spec;
+  spec.packet_count = 500;
+  const auto report = distill(net::bridge_traffic(spec));
+  for (const char* field : {"instructions", "mem_accesses"}) {
+    const auto ccdf = report.ccdf_of(field);
+    ASSERT_FALSE(ccdf.empty()) << field;
+    for (std::size_t i = 1; i < ccdf.size(); ++i) {
+      EXPECT_LE(ccdf[i].second, ccdf[i - 1].second);
+    }
+  }
+}
+
+TEST_F(DistillerTest, WorstBindingDominatesEveryRecord) {
+  net::BridgeSpec spec;
+  spec.packet_count = 800;
+  const auto report = distill(net::bridge_traffic(spec));
+  const perf::PcvBinding worst = report.worst_binding();
+  for (const auto& rec : report.records) {
+    for (const auto& [id, v] : rec.pcvs.values()) {
+      EXPECT_GE(worst.get(id), v);
+    }
+  }
+}
+
+TEST_F(DistillerTest, WorstBindingForClassIgnoresOtherClasses) {
+  net::BridgeSpec spec;
+  spec.packet_count = 800;
+  spec.broadcast_fraction = 0.5;
+  const auto report = distill(net::bridge_traffic(spec));
+  const perf::PcvBinding bcast = report.worst_binding_for("broadcast");
+  const perf::PcvBinding all = report.worst_binding();
+  for (const auto& [id, v] : bcast.values()) {
+    EXPECT_LE(v, all.get(id));
+  }
+}
+
+TEST_F(DistillerTest, WorstMeasuredMatchesManualScan) {
+  net::BridgeSpec spec;
+  spec.packet_count = 300;
+  const auto report = distill(net::bridge_traffic(spec));
+  std::uint64_t manual = 0;
+  for (const auto& rec : report.records) {
+    manual = std::max(manual, rec.instructions);
+  }
+  EXPECT_EQ(report.worst_measured("instructions"), manual);
+}
+
+TEST_F(DistillerTest, CyclesAreZeroWithoutASink) {
+  net::BridgeSpec spec;
+  spec.packet_count = 10;
+  const auto report = distill(net::bridge_traffic(spec));
+  for (const auto& rec : report.records) EXPECT_EQ(rec.cycles, 0u);
+}
+
+TEST_F(DistillerTest, CyclesPopulatedWithRealisticSink) {
+  hw::RealisticSim testbed;
+  auto sink_runner = bridge.make_runner(nf::framework_full(), &testbed);
+  Distiller distiller(*sink_runner, &testbed, &bridge.methods);
+  net::BridgeSpec spec;
+  spec.packet_count = 10;
+  auto packets = net::bridge_traffic(spec);
+  const auto report = distiller.run(packets);
+  for (const auto& rec : report.records) EXPECT_GT(rec.cycles, 0u);
+}
+
+TEST_F(DistillerTest, PcapRoundTripFeedsDistiller) {
+  // The paper's workflow: traffic sample as a PCAP file -> Distiller.
+  net::BridgeSpec spec;
+  spec.packet_count = 50;
+  const auto original = net::bridge_traffic(spec);
+  const std::string path = ::testing::TempDir() + "/distill.pcap";
+  net::write_pcap(path, original);
+  auto loaded = net::read_pcap(path);
+  const auto report = distill(std::move(loaded));
+  EXPECT_EQ(report.records.size(), 50u);
+}
+
+TEST_F(DistillerTest, DensityTableRendersValues) {
+  net::BridgeSpec spec;
+  spec.packet_count = 100;
+  const auto report = distill(net::bridge_traffic(spec));
+  const std::string table = report.density_table(reg.require("e"), reg);
+  EXPECT_NE(table.find("Probability Density"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bolt::core
+
+// --- sensitivity analysis (paper §4) ----------------------------------------
+
+#include "core/sensitivity.h"
+
+namespace bolt::core {
+namespace {
+
+class SensitivityTest : public ::testing::Test {
+ protected:
+  SensitivityTest() : bridge(make_bridge(reg, default_bridge_config())) {
+    runner = bridge.make_runner();
+    ContractGenerator gen(reg);
+    generated = gen.generate(bridge.analysis());
+  }
+
+  DistillerReport sample(std::size_t packets, std::size_t stations) {
+    Distiller distiller(*runner, nullptr, &bridge.methods);
+    net::BridgeSpec spec;
+    spec.packet_count = packets;
+    spec.stations = stations;
+    auto traffic = net::bridge_traffic(spec);
+    return distiller.run(traffic);
+  }
+
+  perf::PcvRegistry reg;
+  NfInstance bridge;
+  std::unique_ptr<NfRunner> runner;
+  GenerationResult generated;
+};
+
+TEST_F(SensitivityTest, PredictionsIncreaseMonotonically) {
+  const auto report = sample(5000, 800);
+  const auto& entry = generated.contract.require(
+      "unicast | bridge.expire=expire,bridge.learn=new,bridge.lookup=hit");
+  const auto s = sensitivity(entry, perf::Metric::kInstructions,
+                             reg.require("t"), report, 8);
+  ASSERT_GE(s.points.size(), 9u);
+  for (std::size_t i = 1; i < s.points.size(); ++i) {
+    EXPECT_GE(s.points[i].predicted, s.points[i - 1].predicted);
+  }
+  EXPECT_GT(s.growth(), 0.0);
+}
+
+TEST_F(SensitivityTest, TrafficFractionsAreAProbability) {
+  const auto report = sample(4000, 800);
+  const auto& entry = generated.contract.entries().front();
+  const auto s = sensitivity(entry, perf::Metric::kInstructions,
+                             reg.require("t"), report);
+  double total_at = 0.0;
+  for (const auto& p : s.points) {
+    EXPECT_GE(p.traffic_fraction_at, 0.0);
+    EXPECT_LE(p.traffic_fraction_at, 1.0);
+    total_at += p.traffic_fraction_at;
+  }
+  EXPECT_NEAR(total_at, 1.0, 1e-9);
+  EXPECT_NEAR(s.points.back().traffic_fraction_above, 0.0, 1e-9);
+}
+
+TEST_F(SensitivityTest, CcdfColumnDecreases) {
+  const auto report = sample(4000, 800);
+  const auto& entry = generated.contract.entries().front();
+  const auto s = sensitivity(entry, perf::Metric::kCycles, reg.require("t"),
+                             report);
+  for (std::size_t i = 1; i < s.points.size(); ++i) {
+    EXPECT_LE(s.points[i].traffic_fraction_above,
+              s.points[i - 1].traffic_fraction_above);
+  }
+}
+
+TEST_F(SensitivityTest, TableRenders) {
+  const auto report = sample(1000, 300);
+  const auto& entry = generated.contract.entries().front();
+  const auto s = sensitivity(entry, perf::Metric::kInstructions,
+                             reg.require("t"), report, 4);
+  const std::string table = s.table(reg);
+  EXPECT_NE(table.find("CCDF"), std::string::npos);
+  EXPECT_NE(table.find("t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bolt::core

@@ -1,0 +1,286 @@
+// Edge cases and failure-injection tests: the analysis must fail loudly on
+// programs it cannot handle soundly, and the infrastructure must behave at
+// the boundaries of its documented contracts.
+#include <gtest/gtest.h>
+
+#include "core/bolt.h"
+#include "core/runner.h"
+#include "core/scenarios.h"
+#include "ir/builder.h"
+#include "net/packet_builder.h"
+#include "net/workload.h"
+#include "symbex/executor.h"
+
+namespace bolt {
+namespace {
+
+net::Packet min_packet() {
+  return net::Packet(std::vector<std::uint8_t>(60, 0), 1'000'000'000);
+}
+
+// --- builder misuse ----------------------------------------------------------
+
+TEST(BuilderEdge, UnboundLabelAborts) {
+  ir::IrBuilder b("bad");
+  ir::Label never = b.make_label();
+  b.jmp(never);
+  EXPECT_DEATH(b.finish(), "unbound label");
+}
+
+TEST(BuilderEdge, DoubleBindAborts) {
+  ir::IrBuilder b("bad");
+  ir::Label l = b.make_label();
+  b.bind(l);
+  EXPECT_DEATH(b.bind(l), "bound twice");
+}
+
+TEST(BuilderEdge, FinishTwiceAborts) {
+  ir::IrBuilder b("bad");
+  b.drop();
+  b.finish();
+  EXPECT_DEATH(b.finish(), "already finished");
+}
+
+// --- interpreter boundaries ---------------------------------------------------
+
+TEST(InterpEdge, PacketLoadBeyondFrameAborts) {
+  ir::IrBuilder b("oob");
+  b.forward(b.load_pkt_at(100, 4));  // beyond a 60-byte frame
+  const ir::Program p = b.finish();
+  ir::Interpreter interp(p, nullptr);
+  net::Packet pkt = min_packet();
+  EXPECT_DEATH(interp.run(pkt), "out of bounds");
+}
+
+TEST(InterpEdge, CallWithoutEnvAborts) {
+  ir::IrBuilder b("noenv");
+  b.call(0, ir::kNoReg, ir::kNoReg);
+  b.drop();
+  const ir::Program p = b.finish();
+  ir::Interpreter interp(p, nullptr);
+  net::Packet pkt = min_packet();
+  EXPECT_DEATH(interp.run(pkt), "no env");
+}
+
+TEST(InterpEdge, ScratchOutOfRangeAborts) {
+  ir::IrBuilder b("scratch_oob");
+  b.set_scratch_slots(4);
+  b.forward(b.load_mem(b.imm(99)));
+  const ir::Program p = b.finish();
+  ir::Interpreter interp(p, nullptr);
+  net::Packet pkt = min_packet();
+  EXPECT_DEATH(interp.run(pkt), "out of range");
+}
+
+TEST(InterpEdge, ScratchInitLongerThanScratchIsTruncated) {
+  ir::IrBuilder b("trunc");
+  b.set_scratch_slots(2);
+  b.forward(b.load_mem(b.imm(1)));
+  const ir::Program p = b.finish();
+  ir::InterpreterOptions opts;
+  opts.scratch_init = {7, 8, 9, 10};  // longer than 2 slots
+  ir::Interpreter interp(p, nullptr, opts);
+  net::Packet pkt = min_packet();
+  EXPECT_EQ(interp.run(pkt).out_port, 8u);
+}
+
+// --- symbolic executor boundaries ---------------------------------------------
+
+TEST(SymbexEdge, PartiallyOverlappingPacketFieldsAbort) {
+  // Loading [12,2) and then [13,2) is a partially overlapping field — the
+  // executor refuses rather than risk inconsistent symbols.
+  ir::IrBuilder b("overlap");
+  const ir::Reg a = b.load_pkt_at(12, 2);
+  const ir::Reg c = b.load_pkt_at(13, 2);
+  b.forward(b.add(a, c));
+  const ir::Program p = b.finish();
+  symbex::Executor ex({&p}, {});
+  EXPECT_DEATH(ex.run(), "overlapping");
+}
+
+TEST(SymbexEdge, RepeatedExactFieldSharesTheSymbol) {
+  ir::IrBuilder b("same_field");
+  const ir::Reg a = b.load_pkt_at(12, 2);
+  const ir::Reg c = b.load_pkt_at(12, 2);
+  ir::Label eq = b.make_label();
+  b.br_true(b.eq(a, c), eq);
+  b.class_tag("impossible");
+  b.drop();
+  b.bind(eq);
+  b.class_tag("always");
+  b.forward_imm(0);
+  const ir::Program p = b.finish();
+  symbex::Executor ex({&p}, {});
+  const auto paths = ex.run();
+  // a == c folds to constant true: only one path exists.
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].class_tags, std::vector<std::string>{"always"});
+}
+
+TEST(SymbexEdge, SymbolicScratchIndexAborts) {
+  ir::IrBuilder b("sym_idx");
+  b.set_scratch_slots(8);
+  const ir::Reg idx = b.load_pkt_at(0, 1);  // symbolic
+  b.forward(b.load_mem(idx));
+  const ir::Program p = b.finish();
+  symbex::Executor ex({&p}, {});
+  EXPECT_DEATH(ex.run(), "symbolic");
+}
+
+TEST(SymbexEdge, MissingModelAborts) {
+  ir::IrBuilder b("no_model");
+  b.call(42, ir::kNoReg, ir::kNoReg);
+  b.drop();
+  const ir::Program p = b.finish();
+  symbex::Executor ex({&p}, {});
+  EXPECT_DEATH(ex.run(), "no symbolic model");
+}
+
+TEST(SymbexEdge, WriteThenReadSeesTheWrittenExpression) {
+  ir::IrBuilder b("wrr");
+  b.store_pkt_at(30, b.imm(0x11223344), 4);
+  const ir::Reg back = b.load_pkt_at(30, 4);
+  ir::Label ok = b.make_label();
+  b.br_true(b.eq_imm(back, 0x11223344), ok);
+  b.class_tag("broken");
+  b.drop();
+  b.bind(ok);
+  b.class_tag("consistent");
+  b.forward_imm(0);
+  const ir::Program p = b.finish();
+  symbex::Executor ex({&p}, {});
+  const auto paths = ex.run();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].class_tags, std::vector<std::string>{"consistent"});
+}
+
+TEST(SymbexEdge, PathBudgetCapsEnumeration) {
+  // 2^12 paths from 12 independent branches, capped at 16.
+  ir::IrBuilder b("explode");
+  const ir::Reg acc = b.imm(0);
+  for (int i = 0; i < 12; ++i) {
+    const ir::Reg bit = b.load_pkt_at(std::uint64_t(i), 1);
+    ir::Label skip = b.make_label();
+    b.br_false(b.gtu(bit, b.imm(127)), skip);
+    b.assign(acc, b.add_imm(acc, 1));
+    b.bind(skip);
+  }
+  b.forward(acc);
+  const ir::Program p = b.finish();
+  symbex::ExecutorOptions opts;
+  opts.max_paths = 16;
+  symbex::Executor ex({&p}, {}, opts);
+  EXPECT_EQ(ex.run().size(), 16u);
+}
+
+TEST(SymbexEdge, LoopTripBudgetAbandonsRunaways) {
+  // A loop bounded only by a 16-bit field exceeds a tiny trip budget.
+  ir::IrBuilder b("runaway");
+  const auto slot = b.local("i");
+  b.store_local(slot, b.imm(0));
+  const ir::Reg limit = b.load_pkt_at(0, 2);
+  ir::Label loop = b.make_label();
+  ir::Label done = b.make_label();
+  b.bind(loop);
+  b.loop_head("n");
+  const ir::Reg i = b.load_local(slot);
+  b.br_false(b.ltu(i, limit), done);
+  b.store_local(slot, b.add_imm(i, 1));
+  b.jmp(loop);
+  b.bind(done);
+  b.forward_imm(0);
+  const ir::Program p = b.finish();
+  symbex::ExecutorOptions opts;
+  opts.max_loop_trips = 8;
+  symbex::Executor ex({&p}, {}, opts);
+  const auto paths = ex.run();
+  EXPECT_GT(ex.stats().abandoned_paths, 0u);
+  // The bounded unrollings (limit = 0..7) still complete.
+  EXPECT_GE(paths.size(), 8u);
+}
+
+// --- chain runner ---------------------------------------------------------------
+
+TEST(ChainEdge, DropInFirstNfStopsTheChain) {
+  ir::IrBuilder b1("first");
+  b1.class_tag("dropped_here");
+  b1.drop();
+  const ir::Program p1 = b1.finish();
+  ir::IrBuilder b2("second");
+  b2.class_tag("never_reached");
+  b2.forward_imm(0);
+  const ir::Program p2 = b2.finish();
+
+  core::NfRunner runner({&p1, &p2}, nullptr);
+  net::Packet pkt = min_packet();
+  const auto r = runner.process(pkt);
+  EXPECT_EQ(r.verdict, net::NfVerdict::kDrop);
+  EXPECT_EQ(r.class_tags, std::vector<std::string>{"first:dropped_here"});
+}
+
+TEST(ChainEdge, RewritesPropagateDownstream) {
+  ir::IrBuilder b1("writer");
+  b1.store_pkt_at(30, b1.imm(0xdead), 2);
+  b1.forward_imm(0);
+  const ir::Program p1 = b1.finish();
+  ir::IrBuilder b2("reader");
+  b2.forward(b2.load_pkt_at(30, 2));
+  const ir::Program p2 = b2.finish();
+
+  core::NfRunner runner({&p1, &p2}, nullptr);
+  net::Packet pkt = min_packet();
+  const auto r = runner.process(pkt);
+  EXPECT_EQ(r.verdict, net::NfVerdict::kForward);
+  EXPECT_EQ(r.out_port, 0xdeadu);
+}
+
+TEST(ChainEdge, CountersAccumulateAcrossTheChain) {
+  ir::IrBuilder b1("a");
+  b1.forward_imm(0);
+  const ir::Program p1 = b1.finish();
+  ir::IrBuilder b2("b");
+  b2.forward_imm(0);
+  const ir::Program p2 = b2.finish();
+
+  core::NfRunner single({&p1}, nullptr);
+  core::NfRunner chained({&p1, &p2}, nullptr);
+  net::Packet one = min_packet();
+  net::Packet two = min_packet();
+  const auto r1 = single.process(one);
+  const auto r2 = chained.process(two);
+  EXPECT_EQ(r2.instructions, 2 * r1.instructions);
+}
+
+// --- generator robustness ---------------------------------------------------------
+
+TEST(GeneratorEdge, MissingMethodTableAborts) {
+  perf::PcvRegistry reg;
+  core::NfAnalysis analysis;
+  ir::IrBuilder b("x");
+  b.drop();
+  const ir::Program p = b.finish();
+  analysis.name = "x";
+  analysis.programs = {&p};
+  analysis.methods = nullptr;
+  core::ContractGenerator gen(reg);
+  EXPECT_DEATH(gen.generate(analysis), "method table");
+}
+
+TEST(GeneratorEdge, TrivialProgramYieldsOneConstantEntry) {
+  perf::PcvRegistry reg;
+  ir::IrBuilder b("trivial");
+  b.class_tag("all");
+  b.drop();
+  const ir::Program p = b.finish();
+  dslib::MethodTable no_methods;
+  core::NfAnalysis analysis{"trivial", {&p}, &no_methods};
+  core::ContractGenerator gen(reg);
+  const auto result = gen.generate(analysis);
+  ASSERT_EQ(result.contract.entries().size(), 1u);
+  for (const auto m : perf::kAllMetrics) {
+    EXPECT_TRUE(result.contract.entries()[0].perf.get(m).is_constant());
+  }
+}
+
+}  // namespace
+}  // namespace bolt

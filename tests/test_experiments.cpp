@@ -1,0 +1,88 @@
+// End-to-end checks of the paper's evaluation scenarios: every scenario of
+// Figure 1 / Table 3 must produce sound (prediction >= measurement)
+// results, the IC/MA over-estimation must stay in the paper's single-digit
+// band, and the cycle ratios must reproduce the paper's ordering.
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+
+namespace bolt::core {
+namespace {
+
+class ScenarioTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioTest, PredictionsDominateMeasurements) {
+  perf::PcvRegistry reg;
+  Scenario scenario = make_scenario(GetParam(), reg);
+  const ScenarioResult r = run_scenario(scenario, reg);
+
+  ASSERT_GT(r.measured_ic, 0u);
+  ASSERT_GT(r.measured_cycles, 0u);
+  // Soundness on every metric.
+  EXPECT_GE(r.predicted_ic, static_cast<std::int64_t>(r.measured_ic));
+  EXPECT_GE(r.predicted_ma, static_cast<std::int64_t>(r.measured_ma));
+  EXPECT_GE(r.predicted_cycles, static_cast<std::int64_t>(r.measured_cycles));
+  // Tightness of the hardware-independent metrics (paper: <= 7.6%).
+  EXPECT_LE(r.ic_overestimate(), 1.08) << GetParam();
+  EXPECT_LE(r.ma_overestimate(), 1.08) << GetParam();
+  // The cycle bound is conservative but within the paper's 10x ceiling.
+  EXPECT_LE(r.cycles_ratio(), 10.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ScenarioTest,
+    ::testing::ValuesIn(all_scenario_ids()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+TEST(ScenarioShape, PathologicalClassesDwarfTypicalOnes) {
+  // The paper: unconstrained traffic with synthesised pathological state is
+  // orders of magnitude more expensive than any typical class.
+  perf::PcvRegistry reg1, reg2;
+  Scenario nat1 = make_scenario("NAT1", reg1);
+  Scenario nat3 = make_scenario("NAT3", reg2);
+  const ScenarioResult patho = run_scenario(nat1, reg1);
+  const ScenarioResult typical = run_scenario(nat3, reg2);
+  EXPECT_GT(patho.measured_ic, typical.measured_ic * 1000);
+  EXPECT_GT(patho.predicted_ic, typical.predicted_ic * 1000);
+}
+
+TEST(ScenarioShape, PathologicalCycleRatioExceedsTypical) {
+  // Paper Table 3: ~9x for the unconstrained classes vs 2-4x typical.
+  perf::PcvRegistry reg1, reg2;
+  Scenario br1 = make_scenario("Br1", reg1);
+  Scenario br2 = make_scenario("Br2", reg2);
+  const ScenarioResult patho = run_scenario(br1, reg1);
+  const ScenarioResult typical = run_scenario(br2, reg2);
+  EXPECT_GT(patho.cycles_ratio(), typical.cycles_ratio() * 1.5);
+  EXPECT_GT(patho.cycles_ratio(), 6.0);
+  EXPECT_LT(typical.cycles_ratio(), 6.0);
+}
+
+TEST(ScenarioShape, LpmTierSplitMatchesClasses) {
+  // LPM1 (>24-bit prefixes) must exercise the two-lookup tier; LPM2 the
+  // one-lookup tier — and the two-lookup path must cost more.
+  perf::PcvRegistry reg1, reg2;
+  Scenario lpm1 = make_scenario("LPM1", reg1);
+  Scenario lpm2 = make_scenario("LPM2", reg2);
+  const ScenarioResult two = run_scenario(lpm1, reg1);
+  const ScenarioResult one = run_scenario(lpm2, reg2);
+  EXPECT_GT(two.measured_ic, one.measured_ic);
+  EXPECT_GT(two.predicted_ic, one.predicted_ic);
+}
+
+TEST(ScenarioShape, ScenarioIdsAreStable) {
+  const auto ids = all_scenario_ids();
+  EXPECT_EQ(ids.size(), 14u);
+  EXPECT_EQ(ids.front(), "NAT1");
+  EXPECT_EQ(ids.back(), "LPM2");
+}
+
+TEST(ScenarioShape, UnknownScenarioAborts) {
+  perf::PcvRegistry reg;
+  EXPECT_DEATH(make_scenario("NOPE", reg), "unknown scenario");
+}
+
+}  // namespace
+}  // namespace bolt::core

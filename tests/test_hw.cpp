@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "hw/cache.h"
+#include "hw/models.h"
+
+namespace bolt::hw {
+namespace {
+
+TEST(Cache, HitAfterMiss) {
+  Cache cache(1024, 2);
+  EXPECT_FALSE(cache.access(100));
+  EXPECT_TRUE(cache.access(100));
+  EXPECT_TRUE(cache.contains(100));
+}
+
+TEST(Cache, LruEviction) {
+  Cache cache(2 * kCacheLineBytes, 2);  // one set, two ways
+  cache.access(0);
+  cache.access(1);
+  cache.access(0);       // 0 is now the most recent
+  cache.access(2);       // evicts 1
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Cache, SetsAreIndependent) {
+  Cache cache(4 * kCacheLineBytes, 1);  // 4 sets, direct mapped
+  cache.access(0);
+  cache.access(1);
+  cache.access(2);
+  cache.access(3);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(3));
+  cache.access(4);  // maps to set 0, evicts line 0 only
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Cache, InsertDoesNotEvictResident) {
+  Cache cache(1024, 2);
+  cache.access(5);
+  cache.insert(5);
+  EXPECT_TRUE(cache.contains(5));
+}
+
+TEST(Cache, ClearEmpties) {
+  Cache cache(1024, 2);
+  cache.access(5);
+  cache.clear();
+  EXPECT_FALSE(cache.contains(5));
+}
+
+TEST(Conservative, ColdAccessIsDram) {
+  ConservativeModel model;
+  model.begin_packet();
+  model.on_access(0x1000, 8, false, false);
+  EXPECT_EQ(model.packet_cycles(), default_cycle_costs().cons_dram);
+}
+
+TEST(Conservative, ProvenRepeatIsL1) {
+  ConservativeModel model;
+  model.begin_packet();
+  model.on_access(0x1000, 8, false, false);
+  model.on_access(0x1004, 4, false, false);  // same line: must-hit
+  EXPECT_EQ(model.packet_cycles(),
+            default_cycle_costs().cons_dram + default_cycle_costs().cons_l1);
+}
+
+TEST(Conservative, PacketBoundaryResetsMustHit) {
+  ConservativeModel model;
+  model.begin_packet();
+  model.on_access(0x1000, 8, false, false);
+  model.begin_packet();
+  model.on_access(0x1000, 8, false, false);  // may not assume prior packet
+  EXPECT_EQ(model.packet_cycles(), default_cycle_costs().cons_dram);
+}
+
+TEST(Conservative, StraddlingAccessChargesBothLines) {
+  ConservativeModel model;
+  model.begin_packet();
+  model.on_access(kCacheLineBytes - 2, 4, false, false);
+  EXPECT_EQ(model.packet_cycles(), 2 * default_cycle_costs().cons_dram);
+}
+
+TEST(Conservative, InstructionCosts) {
+  ConservativeModel model;
+  model.begin_packet();
+  model.on_instruction(ir::Op::kAdd);
+  model.on_instruction(ir::Op::kMul);
+  model.on_metered_instructions(10);
+  const auto& c = default_cycle_costs();
+  EXPECT_EQ(model.packet_cycles(), c.cons_alu + 5 + 10 * c.cons_alu);
+}
+
+TEST(Realistic, WarmCachesPersistAcrossPackets) {
+  RealisticSim sim;
+  sim.begin_packet();
+  sim.on_access(0x1000, 8, false, false);
+  const std::uint64_t cold = sim.packet_cycles();
+  sim.begin_packet();
+  sim.on_access(0x1000, 8, false, false);  // warm from the previous packet
+  EXPECT_LT(sim.packet_cycles(), cold);
+  EXPECT_EQ(sim.packet_cycles(), default_cycle_costs().real_l1);
+}
+
+TEST(Realistic, DependentStreamUsesPrefetchCost) {
+  RealisticSim sim;
+  sim.begin_packet();
+  // A long ascending run of dependent line misses (cold footprint).
+  for (int i = 0; i < 100; ++i) {
+    sim.on_access(0x10000000ULL + 64ULL * std::uint64_t(i), 8, false, true);
+  }
+  EXPECT_GT(sim.stats().prefetch_hits, 90u);
+  EXPECT_EQ(sim.stats().mlp_hits, 0u);
+}
+
+TEST(Realistic, IndependentStreamUsesMlpCost) {
+  RealisticSim sim;
+  sim.begin_packet();
+  for (int i = 0; i < 100; ++i) {
+    sim.on_access(0x20000000ULL + 64ULL * std::uint64_t(i), 8, false, false);
+  }
+  EXPECT_GT(sim.stats().mlp_hits, 90u);
+}
+
+TEST(Realistic, RandomDependentMissesPayFullDram) {
+  RealisticSim sim;
+  sim.begin_packet();
+  std::uint64_t addr = 0xa00000;
+  for (int i = 0; i < 100; ++i) {
+    addr = (addr * 2862933555777941757ULL + 3037000493ULL);
+    sim.on_access((addr % (1ULL << 30)) & ~63ULL, 8, false, true);
+  }
+  EXPECT_GT(sim.stats().dram, 60u);
+}
+
+TEST(Realistic, DescendingStreamsAlsoPrefetch) {
+  RealisticSim sim;
+  sim.begin_packet();
+  for (int i = 100; i >= 0; --i) {
+    sim.on_access(0x30000000ULL + 64ULL * std::uint64_t(i), 8, false, true);
+  }
+  EXPECT_GT(sim.stats().prefetch_hits, 90u);
+}
+
+TEST(Soundness, ConservativeNeverUndershootsRealistic) {
+  // Property: on any access pattern, the conservative model's charge is at
+  // least the realistic one's (the contract must upper-bound the testbed).
+  const CycleCosts& c = default_cycle_costs();
+  EXPECT_GE(c.cons_alu * 2, c.real_ipc_num);  // per-instruction (num/den=1.5)
+  EXPECT_GE(c.cons_l1, c.real_l1);
+  EXPECT_GE(c.cons_dram, c.real_dram);
+  EXPECT_GE(c.cons_dram, c.real_stream_dependent);
+  EXPECT_GE(c.cons_dram, c.real_stream_independent);
+}
+
+}  // namespace
+}  // namespace bolt::hw

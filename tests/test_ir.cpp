@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/interp.h"
+#include "net/packet_builder.h"
+#include "net/workload.h"
+
+namespace bolt::ir {
+namespace {
+
+net::Packet some_packet() {
+  return net::packet_for_tuple(net::tuple_for_index(7), 1'000'000'000, 3);
+}
+
+TEST(Builder, EmitsValidProgram) {
+  IrBuilder b("t");
+  const Reg x = b.imm(5);
+  const Reg y = b.imm(6);
+  b.forward(b.add(x, y));
+  const Program p = b.finish();
+  EXPECT_EQ(p.name, "t");
+  EXPECT_GE(p.num_regs, 3);
+  EXPECT_FALSE(p.disassemble().empty());
+}
+
+TEST(Builder, LabelsResolveForward) {
+  IrBuilder b("t");
+  Label target = b.make_label();
+  const Reg c = b.imm(1);
+  b.br_true(c, target);
+  b.drop();
+  b.bind(target);
+  b.forward_imm(2);
+  const Program p = b.finish();
+  Interpreter interp(p, nullptr);
+  net::Packet pkt = some_packet();
+  const RunResult r = interp.run(pkt);
+  EXPECT_EQ(r.verdict, net::NfVerdict::kForward);
+  EXPECT_EQ(r.out_port, 2u);
+}
+
+TEST(Interp, AluSemantics) {
+  IrBuilder b("alu");
+  const Reg a = b.imm(0xff00);
+  const Reg c = b.imm(0x0ff0);
+  const Reg v = b.bxor(b.band(a, c), b.bor(a, c));  // (a&c)^(a|c) == a^c
+  b.forward(v);
+  const Program p = b.finish();
+  Interpreter interp(p, nullptr);
+  net::Packet pkt = some_packet();
+  EXPECT_EQ(interp.run(pkt).out_port, 0xff00u ^ 0x0ff0u);
+}
+
+TEST(Interp, ComparisonsAreUnsigned) {
+  IrBuilder b("cmp");
+  const Reg big = b.imm(~0ULL);
+  const Reg one = b.imm(1);
+  b.forward(b.gtu(big, one));  // unsigned: max > 1
+  const Program p = b.finish();
+  Interpreter interp(p, nullptr);
+  net::Packet pkt = some_packet();
+  EXPECT_EQ(interp.run(pkt).out_port, 1u);
+}
+
+TEST(Interp, PacketLoadsAreBigEndian) {
+  IrBuilder b("load");
+  b.forward(b.load_pkt_at(12, 2, "ethertype"));
+  const Program p = b.finish();
+  Interpreter interp(p, nullptr);
+  net::Packet pkt = some_packet();
+  EXPECT_EQ(interp.run(pkt).out_port, 0x0800u);
+}
+
+TEST(Interp, PacketStoreRoundTrip) {
+  IrBuilder b("store");
+  b.store_pkt_at(30, b.imm(0xdeadbeef), 4);
+  b.forward(b.load_pkt_at(30, 4));
+  const Program p = b.finish();
+  Interpreter interp(p, nullptr);
+  net::Packet pkt = some_packet();
+  EXPECT_EQ(interp.run(pkt).out_port, 0xdeadbeefu);
+  // The packet itself was mutated.
+  EXPECT_EQ(pkt.bytes()[30], 0xde);
+  EXPECT_EQ(pkt.bytes()[33], 0xef);
+}
+
+TEST(Interp, PktMetadata) {
+  IrBuilder b("meta");
+  const Reg len = b.pkt_len();
+  const Reg port = b.pkt_port();
+  const Reg time = b.pkt_time();
+  b.forward(b.add(b.add(len, port), time));
+  const Program p = b.finish();
+  Interpreter interp(p, nullptr);
+  net::Packet pkt = some_packet();
+  const RunResult r = interp.run(pkt);
+  EXPECT_EQ(r.out_port, pkt.size() + 3 + 1'000'000'000ULL);
+}
+
+TEST(Interp, CountersCountInstructionsAndAccesses) {
+  IrBuilder b("count");
+  const Reg x = b.load_pkt_at(0, 1);  // imm + load = 2 instr, 1 access
+  b.class_tag("tagged");              // zero cost
+  b.forward(x);                       // 1 instr
+  const Program p = b.finish();
+  Interpreter interp(p, nullptr);
+  net::Packet pkt = some_packet();
+  const RunResult r = interp.run(pkt);
+  EXPECT_EQ(r.instructions, 3u);
+  EXPECT_EQ(r.mem_accesses, 1u);
+  EXPECT_EQ(r.class_tags, std::vector<std::string>{"tagged"});
+}
+
+TEST(Interp, FrameworkCostsAreAdded) {
+  IrBuilder b("fw");
+  b.drop();
+  const Program p = b.finish();
+  InterpreterOptions opts;
+  opts.rx_instructions = 100;
+  opts.rx_accesses = 5;
+  opts.drop_instructions = 30;
+  opts.drop_accesses = 2;
+  Interpreter interp(p, nullptr, opts);
+  net::Packet pkt = some_packet();
+  const RunResult r = interp.run(pkt);
+  EXPECT_EQ(r.instructions, 100u + 30u + 1u);  // + the drop instruction
+  EXPECT_EQ(r.mem_accesses, 5u + 2u);
+}
+
+TEST(Interp, LocalsPersistWithinRun) {
+  IrBuilder b("locals");
+  const auto slot = b.local("x");
+  b.store_local(slot, b.imm(41));
+  b.forward(b.add_imm(b.load_local(slot), 1));
+  const Program p = b.finish();
+  Interpreter interp(p, nullptr);
+  net::Packet pkt = some_packet();
+  EXPECT_EQ(interp.run(pkt).out_port, 42u);
+}
+
+TEST(Interp, ScratchPersistsAcrossRuns) {
+  IrBuilder b("scratch");
+  b.set_scratch_slots(4);
+  const Reg idx = b.imm(2);
+  const Reg old = b.load_mem(idx);
+  b.store_mem(idx, b.add_imm(old, 1));
+  b.forward(old);
+  const Program p = b.finish();
+  Interpreter interp(p, nullptr);
+  net::Packet pkt = some_packet();
+  EXPECT_EQ(interp.run(pkt).out_port, 0u);
+  EXPECT_EQ(interp.run(pkt).out_port, 1u);
+  EXPECT_EQ(interp.run(pkt).out_port, 2u);
+}
+
+TEST(Interp, LoopTripsAreCounted) {
+  IrBuilder b("loop");
+  const auto slot = b.local("i");
+  b.store_local(slot, b.imm(0));
+  Label loop = b.make_label();
+  Label done = b.make_label();
+  b.bind(loop);
+  b.loop_head("n");
+  const Reg i = b.load_local(slot);
+  b.br_false(b.ltu(i, b.imm(5)), done);
+  b.store_local(slot, b.add_imm(i, 1));
+  b.jmp(loop);
+  b.bind(done);
+  b.drop();
+  const Program p = b.finish();
+  Interpreter interp(p, nullptr);
+  net::Packet pkt = some_packet();
+  const RunResult r = interp.run(pkt);
+  EXPECT_EQ(r.loop_trips.at(0), 6u);  // 5 body trips + exit check
+}
+
+/// A stub stateful env for interpreter tests.
+class StubEnv final : public StatefulEnv {
+ public:
+  CallOutcome call(std::int64_t method, std::uint64_t arg0, std::uint64_t arg1,
+                   const net::Packet&, CostMeter& meter) override {
+    meter.metered_instructions(10);
+    meter.mem_read(kArenaBase, 8);
+    CallOutcome out;
+    out.v0 = arg0 + arg1;
+    out.v1 = method;
+    out.case_label = "stub";
+    out.pcvs.set(0, 7);
+    return out;
+  }
+};
+
+TEST(Interp, StatefulCallsFlowThrough) {
+  IrBuilder b("call");
+  const auto [v0, v1] = b.call(99, b.imm(3), b.imm(4));
+  b.forward(b.add(v0, v1));
+  const Program p = b.finish();
+  StubEnv env;
+  Interpreter interp(p, &env);
+  net::Packet pkt = some_packet();
+  const RunResult r = interp.run(pkt);
+  EXPECT_EQ(r.out_port, 3u + 4u + 99u);
+  ASSERT_EQ(r.calls.size(), 1u);
+  EXPECT_EQ(r.calls[0].case_label, "stub");
+  EXPECT_EQ(r.pcvs.get(0), 7u);
+  // Metered cost is included in totals but not in stateless counters.
+  EXPECT_EQ(r.instructions, r.stateless_instructions + 10);
+  EXPECT_EQ(r.mem_accesses, r.stateless_accesses + 1);
+}
+
+TEST(Program, ValidateRejectsBadRegisters) {
+  Program p;
+  p.name = "bad";
+  p.num_regs = 1;
+  Instr ins;
+  ins.op = Op::kAdd;
+  ins.dst = 0;
+  ins.a = 0;
+  ins.b = 5;  // out of range
+  p.code.push_back(ins);
+  EXPECT_DEATH(p.validate(), "register out of range");
+}
+
+TEST(Program, ValidateRejectsBadBranchTargets) {
+  Program p;
+  p.name = "bad";
+  p.num_regs = 1;
+  Instr ins;
+  ins.op = Op::kBr;
+  ins.a = 0;
+  ins.t = 100;
+  ins.f = 0;
+  p.code.push_back(ins);
+  EXPECT_DEATH(p.validate(), "branch target out of range");
+}
+
+TEST(Interp, InfiniteLoopHitsStepBudget) {
+  IrBuilder b("inf");
+  Label loop = b.make_label();
+  b.bind(loop);
+  b.jmp(loop);
+  const Program p = b.finish();
+  InterpreterOptions opts;
+  opts.max_steps = 1000;
+  Interpreter interp(p, nullptr, opts);
+  net::Packet pkt = some_packet();
+  EXPECT_DEATH(interp.run(pkt), "step budget");
+}
+
+}  // namespace
+}  // namespace bolt::ir

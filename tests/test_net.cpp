@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/checksum.h"
+#include "net/flow.h"
+#include "net/headers.h"
+#include "net/packet_builder.h"
+#include "net/pcap.h"
+#include "net/workload.h"
+
+namespace bolt::net {
+namespace {
+
+TEST(Addresses, MacRoundTrip) {
+  const MacAddress mac = MacAddress::from_u64(0x0123456789abULL);
+  EXPECT_EQ(mac.to_u64(), 0x0123456789abULL);
+  EXPECT_EQ(mac.str(), "01:23:45:67:89:ab");
+  EXPECT_FALSE(mac.is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+}
+
+TEST(Addresses, Ipv4Formatting) {
+  EXPECT_EQ(Ipv4Address::from_octets(10, 0, 0, 1).str(), "10.0.0.1");
+  EXPECT_EQ(Ipv4Address::from_octets(198, 51, 100, 1).value, 0xc6336401u);
+}
+
+TEST(Checksum, Rfc1071Examples) {
+  // Known vector: checksum of this header must validate to zero.
+  const std::vector<std::uint8_t> header = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00,
+                                            0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                                            0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+                                            0x00, 0xc7};
+  const std::uint16_t csum = internet_checksum(header);
+  EXPECT_EQ(csum, 0xb861);
+}
+
+TEST(Checksum, OddLengthTail) {
+  const std::vector<std::uint8_t> data = {0x01, 0x02, 0x03};
+  EXPECT_EQ(internet_checksum(data),
+            checksum_finish(checksum_accumulate(data)));
+}
+
+TEST(PacketBuilder, MinimumFrameAndChecksumValid) {
+  Packet pkt = PacketBuilder()
+                   .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                         Ipv4Address::from_octets(10, 0, 0, 2))
+                   .udp(1234, 80)
+                   .timestamp_ns(5)
+                   .build();
+  EXPECT_GE(pkt.size(), kMinFrameSize);
+  EXPECT_EQ(pkt.timestamp_ns(), 5u);
+
+  const auto eth = parse_ethernet(pkt.bytes());
+  ASSERT_TRUE(eth.has_value());
+  EXPECT_EQ(eth->ether_type, kEtherTypeIpv4);
+  const auto ip = parse_ipv4(pkt.bytes(), kEthernetHeaderSize);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->protocol, kIpProtoUdp);
+  // Checksumming the header (checksum field included) must give 0.
+  const auto hdr = pkt.bytes().subspan(kEthernetHeaderSize, ip->header_size());
+  EXPECT_EQ(internet_checksum(hdr), 0);
+}
+
+TEST(PacketBuilder, IpOptionsPaddedAndParsed) {
+  Packet pkt = PacketBuilder()
+                   .ipv4(Ipv4Address::from_octets(1, 2, 3, 4),
+                         Ipv4Address::from_octets(5, 6, 7, 8))
+                   .ip_nop_options(5)
+                   .udp(1, 2)
+                   .build();
+  const auto ip = parse_ipv4(pkt.bytes(), kEthernetHeaderSize);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_TRUE(ip->has_options());
+  EXPECT_EQ(ip->ihl, 7);  // 5 NOPs padded to 8 bytes = 2 words
+  const auto count = count_ipv4_options(ip->options);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 5);
+}
+
+TEST(PacketBuilder, TimestampOption) {
+  Packet pkt = PacketBuilder()
+                   .ipv4(Ipv4Address::from_octets(1, 2, 3, 4),
+                         Ipv4Address::from_octets(5, 6, 7, 8))
+                   .ip_timestamp_option(2)
+                   .udp(1, 2)
+                   .build();
+  const auto ip = parse_ipv4(pkt.bytes(), kEthernetHeaderSize);
+  ASSERT_TRUE(ip.has_value());
+  ASSERT_FALSE(ip->options.empty());
+  EXPECT_EQ(ip->options[0], kIpOptTimestamp);
+}
+
+TEST(PacketBuilder, TcpFrames) {
+  Packet pkt = PacketBuilder()
+                   .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                         Ipv4Address::from_octets(10, 0, 0, 2))
+                   .tcp(4000, 443)
+                   .build();
+  const auto ip = parse_ipv4(pkt.bytes(), kEthernetHeaderSize);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->protocol, kIpProtoTcp);
+  const auto tcp = parse_tcp(pkt.bytes(), kEthernetHeaderSize + 20);
+  ASSERT_TRUE(tcp.has_value());
+  EXPECT_EQ(tcp->src_port, 4000);
+  EXPECT_EQ(tcp->dst_port, 443);
+}
+
+TEST(Flow, ExtractFiveTuple) {
+  const FiveTuple want{Ipv4Address::from_octets(10, 1, 2, 3),
+                       Ipv4Address::from_octets(192, 0, 2, 9), 5555, 80,
+                       kIpProtoUdp};
+  Packet pkt = packet_for_tuple(want, 0);
+  const auto got = extract_five_tuple(pkt);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, want);
+}
+
+TEST(Flow, NonIpHasNoTuple) {
+  EXPECT_FALSE(extract_five_tuple(invalid_packet()).has_value());
+}
+
+TEST(Flow, ReversedTuple) {
+  const FiveTuple t{Ipv4Address{1}, Ipv4Address{2}, 10, 20, 6};
+  const FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip.value, 2u);
+  EXPECT_EQ(r.dst_port, 10);
+  EXPECT_NE(t.key(), r.key());
+}
+
+TEST(Flow, KeysDifferAcrossTuples) {
+  std::set<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    keys.insert(tuple_for_index(i).key());
+  }
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
+TEST(Pcap, RoundTrip) {
+  std::vector<Packet> packets;
+  for (int i = 0; i < 10; ++i) {
+    packets.push_back(packet_for_tuple(tuple_for_index(std::uint64_t(i)),
+                                       1'000'000'000ULL + std::uint64_t(i) * 37));
+  }
+  const auto bytes = serialize_pcap(packets);
+  const auto parsed = parse_pcap(bytes);
+  ASSERT_EQ(parsed.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(parsed[i].timestamp_ns(), packets[i].timestamp_ns());
+    ASSERT_EQ(parsed[i].size(), packets[i].size());
+    EXPECT_TRUE(std::equal(parsed[i].bytes().begin(), parsed[i].bytes().end(),
+                           packets[i].bytes().begin()));
+  }
+}
+
+TEST(Pcap, FileRoundTrip) {
+  std::vector<Packet> packets = {packet_for_tuple(tuple_for_index(1), 42)};
+  const std::string path = ::testing::TempDir() + "/bolt_test.pcap";
+  write_pcap(path, packets);
+  const auto loaded = read_pcap(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].timestamp_ns(), 42u);
+}
+
+TEST(Workload, UniformDeterministic) {
+  UniformSpec spec;
+  spec.packet_count = 100;
+  const auto a = uniform_random_traffic(spec);
+  const auto b = uniform_random_traffic(spec);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(std::equal(a[i].bytes().begin(), a[i].bytes().end(),
+                           b[i].bytes().begin()));
+  }
+}
+
+TEST(Workload, ChurnIntroducesNewFlows) {
+  ChurnSpec spec;
+  spec.active_flows = 16;
+  spec.churn = 1.0;  // every packet starts a new flow
+  spec.packet_count = 64;
+  const auto packets = churn_traffic(spec);
+  std::set<std::uint64_t> keys;
+  for (const auto& p : packets) {
+    const auto t = extract_five_tuple(p);
+    ASSERT_TRUE(t.has_value());
+    keys.insert(t->key());
+  }
+  EXPECT_EQ(keys.size(), 64u);
+}
+
+TEST(Workload, BridgeBroadcastFraction) {
+  BridgeSpec spec;
+  spec.broadcast_fraction = 1.0;
+  spec.packet_count = 50;
+  for (const auto& p : bridge_traffic(spec)) {
+    const auto eth = parse_ethernet(p.bytes());
+    ASSERT_TRUE(eth.has_value());
+    EXPECT_TRUE(eth->dst.is_broadcast());
+  }
+}
+
+TEST(Workload, CollidingKeysCollide) {
+  const auto keys = colliding_keys(16, 3, 1024);
+  ASSERT_EQ(keys.size(), 16u);
+  std::set<std::uint64_t> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), 16u);
+  for (const std::uint64_t k : keys) {
+    EXPECT_EQ(mix64(k) & 1023u, 3u);
+  }
+}
+
+TEST(Workload, LpmTrafficMatchesDeclaredLengths) {
+  LpmSpec spec;
+  spec.min_prefix_len = 9;
+  spec.max_prefix_len = 16;
+  spec.packet_count = 200;
+  spec.routes_per_length = 4;
+  const auto wl = lpm_traffic(spec);
+  ASSERT_EQ(wl.packets.size(), 200u);
+  ASSERT_EQ(wl.matched_length.size(), 200u);
+  for (const int l : wl.matched_length) {
+    EXPECT_GE(l, spec.min_prefix_len);
+    EXPECT_LE(l, 32);
+  }
+}
+
+TEST(Workload, HeartbeatsTargetHealthPort) {
+  HeartbeatSpec spec;
+  spec.packet_count = 20;
+  for (const auto& p : heartbeat_traffic(spec)) {
+    const auto ip = parse_ipv4(p.bytes(), kEthernetHeaderSize);
+    ASSERT_TRUE(ip.has_value());
+    EXPECT_EQ(ip->src.value >> 16, 0xac10u);
+    const auto udp = parse_udp(p.bytes(), kEthernetHeaderSize + 20);
+    ASSERT_TRUE(udp.has_value());
+    EXPECT_EQ(udp->dst_port, spec.heartbeat_port);
+  }
+}
+
+}  // namespace
+}  // namespace bolt::net

@@ -1,0 +1,243 @@
+// Functional tests of the NF programs executed concretely against the real
+// stateful library.
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "net/packet_builder.h"
+#include "net/workload.h"
+#include "nf/framework.h"
+
+namespace bolt::core {
+namespace {
+
+TEST(BridgeNf, LearnsAndForwards) {
+  perf::PcvRegistry reg;
+  const NfInstance bridge = make_bridge(reg, default_bridge_config());
+  auto runner = bridge.make_runner();
+
+  const auto mac_a = net::MacAddress::from_u64(0x02000000000a);
+  const auto mac_b = net::MacAddress::from_u64(0x02000000000b);
+  auto mk = [&](const net::MacAddress& src, const net::MacAddress& dst,
+                std::uint16_t port, net::TimestampNs ts) {
+    net::PacketBuilder b;
+    b.eth(src, dst)
+        .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+              net::Ipv4Address::from_octets(10, 0, 0, 2))
+        .udp(1, 2)
+        .timestamp_ns(ts)
+        .in_port(port);
+    return b.build();
+  };
+
+  // A -> B: B unknown, flood.
+  net::Packet p1 = mk(mac_a, mac_b, 3, 1'000'000'000);
+  auto r1 = runner->process(p1);
+  EXPECT_EQ(r1.verdict, net::NfVerdict::kForward);
+  EXPECT_EQ(r1.out_port, nf::kFloodPort);
+  EXPECT_EQ(r1.class_label(), "unicast_miss");
+
+  // B -> A: A was learned on port 3.
+  net::Packet p2 = mk(mac_b, mac_a, 5, 1'000'100'000);
+  auto r2 = runner->process(p2);
+  EXPECT_EQ(r2.out_port, 3u);
+  EXPECT_EQ(r2.class_label(), "unicast");
+
+  // Broadcast floods.
+  net::Packet p3 = mk(mac_a, net::MacAddress::broadcast(), 3, 1'000'200'000);
+  auto r3 = runner->process(p3);
+  EXPECT_EQ(r3.out_port, nf::kFloodPort);
+  EXPECT_EQ(r3.class_label(), "broadcast");
+}
+
+TEST(BridgeNf, ExpiryForgetsStations) {
+  perf::PcvRegistry reg;
+  auto cfg = default_bridge_config();
+  cfg.ttl_ns = 1'000'000'000;
+  const NfInstance bridge = make_bridge(reg, cfg);
+  auto runner = bridge.make_runner();
+
+  net::BridgeSpec spec;
+  spec.stations = 4;
+  spec.packet_count = 20;
+  auto packets = net::bridge_traffic(spec);
+  for (auto& p : packets) runner->process(p);
+  EXPECT_GT(bridge.state_as<dslib::BridgeState>().mac_table().occupancy(), 0u);
+
+  // A much later packet expires everything learned above.
+  net::Packet late = packets[0];
+  late.set_timestamp_ns(100'000'000'000ULL);
+  const auto r = runner->process(late);
+  ASSERT_FALSE(r.calls.empty());
+  EXPECT_GT(r.pcvs.get(reg.require("e")), 0u);
+}
+
+TEST(NatNf, TranslatesAndReverses) {
+  perf::PcvRegistry reg;
+  const auto cfg = default_nat_config();
+  const NfInstance nat = make_nat(reg, cfg);
+  auto runner = nat.make_runner();
+
+  const net::FiveTuple flow = net::tuple_for_index(42);
+  net::Packet out = net::packet_for_tuple(flow, 1'000'000'000, 0);
+  const auto r1 = runner->process(out);
+  EXPECT_EQ(r1.verdict, net::NfVerdict::kForward);
+  EXPECT_EQ(r1.class_label(), "internal_new");
+
+  // The packet was rewritten to the NAT's external endpoint.
+  const auto rewritten = net::extract_five_tuple(out);
+  ASSERT_TRUE(rewritten.has_value());
+  EXPECT_EQ(rewritten->src_ip.value, cfg.external_ip);
+  const std::uint16_t ext_port = rewritten->src_port;
+  EXPECT_GE(ext_port, cfg.first_external_port);
+
+  // Same flow again: established.
+  net::Packet again = net::packet_for_tuple(flow, 1'000'100'000, 0);
+  const auto r2 = runner->process(again);
+  EXPECT_EQ(r2.class_label(), "internal_known");
+  const auto rw2 = net::extract_five_tuple(again);
+  ASSERT_TRUE(rw2.has_value());
+  EXPECT_EQ(rw2->src_port, ext_port);  // stable mapping
+
+  // Return traffic from outside is translated back to the internal host.
+  net::FiveTuple back = rewritten->reversed();
+  net::Packet ret = net::packet_for_tuple(back, 1'000'200'000, 1);
+  const auto r3 = runner->process(ret);
+  EXPECT_EQ(r3.class_label(), "external_known");
+  const auto rw3 = net::extract_five_tuple(ret);
+  ASSERT_TRUE(rw3.has_value());
+  EXPECT_EQ(rw3->dst_ip, flow.src_ip);
+  EXPECT_EQ(rw3->dst_port, flow.src_port);
+}
+
+TEST(NatNf, DropsUnsolicitedExternal) {
+  perf::PcvRegistry reg;
+  const NfInstance nat = make_nat(reg, default_nat_config());
+  auto runner = nat.make_runner();
+  net::Packet p = net::packet_for_tuple(net::tuple_for_index(7, false),
+                                        1'000'000'000, 1);
+  const auto r = runner->process(p);
+  EXPECT_EQ(r.verdict, net::NfVerdict::kDrop);
+  EXPECT_EQ(r.class_label(), "external_drop");
+}
+
+TEST(NatNf, DropsInvalidPackets) {
+  perf::PcvRegistry reg;
+  const NfInstance nat = make_nat(reg, default_nat_config());
+  auto runner = nat.make_runner();
+  net::Packet p = net::invalid_packet();
+  const auto r = runner->process(p);
+  EXPECT_EQ(r.verdict, net::NfVerdict::kDrop);
+  EXPECT_EQ(r.class_label(), "invalid");
+}
+
+TEST(NatNf, TableFullDropsNewFlows) {
+  perf::PcvRegistry reg;
+  auto cfg = default_nat_config();
+  cfg.flow.capacity = 4;
+  const NfInstance nat = make_nat(reg, cfg);
+  auto runner = nat.make_runner();
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    net::Packet p =
+        net::packet_for_tuple(net::tuple_for_index(i), 1'000'000'000 + i, 0);
+    EXPECT_EQ(runner->process(p).class_label(), "internal_new");
+  }
+  net::Packet p = net::packet_for_tuple(net::tuple_for_index(99), 1'000'000'999, 0);
+  EXPECT_EQ(runner->process(p).class_label(), "internal_table_full");
+}
+
+TEST(LbNf, PinsFlowsAndHandlesHealth) {
+  perf::PcvRegistry reg;
+  const auto cfg = default_lb_config();
+  const NfInstance lb = make_lb(reg, cfg);
+  auto& state = lb.state_as<dslib::LbState>();
+  state.ring().all_alive(1'000'000'000);
+  auto runner = lb.make_runner();
+
+  const net::FiveTuple flow = net::tuple_for_index(11, false);
+  net::Packet p1 = net::packet_for_tuple(flow, 1'000'000'000, 1);
+  const auto r1 = runner->process(p1);
+  EXPECT_EQ(r1.class_label(), "new_flow");
+  const std::uint64_t backend = r1.out_port;
+
+  net::Packet p2 = net::packet_for_tuple(flow, 1'000'100'000, 1);
+  const auto r2 = runner->process(p2);
+  EXPECT_EQ(r2.class_label(), "existing_live");
+  EXPECT_EQ(r2.out_port, backend);
+
+  // Kill the backend: the flow is reselected elsewhere.
+  state.ring().kill_backend(static_cast<std::uint32_t>(backend));
+  net::Packet p3 = net::packet_for_tuple(flow, 1'000'200'000, 1);
+  const auto r3 = runner->process(p3);
+  EXPECT_EQ(r3.class_label(), "existing_unresponsive");
+  EXPECT_NE(r3.out_port, backend);
+}
+
+TEST(LbNf, HeartbeatsRefreshHealth) {
+  perf::PcvRegistry reg;
+  const NfInstance lb = make_lb(reg, default_lb_config());
+  auto runner = lb.make_runner();
+  net::HeartbeatSpec spec;
+  spec.packet_count = 32;
+  auto hbs = net::heartbeat_traffic(spec);
+  for (auto& p : hbs) {
+    const auto r = runner->process(p);
+    EXPECT_EQ(r.class_label(), "heartbeat");
+    EXPECT_EQ(r.verdict, net::NfVerdict::kDrop);
+  }
+}
+
+TEST(SimpleLpmNf, MatchesAlgorithm1) {
+  perf::PcvRegistry reg;
+  const NfInstance router = make_simple_lpm(reg);
+  auto& trie = router.state_as<dslib::LpmTrieState>().trie();
+  trie.insert(0x0a000000, 8, 7);
+  auto runner = router.make_runner();
+
+  net::Packet valid =
+      net::packet_for_tuple(net::FiveTuple{net::Ipv4Address{0xc0000201},
+                                           net::Ipv4Address{0x0a010101}, 1, 2,
+                                           net::kIpProtoUdp},
+                            1'000'000'000);
+  const auto r = runner->process(valid);
+  EXPECT_EQ(r.class_label(), "valid");
+  EXPECT_EQ(r.out_port, 7u);
+  EXPECT_EQ(r.pcvs.get(reg.require("l")), 8u);
+
+  net::Packet bad = net::invalid_packet();
+  EXPECT_EQ(runner->process(bad).class_label(), "invalid");
+}
+
+TEST(DirLpmNf, ForwardsAndDecrementsTtl) {
+  perf::PcvRegistry reg;
+  const NfInstance router = make_dir_lpm(reg);
+  auto& lpm = router.state_as<dslib::LpmDirState>().table();
+  lpm.insert(0x0a000000, 8, 3);
+  auto runner = router.make_runner();
+  net::Packet p =
+      net::packet_for_tuple(net::FiveTuple{net::Ipv4Address{0xc0000201},
+                                           net::Ipv4Address{0x0a020202}, 1, 2,
+                                           net::kIpProtoUdp},
+                            1'000'000'000);
+  const std::uint8_t ttl_before = p.bytes()[22];
+  const auto r = runner->process(p);
+  EXPECT_EQ(r.verdict, net::NfVerdict::kForward);
+  EXPECT_EQ(r.out_port, 3u);
+  EXPECT_EQ(p.bytes()[22], ttl_before - 1);
+}
+
+TEST(FrameworkCosts, FullStackAddsFixedOverhead) {
+  perf::PcvRegistry reg;
+  const NfInstance router = make_dir_lpm(reg);
+  auto bare = router.make_runner(nf::framework_none());
+  auto full = router.make_runner(nf::framework_full());
+  net::Packet p1 = net::invalid_packet();
+  net::Packet p2 = net::invalid_packet();
+  const auto r_bare = bare->process(p1);
+  const auto r_full = full->process(p2);
+  const nf::FrameworkCosts fw;
+  EXPECT_EQ(r_full.instructions - r_bare.instructions,
+            fw.rx_instructions + fw.drop_instructions);
+}
+
+}  // namespace
+}  // namespace bolt::core

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "perf/contract.h"
+#include "perf/metric.h"
+#include "perf/pcv.h"
+#include "perf/perf_expr.h"
+
+namespace bolt::perf {
+namespace {
+
+class PerfExprTest : public ::testing::Test {
+ protected:
+  PcvRegistry reg;
+  PcvId e = reg.intern("e", "expired entries");
+  PcvId c = reg.intern("c", "hash collisions");
+  PcvId t = reg.intern("t", "bucket traversals");
+};
+
+TEST_F(PerfExprTest, RegistryInternIsIdempotent) {
+  EXPECT_EQ(reg.intern("e"), e);
+  EXPECT_EQ(reg.require("c"), c);
+  EXPECT_TRUE(reg.contains("t"));
+  EXPECT_FALSE(reg.contains("zz"));
+  EXPECT_EQ(reg.name(e), "e");
+  EXPECT_EQ(reg.description(e), "expired entries");
+}
+
+TEST_F(PerfExprTest, ConstantEval) {
+  EXPECT_EQ(PerfExpr::constant(42).eval(PcvBinding{}), 42);
+  EXPECT_TRUE(PerfExpr::constant(42).is_constant());
+  EXPECT_TRUE(PerfExpr().is_zero());
+  EXPECT_EQ(PerfExpr().eval(PcvBinding{}), 0);
+}
+
+TEST_F(PerfExprTest, LinearEval) {
+  // 245*e + 882
+  const PerfExpr expr = PerfExpr::pcv(e).scaled(245) + PerfExpr::constant(882);
+  PcvBinding bind;
+  bind.set(e, 3);
+  EXPECT_EQ(expr.eval(bind), 245 * 3 + 882);
+  EXPECT_EQ(expr.eval(PcvBinding{}), 882);  // unbound PCVs read as zero
+}
+
+TEST_F(PerfExprTest, CrossTermEval) {
+  // 82*e*c + 19*e*t  (the bridge contract's cross terms)
+  const Monomial ec = Monomial::pcv(e) * Monomial::pcv(c);
+  const Monomial et = Monomial::pcv(e) * Monomial::pcv(t);
+  const PerfExpr expr = PerfExpr::term(82, ec) + PerfExpr::term(19, et);
+  PcvBinding bind;
+  bind.set(e, 5);
+  bind.set(c, 2);
+  bind.set(t, 7);
+  EXPECT_EQ(expr.eval(bind), 82 * 5 * 2 + 19 * 5 * 7);
+}
+
+TEST_F(PerfExprTest, AdditionMergesTerms) {
+  const PerfExpr a = PerfExpr::pcv(e).scaled(10) + PerfExpr::constant(5);
+  const PerfExpr b = PerfExpr::pcv(e).scaled(7) + PerfExpr::constant(3);
+  const PerfExpr sum = a + b;
+  PcvBinding bind;
+  bind.set(e, 2);
+  EXPECT_EQ(sum.eval(bind), 17 * 2 + 8);
+  EXPECT_EQ(sum.term_count(), 2u);
+}
+
+TEST_F(PerfExprTest, MultiplicationDistributes) {
+  // (e + 2) * (c + 3) = e*c + 3e + 2c + 6
+  const PerfExpr a = PerfExpr::pcv(e) + PerfExpr::constant(2);
+  const PerfExpr b = PerfExpr::pcv(c) + PerfExpr::constant(3);
+  const PerfExpr prod = a * b;
+  PcvBinding bind;
+  bind.set(e, 4);
+  bind.set(c, 5);
+  EXPECT_EQ(prod.eval(bind), (4 + 2) * (5 + 3));
+  EXPECT_EQ(prod.degree(), 2);
+}
+
+TEST_F(PerfExprTest, UpperMaxDominatesBothForNonNegativeBindings) {
+  const PerfExpr a = PerfExpr::pcv(e).scaled(10) + PerfExpr::constant(1);
+  const PerfExpr b = PerfExpr::pcv(c).scaled(3) + PerfExpr::constant(7);
+  const PerfExpr m = PerfExpr::upper_max(a, b);
+  for (std::uint64_t ev = 0; ev < 5; ++ev) {
+    for (std::uint64_t cv = 0; cv < 5; ++cv) {
+      PcvBinding bind;
+      bind.set(e, ev);
+      bind.set(c, cv);
+      EXPECT_GE(m.eval(bind), a.eval(bind));
+      EXPECT_GE(m.eval(bind), b.eval(bind));
+    }
+  }
+}
+
+TEST_F(PerfExprTest, ZeroCoefficientsVanish) {
+  const PerfExpr a = PerfExpr::pcv(e).scaled(10);
+  const PerfExpr b = PerfExpr::pcv(e).scaled(-10);
+  EXPECT_TRUE((a + b).is_zero());
+}
+
+TEST_F(PerfExprTest, StringRenderingPaperStyle) {
+  // 245*e + 82*e*c + 882 — linear terms first, cross terms, constant last.
+  const Monomial ec = Monomial::pcv(e) * Monomial::pcv(c);
+  const PerfExpr expr = PerfExpr::pcv(e).scaled(245) + PerfExpr::term(82, ec) +
+                        PerfExpr::constant(882);
+  EXPECT_EQ(expr.str(reg), "245*e + 82*e*c + 882");
+  EXPECT_EQ(PerfExpr().str(reg), "0");
+  EXPECT_EQ(PerfExpr::pcv(e).str(reg), "e");
+}
+
+TEST_F(PerfExprTest, PcvListing) {
+  const Monomial ec = Monomial::pcv(e) * Monomial::pcv(c);
+  const PerfExpr expr = PerfExpr::term(82, ec) + PerfExpr::constant(882);
+  const auto pcvs = expr.pcvs();
+  EXPECT_EQ(pcvs.size(), 2u);
+}
+
+TEST_F(PerfExprTest, CoefficientQueries) {
+  const PerfExpr expr = PerfExpr::pcv(e).scaled(245) + PerfExpr::constant(882);
+  EXPECT_EQ(expr.constant_term(), 882);
+  EXPECT_EQ(expr.coefficient(Monomial::pcv(e)), 245);
+  EXPECT_EQ(expr.coefficient(Monomial::pcv(c)), 0);
+}
+
+class ContractTest : public ::testing::Test {
+ protected:
+  PcvRegistry reg;
+  PcvId l = reg.intern("l", "matched prefix length");
+
+  Contract running_example() {
+    // The paper's Table 1.
+    Contract contract("lpm_router");
+    ContractEntry invalid;
+    invalid.input_class = "invalid";
+    invalid.perf.set(Metric::kInstructions, PerfExpr::constant(2));
+    invalid.perf.set(Metric::kMemoryAccesses, PerfExpr::constant(1));
+    contract.add(invalid);
+    ContractEntry valid;
+    valid.input_class = "valid";
+    valid.perf.set(Metric::kInstructions,
+                   PerfExpr::pcv(l).scaled(4) + PerfExpr::constant(5));
+    valid.perf.set(Metric::kMemoryAccesses,
+                   PerfExpr::pcv(l) + PerfExpr::constant(3));
+    contract.add(valid);
+    return contract;
+  }
+};
+
+TEST_F(ContractTest, Table1Shape) {
+  const Contract contract = running_example();
+  PcvBinding bind;
+  bind.set(l, 24);
+  EXPECT_EQ(contract.require("valid").perf.get(Metric::kInstructions).eval(bind),
+            4 * 24 + 5);
+  EXPECT_EQ(
+      contract.require("valid").perf.get(Metric::kMemoryAccesses).eval(bind),
+      24 + 3);
+  EXPECT_EQ(
+      contract.require("invalid").perf.get(Metric::kInstructions).eval(bind), 2);
+}
+
+TEST_F(ContractTest, WorstCasePicksTheWorstEntry) {
+  const Contract contract = running_example();
+  PcvBinding bind;
+  bind.set(l, 32);
+  EXPECT_EQ(contract.worst_case(Metric::kInstructions, bind), 4 * 32 + 5);
+  PcvBinding zero;
+  EXPECT_EQ(contract.worst_case(Metric::kInstructions, zero), 5);
+}
+
+TEST_F(ContractTest, WorstCaseMatching) {
+  const Contract contract = running_example();
+  PcvBinding bind;
+  bind.set(l, 8);
+  EXPECT_EQ(contract.worst_case_matching(Metric::kInstructions, bind, "invalid"),
+            2);
+}
+
+TEST_F(ContractTest, FindMissingReturnsNull) {
+  const Contract contract = running_example();
+  EXPECT_EQ(contract.find("nope"), nullptr);
+  EXPECT_NE(contract.find("valid"), nullptr);
+}
+
+TEST_F(ContractTest, RenderingContainsExpressions) {
+  const Contract contract = running_example();
+  const std::string table = contract.str(reg, Metric::kInstructions);
+  EXPECT_NE(table.find("4*l + 5"), std::string::npos);
+  EXPECT_NE(table.find("invalid"), std::string::npos);
+}
+
+TEST(MethodContractTest, CaseSelection) {
+  PcvRegistry reg;
+  const PcvId t = reg.intern("t");
+  MethodContract mc("map.get");
+  MetricExprs hit;
+  hit.set(Metric::kInstructions, PerfExpr::pcv(t).scaled(18));
+  mc.add_case("hit", hit);
+  MetricExprs miss;
+  miss.set(Metric::kInstructions, PerfExpr::constant(9));
+  mc.add_case("miss", miss);
+
+  EXPECT_TRUE(mc.has_case("hit"));
+  EXPECT_FALSE(mc.has_case("rehash"));
+  PcvBinding bind;
+  bind.set(t, 2);
+  EXPECT_EQ(mc.for_case("hit").get(Metric::kInstructions).eval(bind), 36);
+  EXPECT_EQ(mc.case_labels().size(), 2u);
+}
+
+TEST(MetricExprsTest, AdditionAndUpperMax) {
+  PcvRegistry reg;
+  const PcvId x = reg.intern("x");
+  MetricExprs a, b;
+  a.set(Metric::kInstructions, PerfExpr::constant(10));
+  a.set(Metric::kMemoryAccesses, PerfExpr::pcv(x));
+  b.set(Metric::kInstructions, PerfExpr::constant(4));
+  const MetricExprs sum = a + b;
+  EXPECT_EQ(sum.get(Metric::kInstructions).eval(PcvBinding{}), 14);
+  const MetricExprs mx = MetricExprs::upper_max(a, b);
+  EXPECT_EQ(mx.get(Metric::kInstructions).eval(PcvBinding{}), 10);
+}
+
+}  // namespace
+}  // namespace bolt::perf
+
+// --- JSON round-trip -----------------------------------------------------
+
+#include "perf/contract_io.h"
+
+namespace bolt::perf {
+namespace {
+
+Contract json_fixture(PcvRegistry& reg) {
+  const PcvId e = reg.intern("e", "expired entries");
+  const PcvId c = reg.intern("c", "hash collisions");
+  Contract contract("bridge \"quoted\"");
+  ContractEntry entry;
+  entry.input_class = "unicast | learn=known";
+  entry.paths_coalesced = 3;
+  entry.perf.set(Metric::kInstructions,
+                 PerfExpr::pcv(e).scaled(245) +
+                     PerfExpr::term(82, Monomial::pcv(e) * Monomial::pcv(c)) +
+                     PerfExpr::constant(882));
+  entry.perf.set(Metric::kMemoryAccesses,
+                 PerfExpr::pcv(e) + PerfExpr::constant(3));
+  entry.perf.set(Metric::kCycles, PerfExpr::constant(1234));
+  contract.add(entry);
+  ContractEntry squared;
+  squared.input_class = "weird";
+  squared.perf.set(Metric::kInstructions,
+                   PerfExpr::term(7, Monomial::pcv(e) * Monomial::pcv(e)));
+  contract.add(squared);
+  return contract;
+}
+
+TEST(ContractJson, RoundTripPreservesEverything) {
+  PcvRegistry reg;
+  const Contract original = json_fixture(reg);
+  const std::string json = contract_to_json(original, reg);
+
+  PcvRegistry reg2;
+  const Contract parsed = contract_from_json(json, reg2);
+  EXPECT_EQ(parsed.nf_name(), original.nf_name());
+  ASSERT_EQ(parsed.entries().size(), original.entries().size());
+  EXPECT_EQ(reg2.description(reg2.require("e")), "expired entries");
+
+  // Expressions evaluate identically on a grid of bindings.
+  for (std::uint64_t ev = 0; ev < 4; ++ev) {
+    for (std::uint64_t cv = 0; cv < 4; ++cv) {
+      PcvBinding b1, b2;
+      b1.set(reg.require("e"), ev);
+      b1.set(reg.require("c"), cv);
+      b2.set(reg2.require("e"), ev);
+      b2.set(reg2.require("c"), cv);
+      for (std::size_t i = 0; i < parsed.entries().size(); ++i) {
+        for (const Metric m : kAllMetrics) {
+          EXPECT_EQ(parsed.entries()[i].perf.get(m).eval(b2),
+                    original.entries()[i].perf.get(m).eval(b1));
+        }
+      }
+    }
+  }
+}
+
+TEST(ContractJson, RoundTripPreservesLabelsAndCounts) {
+  PcvRegistry reg;
+  const Contract original = json_fixture(reg);
+  PcvRegistry reg2;
+  const Contract parsed =
+      contract_from_json(contract_to_json(original, reg), reg2);
+  EXPECT_EQ(parsed.entries()[0].input_class, "unicast | learn=known");
+  EXPECT_EQ(parsed.entries()[0].paths_coalesced, 3u);
+  EXPECT_EQ(parsed.entries()[1].input_class, "weird");
+}
+
+TEST(ContractJson, SquaredPcvSurvives) {
+  PcvRegistry reg;
+  const Contract original = json_fixture(reg);
+  PcvRegistry reg2;
+  const Contract parsed =
+      contract_from_json(contract_to_json(original, reg), reg2);
+  PcvBinding bind;
+  bind.set(reg2.require("e"), 5);
+  EXPECT_EQ(parsed.entries()[1].perf.get(Metric::kInstructions).eval(bind),
+            7 * 25);
+}
+
+TEST(ContractJson, EmptyContract) {
+  PcvRegistry reg;
+  Contract empty("none");
+  PcvRegistry reg2;
+  const Contract parsed =
+      contract_from_json(contract_to_json(empty, reg), reg2);
+  EXPECT_TRUE(parsed.entries().empty());
+  EXPECT_EQ(parsed.nf_name(), "none");
+}
+
+TEST(ContractJson, MalformedInputAborts) {
+  PcvRegistry reg;
+  EXPECT_DEATH(contract_from_json("{\"version\":2", reg), "version");
+  EXPECT_DEATH(contract_from_json("[]", reg), "expected");
+}
+
+}  // namespace
+}  // namespace bolt::perf

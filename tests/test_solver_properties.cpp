@@ -1,0 +1,183 @@
+// Property tests for the constraint solver: on randomly generated systems
+// that are satisfiable *by construction*, the solver must return a model
+// that actually satisfies every constraint; systems made inconsistent by
+// construction must never come back kSat with a bogus model.
+#include <gtest/gtest.h>
+
+#include "support/random.h"
+#include "symbex/solver.h"
+
+namespace bolt::symbex {
+namespace {
+
+/// Builds a random expression over the given symbols that is evaluable
+/// under `truth` (used to derive consistent constraints).
+ExprPtr random_expr(support::Rng& rng, const std::vector<SymId>& syms,
+                    int depth) {
+  if (depth == 0 || rng.chance(0.3)) {
+    if (rng.chance(0.7)) {
+      return Expr::symbol(syms[rng.below(syms.size())]);
+    }
+    return Expr::constant(rng.below(1024));
+  }
+  static const ExprOp ops[] = {ExprOp::kAdd, ExprOp::kSub, ExprOp::kAnd,
+                               ExprOp::kOr,  ExprOp::kXor, ExprOp::kShr};
+  const ExprOp op = ops[rng.below(6)];
+  ExprPtr a = random_expr(rng, syms, depth - 1);
+  ExprPtr b = rng.chance(0.5) ? Expr::constant(rng.below(16))
+                              : random_expr(rng, syms, depth - 1);
+  return Expr::binary(op, std::move(a), std::move(b));
+}
+
+class SolverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverPropertyTest, SatisfiableByConstructionIsSolved) {
+  support::Rng rng(GetParam());
+  SymbolTable syms;
+  std::vector<SymId> ids;
+  Assignment truth;
+  for (int i = 0; i < 4; ++i) {
+    const int width = 8 * static_cast<int>(rng.range(1, 4));
+    const SymId id = syms.fresh("x" + std::to_string(i), width);
+    ids.push_back(id);
+    truth[id] = rng.next() & syms.max_value(id);
+  }
+
+  // Constraints consistent with `truth`: compare a random expression
+  // against its own value under the truth assignment.
+  std::vector<ExprPtr> constraints;
+  for (int i = 0; i < 8; ++i) {
+    const ExprPtr e = random_expr(rng, ids, 2);
+    const std::uint64_t v = e->eval(truth);
+    switch (rng.below(4)) {
+      case 0:
+        constraints.push_back(Expr::binary(ExprOp::kEq, e, Expr::constant(v)));
+        break;
+      case 1:
+        constraints.push_back(
+            Expr::binary(ExprOp::kLeU, e, Expr::constant(v)));
+        break;
+      case 2:
+        constraints.push_back(
+            Expr::binary(ExprOp::kGeU, e, Expr::constant(v)));
+        break;
+      default:
+        constraints.push_back(
+            Expr::binary(ExprOp::kNe, e, Expr::constant(v + 1)));
+        break;
+    }
+  }
+
+  Solver solver(syms);
+  const SolveResult result = solver.solve(constraints);
+  // The system is satisfiable (by `truth`); the solver must not say unsat.
+  ASSERT_NE(result.status, SolveStatus::kUnsat);
+  if (result.status == SolveStatus::kSat) {
+    for (const ExprPtr& c : constraints) {
+      EXPECT_NE(c->eval(result.model), 0u) << c->str();
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, ModelsNeverViolateConstraints) {
+  // Whatever the solver returns as kSat must genuinely satisfy the system —
+  // even for mixed, possibly-unsatisfiable random systems.
+  support::Rng rng(GetParam() ^ 0x5a5a);
+  SymbolTable syms;
+  std::vector<SymId> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(syms.fresh("y", 16));
+  std::vector<ExprPtr> constraints;
+  for (int i = 0; i < 6; ++i) {
+    const ExprPtr e = random_expr(rng, ids, 2);
+    constraints.push_back(Expr::binary(
+        rng.chance(0.5) ? ExprOp::kLtU : ExprOp::kGeU, e,
+        Expr::constant(rng.below(4096))));
+  }
+  Solver solver(syms);
+  const SolveResult result = solver.solve(constraints);
+  if (result.status == SolveStatus::kSat) {
+    for (const ExprPtr& c : constraints) {
+      EXPECT_NE(c->eval(result.model), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(SolverContradictions, ViewDomainsCatchReDerivedExpressions) {
+  // The chained-NF pattern: two structurally identical derived expressions
+  // constrained both ways must be proved unsat by propagation alone.
+  SymbolTable syms;
+  const SymId x = syms.fresh("x", 8);
+  const auto masked = [&] {
+    return Expr::binary(ExprOp::kAnd, Expr::symbol(x), Expr::constant(0xf));
+  };
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kEq, masked(), Expr::constant(5)),
+      Expr::binary(ExprOp::kNe, masked(), Expr::constant(5)),
+  };
+  Solver solver(syms);
+  EXPECT_EQ(solver.solve(cs).status, SolveStatus::kUnsat);
+}
+
+TEST(SolverContradictions, LoopBoundsAgainstMaskedHeaderField) {
+  // The static router's loop-continuation pattern: 14 + 4*ihl can never
+  // exceed 74, so "off < end" at off=78 is unsat.
+  SymbolTable syms;
+  const SymId x = syms.fresh("ver_ihl", 8);
+  const ExprPtr ihl =
+      Expr::binary(ExprOp::kAnd, Expr::symbol(x), Expr::constant(0xf));
+  const ExprPtr end = Expr::binary(
+      ExprOp::kAdd, Expr::constant(14),
+      Expr::binary(ExprOp::kShl, ihl, Expr::constant(2)));
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kLtU, Expr::constant(78), end)};
+  Solver solver(syms);
+  EXPECT_EQ(solver.solve(cs).status, SolveStatus::kUnsat);
+  // ...while off=58 is still reachable (ihl up to 15).
+  std::vector<ExprPtr> ok = {
+      Expr::binary(ExprOp::kLtU, Expr::constant(58), end)};
+  EXPECT_EQ(solver.solve(ok).status, SolveStatus::kSat);
+}
+
+TEST(SolverRepair, BitLevelDisjunctions) {
+  // The firewall's bogon check: ((x >> 24) == 127) | ((x >> 28) == 14).
+  SymbolTable syms;
+  const SymId ip = syms.fresh("src_ip", 32);
+  const ExprPtr c = Expr::binary(
+      ExprOp::kOr,
+      Expr::binary(ExprOp::kEq,
+                   Expr::binary(ExprOp::kShr, Expr::symbol(ip), Expr::constant(24)),
+                   Expr::constant(127)),
+      Expr::binary(ExprOp::kEq,
+                   Expr::binary(ExprOp::kShr, Expr::symbol(ip), Expr::constant(28)),
+                   Expr::constant(14)));
+  std::vector<ExprPtr> cs = {c};
+  Solver solver(syms);
+  const SolveResult r = solver.solve(cs);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  const std::uint64_t v = r.model.at(ip);
+  EXPECT_TRUE((v >> 24) == 127 || (v >> 28) == 14);
+}
+
+TEST(SolverRepair, ConjunctionOfRanges) {
+  // The firewall's port block: (p >= 5000) & (p < 6000), plus p != 5500.
+  SymbolTable syms;
+  const SymId p = syms.fresh("port", 16);
+  const ExprPtr band = Expr::binary(
+      ExprOp::kAnd,
+      Expr::binary(ExprOp::kGeU, Expr::symbol(p), Expr::constant(5000)),
+      Expr::binary(ExprOp::kLtU, Expr::symbol(p), Expr::constant(6000)));
+  std::vector<ExprPtr> cs = {
+      band, Expr::binary(ExprOp::kNe, Expr::symbol(p), Expr::constant(5500))};
+  Solver solver(syms);
+  const SolveResult r = solver.solve(cs);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_GE(r.model.at(p), 5000u);
+  EXPECT_LT(r.model.at(p), 6000u);
+  EXPECT_NE(r.model.at(p), 5500u);
+}
+
+}  // namespace
+}  // namespace bolt::symbex

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ir/builder.h"
+#include "symbex/executor.h"
+#include "symbex/expr.h"
+#include "symbex/solver.h"
+
+namespace bolt::symbex {
+namespace {
+
+TEST(Expr, ConstantFolding) {
+  const ExprPtr a = Expr::constant(6);
+  const ExprPtr b = Expr::constant(7);
+  const ExprPtr prod = Expr::binary(ExprOp::kMul, a, b);
+  ASSERT_TRUE(prod->is_const());
+  EXPECT_EQ(prod->const_value(), 42u);
+}
+
+TEST(Expr, Identities) {
+  SymbolTable syms;
+  const ExprPtr x = Expr::symbol(syms.fresh("x", 32));
+  EXPECT_TRUE(Expr::binary(ExprOp::kAdd, x, Expr::constant(0)).get() == x.get());
+  EXPECT_TRUE(Expr::binary(ExprOp::kMul, x, Expr::constant(1)).get() == x.get());
+  const ExprPtr zero = Expr::binary(ExprOp::kXor, x, x);
+  ASSERT_TRUE(zero->is_const());
+  EXPECT_EQ(zero->const_value(), 0u);
+  const ExprPtr one = Expr::binary(ExprOp::kEq, x, x);
+  ASSERT_TRUE(one->is_const());
+  EXPECT_EQ(one->const_value(), 1u);
+}
+
+TEST(Expr, EvalUnderAssignment) {
+  SymbolTable syms;
+  const SymId x = syms.fresh("x", 16);
+  const ExprPtr e = Expr::binary(
+      ExprOp::kAdd, Expr::binary(ExprOp::kMul, Expr::symbol(x), Expr::constant(3)),
+      Expr::constant(4));
+  Assignment a{{x, 10}};
+  EXPECT_EQ(e->eval(a), 34u);
+}
+
+TEST(Expr, LogicalNotOfComparisons) {
+  SymbolTable syms;
+  const ExprPtr x = Expr::symbol(syms.fresh("x", 8));
+  const ExprPtr lt = Expr::binary(ExprOp::kLtU, x, Expr::constant(5));
+  const ExprPtr not_lt = logical_not(lt);
+  Assignment a{{0, 5}};
+  EXPECT_EQ(lt->eval(a), 0u);
+  EXPECT_EQ(not_lt->eval(a), 1u);
+}
+
+TEST(Expr, CollectSymbolsAndConstants) {
+  SymbolTable syms;
+  const SymId x = syms.fresh("x", 8);
+  const SymId y = syms.fresh("y", 8);
+  const ExprPtr e = Expr::binary(ExprOp::kAdd, Expr::symbol(x),
+                                 Expr::binary(ExprOp::kMul, Expr::symbol(y),
+                                              Expr::constant(9)));
+  std::vector<SymId> ids;
+  e->collect_symbols(ids);
+  EXPECT_EQ(ids.size(), 2u);
+  std::vector<std::uint64_t> consts;
+  e->collect_constants(consts);
+  ASSERT_EQ(consts.size(), 1u);
+  EXPECT_EQ(consts[0], 9u);
+}
+
+class SolverTest : public ::testing::Test {
+ protected:
+  SymbolTable syms;
+};
+
+TEST_F(SolverTest, SimpleEquality) {
+  const SymId x = syms.fresh("x", 16);
+  Solver solver(syms);
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kEq, Expr::symbol(x), Expr::constant(0x0800))};
+  const auto r = solver.solve(cs);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(r.model.at(x), 0x0800u);
+}
+
+TEST_F(SolverTest, ContradictionIsUnsat) {
+  const SymId x = syms.fresh("x", 16);
+  Solver solver(syms);
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kEq, Expr::symbol(x), Expr::constant(1)),
+      Expr::binary(ExprOp::kEq, Expr::symbol(x), Expr::constant(2))};
+  EXPECT_EQ(solver.solve(cs).status, SolveStatus::kUnsat);
+}
+
+TEST_F(SolverTest, RangeConstraints) {
+  const SymId x = syms.fresh("x", 16);
+  Solver solver(syms);
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kGeU, Expr::symbol(x), Expr::constant(5000)),
+      Expr::binary(ExprOp::kLtU, Expr::symbol(x), Expr::constant(6000)),
+      Expr::binary(ExprOp::kNe, Expr::symbol(x), Expr::constant(5000))};
+  const auto r = solver.solve(cs);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_GT(r.model.at(x), 5000u);
+  EXPECT_LT(r.model.at(x), 6000u);
+}
+
+TEST_F(SolverTest, EmptyRangeIsUnsat) {
+  const SymId x = syms.fresh("x", 16);
+  Solver solver(syms);
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kGtU, Expr::symbol(x), Expr::constant(10)),
+      Expr::binary(ExprOp::kLtU, Expr::symbol(x), Expr::constant(5))};
+  EXPECT_EQ(solver.solve(cs).status, SolveStatus::kUnsat);
+}
+
+TEST_F(SolverTest, ShiftedFieldEquality) {
+  // (x >> 4) == 4 && (x & 0xf) == 5  — the IPv4 version/ihl pattern.
+  const SymId x = syms.fresh("ver_ihl", 8);
+  Solver solver(syms);
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kEq,
+                   Expr::binary(ExprOp::kShr, Expr::symbol(x), Expr::constant(4)),
+                   Expr::constant(4)),
+      Expr::binary(ExprOp::kEq,
+                   Expr::binary(ExprOp::kAnd, Expr::symbol(x), Expr::constant(0xf)),
+                   Expr::constant(5))};
+  const auto r = solver.solve(cs);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(r.model.at(x), 0x45u);
+}
+
+TEST_F(SolverTest, WidthBoundsRespected) {
+  const SymId x = syms.fresh("x", 8);
+  Solver solver(syms);
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kGtU, Expr::symbol(x), Expr::constant(300))};
+  // An 8-bit symbol can never exceed 300.
+  EXPECT_EQ(solver.solve(cs).status, SolveStatus::kUnsat);
+}
+
+TEST_F(SolverTest, MultiSymbolSystem) {
+  const SymId x = syms.fresh("x", 8);
+  const SymId y = syms.fresh("y", 8);
+  Solver solver(syms);
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kEq,
+                   Expr::binary(ExprOp::kAdd, Expr::symbol(x), Expr::symbol(y)),
+                   Expr::constant(10)),
+      Expr::binary(ExprOp::kEq, Expr::symbol(x), Expr::constant(3))};
+  const auto r = solver.solve(cs);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(r.model.at(x), 3u);
+  EXPECT_EQ(r.model.at(y), 7u);
+}
+
+// --- executor ---------------------------------------------------------------
+
+TEST(Executor, EnumeratesBothSidesOfABranch) {
+  ir::IrBuilder b("two_paths");
+  const ir::Reg et = b.load_pkt_at(12, 2);
+  ir::Label is_ip = b.make_label();
+  b.br_true(b.eq_imm(et, 0x0800), is_ip);
+  b.class_tag("not_ip");
+  b.drop();
+  b.bind(is_ip);
+  b.class_tag("ip");
+  b.forward_imm(1);
+  const ir::Program p = b.finish();
+
+  Executor ex({&p}, {});
+  auto paths = ex.run();
+  ASSERT_EQ(paths.size(), 2u);
+  ex.solve_inputs(paths);
+  int forwards = 0;
+  for (const auto& path : paths) {
+    EXPECT_TRUE(path.solved);
+    if (path.action == PathAction::kForward) ++forwards;
+  }
+  EXPECT_EQ(forwards, 1);
+}
+
+TEST(Executor, InfeasiblePathsArePruned) {
+  ir::IrBuilder b("pruned");
+  const ir::Reg x = b.load_pkt_at(0, 1);
+  ir::Label a = b.make_label();
+  ir::Label contradiction = b.make_label();
+  b.br_true(b.eq_imm(x, 5), a);
+  b.drop();
+  b.bind(a);
+  // x == 5 here, so x == 6 is infeasible.
+  b.br_true(b.eq_imm(x, 6), contradiction);
+  b.forward_imm(0);
+  b.bind(contradiction);
+  b.forward_imm(9);
+  const ir::Program p = b.finish();
+
+  Executor ex({&p}, {});
+  const auto paths = ex.run();
+  EXPECT_EQ(paths.size(), 2u);  // x!=5 drop; x==5 forward. No third path.
+  EXPECT_GE(ex.stats().pruned_branches, 1u);
+}
+
+TEST(Executor, ModelsForkPerOutcome) {
+  ir::IrBuilder b("model_fork");
+  const auto [found, value] = b.call(0, ir::kNoReg, ir::kNoReg);
+  (void)value;
+  ir::Label hit = b.make_label();
+  b.br_true(found, hit);
+  b.class_tag("miss");
+  b.drop();
+  b.bind(hit);
+  b.class_tag("hit");
+  b.forward_imm(0);
+  const ir::Program p = b.finish();
+
+  std::map<std::int64_t, SymbolicModel> models;
+  models[0] = [](SymbolTable& symbols, const ExprPtr&, const ExprPtr&) {
+    std::vector<ModelOutcome> outs;
+    ModelOutcome hit_case;
+    hit_case.case_label = "hit";
+    hit_case.ret0 = Expr::constant(1);
+    hit_case.ret1 = Expr::symbol(symbols.fresh("value", 16));
+    outs.push_back(hit_case);
+    ModelOutcome miss_case;
+    miss_case.case_label = "miss";
+    miss_case.ret0 = Expr::constant(0);
+    outs.push_back(miss_case);
+    return outs;
+  };
+  Executor ex({&p}, std::move(models));
+  auto paths = ex.run();
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& path : paths) {
+    ASSERT_EQ(path.calls.size(), 1u);
+    if (path.action == PathAction::kForward) {
+      EXPECT_EQ(path.calls[0].case_label, "hit");
+      EXPECT_EQ(path.class_tags, std::vector<std::string>{"hit"});
+    } else {
+      EXPECT_EQ(path.calls[0].case_label, "miss");
+    }
+  }
+}
+
+TEST(Executor, LoopsUnrollWithTripCounts) {
+  // for (i = 0; i < pkt[0]; i++) {}; pkt[0] constrained <= 3 by width/branch
+  ir::IrBuilder b("loop");
+  const auto i_slot = b.local("i");
+  b.store_local(i_slot, b.imm(0));
+  const ir::Reg limit = b.load_pkt_at(0, 1);
+  ir::Label too_big = b.make_label();
+  b.br_false(b.leu(limit, b.imm(3)), too_big);
+  ir::Label loop = b.make_label();
+  ir::Label done = b.make_label();
+  b.bind(loop);
+  b.loop_head("n");
+  const ir::Reg i = b.load_local(i_slot);
+  b.br_false(b.ltu(i, limit), done);
+  b.store_local(i_slot, b.add_imm(i, 1));
+  b.jmp(loop);
+  b.bind(done);
+  b.forward_imm(0);
+  b.bind(too_big);
+  b.drop();
+  const ir::Program p = b.finish();
+
+  Executor ex({&p}, {});
+  auto paths = ex.run();
+  // limit = 0,1,2,3 (distinct unrolls) + the too_big path.
+  ASSERT_EQ(paths.size(), 5u);
+  ex.solve_inputs(paths);
+  std::set<std::uint64_t> trips;
+  for (const auto& path : paths) {
+    if (path.action == PathAction::kForward) {
+      trips.insert(path.loop_trips.at(0));
+    }
+  }
+  EXPECT_EQ(trips.size(), 4u);
+}
+
+TEST(Executor, ChainSharesThePacket) {
+  // NF1 forwards IPv4 only; NF2 branches on the same field: the incompatible
+  // combination must not appear.
+  ir::IrBuilder b1("nf1");
+  const ir::Reg et1 = b1.load_pkt_at(12, 2);
+  ir::Label fwd1 = b1.make_label();
+  b1.br_true(b1.eq_imm(et1, 0x0800), fwd1);
+  b1.class_tag("drop_non_ip");
+  b1.drop();
+  b1.bind(fwd1);
+  b1.class_tag("fwd_ip");
+  b1.forward_imm(0);
+  const ir::Program p1 = b1.finish();
+
+  ir::IrBuilder b2("nf2");
+  const ir::Reg et2 = b2.load_pkt_at(12, 2);
+  ir::Label ip2 = b2.make_label();
+  b2.br_true(b2.eq_imm(et2, 0x0800), ip2);
+  b2.class_tag("non_ip");
+  b2.drop();
+  b2.bind(ip2);
+  b2.class_tag("ip");
+  b2.forward_imm(0);
+  const ir::Program p2 = b2.finish();
+
+  Executor ex({&p1, &p2}, {});
+  auto paths = ex.run();
+  ASSERT_EQ(paths.size(), 2u);  // non-IP dropped at NF1; IP through both.
+  for (const auto& path : paths) {
+    if (path.action == PathAction::kForward) {
+      EXPECT_EQ(path.class_tags,
+                (std::vector<std::string>{"nf1:fwd_ip", "nf2:ip"}));
+    }
+  }
+}
+
+TEST(Executor, SolveProducesRunnablePacketFields) {
+  ir::IrBuilder b("fields");
+  const ir::Reg et = b.load_pkt_at(12, 2);
+  ir::Label yes = b.make_label();
+  b.br_true(b.eq_imm(et, 0x0806), yes);
+  b.drop();
+  b.bind(yes);
+  b.forward_imm(0);
+  const ir::Program p = b.finish();
+
+  Executor ex({&p}, {});
+  auto paths = ex.run();
+  ex.solve_inputs(paths);
+  for (const auto& path : paths) {
+    ASSERT_TRUE(path.solved);
+    if (path.action == PathAction::kForward) {
+      ASSERT_EQ(path.fields.size(), 1u);
+      EXPECT_EQ(path.model.at(path.fields[0].sym), 0x0806u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bolt::symbex

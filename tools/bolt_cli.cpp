@@ -1,0 +1,272 @@
+// bolt — command-line front end to the contract generator and Distiller.
+//
+//   bolt contract <nf> [--json]      generate + print an NF's contract
+//   bolt paths <nf>                  per-path report (no coalescing)
+//   bolt distill <nf> <pcap>         run a PCAP through the NF, report PCVs
+//   bolt predict <nf> k=v [k=v...]   evaluate the contract at a PCV binding
+//   bolt gen <kind> <out.pcap> [n]   write a workload PCAP
+//                                    (kind: uniform | churn | bridge | attack
+//                                     | heartbeat)
+//   bolt scenarios                   run the Figure-1 scenario sweep
+//
+// <nf> is one of: bridge, nat, nat-b (allocator B), lb, lpm, lpm-simple,
+// firewall, router, fw+router (the chain).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/bolt.h"
+#include "core/distiller.h"
+#include "core/experiments.h"
+#include "core/scenarios.h"
+#include "net/pcap.h"
+#include "net/workload.h"
+#include "nf/firewall.h"
+#include "perf/contract_io.h"
+#include "support/strings.h"
+
+using namespace bolt;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bolt contract <nf> [--json]\n"
+               "       bolt paths <nf>\n"
+               "       bolt distill <nf> <pcap>\n"
+               "       bolt predict <nf> pcv=value [pcv=value ...]\n"
+               "       bolt gen <kind> <out.pcap> [count]\n"
+               "       bolt scenarios\n"
+               "nf: bridge | nat | nat-b | lb | lpm | lpm-simple | firewall |"
+               " router | fw+router\n");
+  return 2;
+}
+
+/// Holder for an analysable NF (instance-backed or stateless program(s)).
+struct Target {
+  core::NfInstance instance;     // when stateful
+  std::vector<ir::Program> stateless;  // when purely stateless
+  dslib::MethodTable no_methods;
+  bool is_stateless = false;
+
+  core::NfAnalysis analysis() {
+    if (!is_stateless) return instance.analysis();
+    core::NfAnalysis a;
+    a.name = stateless.size() > 1 ? "fw+router" : stateless.front().name;
+    for (const auto& p : stateless) a.programs.push_back(&p);
+    a.methods = &no_methods;
+    return a;
+  }
+};
+
+bool make_target(const std::string& name, perf::PcvRegistry& reg, Target& out) {
+  if (name == "bridge") {
+    out.instance = core::make_bridge(reg, core::default_bridge_config());
+  } else if (name == "nat" || name == "nat-b") {
+    auto cfg = core::default_nat_config();
+    if (name == "nat-b") cfg.allocator = dslib::NatState::AllocatorKind::kB;
+    out.instance = core::make_nat(reg, cfg);
+  } else if (name == "lb") {
+    out.instance = core::make_lb(reg, core::default_lb_config());
+  } else if (name == "lpm") {
+    out.instance = core::make_dir_lpm(reg);
+  } else if (name == "lpm-simple") {
+    out.instance = core::make_simple_lpm(reg);
+  } else if (name == "firewall") {
+    out.stateless.push_back(nf::Firewall::program());
+    out.is_stateless = true;
+  } else if (name == "router") {
+    out.stateless.push_back(nf::StaticRouter::program());
+    out.is_stateless = true;
+  } else if (name == "fw+router") {
+    out.stateless.push_back(nf::Firewall::program());
+    out.stateless.push_back(nf::StaticRouter::program());
+    out.is_stateless = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int cmd_contract(const std::string& nf, bool per_path, bool as_json) {
+  perf::PcvRegistry reg;
+  Target target;
+  if (!make_target(nf, reg, target)) return usage();
+  core::BoltOptions options;
+  options.coalesce = !per_path;
+  core::ContractGenerator generator(reg, options);
+  const auto result = generator.generate(target.analysis());
+  if (as_json) {
+    std::printf("%s\n", perf::contract_to_json(result.contract, reg).c_str());
+    return 0;
+  }
+  std::printf("%s", result.contract.str_all(reg).c_str());
+  std::printf("\npaths: %zu   entries: %zu   unsolved: %zu   pruned: %zu\n",
+              result.total_paths, result.contract.entries().size(),
+              result.unsolved_paths, result.executor_stats.pruned_branches);
+  if (!reg.all().empty()) {
+    std::printf("\nPCV glossary:\n");
+    for (const perf::PcvId id : reg.all()) {
+      if (!reg.description(id).empty()) {
+        std::printf("  %-4s %s\n", reg.name(id).c_str(),
+                    reg.description(id).c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_distill(const std::string& nf, const std::string& pcap) {
+  perf::PcvRegistry reg;
+  Target target;
+  if (!make_target(nf, reg, target)) return usage();
+  std::vector<net::Packet> packets = net::read_pcap(pcap);
+  std::printf("loaded %zu packets from %s\n\n", packets.size(), pcap.c_str());
+
+  hw::RealisticSim testbed;
+  std::unique_ptr<core::NfRunner> runner;
+  if (target.is_stateless) {
+    ir::InterpreterOptions iopts;
+    nf::apply_framework(iopts, nf::framework_full());
+    iopts.sink = &testbed;
+    std::vector<const ir::Program*> programs;
+    for (const auto& p : target.stateless) programs.push_back(&p);
+    runner = std::make_unique<core::NfRunner>(programs, nullptr, iopts);
+  } else {
+    runner = target.instance.make_runner(nf::framework_full(), &testbed);
+  }
+  core::Distiller distiller(
+      *runner, &testbed,
+      target.is_stateless ? nullptr : &target.instance.methods);
+  const auto report = distiller.run(packets);
+
+  std::map<std::string, std::size_t> classes;
+  for (const auto& rec : report.records) ++classes[rec.class_key];
+  std::printf("input classes observed:\n");
+  for (const auto& [key, count] : classes) {
+    std::printf("  %8zu  %s\n", count, key.c_str());
+  }
+  std::printf("\nworst measured: %s instructions, %s accesses, %s cycles\n",
+              support::with_commas(static_cast<std::int64_t>(
+                                       report.worst_measured("instructions")))
+                  .c_str(),
+              support::with_commas(static_cast<std::int64_t>(
+                                       report.worst_measured("mem_accesses")))
+                  .c_str(),
+              support::with_commas(static_cast<std::int64_t>(
+                                       report.worst_measured("cycles")))
+                  .c_str());
+  std::printf("\nworst PCV binding:\n");
+  for (const auto& [id, v] : report.worst_binding().values()) {
+    std::printf("  %-4s = %llu\n", reg.name(id).c_str(),
+                static_cast<unsigned long long>(v));
+  }
+  return 0;
+}
+
+int cmd_predict(const std::string& nf, int argc, char** argv, int first) {
+  perf::PcvRegistry reg;
+  Target target;
+  if (!make_target(nf, reg, target)) return usage();
+  core::ContractGenerator generator(reg);
+  const auto result = generator.generate(target.analysis());
+
+  perf::PcvBinding bind;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || !reg.contains(arg.substr(0, eq))) {
+      std::fprintf(stderr, "bad PCV binding '%s'\n", arg.c_str());
+      return 2;
+    }
+    bind.set(reg.require(arg.substr(0, eq)),
+             std::strtoull(arg.c_str() + eq + 1, nullptr, 10));
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Input Class", "Instructions", "Mem Accesses", "Cycles"});
+  for (const auto& entry : result.contract.entries()) {
+    rows.push_back(
+        {entry.input_class,
+         support::with_commas(
+             entry.perf.get(perf::Metric::kInstructions).eval(bind)),
+         support::with_commas(
+             entry.perf.get(perf::Metric::kMemoryAccesses).eval(bind)),
+         support::with_commas(
+             entry.perf.get(perf::Metric::kCycles).eval(bind))});
+  }
+  std::printf("%s", support::render_table(rows).c_str());
+  return 0;
+}
+
+int cmd_scenarios() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Scenario", "Pred IC", "Meas IC", "Pred cycles",
+                  "Meas cycles", "Ratio"});
+  for (const std::string& id : core::all_scenario_ids()) {
+    perf::PcvRegistry reg;
+    core::Scenario scenario = core::make_scenario(id, reg);
+    const auto r = core::run_scenario(scenario, reg);
+    char ratio[16];
+    std::snprintf(ratio, sizeof ratio, "%.2f", r.cycles_ratio());
+    rows.push_back(
+        {r.id, support::with_commas(r.predicted_ic),
+         support::with_commas(static_cast<std::int64_t>(r.measured_ic)),
+         support::with_commas(r.predicted_cycles),
+         support::with_commas(static_cast<std::int64_t>(r.measured_cycles)),
+         ratio});
+  }
+  std::printf("%s", support::render_table(rows).c_str());
+  return 0;
+}
+
+int cmd_gen(const std::string& kind, const std::string& out,
+            std::size_t count) {
+  std::vector<net::Packet> packets;
+  if (kind == "uniform") {
+    net::UniformSpec spec;
+    spec.packet_count = count;
+    packets = net::uniform_random_traffic(spec);
+  } else if (kind == "churn") {
+    net::ChurnSpec spec;
+    spec.packet_count = count;
+    spec.churn = 0.1;
+    packets = net::churn_traffic(spec);
+  } else if (kind == "bridge") {
+    net::BridgeSpec spec;
+    spec.packet_count = count;
+    spec.broadcast_fraction = 0.1;
+    packets = net::bridge_traffic(spec);
+  } else if (kind == "attack") {
+    net::BridgeAttackSpec spec;
+    spec.packet_count = count;
+    packets = net::bridge_collision_attack(spec);
+  } else if (kind == "heartbeat") {
+    net::HeartbeatSpec spec;
+    spec.packet_count = count;
+    packets = net::heartbeat_traffic(spec);
+  } else {
+    return usage();
+  }
+  net::write_pcap(out, packets);
+  std::printf("wrote %zu packets to %s\n", packets.size(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const bool json = argc >= 4 && std::strcmp(argv[3], "--json") == 0;
+  if (cmd == "contract" && argc >= 3) return cmd_contract(argv[2], false, json);
+  if (cmd == "paths" && argc >= 3) return cmd_contract(argv[2], true, json);
+  if (cmd == "distill" && argc >= 4) return cmd_distill(argv[2], argv[3]);
+  if (cmd == "predict" && argc >= 3) return cmd_predict(argv[2], argc, argv, 3);
+  if (cmd == "gen" && argc >= 4) {
+    return cmd_gen(argv[2], argv[3],
+                   argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 10'000);
+  }
+  if (cmd == "scenarios") return cmd_scenarios();
+  return usage();
+}
