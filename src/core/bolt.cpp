@@ -1,10 +1,12 @@
 #include "core/bolt.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/classkey.h"
 #include "core/runner.h"
 #include "support/assert.h"
+#include "support/thread_pool.h"
 
 namespace bolt::core {
 
@@ -95,27 +97,43 @@ GenerationResult ContractGenerator::generate(const NfAnalysis& nf) {
   result.contract = perf::Contract(nf.name);
 
   // 1) Substitute models (Alg. 2 line 2) and explore all paths (line 3).
+  //    The executor fans exploration out across worker threads and returns
+  //    paths canonicalized (sorted, symbols renumbered), so everything
+  //    downstream is independent of the thread count.
   std::map<std::int64_t, symbex::SymbolicModel> models;
   for (const auto& [id, spec] : *nf.methods) models.emplace(id, spec.model);
-  symbex::Executor executor(nf.programs, std::move(models), options_.executor);
+  symbex::ExecutorOptions exec_options = options_.executor;
+  if (exec_options.threads == 0) exec_options.threads = options_.threads;
+  symbex::Executor executor(nf.programs, std::move(models), exec_options);
   std::vector<symbex::PathResult> paths = executor.run();
   result.executor_stats = executor.stats();
   result.total_paths = paths.size();
 
-  // 2) Solve for concrete inputs (line 6).
+  // 2) Solve for concrete inputs (line 6) — one independent solve per path,
+  //    fanned out inside solve_inputs.
   executor.solve_inputs(paths);
 
-  // 3) Replay each path and assemble its expressions (lines 7-15).
+  // 3) Replay each path and assemble its expressions (lines 7-15). Replays
+  //    are independent (each gets its own interpreter + cycle model over
+  //    the shared read-only programs), so they fan out across the pool;
+  //    report slots are preassigned so the output order stays canonical.
   const hw::CycleCosts& cc = options_.cycle_costs;
-  for (const symbex::PathResult& path : paths) {
-    PathReport report;
+  result.path_reports.resize(paths.size());
+  std::atomic<std::size_t> unsolved{0};
+  // The pipeline-wide knob sizes this pool (executor.threads only governs
+  // the exploration/solving stages above), capped at one worker per path.
+  support::ThreadPool pool(
+      std::min(support::resolve_threads(options_.threads),
+               std::max<std::size_t>(paths.size(), 1)));
+  pool.parallel_for(0, paths.size(), [&](std::size_t path_index) {
+    const symbex::PathResult& path = paths[path_index];
+    PathReport& report = result.path_reports[path_index];
     report.action = path.action;
     report.loop_trips = path.loop_trips;
     report.class_key = class_key(path.class_tags, call_cases_of(path, *nf.methods));
     if (!path.solved) {
-      ++result.unsolved_paths;
-      result.path_reports.push_back(std::move(report));
-      continue;
+      unsolved.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
     report.solved = true;
 
@@ -168,10 +186,12 @@ GenerationResult ContractGenerator::generate(const NfAnalysis& nf) {
     report.exprs.set(Metric::kInstructions, std::move(instr));
     report.exprs.set(Metric::kMemoryAccesses, std::move(ma));
     report.exprs.set(Metric::kCycles, std::move(cycles));
-    result.path_reports.push_back(std::move(report));
-  }
+  });
+  result.unsolved_paths = unsolved.load();
 
-  // 4) Group paths into input classes and coalesce (paper §3.2/§6).
+  // 4) Group paths into input classes and coalesce (paper §3.2/§6). This
+  //    merge is sequential and deterministic: reports arrive in canonical
+  //    path order and groups iterate sorted by class key.
   std::map<std::string, std::vector<const PathReport*>> groups;
   for (const PathReport& r : result.path_reports) {
     if (r.solved) groups[r.class_key].push_back(&r);

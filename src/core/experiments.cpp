@@ -9,6 +9,7 @@
 #include "net/workload.h"
 #include "nf/nat.h"
 #include "support/assert.h"
+#include "support/thread_pool.h"
 
 namespace bolt::core {
 namespace {
@@ -247,10 +248,7 @@ ScenarioResult run_scenario(Scenario& scenario, perf::PcvRegistry& reg,
   //    hardware simulator attached (the "testbed").
   hw::RealisticSim testbed(options.cycle_costs);
   auto runner = scenario.nf.make_runner(options.framework, &testbed);
-  for (net::Packet& p : scenario.warmup) {
-    testbed.begin_packet();
-    runner->process(p);
-  }
+  runner->process_trace(scenario.warmup, &testbed);
   if (scenario.post_warmup) scenario.post_warmup(scenario.nf);
 
   Distiller distiller(*runner, &testbed, &scenario.nf.methods);
@@ -281,6 +279,31 @@ ScenarioResult run_scenario(Scenario& scenario, perf::PcvRegistry& reg,
         entry->perf.get(perf::Metric::kCycles).eval(binding));
   }
   return result;
+}
+
+std::vector<ScenarioResult> run_scenarios(const std::vector<std::string>& ids,
+                                          const BoltOptions& options,
+                                          std::size_t threads) {
+  // Scenario sweeps are parallel at the scenario level; keep each inner
+  // pipeline single-threaded unless the caller explicitly asked for more
+  // (an explicit executor.threads still applies to exploration only —
+  // without this clamp the auto default would spawn a full-width replay
+  // pool inside every concurrent scenario).
+  BoltOptions per_scenario = options;
+  if (per_scenario.threads == 0) per_scenario.threads = 1;
+  std::vector<ScenarioResult> results(ids.size());
+  support::ThreadPool pool(support::resolve_threads(threads));
+  pool.parallel_for(0, ids.size(), [&](std::size_t i) {
+    perf::PcvRegistry reg;
+    Scenario scenario = make_scenario(ids[i], reg);
+    results[i] = run_scenario(scenario, reg, per_scenario);
+  });
+  return results;
+}
+
+std::vector<ScenarioResult> run_all_scenarios(const BoltOptions& options,
+                                              std::size_t threads) {
+  return run_scenarios(all_scenario_ids(), options, threads);
 }
 
 }  // namespace bolt::core

@@ -69,4 +69,19 @@ struct ScenarioResult {
 ScenarioResult run_scenario(Scenario& scenario, perf::PcvRegistry& reg,
                             const BoltOptions& options = {});
 
+/// Parallel experiment driver: builds and runs each scenario concurrently
+/// (scenarios share nothing — each gets its own PcvRegistry and NF
+/// instance) and returns results in `ids` order, so sweeps are
+/// deterministic at any thread count. `threads` sizes the sweep pool
+/// (0 = one per hardware thread). Unless `options` asks otherwise, each
+/// scenario's inner pipeline runs single-threaded — the sweep is the
+/// parallelism, and nesting pools oversubscribes.
+std::vector<ScenarioResult> run_scenarios(const std::vector<std::string>& ids,
+                                          const BoltOptions& options = {},
+                                          std::size_t threads = 0);
+
+/// Convenience: the full fourteen-scenario paper sweep, in parallel.
+std::vector<ScenarioResult> run_all_scenarios(const BoltOptions& options = {},
+                                              std::size_t threads = 0);
+
 }  // namespace bolt::core

@@ -41,4 +41,12 @@ ir::RunResult NfRunner::process(net::Packet& packet) {
   return merged;
 }
 
+void NfRunner::process_trace(std::vector<net::Packet>& packets,
+                             hw::CycleModel* sink) {
+  for (net::Packet& p : packets) {
+    if (sink != nullptr) sink->begin_packet();
+    process(p);
+  }
+}
+
 }  // namespace bolt::core

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "hw/models.h"
 #include "ir/interp.h"
 #include "ir/program.h"
 #include "ir/stateful.h"
@@ -22,6 +23,14 @@ class NfRunner {
   /// Runs the packet through the chain (stopping at the first drop).
   /// Counters/tags/calls/PCVs are merged across the chain.
   ir::RunResult process(net::Packet& packet);
+
+  /// Replays a whole trace in order (mutating the packets, as the NF
+  /// would), marking packet boundaries on `sink` when given. A runner is
+  /// inherently sequential (the NF's state is shared across packets), so
+  /// parallel drivers — the scenario sweep, the bench harnesses — run one
+  /// NfRunner per worker and split the *traces*, not the packets.
+  void process_trace(std::vector<net::Packet>& packets,
+                     hw::CycleModel* sink = nullptr);
 
   const std::vector<const ir::Program*>& programs() const { return programs_; }
 

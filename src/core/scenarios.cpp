@@ -1,5 +1,7 @@
 #include "core/scenarios.h"
 
+#include "ir/cost.h"
+
 #include "nf/bridge.h"
 #include "nf/lb.h"
 #include "nf/lpm_router.h"
@@ -36,6 +38,10 @@ dslib::LbState::Config default_lb_config() {
 
 NfInstance make_bridge(perf::PcvRegistry& reg,
                        const dslib::MacTable::Config& config) {
+  // Deterministic per-kind arena bank: the same NF always occupies the
+  // same address space regardless of which thread built it, and different
+  // NF kinds stay disjoint if ever composed into one simulated memory.
+  ir::ArenaAllocator::reset(0);
   NfInstance nf;
   nf.name = "bridge";
   nf.program = nf::Bridge::program();
@@ -49,6 +55,10 @@ NfInstance make_bridge(perf::PcvRegistry& reg,
 
 NfInstance make_nat(perf::PcvRegistry& reg,
                     const dslib::NatState::Config& config) {
+  // Deterministic per-kind arena bank: the same NF always occupies the
+  // same address space regardless of which thread built it, and different
+  // NF kinds stay disjoint if ever composed into one simulated memory.
+  ir::ArenaAllocator::reset(1);
   NfInstance nf;
   nf.name = "nat";
   nf.program = nf::Nat::program(config.external_ip);
@@ -62,6 +72,10 @@ NfInstance make_nat(perf::PcvRegistry& reg,
 
 NfInstance make_lb(perf::PcvRegistry& reg,
                    const dslib::LbState::Config& config) {
+  // Deterministic per-kind arena bank: the same NF always occupies the
+  // same address space regardless of which thread built it, and different
+  // NF kinds stay disjoint if ever composed into one simulated memory.
+  ir::ArenaAllocator::reset(2);
   NfInstance nf;
   nf.name = "lb";
   nf.program = nf::Lb::program(config.heartbeat_port);
@@ -74,6 +88,10 @@ NfInstance make_lb(perf::PcvRegistry& reg,
 }
 
 NfInstance make_simple_lpm(perf::PcvRegistry& reg) {
+  // Deterministic per-kind arena bank: the same NF always occupies the
+  // same address space regardless of which thread built it, and different
+  // NF kinds stay disjoint if ever composed into one simulated memory.
+  ir::ArenaAllocator::reset(3);
   NfInstance nf;
   nf.name = "lpm_simple";
   nf.program = nf::SimpleLpmRouter::program();
@@ -86,6 +104,10 @@ NfInstance make_simple_lpm(perf::PcvRegistry& reg) {
 }
 
 NfInstance make_dir_lpm(perf::PcvRegistry& reg) {
+  // Deterministic per-kind arena bank: the same NF always occupies the
+  // same address space regardless of which thread built it, and different
+  // NF kinds stay disjoint if ever composed into one simulated memory.
+  ir::ArenaAllocator::reset(4);
   NfInstance nf;
   nf.name = "lpm_dir24_8";
   nf.program = nf::DirLpmRouter::program();

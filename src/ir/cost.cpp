@@ -2,13 +2,20 @@
 
 namespace bolt::ir {
 namespace {
-std::uint64_t g_next_arena = 0;
+// Thread-local: parallel pipelines (scenario sweeps, per-path replays)
+// construct dslib objects concurrently, and a shared counter would both
+// race and hand out scheduling-dependent addresses. See the class comment
+// in cost.h for the banking scheme.
+thread_local std::uint64_t t_next_arena = 0;
+constexpr std::uint64_t kArenasPerBank = 8;
 }  // namespace
 
 std::uint64_t ArenaAllocator::next_base() {
-  return kArenaBase + (g_next_arena++) * kArenaStride;
+  return kArenaBase + (t_next_arena++) * kArenaStride;
 }
 
-void ArenaAllocator::reset() { g_next_arena = 0; }
+void ArenaAllocator::reset(std::uint64_t bank) {
+  t_next_arena = bank * kArenasPerBank;
+}
 
 }  // namespace bolt::ir

@@ -102,12 +102,20 @@ class CostMeter {
 };
 
 /// Deterministic arena-address allocator for dslib objects.
+///
+/// The counter is thread-local (parallel pipelines construct dslib objects
+/// concurrently) and NF-instance factories reset it to a fixed per-NF-kind
+/// *bank*, so a given NF always occupies the same address space no matter
+/// which worker built it, while instances of *different* kinds stay
+/// disjoint when composed into one simulated address space (e.g. a future
+/// stateful chain). Two live instances of the same kind do overlap — give
+/// the second one its own bank if that composition ever arises.
 class ArenaAllocator {
  public:
   /// Returns the base address for the next arena (16 MiB apart).
   static std::uint64_t next_base();
-  /// Resets numbering (tests/benches call this for full determinism).
-  static void reset();
+  /// Resets numbering to the start of `bank` (banks are 8 arenas wide).
+  static void reset(std::uint64_t bank = 0);
 };
 
 }  // namespace bolt::ir

@@ -2,7 +2,6 @@
 #pragma once
 
 #include <array>
-#include <compare>
 #include <cstdint>
 #include <string>
 
@@ -26,7 +25,15 @@ struct MacAddress {
 
   std::string str() const;
 
-  auto operator<=>(const MacAddress&) const = default;
+  friend bool operator==(const MacAddress& a, const MacAddress& b) {
+    return a.bytes == b.bytes;
+  }
+  friend bool operator!=(const MacAddress& a, const MacAddress& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const MacAddress& a, const MacAddress& b) {
+    return a.bytes < b.bytes;
+  }
 };
 
 /// IPv4 address stored in host order for arithmetic convenience.
@@ -41,7 +48,15 @@ struct Ipv4Address {
 
   std::string str() const;
 
-  auto operator<=>(const Ipv4Address&) const = default;
+  friend bool operator==(const Ipv4Address& a, const Ipv4Address& b) {
+    return a.value == b.value;
+  }
+  friend bool operator!=(const Ipv4Address& a, const Ipv4Address& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Ipv4Address& a, const Ipv4Address& b) {
+    return a.value < b.value;
+  }
 };
 
 }  // namespace bolt::net

@@ -2,7 +2,7 @@
 
 namespace bolt::net {
 
-std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+std::uint32_t checksum_accumulate(support::Span<const std::uint8_t> data,
                                   std::uint32_t accumulator) {
   std::size_t i = 0;
   for (; i + 1 < data.size(); i += 2) {
@@ -21,7 +21,7 @@ std::uint16_t checksum_finish(std::uint32_t accumulator) {
   return static_cast<std::uint16_t>(~accumulator & 0xffff);
 }
 
-std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+std::uint16_t internet_checksum(support::Span<const std::uint8_t> data) {
   return checksum_finish(checksum_accumulate(data));
 }
 

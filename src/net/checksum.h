@@ -3,19 +3,19 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <span>
+#include "support/span.h"
 
 namespace bolt::net {
 
 /// One's-complement sum used by the internet checksum; returns the running
 /// 32-bit accumulator so callers can checksum discontiguous regions.
-std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+std::uint32_t checksum_accumulate(support::Span<const std::uint8_t> data,
                                   std::uint32_t accumulator = 0);
 
 /// Finalises an accumulator into the 16-bit checksum field value.
 std::uint16_t checksum_finish(std::uint32_t accumulator);
 
 /// Convenience: full internet checksum of one contiguous region.
-std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+std::uint16_t internet_checksum(support::Span<const std::uint8_t> data);
 
 }  // namespace bolt::net

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <tuple>
 
 #include "net/addresses.h"
 #include "net/packet.h"
@@ -22,7 +23,15 @@ struct FiveTuple {
   std::uint16_t dst_port = 0;
   std::uint8_t protocol = 0;
 
-  auto operator<=>(const FiveTuple&) const = default;
+  friend bool operator==(const FiveTuple& a, const FiveTuple& b) {
+    return a.tie() == b.tie();
+  }
+  friend bool operator!=(const FiveTuple& a, const FiveTuple& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const FiveTuple& a, const FiveTuple& b) {
+    return a.tie() < b.tie();
+  }
 
   /// Packs the tuple into a 64-bit key the dslib flow table uses:
   /// a 64-bit mix of the 104 tuple bits. Collisions of the *key* are
@@ -33,6 +42,13 @@ struct FiveTuple {
   /// Reversed tuple (for return traffic).
   FiveTuple reversed() const {
     return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+ private:
+  std::tuple<std::uint32_t, std::uint32_t, std::uint16_t, std::uint16_t,
+             std::uint8_t>
+  tie() const {
+    return {src_ip.value, dst_ip.value, src_port, dst_port, protocol};
   }
 };
 

@@ -36,32 +36,32 @@ std::string Ipv4Address::str() const {
   return buf;
 }
 
-std::uint16_t load_be16(std::span<const std::uint8_t> buf, std::size_t offset) {
+std::uint16_t load_be16(support::Span<const std::uint8_t> buf, std::size_t offset) {
   BOLT_CHECK(offset + 2 <= buf.size(), "load_be16 out of range");
   return static_cast<std::uint16_t>((buf[offset] << 8) | buf[offset + 1]);
 }
 
-std::uint32_t load_be32(std::span<const std::uint8_t> buf, std::size_t offset) {
+std::uint32_t load_be32(support::Span<const std::uint8_t> buf, std::size_t offset) {
   BOLT_CHECK(offset + 4 <= buf.size(), "load_be32 out of range");
   return (std::uint32_t(buf[offset]) << 24) |
          (std::uint32_t(buf[offset + 1]) << 16) |
          (std::uint32_t(buf[offset + 2]) << 8) | buf[offset + 3];
 }
 
-std::uint64_t load_be48(std::span<const std::uint8_t> buf, std::size_t offset) {
+std::uint64_t load_be48(support::Span<const std::uint8_t> buf, std::size_t offset) {
   BOLT_CHECK(offset + 6 <= buf.size(), "load_be48 out of range");
   std::uint64_t v = 0;
   for (std::size_t i = 0; i < 6; ++i) v = (v << 8) | buf[offset + i];
   return v;
 }
 
-void store_be16(std::span<std::uint8_t> buf, std::size_t offset, std::uint16_t v) {
+void store_be16(support::Span<std::uint8_t> buf, std::size_t offset, std::uint16_t v) {
   BOLT_CHECK(offset + 2 <= buf.size(), "store_be16 out of range");
   buf[offset] = static_cast<std::uint8_t>(v >> 8);
   buf[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
 }
 
-void store_be32(std::span<std::uint8_t> buf, std::size_t offset, std::uint32_t v) {
+void store_be32(support::Span<std::uint8_t> buf, std::size_t offset, std::uint32_t v) {
   BOLT_CHECK(offset + 4 <= buf.size(), "store_be32 out of range");
   for (int i = 3; i >= 0; --i) {
     buf[offset + std::size_t(i)] = static_cast<std::uint8_t>(v & 0xff);
@@ -69,7 +69,7 @@ void store_be32(std::span<std::uint8_t> buf, std::size_t offset, std::uint32_t v
   }
 }
 
-void store_be48(std::span<std::uint8_t> buf, std::size_t offset, std::uint64_t v) {
+void store_be48(support::Span<std::uint8_t> buf, std::size_t offset, std::uint64_t v) {
   BOLT_CHECK(offset + 6 <= buf.size(), "store_be48 out of range");
   for (int i = 5; i >= 0; --i) {
     buf[offset + std::size_t(i)] = static_cast<std::uint8_t>(v & 0xff);
@@ -77,7 +77,7 @@ void store_be48(std::span<std::uint8_t> buf, std::size_t offset, std::uint64_t v
   }
 }
 
-std::optional<EthernetHeader> parse_ethernet(std::span<const std::uint8_t> buf) {
+std::optional<EthernetHeader> parse_ethernet(support::Span<const std::uint8_t> buf) {
   if (buf.size() < kEthernetHeaderSize) return std::nullopt;
   EthernetHeader h;
   for (std::size_t i = 0; i < 6; ++i) h.dst.bytes[i] = buf[i];
@@ -86,7 +86,7 @@ std::optional<EthernetHeader> parse_ethernet(std::span<const std::uint8_t> buf) 
   return h;
 }
 
-std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> buf,
+std::optional<Ipv4Header> parse_ipv4(support::Span<const std::uint8_t> buf,
                                      std::size_t offset) {
   if (offset + kIpv4MinHeaderSize > buf.size()) return std::nullopt;
   Ipv4Header h;
@@ -112,7 +112,7 @@ std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> buf,
   return h;
 }
 
-std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> buf,
+std::optional<UdpHeader> parse_udp(support::Span<const std::uint8_t> buf,
                                    std::size_t offset) {
   if (offset + kUdpHeaderSize > buf.size()) return std::nullopt;
   UdpHeader h;
@@ -123,7 +123,7 @@ std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> buf,
   return h;
 }
 
-std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> buf,
+std::optional<TcpHeader> parse_tcp(support::Span<const std::uint8_t> buf,
                                    std::size_t offset) {
   if (offset + kTcpMinHeaderSize > buf.size()) return std::nullopt;
   TcpHeader h;
@@ -139,14 +139,14 @@ std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> buf,
   return h;
 }
 
-void write_ethernet(std::span<std::uint8_t> buf, const EthernetHeader& h) {
+void write_ethernet(support::Span<std::uint8_t> buf, const EthernetHeader& h) {
   BOLT_CHECK(buf.size() >= kEthernetHeaderSize, "buffer too small for ethernet");
   for (std::size_t i = 0; i < 6; ++i) buf[i] = h.dst.bytes[i];
   for (std::size_t i = 0; i < 6; ++i) buf[6 + i] = h.src.bytes[i];
   store_be16(buf, 12, h.ether_type);
 }
 
-void write_ipv4(std::span<std::uint8_t> buf, std::size_t offset,
+void write_ipv4(support::Span<std::uint8_t> buf, std::size_t offset,
                 const Ipv4Header& h) {
   BOLT_CHECK(h.options.size() % 4 == 0, "IPv4 options must be padded to 4B");
   const std::uint8_t ihl =
@@ -168,11 +168,11 @@ void write_ipv4(std::span<std::uint8_t> buf, std::size_t offset,
     buf[offset + kIpv4MinHeaderSize + i] = h.options[i];
   }
   const std::uint16_t csum = internet_checksum(
-      std::span<const std::uint8_t>(buf.data() + offset, std::size_t(ihl) * 4));
+      support::Span<const std::uint8_t>(buf.data() + offset, std::size_t(ihl) * 4));
   store_be16(buf, offset + 10, csum);
 }
 
-void write_udp(std::span<std::uint8_t> buf, std::size_t offset,
+void write_udp(support::Span<std::uint8_t> buf, std::size_t offset,
                const UdpHeader& h) {
   BOLT_CHECK(offset + kUdpHeaderSize <= buf.size(), "buffer too small for UDP");
   store_be16(buf, offset, h.src_port);
@@ -181,7 +181,7 @@ void write_udp(std::span<std::uint8_t> buf, std::size_t offset,
   store_be16(buf, offset + 6, h.checksum);
 }
 
-void write_tcp(std::span<std::uint8_t> buf, std::size_t offset,
+void write_tcp(support::Span<std::uint8_t> buf, std::size_t offset,
                const TcpHeader& h) {
   BOLT_CHECK(offset + kTcpMinHeaderSize <= buf.size(), "buffer too small for TCP");
   store_be16(buf, offset, h.src_port);
@@ -195,7 +195,7 @@ void write_tcp(std::span<std::uint8_t> buf, std::size_t offset,
   store_be16(buf, offset + 18, h.urgent);
 }
 
-std::optional<int> count_ipv4_options(std::span<const std::uint8_t> options) {
+std::optional<int> count_ipv4_options(support::Span<const std::uint8_t> options) {
   int count = 0;
   std::size_t i = 0;
   while (i < options.size()) {

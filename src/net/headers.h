@@ -8,7 +8,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <span>
+#include "support/span.h"
 #include <vector>
 
 #include "net/addresses.h"
@@ -37,12 +37,12 @@ inline constexpr std::uint8_t kIpOptTimestamp = 68;  // RFC 781
 
 // --- Byte-order helpers -----------------------------------------------------
 
-std::uint16_t load_be16(std::span<const std::uint8_t> buf, std::size_t offset);
-std::uint32_t load_be32(std::span<const std::uint8_t> buf, std::size_t offset);
-std::uint64_t load_be48(std::span<const std::uint8_t> buf, std::size_t offset);
-void store_be16(std::span<std::uint8_t> buf, std::size_t offset, std::uint16_t v);
-void store_be32(std::span<std::uint8_t> buf, std::size_t offset, std::uint32_t v);
-void store_be48(std::span<std::uint8_t> buf, std::size_t offset, std::uint64_t v);
+std::uint16_t load_be16(support::Span<const std::uint8_t> buf, std::size_t offset);
+std::uint32_t load_be32(support::Span<const std::uint8_t> buf, std::size_t offset);
+std::uint64_t load_be48(support::Span<const std::uint8_t> buf, std::size_t offset);
+void store_be16(support::Span<std::uint8_t> buf, std::size_t offset, std::uint16_t v);
+void store_be32(support::Span<std::uint8_t> buf, std::size_t offset, std::uint32_t v);
+void store_be48(support::Span<std::uint8_t> buf, std::size_t offset, std::uint64_t v);
 
 // --- Parsed header views ----------------------------------------------------
 
@@ -92,31 +92,31 @@ struct TcpHeader {
 // --- Parsing ----------------------------------------------------------------
 
 /// Parses the Ethernet header at offset 0; nullopt if the buffer is short.
-std::optional<EthernetHeader> parse_ethernet(std::span<const std::uint8_t> buf);
+std::optional<EthernetHeader> parse_ethernet(support::Span<const std::uint8_t> buf);
 
 /// Parses an IPv4 header at `offset`; validates version/ihl/lengths.
-std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> buf,
+std::optional<Ipv4Header> parse_ipv4(support::Span<const std::uint8_t> buf,
                                      std::size_t offset);
 
-std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> buf,
+std::optional<UdpHeader> parse_udp(support::Span<const std::uint8_t> buf,
                                    std::size_t offset);
-std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> buf,
+std::optional<TcpHeader> parse_tcp(support::Span<const std::uint8_t> buf,
                                    std::size_t offset);
 
 // --- Serialisation (used by PacketBuilder) ----------------------------------
 
-void write_ethernet(std::span<std::uint8_t> buf, const EthernetHeader& h);
+void write_ethernet(support::Span<std::uint8_t> buf, const EthernetHeader& h);
 /// Writes the IPv4 header (including options) and computes its checksum.
-void write_ipv4(std::span<std::uint8_t> buf, std::size_t offset,
+void write_ipv4(support::Span<std::uint8_t> buf, std::size_t offset,
                 const Ipv4Header& h);
-void write_udp(std::span<std::uint8_t> buf, std::size_t offset,
+void write_udp(support::Span<std::uint8_t> buf, std::size_t offset,
                const UdpHeader& h);
-void write_tcp(std::span<std::uint8_t> buf, std::size_t offset,
+void write_tcp(support::Span<std::uint8_t> buf, std::size_t offset,
                const TcpHeader& h);
 
 /// Counts IPv4 options in the raw option bytes (NOPs count; END terminates;
 /// multi-byte options advance by their length byte). Returns nullopt for
 /// malformed encodings. This mirrors the static router's option walk.
-std::optional<int> count_ipv4_options(std::span<const std::uint8_t> options);
+std::optional<int> count_ipv4_options(support::Span<const std::uint8_t> options);
 
 }  // namespace bolt::net

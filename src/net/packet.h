@@ -6,7 +6,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "support/span.h"
 #include <vector>
 
 namespace bolt::net {
@@ -24,8 +24,8 @@ class Packet {
          std::uint16_t in_port = 0)
       : data_(std::move(data)), timestamp_ns_(timestamp_ns), in_port_(in_port) {}
 
-  std::span<const std::uint8_t> bytes() const { return data_; }
-  std::span<std::uint8_t> mutable_bytes() { return data_; }
+  support::Span<const std::uint8_t> bytes() const { return data_; }
+  support::Span<std::uint8_t> mutable_bytes() { return data_; }
   std::size_t size() const { return data_.size(); }
 
   TimestampNs timestamp_ns() const { return timestamp_ns_; }

@@ -1,0 +1,68 @@
+// Minimal C++17 stand-in for std::span (the toolchain target is C++17,
+// which predates <span>). Non-owning view over a contiguous sequence;
+// implicitly constructible from vectors, arrays, and (data, size) pairs,
+// with the usual const-qualifying conversion Span<T> -> Span<const T>.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "support/assert.h"
+
+namespace bolt::support {
+
+template <typename T>
+class Span {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+
+  constexpr Span() noexcept = default;
+  constexpr Span(T* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  /// From any contiguous container exposing data()/size() whose element
+  /// pointer converts to T* (std::vector, std::array, std::string, ...).
+  template <typename C,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<C&>().data()), T*>>>
+  constexpr Span(C& c) noexcept : data_(c.data()), size_(c.size()) {}
+
+  /// Const-qualifying conversion: Span<T> -> Span<const T>.
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  constexpr Span(const Span<U>& other) noexcept
+      : data_(other.data()), size_(other.size()) {}
+
+  constexpr T* data() const noexcept { return data_; }
+  constexpr std::size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr T* begin() const noexcept { return data_; }
+  constexpr T* end() const noexcept { return data_ + size_; }
+
+  Span subspan(std::size_t offset) const {
+    BOLT_CHECK(offset <= size_, "Span::subspan offset out of range");
+    return Span(data_ + offset, size_ - offset);
+  }
+  Span subspan(std::size_t offset, std::size_t count) const {
+    BOLT_CHECK(offset <= size_ && count <= size_ - offset,
+               "Span::subspan range out of range");
+    return Span(data_ + offset, count);
+  }
+  Span first(std::size_t count) const { return subspan(0, count); }
+  Span last(std::size_t count) const {
+    BOLT_CHECK(count <= size_, "Span::last count out of range");
+    return Span(data_ + (size_ - count), count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bolt::support

@@ -1,0 +1,121 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bolt::support {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;   // workers wait here for a batch
+  std::condition_variable done_cv;   // parallel_for waits here for drain
+
+  // Current batch. A new batch is published by bumping `generation`.
+  std::uint64_t generation = 0;
+  std::size_t end = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t in_flight = 0;  // workers still inside the current batch
+  std::exception_ptr first_error;
+  bool shutdown = false;
+
+  std::vector<std::thread> workers;
+
+  void run_indices(const std::function<void(std::size_t)>& fn,
+                   std::size_t limit) {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= limit) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      work_cv.wait(lock, [&] { return shutdown || generation != seen; });
+      if (shutdown) return;
+      seen = generation;
+      // The batch may have fully drained (and its body gone out of scope on
+      // the submitting thread) before this worker woke: skip it.
+      if (body == nullptr) continue;
+      const std::function<void(std::size_t)>* fn = body;
+      const std::size_t limit = end;
+      ++in_flight;
+      lock.unlock();
+      run_indices(*fn, limit);
+      lock.lock();
+      if (--in_flight == 0) done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : impl_(new Impl), threads_(resolve_threads(threads)) {
+  // The submitting thread participates in every batch, so spawn one fewer.
+  for (std::size_t i = 1; i < threads_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  auto shifted = [&body, begin](std::size_t i) { body(begin + i); };
+  const std::function<void(std::size_t)> fn = shifted;
+
+  if (impl_->workers.empty() || count == 1) {
+    // Degenerate case: run inline (still honouring exception capture).
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->run_indices(fn, count);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      impl_->next.store(0, std::memory_order_relaxed);
+      impl_->end = count;
+      impl_->body = &fn;
+      ++impl_->generation;
+    }
+    impl_->work_cv.notify_all();
+    impl_->run_indices(fn, count);
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] { return impl_->in_flight == 0; });
+    impl_->body = nullptr;
+  }
+
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->first_error) {
+    std::exception_ptr err = impl_->first_error;
+    impl_->first_error = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace bolt::support

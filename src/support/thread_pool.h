@@ -1,0 +1,48 @@
+// A small fixed-size thread pool for the embarrassingly parallel stages of
+// the Bolt pipeline (per-path solving, concrete replay, scenario sweeps).
+//
+// Design constraints, in order:
+//   * determinism at the call site — parallel_for hands out disjoint indices
+//     and the caller writes results into per-index slots, so the merged
+//     output is identical at 1, 2, or N threads;
+//   * fail loudly — an exception thrown by any task is captured and
+//     rethrown on the submitting thread (BOLT_CHECK aborts outright, which
+//     is also fine: a wrong contract is worse than a dead analysis run);
+//   * zero dependencies — plain std::thread, usable under TSan.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace bolt::support {
+
+/// Resolves a thread-count knob: 0 means "one per hardware thread",
+/// anything else is used as given (clamped to >= 1).
+std::size_t resolve_threads(std::size_t requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware_concurrency). The pool is
+  /// idle until parallel_for is called.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_; }
+
+  /// Runs body(i) for every i in [begin, end), distributing indices across
+  /// the pool dynamically (atomic grab), and blocks until all complete.
+  /// The submitting thread participates, so a 1-thread pool degenerates to
+  /// a plain loop. The first exception thrown by any body is rethrown here.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t threads_;
+};
+
+}  // namespace bolt::support

@@ -1,8 +1,16 @@
 #include "symbex/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <utility>
 
 #include "support/assert.h"
+#include "support/thread_pool.h"
 
 namespace bolt::symbex {
 
@@ -37,6 +45,126 @@ struct Executor::State {
   std::vector<std::tuple<std::uint64_t, std::uint8_t, ExprPtr>> writes;
 };
 
+// Shared state of one exploration run: the work queue, the termination
+// protocol (queue empty + no worker active, or path budget exhausted), and
+// the result sink. Stats are atomics so workers never serialize on them.
+//
+// Workers spawn on demand: the calling thread explores inline, and extra
+// workers are only started when a push leaves backlog behind. An NF with
+// two paths never pays for a 64-thread team; a big chain ramps up to the
+// configured width within a few forks.
+struct Executor::Explore {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<State> queue;   // LIFO: newest fork first, DFS-like memory use
+  std::size_t active = 0;     // workers currently executing a state
+  bool stop = false;          // path budget exhausted
+  std::size_t max_workers = 1;     // including the inline caller
+  std::size_t total_workers = 1;   // spawned + inline
+  std::vector<std::thread> spawned;
+  Executor* owner = nullptr;
+  std::vector<PathResult> results;
+  std::atomic<std::size_t> pruned{0};
+  std::atomic<std::size_t> abandoned{0};
+  std::atomic<std::size_t> unknowns{0};
+
+  void push(State s) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      queue.push_back(std::move(s));
+      // Backlog beyond what this pusher will pop itself: grow the team.
+      if (!stop && total_workers < max_workers && queue.size() > 1) {
+        ++total_workers;
+        Executor* exec = owner;
+        spawned.emplace_back([exec, this] { exec->explore_worker(*this); });
+      }
+    }
+    cv.notify_one();
+  }
+};
+
+namespace {
+
+/// Depth-first, left-to-right symbol visit (the canonical traversal order
+/// shared by path signatures and the renumbering pass).
+template <typename Fn>
+void visit_expr_symbols(const ExprPtr& e, const Fn& fn) {
+  if (e == nullptr) return;
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      return;
+    case ExprKind::kSym:
+      fn(e->sym_id());
+      return;
+    case ExprKind::kUnary:
+      visit_expr_symbols(e->lhs(), fn);
+      return;
+    case ExprKind::kBinary:
+      visit_expr_symbols(e->lhs(), fn);
+      visit_expr_symbols(e->rhs(), fn);
+      return;
+  }
+}
+
+/// Visits every symbol a path references, in a deterministic order that
+/// depends only on the path's structure (never on global symbol ids).
+template <typename Fn>
+void visit_path_symbols(const PathResult& p, const Fn& fn) {
+  for (const PacketField& f : p.fields) fn(f.sym);
+  if (p.has_len_sym) fn(p.len_sym);
+  if (p.has_port_sym) fn(p.port_sym);
+  if (p.has_time_sym) fn(p.time_sym);
+  for (const ExprPtr& c : p.constraints) visit_expr_symbols(c, fn);
+  for (const PathCall& c : p.calls) {
+    visit_expr_symbols(c.arg0, fn);
+    visit_expr_symbols(c.arg1, fn);
+    visit_expr_symbols(c.ret0, fn);
+    visit_expr_symbols(c.ret1, fn);
+  }
+  visit_expr_symbols(p.out_port, fn);
+}
+
+/// A scheduling-independent structural key for a path: every symbol is
+/// named by its first-use index *within this path*, so two runs that
+/// explored the same path under different interleavings (and therefore
+/// minted different global symbol ids) produce identical signatures.
+std::string path_signature(const PathResult& p) {
+  std::map<SymId, std::size_t> local;
+  auto reg = [&local](SymId id) { local.emplace(id, local.size()); };
+  auto namer = [&local](SymId id) {
+    auto it = local.emplace(id, local.size()).first;
+    return "s" + std::to_string(it->second);
+  };
+
+  std::string sig;
+  sig += p.action == PathAction::kForward ? 'F' : 'D';
+  for (const std::string& tag : p.class_tags) {
+    sig += '|';
+    sig += tag;
+  }
+  for (const auto& [loop, trips] : p.loop_trips) {
+    sig += ";L" + std::to_string(loop) + "=" + std::to_string(trips);
+  }
+  for (const PacketField& f : p.fields) {
+    sig += ";f" + std::to_string(f.offset) + ":" + std::to_string(f.width);
+  }
+  // Register input symbols first so local numbering matches the canonical
+  // visit order exactly.
+  visit_path_symbols(p, reg);
+  for (const ExprPtr& c : p.constraints) sig += ";c" + c->str(namer);
+  for (const PathCall& c : p.calls) {
+    sig += ";m" + std::to_string(c.method) + "=" + c.case_label;
+    if (c.arg0 != nullptr) sig += ",a0:" + c.arg0->str(namer);
+    if (c.arg1 != nullptr) sig += ",a1:" + c.arg1->str(namer);
+    if (c.ret0 != nullptr) sig += ",r0:" + c.ret0->str(namer);
+    if (c.ret1 != nullptr) sig += ",r1:" + c.ret1->str(namer);
+  }
+  if (p.out_port != nullptr) sig += ";o" + p.out_port->str(namer);
+  return sig;
+}
+
+}  // namespace
+
 Executor::Executor(std::vector<const ir::Program*> programs,
                    std::map<std::int64_t, SymbolicModel> models,
                    ExecutorOptions options)
@@ -47,33 +175,30 @@ Executor::Executor(std::vector<const ir::Program*> programs,
   for (const ir::Program* p : programs_) p->validate();
 }
 
-std::vector<PathResult> Executor::run() {
-  std::vector<PathResult> results;
-  Solver solver(symbols_, options_.solver);
-
-  auto enter_program = [&](State& s, std::size_t index) {
-    s.prog_index = index;
-    s.pc = 0;
-    const ir::Program& p = *programs_[index];
-    s.regs.assign(static_cast<std::size_t>(p.num_regs), nullptr);
-    s.locals.assign(static_cast<std::size_t>(p.num_locals), Expr::constant(0));
-    if (p.scratch_slots > 0 && s.scratch.empty()) {
-      s.scratch.resize(p.scratch_slots, Expr::constant(0));
-      for (std::size_t i = 0;
-           i < std::min(options_.scratch_init.size(), p.scratch_slots); ++i) {
-        s.scratch[i] = Expr::constant(options_.scratch_init[i]);
-      }
+void Executor::enter_program(State& s, std::size_t index) const {
+  s.prog_index = index;
+  s.pc = 0;
+  const ir::Program& p = *programs_[index];
+  s.regs.assign(static_cast<std::size_t>(p.num_regs), nullptr);
+  s.locals.assign(static_cast<std::size_t>(p.num_locals), Expr::constant(0));
+  if (p.scratch_slots > 0 && s.scratch.empty()) {
+    s.scratch.resize(p.scratch_slots, Expr::constant(0));
+    for (std::size_t i = 0;
+         i < std::min(options_.scratch_init.size(), p.scratch_slots); ++i) {
+      s.scratch[i] = Expr::constant(options_.scratch_init[i]);
     }
-  };
+  }
+}
 
-  auto ensure_len_sym = [&](State& s) {
-    if (!s.path.has_len_sym) {
-      s.path.len_sym = symbols_.fresh("pkt.len", 16);
-      s.path.has_len_sym = true;
-      const ExprPtr len = Expr::symbol(s.path.len_sym);
-      s.path.constraints.push_back(
+void Executor::execute_state(State s, Solver& solver, Explore& sh) {
+  auto ensure_len_sym = [&](State& st) {
+    if (!st.path.has_len_sym) {
+      st.path.len_sym = symbols_.fresh("pkt.len", 16);
+      st.path.has_len_sym = true;
+      const ExprPtr len = Expr::symbol(st.path.len_sym);
+      st.path.constraints.push_back(
           Expr::binary(ExprOp::kGeU, len, Expr::constant(60)));
-      s.path.constraints.push_back(
+      st.path.constraints.push_back(
           Expr::binary(ExprOp::kLeU, len, Expr::constant(1514)));
     }
   };
@@ -87,301 +212,442 @@ std::vector<PathResult> Executor::run() {
     }
     const SolveStatus st = solver.quick_check(constraints);
     if (st == SolveStatus::kUnsat) {
-      ++stats_.pruned_branches;
+      sh.pruned.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    if (st == SolveStatus::kUnknown) ++stats_.solver_unknowns;
+    if (st == SolveStatus::kUnknown) {
+      sh.unknowns.fetch_add(1, std::memory_order_relaxed);
+    }
     return true;
   };
 
-  std::vector<State> stack;
-  {
-    State init;
-    enter_program(init, 0);
-    stack.push_back(std::move(init));
-  }
+  // Sinks a completed path. When the budget fills, raises the stop flag so
+  // idle and waiting workers shut down.
+  auto complete = [&](PathResult path) {
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    if (sh.results.size() >= options_.max_paths) {
+      sh.stop = true;
+      sh.cv.notify_all();
+      return;
+    }
+    sh.results.push_back(std::move(path));
+    if (sh.results.size() >= options_.max_paths) {
+      sh.stop = true;
+      sh.cv.notify_all();
+    }
+  };
 
-  while (!stack.empty() && results.size() < options_.max_paths) {
-    State s = std::move(stack.back());
-    stack.pop_back();
+  bool alive = true;
+  while (alive) {
+    const ir::Program& prog = *programs_[s.prog_index];
+    BOLT_CHECK(s.pc < prog.code.size(), prog.name + ": symbolic pc escape");
+    if (++s.steps > options_.max_steps_per_path) {
+      sh.abandoned.fetch_add(1, std::memory_order_relaxed);
+      alive = false;
+      break;
+    }
+    const ir::Instr& ins = prog.code[s.pc];
+    std::size_t next = s.pc + 1;
 
-    bool alive = true;
-    while (alive) {
-      const ir::Program& prog = *programs_[s.prog_index];
-      BOLT_CHECK(s.pc < prog.code.size(), prog.name + ": symbolic pc escape");
-      if (++s.steps > options_.max_steps_per_path) {
-        ++stats_.abandoned_paths;
+    if (!ir::is_annotation(ins.op)) {
+      ++s.path.symbex_instructions;
+      if (ir::is_memory_op(ins.op)) ++s.path.symbex_accesses;
+    }
+
+    auto R = [&](ir::Reg r) -> const ExprPtr& {
+      BOLT_CHECK(r >= 0 && s.regs[static_cast<std::size_t>(r)] != nullptr,
+                 prog.name + ": read of undefined register");
+      return s.regs[static_cast<std::size_t>(r)];
+    };
+    auto setR = [&](ir::Reg r, ExprPtr v) {
+      s.regs[static_cast<std::size_t>(r)] = std::move(v);
+    };
+    auto concrete_u64 = [&](const ExprPtr& e, const char* what) {
+      BOLT_CHECK(e->is_const(), prog.name + ": symbolic " + what +
+                                    " not supported by the executor");
+      return e->const_value();
+    };
+
+    switch (ins.op) {
+      case ir::Op::kConst:
+        setR(ins.dst, Expr::constant(static_cast<std::uint64_t>(ins.imm)));
+        break;
+      case ir::Op::kMov:
+        setR(ins.dst, R(ins.a));
+        break;
+      case ir::Op::kNot:
+        setR(ins.dst, Expr::unary(ExprOp::kNot, R(ins.a)));
+        break;
+      case ir::Op::kAdd: setR(ins.dst, Expr::binary(ExprOp::kAdd, R(ins.a), R(ins.b))); break;
+      case ir::Op::kSub: setR(ins.dst, Expr::binary(ExprOp::kSub, R(ins.a), R(ins.b))); break;
+      case ir::Op::kMul: setR(ins.dst, Expr::binary(ExprOp::kMul, R(ins.a), R(ins.b))); break;
+      case ir::Op::kAnd: setR(ins.dst, Expr::binary(ExprOp::kAnd, R(ins.a), R(ins.b))); break;
+      case ir::Op::kOr:  setR(ins.dst, Expr::binary(ExprOp::kOr, R(ins.a), R(ins.b))); break;
+      case ir::Op::kXor: setR(ins.dst, Expr::binary(ExprOp::kXor, R(ins.a), R(ins.b))); break;
+      case ir::Op::kShl: setR(ins.dst, Expr::binary(ExprOp::kShl, R(ins.a), R(ins.b))); break;
+      case ir::Op::kShr: setR(ins.dst, Expr::binary(ExprOp::kShr, R(ins.a), R(ins.b))); break;
+      case ir::Op::kEq:  setR(ins.dst, Expr::binary(ExprOp::kEq, R(ins.a), R(ins.b))); break;
+      case ir::Op::kNe:  setR(ins.dst, Expr::binary(ExprOp::kNe, R(ins.a), R(ins.b))); break;
+      case ir::Op::kLtU: setR(ins.dst, Expr::binary(ExprOp::kLtU, R(ins.a), R(ins.b))); break;
+      case ir::Op::kLeU: setR(ins.dst, Expr::binary(ExprOp::kLeU, R(ins.a), R(ins.b))); break;
+      case ir::Op::kGtU: setR(ins.dst, Expr::binary(ExprOp::kGtU, R(ins.a), R(ins.b))); break;
+      case ir::Op::kGeU: setR(ins.dst, Expr::binary(ExprOp::kGeU, R(ins.a), R(ins.b))); break;
+
+      case ir::Op::kLoadPkt: {
+        const std::uint64_t offset = concrete_u64(R(ins.a), "packet offset");
+        const std::uint8_t width = ins.width;
+        // Most recent overlapping write wins; require exact ranges.
+        ExprPtr from_write;
+        for (auto it = s.writes.rbegin(); it != s.writes.rend(); ++it) {
+          const auto& [woff, wwidth, wexpr] = *it;
+          const bool overlap =
+              offset < woff + wwidth && woff < offset + width;
+          if (!overlap) continue;
+          BOLT_CHECK(woff == offset && wwidth == width,
+                     prog.name + ": partially overlapping packet access");
+          from_write = wexpr;
+          break;
+        }
+        if (from_write != nullptr) {
+          setR(ins.dst, std::move(from_write));
+          break;
+        }
+        const auto key = std::make_pair(offset, width);
+        auto it = s.field_syms.find(key);
+        SymId sym;
+        if (it != s.field_syms.end()) {
+          sym = it->second;
+        } else {
+          for (const auto& [k, v] : s.field_syms) {
+            const bool overlap =
+                offset < k.first + k.second && k.first < offset + width;
+            BOLT_CHECK(!overlap || (k.first == offset && k.second == width),
+                       prog.name + ": partially overlapping packet fields");
+          }
+          sym = symbols_.fresh("pkt[" + std::to_string(offset) + ":" +
+                                   std::to_string(width) + "]",
+                               8 * width);
+          s.field_syms.emplace(key, sym);
+          s.path.fields.push_back(PacketField{offset, width, sym});
+          if (offset + width > 60) {
+            ensure_len_sym(s);
+            s.path.constraints.push_back(
+                Expr::binary(ExprOp::kGeU, Expr::symbol(s.path.len_sym),
+                             Expr::constant(offset + width)));
+          }
+        }
+        setR(ins.dst, Expr::symbol(sym));
+        break;
+      }
+      case ir::Op::kStorePkt: {
+        const std::uint64_t offset = concrete_u64(R(ins.a), "packet offset");
+        s.writes.emplace_back(offset, ins.width, R(ins.b));
+        break;
+      }
+      case ir::Op::kPktLen: {
+        ensure_len_sym(s);
+        setR(ins.dst, Expr::symbol(s.path.len_sym));
+        break;
+      }
+      case ir::Op::kPktPort: {
+        if (!s.path.has_port_sym) {
+          s.path.port_sym = symbols_.fresh("pkt.port", 16);
+          s.path.has_port_sym = true;
+        }
+        setR(ins.dst, Expr::symbol(s.path.port_sym));
+        break;
+      }
+      case ir::Op::kPktTime: {
+        if (!s.path.has_time_sym) {
+          s.path.time_sym = symbols_.fresh("pkt.time", 64);
+          s.path.has_time_sym = true;
+        }
+        setR(ins.dst, Expr::symbol(s.path.time_sym));
+        break;
+      }
+      case ir::Op::kLoadLocal:
+        setR(ins.dst, s.locals[static_cast<std::size_t>(ins.imm)]);
+        break;
+      case ir::Op::kStoreLocal:
+        s.locals[static_cast<std::size_t>(ins.imm)] = R(ins.a);
+        break;
+      case ir::Op::kLoadMem: {
+        const std::uint64_t slot = concrete_u64(R(ins.a), "scratch index");
+        BOLT_CHECK(slot < s.scratch.size(),
+                   prog.name + ": scratch load out of range");
+        setR(ins.dst, s.scratch[slot]);
+        break;
+      }
+      case ir::Op::kStoreMem: {
+        const std::uint64_t slot = concrete_u64(R(ins.a), "scratch index");
+        BOLT_CHECK(slot < s.scratch.size(),
+                   prog.name + ": scratch store out of range");
+        s.scratch[slot] = R(ins.b);
+        break;
+      }
+
+      case ir::Op::kCall: {
+        auto mit = models_.find(ins.imm);
+        BOLT_CHECK(mit != models_.end(),
+                   prog.name + ": no symbolic model for method " +
+                       std::to_string(ins.imm));
+        const ExprPtr arg0 = ins.a != ir::kNoReg ? R(ins.a) : nullptr;
+        const ExprPtr arg1 = ins.b != ir::kNoReg ? R(ins.b) : nullptr;
+        std::vector<ModelOutcome> outcomes = mit->second(symbols_, arg0, arg1);
+        BOLT_CHECK(!outcomes.empty(), "model produced no outcomes");
+
+        // Fork one state per feasible outcome onto the shared queue.
+        bool continued = false;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+          ModelOutcome& outcome = outcomes[i];
+          State candidate = (i + 1 == outcomes.size() && !continued)
+                                ? std::move(s)
+                                : s;  // last reuse avoids one copy
+          for (ExprPtr& c : outcome.constraints) {
+            candidate.path.constraints.push_back(c);
+          }
+          if (!outcome.constraints.empty() &&
+              !feasible(candidate.path.constraints)) {
+            continue;
+          }
+          PathCall call;
+          call.method = ins.imm;
+          call.case_label = outcome.case_label;
+          call.arg0 = arg0;
+          call.arg1 = arg1;
+          call.ret0 = outcome.ret0 != nullptr ? outcome.ret0 : Expr::constant(0);
+          call.ret1 = outcome.ret1 != nullptr ? outcome.ret1 : Expr::constant(0);
+          candidate.path.calls.push_back(call);
+          if (ins.dst != ir::kNoReg) {
+            candidate.regs[static_cast<std::size_t>(ins.dst)] = call.ret0;
+          }
+          if (ins.dst2 != ir::kNoReg) {
+            candidate.regs[static_cast<std::size_t>(ins.dst2)] = call.ret1;
+          }
+          candidate.pc = next;
+          sh.push(std::move(candidate));
+          continued = true;
+        }
+        // All outcomes pushed onto the queue; current state is done.
         alive = false;
         break;
       }
-      const ir::Instr& ins = prog.code[s.pc];
-      std::size_t next = s.pc + 1;
 
-      if (!ir::is_annotation(ins.op)) {
-        ++s.path.symbex_instructions;
-        if (ir::is_memory_op(ins.op)) ++s.path.symbex_accesses;
+      case ir::Op::kBr: {
+        const ExprPtr cond = R(ins.a);
+        if (cond->is_const()) {
+          next = cond->const_value() != 0 ? static_cast<std::size_t>(ins.t)
+                                          : static_cast<std::size_t>(ins.f);
+          break;
+        }
+        // Fork: true branch continues in place, false branch is pushed.
+        State false_state = s;
+        false_state.path.constraints.push_back(logical_not(cond));
+        false_state.pc = static_cast<std::size_t>(ins.f);
+        if (feasible(false_state.path.constraints)) {
+          sh.push(std::move(false_state));
+        }
+        s.path.constraints.push_back(cond);
+        if (!feasible(s.path.constraints)) {
+          alive = false;
+          break;
+        }
+        next = static_cast<std::size_t>(ins.t);
+        break;
+      }
+      case ir::Op::kJmp:
+        next = static_cast<std::size_t>(ins.t);
+        break;
+
+      case ir::Op::kForward: {
+        if (s.prog_index + 1 < programs_.size()) {
+          // Chain hand-off: next NF sees the (possibly rewritten) packet.
+          enter_program(s, s.prog_index + 1);
+          next = 0;
+          break;
+        }
+        s.path.action = PathAction::kForward;
+        s.path.out_port = R(ins.a);
+        complete(std::move(s.path));
+        alive = false;
+        break;
+      }
+      case ir::Op::kDrop: {
+        s.path.action = PathAction::kDrop;
+        complete(std::move(s.path));
+        alive = false;
+        break;
       }
 
-      auto R = [&](ir::Reg r) -> const ExprPtr& {
-        BOLT_CHECK(r >= 0 && s.regs[static_cast<std::size_t>(r)] != nullptr,
-                   prog.name + ": read of undefined register");
-        return s.regs[static_cast<std::size_t>(r)];
-      };
-      auto setR = [&](ir::Reg r, ExprPtr v) {
-        s.regs[static_cast<std::size_t>(r)] = std::move(v);
-      };
-      auto concrete_u64 = [&](const ExprPtr& e, const char* what) {
-        BOLT_CHECK(e->is_const(), prog.name + ": symbolic " + what +
-                                      " not supported by the executor");
-        return e->const_value();
-      };
-
-      switch (ins.op) {
-        case ir::Op::kConst:
-          setR(ins.dst, Expr::constant(static_cast<std::uint64_t>(ins.imm)));
-          break;
-        case ir::Op::kMov:
-          setR(ins.dst, R(ins.a));
-          break;
-        case ir::Op::kNot:
-          setR(ins.dst, Expr::unary(ExprOp::kNot, R(ins.a)));
-          break;
-        case ir::Op::kAdd: setR(ins.dst, Expr::binary(ExprOp::kAdd, R(ins.a), R(ins.b))); break;
-        case ir::Op::kSub: setR(ins.dst, Expr::binary(ExprOp::kSub, R(ins.a), R(ins.b))); break;
-        case ir::Op::kMul: setR(ins.dst, Expr::binary(ExprOp::kMul, R(ins.a), R(ins.b))); break;
-        case ir::Op::kAnd: setR(ins.dst, Expr::binary(ExprOp::kAnd, R(ins.a), R(ins.b))); break;
-        case ir::Op::kOr:  setR(ins.dst, Expr::binary(ExprOp::kOr, R(ins.a), R(ins.b))); break;
-        case ir::Op::kXor: setR(ins.dst, Expr::binary(ExprOp::kXor, R(ins.a), R(ins.b))); break;
-        case ir::Op::kShl: setR(ins.dst, Expr::binary(ExprOp::kShl, R(ins.a), R(ins.b))); break;
-        case ir::Op::kShr: setR(ins.dst, Expr::binary(ExprOp::kShr, R(ins.a), R(ins.b))); break;
-        case ir::Op::kEq:  setR(ins.dst, Expr::binary(ExprOp::kEq, R(ins.a), R(ins.b))); break;
-        case ir::Op::kNe:  setR(ins.dst, Expr::binary(ExprOp::kNe, R(ins.a), R(ins.b))); break;
-        case ir::Op::kLtU: setR(ins.dst, Expr::binary(ExprOp::kLtU, R(ins.a), R(ins.b))); break;
-        case ir::Op::kLeU: setR(ins.dst, Expr::binary(ExprOp::kLeU, R(ins.a), R(ins.b))); break;
-        case ir::Op::kGtU: setR(ins.dst, Expr::binary(ExprOp::kGtU, R(ins.a), R(ins.b))); break;
-        case ir::Op::kGeU: setR(ins.dst, Expr::binary(ExprOp::kGeU, R(ins.a), R(ins.b))); break;
-
-        case ir::Op::kLoadPkt: {
-          const std::uint64_t offset = concrete_u64(R(ins.a), "packet offset");
-          const std::uint8_t width = ins.width;
-          // Most recent overlapping write wins; require exact ranges.
-          ExprPtr from_write;
-          for (auto it = s.writes.rbegin(); it != s.writes.rend(); ++it) {
-            const auto& [woff, wwidth, wexpr] = *it;
-            const bool overlap =
-                offset < woff + wwidth && woff < offset + width;
-            if (!overlap) continue;
-            BOLT_CHECK(woff == offset && wwidth == width,
-                       prog.name + ": partially overlapping packet access");
-            from_write = wexpr;
-            break;
-          }
-          if (from_write != nullptr) {
-            setR(ins.dst, std::move(from_write));
-            break;
-          }
-          const auto key = std::make_pair(offset, width);
-          auto it = s.field_syms.find(key);
-          SymId sym;
-          if (it != s.field_syms.end()) {
-            sym = it->second;
-          } else {
-            for (const auto& [k, v] : s.field_syms) {
-              const bool overlap =
-                  offset < k.first + k.second && k.first < offset + width;
-              BOLT_CHECK(!overlap || (k.first == offset && k.second == width),
-                         prog.name + ": partially overlapping packet fields");
-            }
-            sym = symbols_.fresh("pkt[" + std::to_string(offset) + ":" +
-                                     std::to_string(width) + "]",
-                                 8 * width);
-            s.field_syms.emplace(key, sym);
-            s.path.fields.push_back(PacketField{offset, width, sym});
-            if (offset + width > 60) {
-              ensure_len_sym(s);
-              s.path.constraints.push_back(
-                  Expr::binary(ExprOp::kGeU, Expr::symbol(s.path.len_sym),
-                               Expr::constant(offset + width)));
-            }
-          }
-          setR(ins.dst, Expr::symbol(sym));
-          break;
-        }
-        case ir::Op::kStorePkt: {
-          const std::uint64_t offset = concrete_u64(R(ins.a), "packet offset");
-          s.writes.emplace_back(offset, ins.width, R(ins.b));
-          break;
-        }
-        case ir::Op::kPktLen: {
-          ensure_len_sym(s);
-          setR(ins.dst, Expr::symbol(s.path.len_sym));
-          break;
-        }
-        case ir::Op::kPktPort: {
-          if (!s.path.has_port_sym) {
-            s.path.port_sym = symbols_.fresh("pkt.port", 16);
-            s.path.has_port_sym = true;
-          }
-          setR(ins.dst, Expr::symbol(s.path.port_sym));
-          break;
-        }
-        case ir::Op::kPktTime: {
-          if (!s.path.has_time_sym) {
-            s.path.time_sym = symbols_.fresh("pkt.time", 64);
-            s.path.has_time_sym = true;
-          }
-          setR(ins.dst, Expr::symbol(s.path.time_sym));
-          break;
-        }
-        case ir::Op::kLoadLocal:
-          setR(ins.dst, s.locals[static_cast<std::size_t>(ins.imm)]);
-          break;
-        case ir::Op::kStoreLocal:
-          s.locals[static_cast<std::size_t>(ins.imm)] = R(ins.a);
-          break;
-        case ir::Op::kLoadMem: {
-          const std::uint64_t slot = concrete_u64(R(ins.a), "scratch index");
-          BOLT_CHECK(slot < s.scratch.size(),
-                     prog.name + ": scratch load out of range");
-          setR(ins.dst, s.scratch[slot]);
-          break;
-        }
-        case ir::Op::kStoreMem: {
-          const std::uint64_t slot = concrete_u64(R(ins.a), "scratch index");
-          BOLT_CHECK(slot < s.scratch.size(),
-                     prog.name + ": scratch store out of range");
-          s.scratch[slot] = R(ins.b);
-          break;
-        }
-
-        case ir::Op::kCall: {
-          auto mit = models_.find(ins.imm);
-          BOLT_CHECK(mit != models_.end(),
-                     prog.name + ": no symbolic model for method " +
-                         std::to_string(ins.imm));
-          const ExprPtr arg0 = ins.a != ir::kNoReg ? R(ins.a) : nullptr;
-          const ExprPtr arg1 = ins.b != ir::kNoReg ? R(ins.b) : nullptr;
-          std::vector<ModelOutcome> outcomes = mit->second(symbols_, arg0, arg1);
-          BOLT_CHECK(!outcomes.empty(), "model produced no outcomes");
-
-          // Fork one state per feasible outcome; continue with the first
-          // feasible one in place.
-          bool continued = false;
-          for (std::size_t i = 0; i < outcomes.size(); ++i) {
-            ModelOutcome& outcome = outcomes[i];
-            State candidate = (i + 1 == outcomes.size() && !continued)
-                                  ? std::move(s)
-                                  : s;  // last reuse avoids one copy
-            for (ExprPtr& c : outcome.constraints) {
-              candidate.path.constraints.push_back(c);
-            }
-            if (!outcome.constraints.empty() &&
-                !feasible(candidate.path.constraints)) {
-              continue;
-            }
-            PathCall call;
-            call.method = ins.imm;
-            call.case_label = outcome.case_label;
-            call.arg0 = arg0;
-            call.arg1 = arg1;
-            call.ret0 = outcome.ret0 != nullptr ? outcome.ret0 : Expr::constant(0);
-            call.ret1 = outcome.ret1 != nullptr ? outcome.ret1 : Expr::constant(0);
-            candidate.path.calls.push_back(call);
-            if (ins.dst != ir::kNoReg) {
-              candidate.regs[static_cast<std::size_t>(ins.dst)] = call.ret0;
-            }
-            if (ins.dst2 != ir::kNoReg) {
-              candidate.regs[static_cast<std::size_t>(ins.dst2)] = call.ret1;
-            }
-            candidate.pc = next;
-            stack.push_back(std::move(candidate));
-            continued = true;
-          }
-          // All outcomes pushed onto the stack; current state is done.
-          alive = false;
-          break;
-        }
-
-        case ir::Op::kBr: {
-          const ExprPtr cond = R(ins.a);
-          if (cond->is_const()) {
-            next = cond->const_value() != 0 ? static_cast<std::size_t>(ins.t)
-                                            : static_cast<std::size_t>(ins.f);
-            break;
-          }
-          // Fork: true branch continues in place, false branch is pushed.
-          State false_state = s;
-          false_state.path.constraints.push_back(logical_not(cond));
-          false_state.pc = static_cast<std::size_t>(ins.f);
-          if (feasible(false_state.path.constraints)) {
-            stack.push_back(std::move(false_state));
-          }
-          s.path.constraints.push_back(cond);
-          if (!feasible(s.path.constraints)) {
-            alive = false;
-            break;
-          }
-          next = static_cast<std::size_t>(ins.t);
-          break;
-        }
-        case ir::Op::kJmp:
-          next = static_cast<std::size_t>(ins.t);
-          break;
-
-        case ir::Op::kForward: {
-          if (s.prog_index + 1 < programs_.size()) {
-            // Chain hand-off: next NF sees the (possibly rewritten) packet.
-            enter_program(s, s.prog_index + 1);
-            next = 0;
-            break;
-          }
-          s.path.action = PathAction::kForward;
-          s.path.out_port = R(ins.a);
-          results.push_back(std::move(s.path));
-          ++stats_.completed_paths;
-          alive = false;
-          break;
-        }
-        case ir::Op::kDrop: {
-          s.path.action = PathAction::kDrop;
-          results.push_back(std::move(s.path));
-          ++stats_.completed_paths;
-          alive = false;
-          break;
-        }
-
-        case ir::Op::kClassTag: {
-          std::string tag = prog.class_tags[static_cast<std::size_t>(ins.imm)];
-          if (programs_.size() > 1) tag = prog.name + ":" + tag;
-          s.path.class_tags.push_back(std::move(tag));
-          break;
-        }
-        case ir::Op::kLoopHead: {
-          // Loop ids are namespaced per program within a chain.
-          const std::int64_t loop_key =
-              static_cast<std::int64_t>(s.prog_index) * 1000 + ins.imm;
-          const std::uint64_t trips = ++s.path.loop_trips[loop_key];
-          if (trips > options_.max_loop_trips) {
-            ++stats_.abandoned_paths;
-            alive = false;
-          }
-          break;
-        }
+      case ir::Op::kClassTag: {
+        std::string tag = prog.class_tags[static_cast<std::size_t>(ins.imm)];
+        if (programs_.size() > 1) tag = prog.name + ":" + tag;
+        s.path.class_tags.push_back(std::move(tag));
+        break;
       }
-      if (alive && ins.op != ir::Op::kCall) s.pc = next;
-      if (ins.op == ir::Op::kCall) break;  // state consumed by forks
+      case ir::Op::kLoopHead: {
+        // Loop ids are namespaced per program within a chain.
+        const std::int64_t loop_key =
+            static_cast<std::int64_t>(s.prog_index) * 1000 + ins.imm;
+        const std::uint64_t trips = ++s.path.loop_trips[loop_key];
+        if (trips > options_.max_loop_trips) {
+          sh.abandoned.fetch_add(1, std::memory_order_relaxed);
+          alive = false;
+        }
+        break;
+      }
     }
+    if (alive && ins.op != ir::Op::kCall) s.pc = next;
+    if (ins.op == ir::Op::kCall) break;  // state consumed by forks
   }
-  return results;
+}
+
+void Executor::explore_worker(Explore& sh) {
+  Solver solver(symbols_, options_.solver);
+  std::unique_lock<std::mutex> lock(sh.mutex);
+  for (;;) {
+    sh.cv.wait(lock,
+               [&] { return sh.stop || !sh.queue.empty() || sh.active == 0; });
+    if (sh.stop) return;
+    if (sh.queue.empty()) {
+      if (sh.active == 0) {
+        // Fully drained: wake every sibling so they observe termination.
+        sh.cv.notify_all();
+        return;
+      }
+      continue;  // a sibling is still running and may fork more work
+    }
+    State s = std::move(sh.queue.back());
+    sh.queue.pop_back();
+    ++sh.active;
+    lock.unlock();
+    execute_state(std::move(s), solver, sh);
+    lock.lock();
+    --sh.active;
+    if (sh.queue.empty() && sh.active == 0) sh.cv.notify_all();
+  }
+}
+
+std::vector<PathResult> Executor::run() {
+  Explore sh;
+  {
+    State init;
+    enter_program(init, 0);
+    sh.queue.push_back(std::move(init));
+  }
+
+  sh.owner = this;
+  sh.max_workers = support::resolve_threads(options_.threads);
+  explore_worker(sh);
+  // Join demand-spawned workers; a straggler can spawn more while we join,
+  // so drain in batches until none remain.
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(sh.mutex);
+      batch.swap(sh.spawned);
+    }
+    if (batch.empty()) break;
+    for (std::thread& t : batch) t.join();
+  }
+
+  stats_.completed_paths = sh.results.size();
+  stats_.pruned_branches = sh.pruned.load();
+  stats_.abandoned_paths = sh.abandoned.load();
+  stats_.solver_unknowns = sh.unknowns.load();
+
+  canonicalize(sh.results);
+  return std::move(sh.results);
+}
+
+void Executor::canonicalize(std::vector<PathResult>& paths) {
+  if (paths.empty()) return;
+
+  // 1) Order paths by their scheduling-independent structural signature.
+  std::vector<std::string> sigs;
+  sigs.reserve(paths.size());
+  for (const PathResult& p : paths) sigs.push_back(path_signature(p));
+  std::vector<std::size_t> order(paths.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sigs[a] < sigs[b];
+  });
+
+  // 2) Renumber symbols in first-use order over the sorted paths. Shared
+  //    prefix symbols keep one id (the first path that uses them wins).
+  std::map<SymId, SymId> remap;
+  std::vector<std::pair<std::string, int>> entries;
+  auto assign = [&](SymId old_id) {
+    if (remap.emplace(old_id, static_cast<SymId>(entries.size())).second) {
+      entries.emplace_back(symbols_.name(old_id), symbols_.width_bits(old_id));
+    }
+  };
+  for (std::size_t idx : order) visit_path_symbols(paths[idx], assign);
+
+  // 3) Rewrite every expression, preserving DAG sharing so downstream
+  //    pointer-equality folds behave exactly as before.
+  std::map<const Expr*, ExprPtr> memo;
+  std::function<ExprPtr(const ExprPtr&)> rewrite =
+      [&](const ExprPtr& e) -> ExprPtr {
+    if (e == nullptr) return nullptr;
+    auto it = memo.find(e.get());
+    if (it != memo.end()) return it->second;
+    ExprPtr out;
+    switch (e->kind()) {
+      case ExprKind::kConst:
+        out = e;
+        break;
+      case ExprKind::kSym: {
+        auto rit = remap.find(e->sym_id());
+        BOLT_CHECK(rit != remap.end(), "canonicalize: unmapped symbol");
+        out = Expr::symbol(rit->second);
+        break;
+      }
+      case ExprKind::kUnary:
+        out = Expr::unary(e->op(), rewrite(e->lhs()));
+        break;
+      case ExprKind::kBinary:
+        out = Expr::binary(e->op(), rewrite(e->lhs()), rewrite(e->rhs()));
+        break;
+    }
+    memo.emplace(e.get(), out);
+    return out;
+  };
+
+  for (PathResult& p : paths) {
+    for (ExprPtr& c : p.constraints) c = rewrite(c);
+    for (PathCall& c : p.calls) {
+      c.arg0 = rewrite(c.arg0);
+      c.arg1 = rewrite(c.arg1);
+      c.ret0 = rewrite(c.ret0);
+      c.ret1 = rewrite(c.ret1);
+    }
+    p.out_port = rewrite(p.out_port);
+    for (PacketField& f : p.fields) f.sym = remap.at(f.sym);
+    if (p.has_len_sym) p.len_sym = remap.at(p.len_sym);
+    if (p.has_port_sym) p.port_sym = remap.at(p.port_sym);
+    if (p.has_time_sym) p.time_sym = remap.at(p.time_sym);
+  }
+  symbols_.rebuild(std::move(entries));
+
+  // 4) Emit the paths in canonical order.
+  std::vector<PathResult> sorted;
+  sorted.reserve(paths.size());
+  for (std::size_t idx : order) sorted.push_back(std::move(paths[idx]));
+  paths = std::move(sorted);
 }
 
 void Executor::solve_inputs(std::vector<PathResult>& paths) const {
-  Solver solver(symbols_, options_.solver);
-  for (PathResult& path : paths) {
+  // A pool wider than the number of paths is pure spawn/teardown cost.
+  support::ThreadPool pool(std::min(support::resolve_threads(options_.threads),
+                                    std::max<std::size_t>(paths.size(), 1)));
+  pool.parallel_for(0, paths.size(), [&](std::size_t i) {
+    PathResult& path = paths[i];
+    const Solver solver(symbols_, options_.solver);
     SolveResult solved = solver.solve(path.constraints);
     if (solved.status != SolveStatus::kSat) {
       path.solved = false;
-      continue;
+      return;
     }
     path.model = std::move(solved.model);
     path.solved = true;
@@ -406,7 +672,7 @@ void Executor::solve_inputs(std::vector<PathResult>& paths) const {
       if (call.ret1 != nullptr) call.ret1->collect_symbols(syms);
       for (SymId id : syms) ensure(id, 0);
     }
-  }
+  });
 }
 
 }  // namespace bolt::symbex

@@ -25,6 +25,12 @@ struct ExecutorOptions {
   std::uint64_t max_steps_per_path = 100'000;
   std::uint64_t max_loop_trips = 64;     ///< per loop header per path
   bool prune_infeasible = true;          ///< solver-check each fork
+  /// Worker threads for exploration and solving (0 = one per hardware
+  /// thread). Results are canonicalized after exploration, so contracts
+  /// are bit-identical at any thread count — unless `max_paths` truncates
+  /// the search, in which case *which* paths complete first is scheduling-
+  /// dependent (the default budget is far above every shipped NF).
+  std::size_t threads = 0;
   SolverOptions solver;
   /// Initial contents of NF-local scratch memory. Scratch is configuration,
   /// not input, so the executor treats it concretely (the P1/P2/P3
@@ -50,10 +56,19 @@ class Executor {
 
   /// Exhaustively executes and returns all completed paths (unsolved;
   /// run `solve_inputs` afterwards or let the bolt pipeline do it).
+  ///
+  /// Exploration fans out across `options.threads` workers sharing a work
+  /// queue, each with its own Solver for feasibility pruning. Completed
+  /// paths are then *canonicalized*: sorted by a scheduling-independent
+  /// structural signature and their symbols renumbered in first-use order
+  /// over that ordering, so the returned paths (and the symbol table) are
+  /// bit-identical at 1, 2, or N threads. Call run() at most once per
+  /// Executor instance (canonicalization rebuilds the symbol table).
   std::vector<PathResult> run();
 
   /// Solves each path's constraints for a concrete input (paper Alg. 2,
-  /// GetInputsForPath). Marks paths `solved` and fills `model`.
+  /// GetInputsForPath), fanning the independent per-path solves across the
+  /// thread pool. Marks paths `solved` and fills `model`.
   void solve_inputs(std::vector<PathResult>& paths) const;
 
   const ExecutorStats& stats() const { return stats_; }
@@ -61,7 +76,19 @@ class Executor {
   const SymbolTable& symbols() const { return symbols_; }
 
  private:
-  struct State;  // defined in executor.cpp
+  struct State;    // defined in executor.cpp
+  struct Explore;  // shared work queue + result sink, in executor.cpp
+
+  void enter_program(State& s, std::size_t index) const;
+  /// Runs one state to completion (fork points push siblings onto the
+  /// shared queue; completed paths land in the shared result sink).
+  void execute_state(State s, Solver& solver, Explore& sh);
+  /// Worker loop: pop states until the queue drains or the path budget is
+  /// exhausted.
+  void explore_worker(Explore& sh);
+  /// Deterministic post-pass: sort paths by structural signature and
+  /// renumber symbols canonically (see run()).
+  void canonicalize(std::vector<PathResult>& paths);
 
   std::vector<const ir::Program*> programs_;
   std::map<std::int64_t, SymbolicModel> models_;

@@ -1,6 +1,7 @@
 #include "symbex/expr.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "support/assert.h"
 
@@ -222,25 +223,42 @@ ExprPtr logical_not(const ExprPtr& e) {
 
 SymId SymbolTable::fresh(const std::string& name, int width_bits) {
   BOLT_CHECK(width_bits >= 1 && width_bits <= 64, "bad symbol width");
-  const SymId id = static_cast<SymId>(names_.size());
-  names_.push_back(name);
-  widths_.push_back(width_bits);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  const SymId id = static_cast<SymId>(entries_.size());
+  entries_.push_back(Entry{name, width_bits});
   return id;
 }
 
 const std::string& SymbolTable::name(SymId id) const {
-  BOLT_CHECK(id < names_.size(), "symbol id out of range");
-  return names_[id];
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  BOLT_CHECK(id < entries_.size(), "symbol id out of range");
+  // Safe to return a reference: entries are append-only (deque elements do
+  // not move) except under rebuild(), which is single-threaded by contract.
+  return entries_[id].name;
 }
 
 int SymbolTable::width_bits(SymId id) const {
-  BOLT_CHECK(id < widths_.size(), "symbol id out of range");
-  return widths_[id];
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  BOLT_CHECK(id < entries_.size(), "symbol id out of range");
+  return entries_[id].width_bits;
 }
 
 std::uint64_t SymbolTable::max_value(SymId id) const {
   const int w = width_bits(id);
   return w == 64 ? ~0ULL : ((1ULL << w) - 1);
+}
+
+std::size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SymbolTable::rebuild(std::vector<std::pair<std::string, int>> entries) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  entries_.clear();
+  for (auto& [name, width] : entries) {
+    entries_.push_back(Entry{std::move(name), width});
+  }
 }
 
 }  // namespace bolt::symbex

@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bolt::symbex {
@@ -79,17 +82,32 @@ ExprPtr logical_not(const ExprPtr& e);  ///< (e == 0)
 std::uint64_t apply_op(ExprOp op, std::uint64_t a, std::uint64_t b);
 
 /// Registry of symbols with names and bit widths (domain [0, 2^width)).
+///
+/// Thread-safe: the parallel executor mints symbols from many worker
+/// threads while per-thread solvers concurrently read names and widths.
+/// Entries are append-only (stored in a deque so references stay stable
+/// across concurrent fresh() calls); rebuild() replaces the whole table
+/// and must only be called from a single thread between pipeline phases
+/// (the executor's canonical renumbering pass).
 class SymbolTable {
  public:
   SymId fresh(const std::string& name, int width_bits);
   const std::string& name(SymId id) const;
   int width_bits(SymId id) const;
   std::uint64_t max_value(SymId id) const;
-  std::size_t size() const { return names_.size(); }
+  std::size_t size() const;
+
+  /// Replaces the table contents with `entries` (name, width pairs).
+  /// Single-threaded use only; invalidates previously returned ids.
+  void rebuild(std::vector<std::pair<std::string, int>> entries);
 
  private:
-  std::vector<std::string> names_;
-  std::vector<int> widths_;
+  struct Entry {
+    std::string name;
+    int width_bits = 0;
+  };
+  mutable std::shared_mutex mutex_;
+  std::deque<Entry> entries_;
 };
 
 using Assignment = std::map<SymId, std::uint64_t>;

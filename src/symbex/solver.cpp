@@ -89,7 +89,7 @@ bool Solver::constrain(const ExprPtr& e, std::uint64_t lo, std::uint64_t hi,
   return true;
 }
 
-bool Solver::propagate(std::span<const ExprPtr> constraints,
+bool Solver::propagate(support::Span<const ExprPtr> constraints,
                        std::vector<Domain>& domains) const {
   // Expression-view domains: comparisons against constants are intersected
   // per *structurally identical* left-hand expression. This catches
@@ -327,7 +327,7 @@ bool Solver::repair(const ExprPtr& constraint, Assignment& model,
   return invert_assign(constraint, 1, model, rng);
 }
 
-bool Solver::search(std::span<const ExprPtr> constraints,
+bool Solver::search(support::Span<const ExprPtr> constraints,
                     const std::vector<Domain>& domains, int probes,
                     Assignment& model) const {
   // Gather the symbols that actually appear.
@@ -454,10 +454,15 @@ bool Solver::search(std::span<const ExprPtr> constraints,
   return false;
 }
 
-SolveResult Solver::solve(std::span<const ExprPtr> constraints) const {
+SolveResult Solver::solve(support::Span<const ExprPtr> constraints) const {
   SolveResult result;
-  std::vector<Domain> domains(symbols_.size());
-  for (SymId id = 0; id < symbols_.size(); ++id) {
+  // Snapshot the size once: during parallel exploration other workers mint
+  // symbols concurrently, and re-reading size() in the loop bound would
+  // index past the vector constructed above. The constraints only mention
+  // symbols minted before this call, so the snapshot always covers them.
+  const std::size_t num_symbols = symbols_.size();
+  std::vector<Domain> domains(num_symbols);
+  for (SymId id = 0; id < num_symbols; ++id) {
     domains[id].hi = symbols_.max_value(id);
   }
   if (!propagate(constraints, domains)) {
@@ -472,9 +477,10 @@ SolveResult Solver::solve(std::span<const ExprPtr> constraints) const {
   return result;
 }
 
-SolveStatus Solver::quick_check(std::span<const ExprPtr> constraints) const {
-  std::vector<Domain> domains(symbols_.size());
-  for (SymId id = 0; id < symbols_.size(); ++id) {
+SolveStatus Solver::quick_check(support::Span<const ExprPtr> constraints) const {
+  const std::size_t num_symbols = symbols_.size();  // snapshot: see solve()
+  std::vector<Domain> domains(num_symbols);
+  for (SymId id = 0; id < num_symbols; ++id) {
     domains[id].hi = symbols_.max_value(id);
   }
   if (!propagate(constraints, domains)) return SolveStatus::kUnsat;

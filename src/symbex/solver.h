@@ -17,7 +17,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "support/span.h"
 #include <vector>
 
 #include "support/random.h"
@@ -43,11 +43,11 @@ class Solver {
   Solver(const SymbolTable& symbols, SolverOptions options = {});
 
   /// Full solve: propagation + search.
-  SolveResult solve(std::span<const ExprPtr> constraints) const;
+  SolveResult solve(support::Span<const ExprPtr> constraints) const;
 
   /// Quick feasibility probe with a reduced search budget (used on every
   /// symbolic branch, so it must be fast).
-  SolveStatus quick_check(std::span<const ExprPtr> constraints) const;
+  SolveStatus quick_check(support::Span<const ExprPtr> constraints) const;
 
  private:
   struct Domain {
@@ -59,7 +59,7 @@ class Solver {
 
   /// Interval propagation; returns false if some domain became empty
   /// (definitely unsat).
-  bool propagate(std::span<const ExprPtr> constraints,
+  bool propagate(support::Span<const ExprPtr> constraints,
                  std::vector<Domain>& domains) const;
 
   /// Constrains `e` (which must reduce to a symbol through an invertible
@@ -67,7 +67,7 @@ class Solver {
   bool constrain(const ExprPtr& e, std::uint64_t lo, std::uint64_t hi,
                  std::vector<Domain>& domains) const;
 
-  bool search(std::span<const ExprPtr> constraints,
+  bool search(support::Span<const ExprPtr> constraints,
               const std::vector<Domain>& domains, int probes,
               Assignment& model) const;
 

@@ -1,0 +1,217 @@
+// The parallel pipeline's contract: bit-identical results at any thread
+// count. Contracts for the NAT, the bridge, and the firewall->router chain
+// are generated at 1, 2, and 8 threads and compared byte-for-byte as JSON;
+// the executor's canonicalized paths are compared structurally; and the
+// thread pool itself is unit-tested (full index coverage, exception
+// propagation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/bolt.h"
+#include "core/experiments.h"
+#include "core/scenarios.h"
+#include "nf/firewall.h"
+#include "perf/contract_io.h"
+#include "support/thread_pool.h"
+
+namespace bolt::core {
+namespace {
+
+// ---------------------------------------------------------------- pool --
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(support::resolve_threads(0), 1u);
+  EXPECT_EQ(support::resolve_threads(3), 3u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  support::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HonoursBeginOffset) {
+  support::ThreadPool pool(4);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  support::ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t i) {
+                          if (i == 42) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  support::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 20, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50 * 20);
+}
+
+// ------------------------------------------------------------ executor --
+
+/// Serializes every canonicalized path of a chain exploration, symbol ids
+/// included — this must not depend on how many workers explored.
+std::string explore_chain_fingerprint(std::size_t threads) {
+  const ir::Program firewall = nf::Firewall::program();
+  const ir::Program router = nf::StaticRouter::program();
+  symbex::ExecutorOptions opts;
+  opts.threads = threads;
+  symbex::Executor executor({&firewall, &router}, {}, opts);
+  const std::vector<symbex::PathResult> paths = executor.run();
+  EXPECT_GT(paths.size(), 0u);
+
+  auto namer = [&](symbex::SymId id) {
+    return executor.symbols().name(id) + "#" + std::to_string(id);
+  };
+  std::string out;
+  for (const symbex::PathResult& p : paths) {
+    out += p.class_label();
+    out += p.action == symbex::PathAction::kForward ? " ->F" : " ->D";
+    for (const auto& c : p.constraints) out += " & " + c->str(namer);
+    if (p.out_port != nullptr) out += " port=" + p.out_port->str(namer);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ParallelExecutor, CanonicalPathsIdenticalAcrossThreadCounts) {
+  const std::string t1 = explore_chain_fingerprint(1);
+  EXPECT_EQ(t1, explore_chain_fingerprint(2));
+  EXPECT_EQ(t1, explore_chain_fingerprint(8));
+}
+
+TEST(ParallelExecutor, StatsIdenticalAcrossThreadCounts) {
+  const ir::Program firewall = nf::Firewall::program();
+  auto stats_at = [&](std::size_t threads) {
+    symbex::ExecutorOptions opts;
+    opts.threads = threads;
+    symbex::Executor executor({&firewall}, {}, opts);
+    (void)executor.run();
+    return executor.stats();
+  };
+  const symbex::ExecutorStats s1 = stats_at(1);
+  const symbex::ExecutorStats s4 = stats_at(4);
+  EXPECT_EQ(s1.completed_paths, s4.completed_paths);
+  EXPECT_EQ(s1.pruned_branches, s4.pruned_branches);
+  EXPECT_EQ(s1.abandoned_paths, s4.abandoned_paths);
+}
+
+// ------------------------------------------------------------ contracts --
+
+enum class Subject { kNat, kBridge, kChain };
+
+std::string contract_json(Subject subject, std::size_t threads) {
+  perf::PcvRegistry reg;
+  BoltOptions opts;
+  opts.threads = threads;
+
+  NfInstance instance;
+  const ir::Program firewall = nf::Firewall::program();
+  const ir::Program router = nf::StaticRouter::program();
+  dslib::MethodTable no_methods;
+  NfAnalysis analysis;
+  switch (subject) {
+    case Subject::kNat:
+      instance = make_nat(reg, default_nat_config());
+      analysis = instance.analysis();
+      break;
+    case Subject::kBridge:
+      instance = make_bridge(reg, default_bridge_config());
+      analysis = instance.analysis();
+      break;
+    case Subject::kChain:
+      analysis.name = "firewall+router";
+      analysis.programs = {&firewall, &router};
+      analysis.methods = &no_methods;
+      break;
+  }
+
+  ContractGenerator gen(reg, opts);
+  const GenerationResult result = gen.generate(analysis);
+  EXPECT_EQ(result.unsolved_paths, 0u);
+  EXPECT_GT(result.total_paths, 0u);
+
+  // Path reports must come back in canonical order with identical keys,
+  // not just fold into the same contract.
+  std::string json = perf::contract_to_json(result.contract, reg);
+  json += "\n-- path reports --\n";
+  for (const PathReport& r : result.path_reports) {
+    json += r.class_key + " ic=" +
+            std::to_string(r.stateless_instructions) + " ma=" +
+            std::to_string(r.stateless_accesses) + " cy=" +
+            std::to_string(r.stateless_cycles) + "\n";
+  }
+  return json;
+}
+
+class ContractDeterminism : public ::testing::TestWithParam<Subject> {};
+
+TEST_P(ContractDeterminism, BitIdenticalAtOneTwoEightThreads) {
+  const std::string t1 = contract_json(GetParam(), 1);
+  const std::string t2 = contract_json(GetParam(), 2);
+  const std::string t8 = contract_json(GetParam(), 8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+INSTANTIATE_TEST_SUITE_P(NfSubjects, ContractDeterminism,
+                         ::testing::Values(Subject::kNat, Subject::kBridge,
+                                           Subject::kChain),
+                         [](const ::testing::TestParamInfo<Subject>& info) {
+                           switch (info.param) {
+                             case Subject::kNat: return "nat";
+                             case Subject::kBridge: return "bridge";
+                             case Subject::kChain: return "chain";
+                           }
+                           return "unknown";
+                         });
+
+// A scenario sweep through the parallel driver matches the sequential
+// reference results.
+TEST(ParallelScenarios, SweepMatchesSequentialReference) {
+  const std::vector<std::string> ids = {"NAT4", "Br2", "LPM2"};
+  const std::vector<ScenarioResult> swept = run_scenarios(ids, {}, 4);
+  ASSERT_EQ(swept.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    perf::PcvRegistry reg;
+    Scenario scenario = make_scenario(ids[i], reg);
+    const ScenarioResult ref = run_scenario(scenario, reg);
+    EXPECT_EQ(swept[i].id, ids[i]);
+    EXPECT_EQ(swept[i].predicted_ic, ref.predicted_ic);
+    EXPECT_EQ(swept[i].measured_ic, ref.measured_ic);
+    EXPECT_EQ(swept[i].predicted_ma, ref.predicted_ma);
+    EXPECT_EQ(swept[i].measured_ma, ref.measured_ma);
+    EXPECT_EQ(swept[i].predicted_cycles, ref.predicted_cycles);
+    EXPECT_EQ(swept[i].measured_cycles, ref.measured_cycles);
+  }
+}
+
+}  // namespace
+}  // namespace bolt::core

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs the Bolt bench suite and archives machine-readable results.
+#
+# Usage: tools/bench_runner.sh [build-dir] [output-dir]
+#   build-dir   where the bench_* binaries live (default: build)
+#   output-dir  where BENCH_*.json land (default: bench-results)
+#
+# Plain benches (fig*/table*/p123*) emit BENCH_<name>.json through the
+# BOLT_BENCH_JSON env var; Google-Benchmark micro benches emit their native
+# JSON via --benchmark_format. CI uploads the output directory per commit,
+# so perf trajectories accumulate alongside the code.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+OUT_DIR="$(cd "$OUT_DIR" && pwd)"
+export BOLT_BENCH_JSON="$OUT_DIR"
+
+status=0
+for bench in "$BUILD_DIR"/bench_*; do
+  [[ -x "$bench" ]] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  case "$name" in
+    bench_micro_*)
+      if ! "$bench" --benchmark_format=json \
+          --benchmark_out="$OUT_DIR/BENCH_${name#bench_}.json" \
+          --benchmark_out_format=json >/dev/null; then
+        echo "FAILED: $name" >&2
+        status=1
+      fi
+      ;;
+    *)
+      if ! "$bench" > "$OUT_DIR/${name#bench_}.txt"; then
+        echo "FAILED: $name" >&2
+        status=1
+      fi
+      ;;
+  esac
+done
+
+echo
+echo "Archived bench output in $OUT_DIR:"
+ls -l "$OUT_DIR"
+exit "$status"

@@ -31,14 +31,16 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bolt contract <nf> [--json]\n"
-               "       bolt paths <nf>\n"
+               "usage: bolt contract <nf> [--json] [--threads N]\n"
+               "       bolt paths <nf> [--json] [--threads N]\n"
                "       bolt distill <nf> <pcap>\n"
                "       bolt predict <nf> pcv=value [pcv=value ...]\n"
                "       bolt gen <kind> <out.pcap> [count]\n"
-               "       bolt scenarios\n"
+               "       bolt scenarios [--threads N]\n"
                "nf: bridge | nat | nat-b | lb | lpm | lpm-simple | firewall |"
-               " router | fw+router\n");
+               " router | fw+router\n"
+               "--threads N: pipeline worker threads (default: one per"
+               " hardware thread; contracts are identical at any N)\n");
   return 2;
 }
 
@@ -88,12 +90,14 @@ bool make_target(const std::string& name, perf::PcvRegistry& reg, Target& out) {
   return true;
 }
 
-int cmd_contract(const std::string& nf, bool per_path, bool as_json) {
+int cmd_contract(const std::string& nf, bool per_path, bool as_json,
+                 std::size_t threads) {
   perf::PcvRegistry reg;
   Target target;
   if (!make_target(nf, reg, target)) return usage();
   core::BoltOptions options;
   options.coalesce = !per_path;
+  options.threads = threads;
   core::ContractGenerator generator(reg, options);
   const auto result = generator.generate(target.analysis());
   if (as_json) {
@@ -157,7 +161,10 @@ int cmd_distill(const std::string& nf, const std::string& pcap) {
                                        report.worst_measured("cycles")))
                   .c_str());
   std::printf("\nworst PCV binding:\n");
-  for (const auto& [id, v] : report.worst_binding().values()) {
+  // Keep the binding alive: values() returns a reference into it, and
+  // iterating a temporary's internals is a use-after-scope.
+  const perf::PcvBinding worst_binding = report.worst_binding();
+  for (const auto& [id, v] : worst_binding.values()) {
     std::printf("  %-4s = %llu\n", reg.name(id).c_str(),
                 static_cast<unsigned long long>(v));
   }
@@ -199,14 +206,11 @@ int cmd_predict(const std::string& nf, int argc, char** argv, int first) {
   return 0;
 }
 
-int cmd_scenarios() {
+int cmd_scenarios(std::size_t threads) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"Scenario", "Pred IC", "Meas IC", "Pred cycles",
                   "Meas cycles", "Ratio"});
-  for (const std::string& id : core::all_scenario_ids()) {
-    perf::PcvRegistry reg;
-    core::Scenario scenario = core::make_scenario(id, reg);
-    const auto r = core::run_scenario(scenario, reg);
+  for (const core::ScenarioResult& r : core::run_all_scenarios({}, threads)) {
     char ratio[16];
     std::snprintf(ratio, sizeof ratio, "%.2f", r.cycles_ratio());
     rows.push_back(
@@ -258,15 +262,41 @@ int cmd_gen(const std::string& kind, const std::string& out,
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const bool json = argc >= 4 && std::strcmp(argv[3], "--json") == 0;
-  if (cmd == "contract" && argc >= 3) return cmd_contract(argv[2], false, json);
-  if (cmd == "paths" && argc >= 3) return cmd_contract(argv[2], true, json);
+  // Shared trailing flags: --json, --threads N (0 = hardware concurrency).
+  bool json = false;
+  std::size_t threads = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threads requires a value\n");
+        return 2;
+      }
+      char* end = nullptr;
+      threads = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "error: bad --threads value '%s'\n", argv[i]);
+        return 2;
+      }
+    }
+  }
+  if (cmd == "contract" && argc >= 3) {
+    return cmd_contract(argv[2], false, json, threads);
+  }
+  if (cmd == "paths" && argc >= 3) {
+    return cmd_contract(argv[2], true, json, threads);
+  }
   if (cmd == "distill" && argc >= 4) return cmd_distill(argv[2], argv[3]);
   if (cmd == "predict" && argc >= 3) return cmd_predict(argv[2], argc, argv, 3);
   if (cmd == "gen" && argc >= 4) {
-    return cmd_gen(argv[2], argv[3],
-                   argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 10'000);
+    // The count is positional; don't mistake a trailing flag for it.
+    std::size_t count = 10'000;
+    if (argc >= 5 && argv[4][0] != '-') {
+      count = std::strtoull(argv[4], nullptr, 10);
+    }
+    return cmd_gen(argv[2], argv[3], count);
   }
-  if (cmd == "scenarios") return cmd_scenarios();
+  if (cmd == "scenarios") return cmd_scenarios(threads);
   return usage();
 }
