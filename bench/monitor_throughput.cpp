@@ -1,0 +1,131 @@
+// Monitor throughput + compiled-expression speedup.
+//
+// Two measurements, both archived in BENCH_monitor_throughput.json when
+// BOLT_BENCH_JSON is set (tools/bench_runner.sh / CI):
+//
+//  1. End-to-end monitor packets/sec on the NAT under heavy-tailed
+//     traffic, single-threaded and with one thread per core, with the
+//     compiled-expression VM and with the per-packet tree-walk baseline.
+//
+//  2. Expression-evaluation only: every contract entry's three bounds
+//     evaluated over a large batch of PCV rows, tree-walk vs compiled VM
+//     (`expr_vm_speedup` is the headline number — the VM exists because
+//     the tree walk would otherwise dominate the monitor's hot loop).
+#include <cstdio>
+#include <vector>
+
+#include "core/bolt.h"
+#include "core/targets.h"
+#include "monitor/monitor.h"
+#include "net/workload.h"
+#include "perf/expr_vm.h"
+#include "support/bench.h"
+#include "support/random.h"
+
+using namespace bolt;
+
+namespace {
+
+double monitor_pps(const perf::Contract& contract,
+                   const perf::PcvRegistry& reg,
+                   const std::vector<net::Packet>& packets,
+                   std::size_t threads, bool compiled) {
+  monitor::MonitorOptions opts;
+  opts.threads = threads;
+  opts.use_compiled_exprs = compiled;
+  monitor::MonitorEngine engine(contract, reg, opts);
+  support::BenchTimer timer;
+  const monitor::MonitorReport report =
+      engine.run(packets, monitor::MonitorEngine::named_factory("nat"));
+  const double seconds = timer.elapsed_ms() / 1000.0;
+  if (report.violations != 0 || report.unattributed != 0) {
+    std::fprintf(stderr, "bench: unexpected violations/unattributed!\n");
+  }
+  return static_cast<double>(packets.size()) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  support::BenchReport bench("monitor_throughput");
+
+  perf::PcvRegistry reg;
+  core::NfTarget target;
+  core::make_named_target("nat", reg, target);
+  core::ContractGenerator gen(reg);
+  const core::GenerationResult result = gen.generate(target.analysis());
+
+  net::ZipfSpec spec;
+  spec.flow_pool = 2048;
+  spec.skew = 1.1;
+  spec.packet_count = 200'000;
+  const std::vector<net::Packet> packets = net::zipf_traffic(spec);
+
+  // --- end-to-end monitor throughput -------------------------------------
+  const double pps_1t = monitor_pps(result.contract, reg, packets, 1, true);
+  const double pps_nt = monitor_pps(result.contract, reg, packets, 0, true);
+  const double pps_1t_tw = monitor_pps(result.contract, reg, packets, 1, false);
+  std::printf("monitor (NAT, %zu packets, 8 shards):\n", packets.size());
+  std::printf("  1 thread,  compiled exprs: %10.0f pps\n", pps_1t);
+  std::printf("  N threads, compiled exprs: %10.0f pps\n", pps_nt);
+  std::printf("  1 thread,  tree-walk eval: %10.0f pps\n", pps_1t_tw);
+  bench.metric("monitor_pps_1thread", pps_1t, "packets/s");
+  bench.metric("monitor_pps_all_threads", pps_nt, "packets/s");
+  bench.metric("monitor_pps_1thread_treewalk", pps_1t_tw, "packets/s");
+  bench.metric("monitor_thread_scaling", pps_nt / pps_1t, "x");
+
+  // --- expression evaluation only ----------------------------------------
+  // Evaluate every contract bound over a matrix of random PCV rows; this
+  // isolates what the VM replaces.
+  const std::size_t stride = std::max<std::size_t>(reg.size(), 1);
+  const std::size_t rows = 200'000;
+  std::vector<std::uint64_t> slots(rows * stride);
+  support::Rng rng(42);
+  for (auto& v : slots) v = rng.below(64);
+
+  std::vector<perf::CompiledExpr> vms;
+  std::vector<const perf::PerfExpr*> exprs;
+  for (const auto& entry : result.contract.entries()) {
+    for (const perf::Metric m : perf::kAllMetrics) {
+      exprs.push_back(&entry.perf.get(m));
+      vms.push_back(perf::CompiledExpr::compile(entry.perf.get(m)));
+    }
+  }
+
+  std::vector<std::int64_t> out(rows);
+  std::int64_t sink = 0;
+
+  support::BenchTimer timer;
+  for (std::size_t e = 0; e < vms.size(); ++e) {
+    vms[e].eval_batch(slots.data(), stride, rows, out.data());
+    sink += out[rows - 1];
+  }
+  const double vm_s = timer.elapsed_ms() / 1000.0;
+
+  timer.reset();
+  for (std::size_t e = 0; e < exprs.size(); ++e) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      perf::PcvBinding bind;
+      const std::uint64_t* row = slots.data() + r * stride;
+      for (std::size_t s = 0; s < stride; ++s) {
+        if (row[s] != 0) bind.set(static_cast<perf::PcvId>(s), row[s]);
+      }
+      out[r] = exprs[e]->eval(bind);
+    }
+    sink += out[rows - 1];
+  }
+  const double tw_s = timer.elapsed_ms() / 1000.0;
+
+  const double evals =
+      static_cast<double>(vms.size()) * static_cast<double>(rows);
+  std::printf("\nexpression evaluation (%zu exprs x %zu rows):\n", vms.size(),
+              rows);
+  std::printf("  compiled VM (batch): %8.1f Meval/s\n", evals / vm_s / 1e6);
+  std::printf("  tree walk:           %8.1f Meval/s\n", evals / tw_s / 1e6);
+  std::printf("  speedup:             %8.1fx   (sink %lld)\n", tw_s / vm_s,
+              static_cast<long long>(sink));
+  bench.metric("expr_vm_meval_per_s", evals / vm_s / 1e6, "Meval/s");
+  bench.metric("expr_treewalk_meval_per_s", evals / tw_s / 1e6, "Meval/s");
+  bench.metric("expr_vm_speedup", tw_s / vm_s, "x");
+  return 0;
+}

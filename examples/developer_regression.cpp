@@ -1,0 +1,84 @@
+// Developer use case, monitor edition (paper §5.3): catching a performance
+// regression in CI with the contract monitor.
+//
+// The NAT's contract was generated for the shipped packet-I/O framework.
+// A refactor then quietly made the rx path ~50% more expensive (here:
+// inflated framework costs on the measurement side — the stand-in for any
+// regression the contract did not price). A functional test suite stays
+// green; the monitor does not: every packet now exceeds its class's bound,
+// and the report names the class, the packet index, and the predicted vs
+// measured values — a ready-made reproducer.
+#include <cstdio>
+
+#include "core/bolt.h"
+#include "core/targets.h"
+#include "monitor/monitor.h"
+#include "net/workload.h"
+#include "support/strings.h"
+
+using namespace bolt;
+
+namespace {
+
+monitor::MonitorReport run_monitor(const core::GenerationResult& result,
+                                   const perf::PcvRegistry& pcvs,
+                                   const std::vector<net::Packet>& packets,
+                                   bool regressed) {
+  monitor::MonitorOptions opts;
+  opts.shards = 4;
+  if (regressed) {
+    opts.framework.rx_instructions += opts.framework.rx_instructions / 2;
+    opts.framework.rx_accesses += opts.framework.rx_accesses / 2;
+  }
+  monitor::MonitorEngine engine(result.contract, pcvs, opts);
+  return engine.run(packets, monitor::MonitorEngine::named_factory("nat"));
+}
+
+}  // namespace
+
+int main() {
+  perf::PcvRegistry pcvs;
+  core::NfTarget nat;
+  core::make_named_target("nat", pcvs, nat);
+  core::ContractGenerator generator(pcvs);
+  const core::GenerationResult result = generator.generate(nat.analysis());
+
+  net::ZipfSpec spec;
+  spec.flow_pool = 1024;
+  spec.skew = 1.1;
+  spec.packet_count = 20'000;
+  const auto packets = net::zipf_traffic(spec);
+
+  // -- CI gate, before the regression --------------------------------------
+  const auto clean = run_monitor(result, pcvs, packets, false);
+  std::printf("== Baseline run ==\nviolations: %llu (gate passes)\n\n",
+              static_cast<unsigned long long>(clean.violations));
+
+  // -- CI gate, after the regression ---------------------------------------
+  const auto broken = run_monitor(result, pcvs, packets, true);
+  std::printf("== After the rx-path regression ==\nviolations: %llu\n\n",
+              static_cast<unsigned long long>(broken.violations));
+
+  for (const auto& cls : broken.classes) {
+    for (const auto& offender : cls.offenders) {
+      if (static_cast<std::int64_t>(offender.measured) <= offender.predicted) {
+        continue;
+      }
+      std::printf("reproducer: class \"%s\"\n  packet %llu: %s measured %s,"
+                  " bound %s\n",
+                  cls.input_class.c_str(),
+                  static_cast<unsigned long long>(offender.packet_index),
+                  std::string(perf::metric_name(offender.metric)).c_str(),
+                  support::with_commas(
+                      static_cast<std::int64_t>(offender.measured))
+                      .c_str(),
+                  support::with_commas(offender.predicted).c_str());
+      break;  // one reproducer per class is plenty for the bug report
+    }
+  }
+
+  std::printf("\nThe contract pinpoints *which* input classes regressed and\n"
+              "by how much; replaying the named packet under a profiler\n"
+              "finds the cause. The functional suite never noticed.\n");
+  return clean.violations == 0 && broken.violations > 0 ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Operator use case, monitor edition (paper §2/§5.2): continuous
+// validation of a provisioned bound.
+//
+// The operator of examples/operator_provisioning.cpp provisioned queues
+// around the bridge contract. The monitor closes the loop: stream real
+// (heavy-tailed) traffic through the bridge, attribute every packet to its
+// contract class, and watch the *headroom* — how close each class runs to
+// its provisioned bound. A violation (or shrinking headroom after a config
+// change) pages before customers notice.
+#include <cstdio>
+
+#include "core/bolt.h"
+#include "core/targets.h"
+#include "monitor/monitor.h"
+#include "net/workload.h"
+#include "support/strings.h"
+
+using namespace bolt;
+
+int main() {
+  // The artifact the operator was handed: the bridge contract.
+  perf::PcvRegistry pcvs;
+  core::NfTarget bridge;
+  core::make_named_target("bridge", pcvs, bridge);
+  core::ContractGenerator generator(pcvs);
+  const core::GenerationResult result = generator.generate(bridge.analysis());
+
+  // A day of (scaled-down) switch traffic: many stations, some broadcast.
+  net::BridgeSpec traffic;
+  traffic.stations = 2000;
+  traffic.broadcast_fraction = 0.08;
+  traffic.packet_count = 60'000;
+  auto packets = net::bridge_traffic(traffic);
+
+  monitor::MonitorOptions opts;
+  opts.shards = 8;  // the deployment's RSS width
+  monitor::MonitorEngine engine(result.contract, pcvs, opts);
+  const monitor::MonitorReport report =
+      engine.run(packets, monitor::MonitorEngine::named_factory("bridge"));
+
+  std::printf("== Shift report: bridge vs its contract ==\n\n%s\n",
+              report.str().c_str());
+
+  // Operator's eyes go to two numbers: violations (must be zero) and the
+  // utilization histogram of the hot classes (how much provisioned
+  // headroom is actually in use).
+  std::printf("== Headroom by class (share of bound in use, cycles) ==\n");
+  for (const auto& cls : report.classes) {
+    if (cls.packets == 0) continue;
+    const auto& cyc = cls.metrics[perf::metric_index(perf::Metric::kCycles)];
+    std::printf("%-66s worst %5.1f%%\n", cls.input_class.c_str(),
+                cyc.max_utilization() * 100.0);
+  }
+
+  std::printf(
+      "\nviolations: %llu -> the provisioned bounds hold under real "
+      "traffic;\nthe worst packet of the hottest class is the one to keep "
+      "an eye on\nafter the next config push.\n",
+      static_cast<unsigned long long>(report.violations));
+  return report.violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+#include "core/targets.h"
+
+#include "nf/firewall.h"
+
+namespace bolt::core {
+
+NfAnalysis NfTarget::analysis() const {
+  if (!is_stateless) return instance.analysis();
+  NfAnalysis a;
+  a.name = name;
+  for (const auto& p : stateless) a.programs.push_back(&p);
+  a.methods = &no_methods;
+  return a;
+}
+
+std::vector<const ir::Program*> NfTarget::programs() const {
+  if (!is_stateless) return {&instance.program};
+  std::vector<const ir::Program*> out;
+  for (const auto& p : stateless) out.push_back(&p);
+  return out;
+}
+
+std::unique_ptr<NfRunner> NfTarget::make_runner(const nf::FrameworkCosts& fw,
+                                                ir::TraceSink* sink) const {
+  if (!is_stateless) return instance.make_runner(fw, sink);
+  ir::InterpreterOptions opts;
+  nf::apply_framework(opts, fw);
+  opts.sink = sink;
+  return std::make_unique<NfRunner>(programs(), nullptr, opts);
+}
+
+bool make_named_target(const std::string& name, perf::PcvRegistry& reg,
+                       NfTarget& out) {
+  out.name = name;
+  if (name == "bridge") {
+    out.instance = make_bridge(reg, default_bridge_config());
+  } else if (name == "nat" || name == "nat-b") {
+    auto cfg = default_nat_config();
+    if (name == "nat-b") cfg.allocator = dslib::NatState::AllocatorKind::kB;
+    out.instance = make_nat(reg, cfg);
+  } else if (name == "lb") {
+    out.instance = make_lb(reg, default_lb_config());
+  } else if (name == "lpm") {
+    out.instance = make_dir_lpm(reg);
+  } else if (name == "lpm-simple") {
+    out.instance = make_simple_lpm(reg);
+  } else if (name == "firewall") {
+    out.stateless.push_back(nf::Firewall::program());
+    out.is_stateless = true;
+  } else if (name == "router") {
+    out.stateless.push_back(nf::StaticRouter::program());
+    out.is_stateless = true;
+  } else if (name == "fw+router") {
+    out.stateless.push_back(nf::Firewall::program());
+    out.stateless.push_back(nf::StaticRouter::program());
+    out.is_stateless = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const std::vector<std::string>& named_targets() {
+  static const std::vector<std::string> kNames = {
+      "bridge", "nat",    "nat-b",  "lb",        "lpm",
+      "lpm-simple", "firewall", "router", "fw+router"};
+  return kNames;
+}
+
+}  // namespace bolt::core

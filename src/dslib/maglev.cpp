@@ -57,7 +57,7 @@ bool MaglevRing::alive(std::uint32_t backend, std::uint64_t now_ns,
                        ir::CostMeter& meter) const {
   BOLT_CHECK(backend < config_.backend_count, "backend out of range");
   meter.metered_instructions(cost::kHealthCheck);
-  meter.mem_read(arena_base_ + 4ULL * table_.size() + 8ULL * backend, 8);
+  meter.mem_read(heartbeat_base() + 8ULL * backend, 8);
   const std::uint64_t hb = last_heartbeat_[backend];
   return hb != 0 && hb + config_.heartbeat_timeout_ns > now_ns;
 }
@@ -89,7 +89,7 @@ void MaglevRing::heartbeat(std::uint32_t backend, std::uint64_t now_ns,
                            ir::CostMeter& meter) {
   BOLT_CHECK(backend < config_.backend_count, "backend out of range");
   meter.metered_instructions(cost::kHealthUpdate);
-  meter.mem_write(arena_base_ + 4ULL * table_.size() + 8ULL * backend, 8);
+  meter.mem_write(heartbeat_base() + 8ULL * backend, 8);
   last_heartbeat_[backend] = now_ns;
 }
 

@@ -1,0 +1,394 @@
+#include "monitor/monitor.h"
+
+#include <algorithm>
+
+#include "core/classkey.h"
+#include "net/flow.h"
+#include "net/headers.h"
+#include "perf/expr_vm.h"
+#include "support/assert.h"
+#include "support/thread_pool.h"
+
+namespace bolt::monitor {
+
+namespace {
+
+using perf::Metric;
+using perf::kAllMetrics;
+using perf::metric_index;
+
+/// Exact utilization comparison between two (measured, predicted) pairs
+/// without floating point: u(m, p) = m/p for p > 0; 0 when m == 0; and
+/// +inf when p <= 0 but work was measured (a degenerate bound is an
+/// automatic violation). Returns <0, 0, >0 like strcmp.
+int util_cmp(std::uint64_t ma, std::int64_t pa, std::uint64_t mb,
+             std::int64_t pb) {
+  const bool inf_a = pa <= 0 && ma > 0;
+  const bool inf_b = pb <= 0 && mb > 0;
+  if (inf_a || inf_b) {
+    if (inf_a && inf_b) return ma < mb ? -1 : ma > mb ? 1 : 0;
+    return inf_a ? 1 : -1;
+  }
+  // Both finite; p <= 0 implies m == 0 here, i.e. utilization 0.
+  const std::uint64_t na = pa > 0 ? ma : 0;
+  const std::uint64_t da = pa > 0 ? static_cast<std::uint64_t>(pa) : 1;
+  const std::uint64_t nb = pb > 0 ? mb : 0;
+  const std::uint64_t db = pb > 0 ? static_cast<std::uint64_t>(pb) : 1;
+  const unsigned __int128 lhs = static_cast<unsigned __int128>(na) * db;
+  const unsigned __int128 rhs = static_cast<unsigned __int128>(nb) * da;
+  return lhs < rhs ? -1 : lhs > rhs ? 1 : 0;
+}
+
+/// Decile bucket for a compliant packet, kViolationBucket for a violation.
+std::size_t util_bucket(std::uint64_t measured, std::int64_t predicted) {
+  if (static_cast<std::int64_t>(measured) > predicted) return kViolationBucket;
+  if (predicted <= 0 || measured == 0) return 0;
+  const std::uint64_t b =
+      measured * 10 / static_cast<std::uint64_t>(predicted);
+  return std::min<std::uint64_t>(b, kViolationBucket - 1);
+}
+
+struct MetricAccum {
+  std::uint64_t violations = 0;
+  bool has_worst = false;
+  std::uint64_t worst_packet = 0;
+  std::int64_t worst_predicted = 0;
+  std::uint64_t worst_measured = 0;
+  std::array<std::uint64_t, kUtilizationBuckets> histogram{};
+
+  void record(std::uint64_t packet, std::uint64_t measured,
+              std::int64_t predicted) {
+    if (static_cast<std::int64_t>(measured) > predicted) ++violations;
+    ++histogram[util_bucket(measured, predicted)];
+    const int cmp =
+        util_cmp(measured, predicted, worst_measured, worst_predicted);
+    if (!has_worst || cmp > 0 || (cmp == 0 && packet < worst_packet)) {
+      has_worst = true;
+      worst_packet = packet;
+      worst_predicted = predicted;
+      worst_measured = measured;
+    }
+  }
+
+  void merge(const MetricAccum& other) {
+    violations += other.violations;
+    for (std::size_t b = 0; b < kUtilizationBuckets; ++b) {
+      histogram[b] += other.histogram[b];
+    }
+    if (!other.has_worst) return;
+    const int cmp = util_cmp(other.worst_measured, other.worst_predicted,
+                             worst_measured, worst_predicted);
+    if (!has_worst || cmp > 0 ||
+        (cmp == 0 && other.worst_packet < worst_packet)) {
+      has_worst = true;
+      worst_packet = other.worst_packet;
+      worst_predicted = other.worst_predicted;
+      worst_measured = other.worst_measured;
+    }
+  }
+};
+
+/// Strictly-higher-utilization-first ordering (ties: lower packet index).
+bool offender_before(const Offender& a, const Offender& b) {
+  const int cmp = util_cmp(a.measured, a.predicted, b.measured, b.predicted);
+  if (cmp != 0) return cmp > 0;
+  return a.packet_index < b.packet_index;
+}
+
+struct ClassAccum {
+  std::uint64_t packets = 0;
+  std::array<MetricAccum, 3> metrics;
+  std::vector<Offender> offenders;  // sorted by offender_before, bounded
+
+  void add_offender(const Offender& o, std::size_t cap) {
+    if (cap == 0) return;
+    const auto pos =
+        std::lower_bound(offenders.begin(), offenders.end(), o, offender_before);
+    if (pos == offenders.end() && offenders.size() >= cap) return;
+    offenders.insert(pos, o);
+    if (offenders.size() > cap) offenders.pop_back();
+  }
+
+  void merge(const ClassAccum& other, std::size_t cap) {
+    packets += other.packets;
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      metrics[m].merge(other.metrics[m]);
+    }
+    for (const Offender& o : other.offenders) add_offender(o, cap);
+  }
+};
+
+}  // namespace
+
+struct MonitorEngine::EntryVm {
+  std::array<perf::CompiledExpr, 3> exprs;
+};
+
+struct MonitorEngine::ShardResult {
+  std::vector<ClassAccum> classes;
+  std::uint64_t unattributed = 0;
+  std::uint64_t first_unattributed = 0;
+};
+
+std::size_t shard_of(const net::Packet& packet, std::size_t shards) {
+  if (shards <= 1) return 0;
+  std::uint64_t h = 0;
+  if (const auto eth = net::parse_ethernet(packet.bytes())) {
+    h = net::mix64(eth->src.to_u64() * 0x9E3779B97F4A7C15ULL ^
+                   eth->dst.to_u64());
+  }
+  if (const auto tuple = net::extract_five_tuple(packet)) {
+    h = net::mix64(h ^ tuple->key());
+  }
+  return static_cast<std::size_t>(h % shards);
+}
+
+MonitorEngine::MonitorEngine(const perf::Contract& contract,
+                             const perf::PcvRegistry& reg,
+                             MonitorOptions options)
+    : contract_(contract), reg_(reg), options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.batch == 0) options_.batch = 1;
+  vms_.reserve(contract_.entries().size());
+  slot_stride_ = std::max<std::size_t>(reg_.size(), 1);
+  for (std::size_t i = 0; i < contract_.entries().size(); ++i) {
+    const perf::ContractEntry& entry = contract_.entries()[i];
+    EntryVm vm;
+    for (const Metric m : kAllMetrics) {
+      vm.exprs[metric_index(m)] = perf::CompiledExpr::compile(entry.perf.get(m));
+      slot_stride_ =
+          std::max(slot_stride_, vm.exprs[metric_index(m)].slot_count());
+    }
+    vms_.push_back(std::move(vm));
+    entry_index_.emplace(entry.input_class, i);
+  }
+}
+
+MonitorEngine::~MonitorEngine() = default;
+
+MonitorEngine::TargetFactory MonitorEngine::named_factory(std::string name) {
+  return [name = std::move(name)](perf::PcvRegistry& reg) {
+    core::NfTarget target;
+    BOLT_CHECK(core::make_named_target(name, reg, target),
+               "monitor: unknown target '" + name + "'");
+    return target;
+  };
+}
+
+void MonitorEngine::run_shard(const std::vector<std::uint64_t>& indices,
+                              const std::vector<net::Packet>& packets,
+                              const TargetFactory& factory,
+                              ShardResult& out) const {
+  out.classes.assign(contract_.entries().size(), ClassAccum{});
+
+  // Fresh per-shard state, described by a shard-local PCV registry; map
+  // its ids onto the contract registry's by name once, up front.
+  perf::PcvRegistry local_reg;
+  const core::NfTarget target = factory(local_reg);
+  constexpr std::uint32_t kUnmapped = ~0u;
+  std::vector<std::uint32_t> pcv_slot(local_reg.size(), kUnmapped);
+  for (const perf::PcvId id : local_reg.all()) {
+    const std::string& name = local_reg.name(id);
+    if (reg_.contains(name)) pcv_slot[id] = reg_.require(name);
+  }
+  // Loop-trip PCVs (linearised loop families): chain-namespaced loop id ->
+  // contract slot of the PCV named after the loop.
+  std::unordered_map<std::int64_t, std::uint32_t> loop_slot;
+  const auto programs = target.programs();
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    for (std::size_t l = 0; l < programs[p]->loops.size(); ++l) {
+      const std::string& name = programs[p]->loops[l];
+      if (reg_.contains(name)) {
+        loop_slot.emplace(static_cast<std::int64_t>(p) * 1000 +
+                              static_cast<std::int64_t>(l),
+                          reg_.require(name));
+      }
+    }
+  }
+
+  hw::ConservativeModel cycles(options_.cycle_costs);
+  const auto runner = target.make_runner(
+      options_.framework, options_.check_cycles ? &cycles : nullptr);
+
+  // Per-entry pending batches: dense PCV rows plus the measured triples
+  // and global packet indices they belong to.
+  struct Batch {
+    std::vector<std::uint64_t> slots;               // batch x stride
+    std::vector<std::array<std::uint64_t, 3>> measured;
+    std::vector<std::uint64_t> indices;
+  };
+  std::vector<Batch> batches(contract_.entries().size());
+  std::vector<std::int64_t> predicted[3];
+
+  const auto flush = [&](std::size_t entry) {
+    Batch& b = batches[entry];
+    if (b.indices.empty()) return;
+    const std::size_t rows = b.indices.size();
+    ClassAccum& acc = out.classes[entry];
+    for (const Metric m : kAllMetrics) {
+      const int mi = metric_index(m);
+      if (m == Metric::kCycles && !options_.check_cycles) continue;
+      predicted[mi].resize(rows);
+      if (options_.use_compiled_exprs) {
+        vms_[entry].exprs[mi].eval_batch(b.slots.data(), slot_stride_, rows,
+                                         predicted[mi].data());
+      } else {
+        // Tree-walk baseline: rebuild a binding per row.
+        const perf::PerfExpr& expr =
+            contract_.entries()[entry].perf.get(m);
+        for (std::size_t r = 0; r < rows; ++r) {
+          perf::PcvBinding bind;
+          const std::uint64_t* row = b.slots.data() + r * slot_stride_;
+          for (std::size_t s = 0; s < slot_stride_; ++s) {
+            if (row[s] != 0) bind.set(static_cast<perf::PcvId>(s), row[s]);
+          }
+          predicted[mi][r] = expr.eval(bind);
+        }
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      ++acc.packets;
+      Offender worst;
+      bool has_offender = false;
+      for (const Metric m : kAllMetrics) {
+        const int mi = metric_index(m);
+        if (m == Metric::kCycles && !options_.check_cycles) continue;
+        acc.metrics[mi].record(b.indices[r], b.measured[r][mi],
+                               predicted[mi][r]);
+        if (!has_offender ||
+            util_cmp(b.measured[r][mi], predicted[mi][r], worst.measured,
+                     worst.predicted) > 0) {
+          has_offender = true;
+          worst.packet_index = b.indices[r];
+          worst.metric = m;
+          worst.predicted = predicted[mi][r];
+          worst.measured = b.measured[r][mi];
+        }
+      }
+      if (has_offender) acc.add_offender(worst, options_.max_offenders);
+    }
+    b.slots.clear();
+    b.measured.clear();
+    b.indices.clear();
+  };
+
+  bool any_unattributed = false;
+  std::vector<std::pair<std::string, std::string>> cases;
+  for (const std::uint64_t index : indices) {
+    net::Packet packet = packets[index];  // the NF mutates headers
+    if (options_.check_cycles) cycles.begin_packet();
+    const ir::RunResult run = runner->process(packet);
+
+    cases.clear();
+    for (const ir::CallSite& call : run.calls) {
+      auto it = target.methods().find(call.method);
+      cases.emplace_back(it != target.methods().end()
+                             ? it->second.name
+                             : "m" + std::to_string(call.method),
+                         call.case_label);
+    }
+    const std::string key = core::class_key(run.class_tags, cases);
+    const auto entry_it = entry_index_.find(key);
+    if (entry_it == entry_index_.end()) {
+      if (!any_unattributed) {
+        any_unattributed = true;
+        out.first_unattributed = index;
+      }
+      ++out.unattributed;
+      continue;
+    }
+    const std::size_t entry = entry_it->second;
+
+    Batch& b = batches[entry];
+    const std::size_t row = b.indices.size();
+    b.slots.resize((row + 1) * slot_stride_, 0);  // new row arrives zeroed
+    std::uint64_t* slots = b.slots.data() + row * slot_stride_;
+    for (const auto& [id, value] : run.pcvs.values()) {
+      if (id < pcv_slot.size() && pcv_slot[id] != kUnmapped) {
+        slots[pcv_slot[id]] = value;
+      }
+    }
+    for (const auto& [loop, trips] : run.loop_trips) {
+      const auto slot_it = loop_slot.find(loop);
+      if (slot_it != loop_slot.end()) slots[slot_it->second] = trips;
+    }
+    b.measured.push_back({run.instructions, run.mem_accesses,
+                          options_.check_cycles ? cycles.packet_cycles() : 0});
+    b.indices.push_back(index);
+    if (b.indices.size() >= options_.batch) flush(entry);
+  }
+  for (std::size_t e = 0; e < batches.size(); ++e) flush(e);
+}
+
+MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
+                                 const TargetFactory& factory) const {
+  // Fixed flow-affine partition: shard membership depends only on packet
+  // contents and the shard count, never on scheduling. Shards carry
+  // indices only — packets are copied one at a time as each is processed,
+  // so monitoring never duplicates the whole trace.
+  std::vector<std::vector<std::uint64_t>> work(options_.shards);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    work[shard_of(packets[i], options_.shards)].push_back(i);
+  }
+
+  std::vector<ShardResult> shard_results(options_.shards);
+  support::ThreadPool pool(
+      std::min(support::resolve_threads(options_.threads), options_.shards));
+  pool.parallel_for(0, options_.shards, [&](std::size_t s) {
+    run_shard(work[s], packets, factory, shard_results[s]);
+  });
+
+  // Deterministic merge in shard order.
+  std::vector<ClassAccum> merged(contract_.entries().size());
+  std::uint64_t unattributed = 0, first_unattributed = 0;
+  bool any_unattributed = false;
+  for (const ShardResult& sr : shard_results) {
+    for (std::size_t e = 0; e < merged.size(); ++e) {
+      merged[e].merge(sr.classes[e], options_.max_offenders);
+    }
+    if (sr.unattributed > 0) {
+      unattributed += sr.unattributed;
+      if (!any_unattributed || sr.first_unattributed < first_unattributed) {
+        any_unattributed = true;
+        first_unattributed = sr.first_unattributed;
+      }
+    }
+  }
+
+  MonitorReport report;
+  report.nf = contract_.nf_name();
+  report.packets = packets.size();
+  report.unattributed = unattributed;
+  report.first_unattributed_packet = first_unattributed;
+  report.attributed = packets.size() - unattributed;
+  report.shards = options_.shards;
+  report.cycles_checked = options_.check_cycles;
+  report.classes.reserve(merged.size());
+  for (std::size_t e = 0; e < merged.size(); ++e) {
+    ClassReport cr;
+    cr.input_class = contract_.entries()[e].input_class;
+    cr.packets = merged[e].packets;
+    for (std::size_t m = 0; m < 3; ++m) {
+      const MetricAccum& acc = merged[e].metrics[m];
+      MetricReport& mr = cr.metrics[m];
+      mr.violations = acc.violations;
+      mr.worst_packet = acc.worst_packet;
+      mr.worst_predicted = acc.worst_predicted;
+      mr.worst_measured = acc.worst_measured;
+      mr.histogram = acc.histogram;
+      report.violations += acc.violations;
+    }
+    cr.offenders = std::move(merged[e].offenders);
+    report.classes.push_back(std::move(cr));
+  }
+  // Classes sorted by input class for stable human output (contract
+  // entries already arrive sorted from the generator; enforce anyway for
+  // hand-built contracts).
+  std::stable_sort(report.classes.begin(), report.classes.end(),
+                   [](const ClassReport& a, const ClassReport& b) {
+                     return a.input_class < b.input_class;
+                   });
+  return report;
+}
+
+}  // namespace bolt::monitor

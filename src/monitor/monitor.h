@@ -1,0 +1,120 @@
+// Contract monitor — streaming runtime validation of performance contracts
+// (the consumer side of the paper: operators and developers checking that
+// an NF under real traffic actually stays inside its predicted bounds).
+//
+// The engine streams a packet trace through the concrete NfRunner,
+// classifies every packet into its contract input class (the same
+// class-key language the generator and the Distiller speak), evaluates the
+// per-class bound for each metric at the packet's induced PCVs, and
+// aggregates per-class statistics: packet counts, violation counts,
+// headroom histograms, and worst offenders with reproducer packet indices.
+//
+// Two design points make it fast AND deterministic:
+//
+//  * Compiled expressions — contract polynomials are flattened once into
+//    perf::CompiledExpr bytecode and evaluated in batches over dense PCV
+//    rows instead of per-packet tree walks (bench/monitor_throughput.cpp
+//    measures the difference).
+//
+//  * Fixed sharding — the stream is split into `shards` flow-affine
+//    sub-streams (RSS-style: flows hash to shards, so per-flow state in a
+//    shard sees a coherent history), each shard runs a freshly built NF
+//    instance, and shard reports are merged in shard order. The shard
+//    count is part of the *semantics*; the thread count only decides how
+//    many shards run concurrently. Reports are therefore byte-identical
+//    at 1, 2, or N threads — the same determinism contract the PR-1
+//    pipeline enforces (tests/test_monitor.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/targets.h"
+#include "hw/models.h"
+#include "monitor/report.h"
+#include "net/packet.h"
+#include "nf/framework.h"
+#include "perf/contract.h"
+#include "perf/pcv.h"
+
+namespace bolt::monitor {
+
+struct MonitorOptions {
+  /// Flow-affine sub-streams, each with its own NF state. Part of the
+  /// monitor's semantics (reports at different shard counts legitimately
+  /// differ; reports at different *thread* counts never do).
+  std::size_t shards = 8;
+  /// Worker threads (0 = one per hardware thread).
+  std::size_t threads = 0;
+  /// Per-packet framework cost applied on the *measurement* side. The
+  /// contract was generated for some framework level; measuring with a
+  /// different (inflated) one is the canonical violation-injection test.
+  nf::FrameworkCosts framework = nf::framework_full();
+  hw::CycleCosts cycle_costs = hw::default_cycle_costs();
+  /// Check the cycles metric (attaches a conservative, contract-grade
+  /// cycle model to every shard; ~2x slower than IC/MA-only monitoring).
+  bool check_cycles = true;
+  /// Worst offenders kept per class.
+  std::size_t max_offenders = 4;
+  /// Rows per compiled-expression batch evaluation.
+  std::size_t batch = 64;
+  /// Evaluate bounds through the compiled-expression VM (false = the
+  /// per-packet tree walk; exists as the benchmark baseline and as a
+  /// cross-check in tests).
+  bool use_compiled_exprs = true;
+};
+
+class MonitorEngine {
+ public:
+  /// Builds a fresh target for one shard. PCVs are interned into the
+  /// shard-local registry passed in; the engine maps them back to the
+  /// contract's registry by name, so the factory does not need to share
+  /// registries with the generation side.
+  using TargetFactory = std::function<core::NfTarget(perf::PcvRegistry&)>;
+
+  /// `contract` + `reg` are the generation-side artifacts (the registry
+  /// the contract's PCV ids refer to). Both must outlive the engine.
+  MonitorEngine(const perf::Contract& contract, const perf::PcvRegistry& reg,
+                MonitorOptions options = {});
+  ~MonitorEngine();  // out of line: EntryVm is incomplete here
+
+  /// Streams `packets` through per-shard instances built by `factory` and
+  /// returns the merged report. The input is not mutated (shards run on
+  /// copies, as the NF rewrites headers).
+  MonitorReport run(const std::vector<net::Packet>& packets,
+                    const TargetFactory& factory) const;
+
+  /// Factory for a registered target name (core::make_named_target).
+  /// Aborts at call time if the name is unknown.
+  static TargetFactory named_factory(std::string name);
+
+  const MonitorOptions& options() const { return options_; }
+
+ private:
+  struct ShardResult;
+  struct EntryVm;
+
+  /// Processes one shard's packets (`indices` into the caller's stream;
+  /// each is copied just before processing, as the NF mutates headers).
+  void run_shard(const std::vector<std::uint64_t>& indices,
+                 const std::vector<net::Packet>& packets,
+                 const TargetFactory& factory, ShardResult& out) const;
+
+  const perf::Contract& contract_;
+  const perf::PcvRegistry& reg_;
+  MonitorOptions options_;
+  std::vector<EntryVm> vms_;       ///< per contract entry, 3 compiled exprs
+  std::unordered_map<std::string, std::size_t> entry_index_;
+  std::size_t slot_stride_ = 0;    ///< dense PCV row width (registry size)
+};
+
+/// The shard a packet belongs to: a flow-affine hash over the Ethernet
+/// pair and the five-tuple (packets of one flow always land in the same
+/// shard). Exposed for tests.
+std::size_t shard_of(const net::Packet& packet, std::size_t shards);
+
+}  // namespace bolt::monitor

@@ -1,0 +1,134 @@
+#include "monitor/report.h"
+
+#include <cstdio>
+
+#include "support/strings.h"
+
+namespace bolt::monitor {
+
+namespace {
+
+using support::json_quote_into;
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", v * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+double MetricReport::max_utilization() const {
+  if (worst_predicted <= 0) return worst_measured > 0 ? 1.0 : 0.0;
+  return static_cast<double>(worst_measured) /
+         static_cast<double>(worst_predicted);
+}
+
+std::string MonitorReport::str() const {
+  std::string out;
+  out += "monitor: " + nf + " — " + support::with_commas(
+             static_cast<std::int64_t>(packets)) + " packets, " +
+         std::to_string(shards) + " shards\n";
+  out += "violations: " + support::with_commas(
+             static_cast<std::int64_t>(violations));
+  if (unattributed > 0) {
+    out += "   UNATTRIBUTED: " + support::with_commas(
+               static_cast<std::int64_t>(unattributed)) +
+           " (first at packet " +
+           std::to_string(first_unattributed_packet) + ")";
+  }
+  out += "\n\n";
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Input Class", "Packets", "Viol", "IC worst", "MA worst",
+                  cycles_checked ? "Cyc worst" : "Cyc (off)"});
+  for (const ClassReport& c : classes) {
+    std::uint64_t viol = 0;
+    for (const auto& m : c.metrics) viol += m.violations;
+    std::array<std::string, 3> worst;
+    for (const perf::Metric m : perf::kAllMetrics) {
+      const MetricReport& mr = c.metrics[perf::metric_index(m)];
+      worst[perf::metric_index(m)] =
+          m == perf::Metric::kCycles && !cycles_checked
+              ? "-"
+              : pct(mr.max_utilization());
+    }
+    rows.push_back({c.input_class,
+                    support::with_commas(static_cast<std::int64_t>(c.packets)),
+                    std::to_string(viol), worst[0], worst[1], worst[2]});
+  }
+  out += support::render_table(rows);
+
+  // Worst offenders of classes that violated (reproducer pointers).
+  for (const ClassReport& c : classes) {
+    for (const Offender& o : c.offenders) {
+      if (static_cast<std::int64_t>(o.measured) <= o.predicted) continue;
+      out += "VIOLATION " + c.input_class + ": packet " +
+             std::to_string(o.packet_index) + " " +
+             std::string(perf::metric_name(o.metric)) + " measured " +
+             support::with_commas(static_cast<std::int64_t>(o.measured)) +
+             " > predicted " + support::with_commas(o.predicted) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string report_to_json(const MonitorReport& report) {
+  std::string out = "{\"version\":1,\"nf\":";
+  json_quote_into(out, report.nf);
+  out += ",\"packets\":" + std::to_string(report.packets);
+  out += ",\"attributed\":" + std::to_string(report.attributed);
+  out += ",\"unattributed\":" + std::to_string(report.unattributed);
+  if (report.unattributed > 0) {
+    out += ",\"first_unattributed_packet\":" +
+           std::to_string(report.first_unattributed_packet);
+  }
+  out += ",\"violations\":" + std::to_string(report.violations);
+  out += ",\"shards\":" + std::to_string(report.shards);
+  out += ",\"cycles_checked\":";
+  out += report.cycles_checked ? "true" : "false";
+  out += ",\"classes\":[";
+  bool first_class = true;
+  for (const ClassReport& c : report.classes) {
+    if (!first_class) out += ',';
+    first_class = false;
+    out += "{\"input_class\":";
+    json_quote_into(out, c.input_class);
+    out += ",\"packets\":" + std::to_string(c.packets);
+    out += ",\"metrics\":{";
+    bool first_metric = true;
+    for (const perf::Metric m : perf::kAllMetrics) {
+      const MetricReport& mr = c.metrics[perf::metric_index(m)];
+      if (!first_metric) out += ',';
+      first_metric = false;
+      json_quote_into(out, std::string(perf::metric_name(m)));
+      out += ":{\"violations\":" + std::to_string(mr.violations);
+      out += ",\"worst_packet\":" + std::to_string(mr.worst_packet);
+      out += ",\"worst_predicted\":" + std::to_string(mr.worst_predicted);
+      out += ",\"worst_measured\":" + std::to_string(mr.worst_measured);
+      out += ",\"histogram\":[";
+      for (std::size_t b = 0; b < kUtilizationBuckets; ++b) {
+        if (b != 0) out += ',';
+        out += std::to_string(mr.histogram[b]);
+      }
+      out += "]}";
+    }
+    out += "},\"offenders\":[";
+    bool first_off = true;
+    for (const Offender& o : c.offenders) {
+      if (!first_off) out += ',';
+      first_off = false;
+      out += "{\"packet\":" + std::to_string(o.packet_index);
+      out += ",\"metric\":";
+      json_quote_into(out, std::string(perf::metric_name(o.metric)));
+      out += ",\"predicted\":" + std::to_string(o.predicted);
+      out += ",\"measured\":" + std::to_string(o.measured);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace bolt::monitor

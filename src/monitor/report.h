@@ -1,0 +1,80 @@
+// Monitor reports — what streaming contract validation produces.
+//
+// Per input class, the monitor aggregates packet counts, per-metric
+// violation counts, headroom (utilization = measured / predicted bound)
+// histograms, and the worst offenders with their global packet indices so
+// a violation can be replayed from the original trace ("packet 17342 of
+// this pcap broke the NAT's internal_new bound").
+//
+// Reports are deterministic by construction: every field is derived from
+// integer aggregation in a fixed order, so a report for a given (contract,
+// traffic, shard count) is byte-identical no matter how many threads
+// computed it — that property is enforced by tests/test_monitor.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/metric.h"
+
+namespace bolt::monitor {
+
+/// Utilization histogram shape: deciles [0,10%) .. [90,100%] of the bound,
+/// plus one overflow bucket for violations (measured > predicted).
+inline constexpr std::size_t kUtilizationBuckets = 11;
+inline constexpr std::size_t kViolationBucket = kUtilizationBuckets - 1;
+
+/// One packet that came closest to (or broke) its class's bound.
+struct Offender {
+  std::uint64_t packet_index = 0;  ///< index into the monitored stream
+  perf::Metric metric = perf::Metric::kInstructions;  ///< worst metric
+  std::int64_t predicted = 0;
+  std::uint64_t measured = 0;
+};
+
+/// Per-class, per-metric aggregation.
+struct MetricReport {
+  std::uint64_t violations = 0;
+  /// The packet with the highest measured/predicted ratio for this metric.
+  std::uint64_t worst_packet = 0;
+  std::int64_t worst_predicted = 0;
+  std::uint64_t worst_measured = 0;
+  std::array<std::uint64_t, kUtilizationBuckets> histogram{};
+
+  /// measured/predicted at the worst packet (0 when the class is empty).
+  double max_utilization() const;
+};
+
+struct ClassReport {
+  std::string input_class;
+  std::uint64_t packets = 0;
+  std::array<MetricReport, 3> metrics;  ///< indexed by perf::metric_index
+  /// Worst offenders across metrics, highest utilization first (ties:
+  /// lower packet index). Bounded by MonitorOptions::max_offenders.
+  std::vector<Offender> offenders;
+};
+
+struct MonitorReport {
+  std::string nf;
+  std::uint64_t packets = 0;
+  std::uint64_t attributed = 0;
+  /// Packets whose observed class key has no contract entry (a generation
+  /// gap or a state divergence — always worth investigating).
+  std::uint64_t unattributed = 0;
+  std::uint64_t first_unattributed_packet = 0;  ///< valid when > 0 above
+  std::uint64_t violations = 0;  ///< total across classes and metrics
+  std::size_t shards = 0;
+  bool cycles_checked = false;
+  std::vector<ClassReport> classes;  ///< sorted by input_class
+
+  /// Aligned text rendering (the CLI's default output).
+  std::string str() const;
+};
+
+/// JSON serialisation (schema versioned, alongside perf/contract_io's
+/// contract schema; see README "Monitor report schema").
+std::string report_to_json(const MonitorReport& report);
+
+}  // namespace bolt::monitor

@@ -1,6 +1,7 @@
 #include "net/workload.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 #include "net/packet_builder.h"
@@ -52,6 +53,43 @@ std::vector<Packet> uniform_random_traffic(const UniformSpec& spec) {
   TimestampNs ts = spec.timing.start_ns;
   for (std::size_t i = 0; i < spec.packet_count; ++i) {
     const std::uint64_t flow = rng.below(spec.flow_pool);
+    out.push_back(packet_for_tuple(tuple_for_index(flow, spec.internal_side),
+                                   ts, spec.in_port));
+    ts += spec.timing.gap_ns;
+  }
+  return out;
+}
+
+std::vector<Packet> zipf_traffic(const ZipfSpec& spec) {
+  BOLT_CHECK(spec.flow_pool > 0, "zipf_traffic needs a non-empty flow pool");
+  support::Rng rng(spec.seed);
+
+  // Cumulative mass of 1/r^skew for r = 1..flow_pool; sampling is a binary
+  // search over the prefix sums (exact inverse-CDF, no rejection).
+  std::vector<double> cumulative(spec.flow_pool);
+  double total = 0.0;
+  for (std::size_t r = 0; r < spec.flow_pool; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), spec.skew);
+    cumulative[r] = total;
+  }
+
+  // Seed-keyed permutation of rank -> flow index: popular flows land in
+  // unrelated parts of the tuple space instead of the low indices.
+  std::vector<std::uint64_t> flow_of_rank(spec.flow_pool);
+  for (std::size_t r = 0; r < spec.flow_pool; ++r) flow_of_rank[r] = r;
+  for (std::size_t r = spec.flow_pool; r > 1; --r) {
+    std::swap(flow_of_rank[r - 1], flow_of_rank[rng.below(r)]);
+  }
+
+  std::vector<Packet> out;
+  out.reserve(spec.packet_count);
+  TimestampNs ts = spec.timing.start_ns;
+  for (std::size_t i = 0; i < spec.packet_count; ++i) {
+    const double u = rng.uniform() * total;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    const std::uint64_t flow = flow_of_rank[std::min(rank, spec.flow_pool - 1)];
     out.push_back(packet_for_tuple(tuple_for_index(flow, spec.internal_side),
                                    ts, spec.in_port));
     ts += spec.timing.gap_ns;

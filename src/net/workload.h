@@ -34,6 +34,25 @@ struct UniformSpec {
 };
 std::vector<Packet> uniform_random_traffic(const UniformSpec& spec);
 
+/// Heavy-tailed flow-popularity traffic: flow ranks are drawn from a Zipf
+/// distribution (P(rank r) ~ 1/r^skew), the regime where per-class hit
+/// rates, chain lengths, and therefore violation rates diverge most from
+/// uniform traffic. Rank 1 is the most popular flow; `skew` ~ 1.0 matches
+/// the classic Internet mix, higher values concentrate harder. Ranks are
+/// mapped to five-tuples through a seed-keyed permutation so the popular
+/// flows do not cluster in tuple space (and therefore spread across
+/// monitor shards and hash buckets).
+struct ZipfSpec {
+  std::uint64_t seed = 1;
+  std::size_t flow_pool = 4096;  ///< number of distinct flows (ranks)
+  double skew = 1.0;             ///< Zipf exponent; 0 degenerates to uniform
+  std::size_t packet_count = 10'000;
+  TrafficTiming timing;
+  std::uint16_t in_port = 0;
+  bool internal_side = true;
+};
+std::vector<Packet> zipf_traffic(const ZipfSpec& spec);
+
 /// Flow-churn traffic: a working set of `active_flows` flows; with
 /// probability `churn` a packet retires the oldest flow and starts a fresh
 /// one. High churn exercises allocation; low churn exercises lookups.

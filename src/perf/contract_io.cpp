@@ -3,23 +3,12 @@
 #include <cctype>
 
 #include "support/assert.h"
+#include "support/strings.h"
 
 namespace bolt::perf {
 namespace {
 
-void escape_into(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c; break;
-    }
-  }
-  out += '"';
-}
+using support::json_quote_into;
 
 void expr_to_json(std::string& out, const PerfExpr& expr,
                   const PcvRegistry& reg) {
@@ -34,7 +23,7 @@ void expr_to_json(std::string& out, const PerfExpr& expr,
       for (int i = 0; i < exponent; ++i) {
         if (!first_pcv) out += ',';
         first_pcv = false;
-        escape_into(out, reg.name(id));
+        json_quote_into(out, reg.name(id));
       }
     }
     out += "]}";
@@ -143,16 +132,16 @@ PerfExpr expr_from_json(JsonReader& r, PcvRegistry& reg) {
 
 std::string contract_to_json(const Contract& contract, const PcvRegistry& reg) {
   std::string out = "{\"version\":1,\"nf\":";
-  escape_into(out, contract.nf_name());
+  json_quote_into(out, contract.nf_name());
   out += ",\"pcvs\":[";
   bool first = true;
   for (const PcvId id : reg.all()) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":";
-    escape_into(out, reg.name(id));
+    json_quote_into(out, reg.name(id));
     out += ",\"description\":";
-    escape_into(out, reg.description(id));
+    json_quote_into(out, reg.description(id));
     out += '}';
   }
   out += "],\"entries\":[";
@@ -161,14 +150,14 @@ std::string contract_to_json(const Contract& contract, const PcvRegistry& reg) {
     if (!first) out += ',';
     first = false;
     out += "{\"input_class\":";
-    escape_into(out, entry.input_class);
+    json_quote_into(out, entry.input_class);
     out += ",\"paths_coalesced\":" + std::to_string(entry.paths_coalesced);
     out += ",\"metrics\":{";
     bool first_metric = true;
     for (const Metric m : kAllMetrics) {
       if (!first_metric) out += ',';
       first_metric = false;
-      escape_into(out, std::string(metric_name(m)));
+      json_quote_into(out, std::string(metric_name(m)));
       out += ':';
       expr_to_json(out, entry.perf.get(m), reg);
     }

@@ -1,0 +1,259 @@
+#include "perf/expr_vm.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "support/assert.h"
+
+namespace bolt::perf {
+
+namespace {
+
+/// A polynomial in compile-time form: monomial -> coefficient, the same
+/// shape PerfExpr keeps, but copied so Horner factoring can divide terms.
+using Terms = std::map<Monomial, std::int64_t>;
+
+/// Divides a monomial by one power of `id` (the caller guarantees the
+/// factor is present).
+Monomial divide_once(const Monomial& m, PcvId id) {
+  Monomial out;
+  // Rebuild via products of single-PCV powers; Monomial's public surface
+  // has no mutation, so reconstruct from factors.
+  for (const auto& [pid, exp] : m.factors()) {
+    int keep = pid == id ? exp - 1 : exp;
+    for (int i = 0; i < keep; ++i) out = out * Monomial::pcv(pid);
+  }
+  return out;
+}
+
+bool contains_pcv(const Monomial& m, PcvId id) {
+  for (const auto& [pid, exp] : m.factors()) {
+    if (pid == id) return exp >= 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+struct CompiledExpr::Builder {
+  std::vector<Instr> code;
+  std::size_t slot_count = 0;
+  // CSE memos.
+  std::map<std::uint64_t, std::uint32_t> const_memo;
+  std::map<std::uint32_t, std::uint32_t> slot_memo;
+  std::map<std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>,
+           std::uint32_t>
+      bin_memo;
+
+  std::uint32_t emit_const(std::uint64_t v) {
+    auto it = const_memo.find(v);
+    if (it != const_memo.end()) return it->second;
+    const auto r = static_cast<std::uint32_t>(code.size());
+    code.push_back({Op::kConst, 0, 0, v});
+    const_memo.emplace(v, r);
+    return r;
+  }
+
+  std::uint32_t emit_slot(PcvId id) {
+    auto it = slot_memo.find(id);
+    if (it != slot_memo.end()) return it->second;
+    const auto r = static_cast<std::uint32_t>(code.size());
+    code.push_back({Op::kSlot, id, 0, 0});
+    slot_memo.emplace(id, r);
+    slot_count = std::max(slot_count, static_cast<std::size_t>(id) + 1);
+    return r;
+  }
+
+  std::uint32_t emit_bin(Op op, std::uint32_t a, std::uint32_t b) {
+    // Constant folding.
+    if (code[a].op == Op::kConst && code[b].op == Op::kConst) {
+      const std::uint64_t va = code[a].imm, vb = code[b].imm;
+      return emit_const(op == Op::kAdd ? va + vb : va * vb);
+    }
+    // Identities: x+0, x*1 vanish; x*0 is 0.
+    if (op == Op::kAdd) {
+      if (code[a].op == Op::kConst && code[a].imm == 0) return b;
+      if (code[b].op == Op::kConst && code[b].imm == 0) return a;
+    } else {
+      if (code[a].op == Op::kConst && code[a].imm == 1) return b;
+      if (code[b].op == Op::kConst && code[b].imm == 1) return a;
+      if (code[a].op == Op::kConst && code[a].imm == 0) return emit_const(0);
+      if (code[b].op == Op::kConst && code[b].imm == 0) return emit_const(0);
+    }
+    // Commutative: canonical operand order widens CSE hits.
+    if (a > b) std::swap(a, b);
+    const auto key = std::make_tuple(static_cast<std::uint8_t>(op), a, b);
+    auto it = bin_memo.find(key);
+    if (it != bin_memo.end()) return it->second;
+    const auto r = static_cast<std::uint32_t>(code.size());
+    code.push_back({op, a, b, 0});
+    bin_memo.emplace(key, r);
+    return r;
+  }
+
+  /// Horner-factored compilation of a polynomial; returns the register
+  /// holding its value.
+  std::uint32_t compile_terms(const Terms& terms) {
+    if (terms.empty()) return emit_const(0);
+    // Pure constant?
+    if (terms.size() == 1 && terms.begin()->first.is_constant()) {
+      return emit_const(static_cast<std::uint64_t>(terms.begin()->second));
+    }
+    // Pick the PCV occurring in the most terms (ties: smallest id, so the
+    // generated code is independent of registry interning history).
+    std::map<PcvId, std::size_t> occurrences;
+    for (const auto& [m, c] : terms) {
+      for (const auto& [id, exp] : m.factors()) ++occurrences[id];
+    }
+    PcvId best = 0;
+    std::size_t best_count = 0;
+    for (const auto& [id, n] : occurrences) {
+      if (n > best_count) {
+        best = id;
+        best_count = n;
+      }
+    }
+    BOLT_CHECK(best_count > 0, "expr_vm: non-constant polynomial without PCVs");
+
+    Terms inner;  // terms containing `best`, divided by one power of it
+    Terms rest;   // the remainder
+    for (const auto& [m, c] : terms) {
+      if (contains_pcv(m, best)) {
+        inner[divide_once(m, best)] += c;
+      } else {
+        rest[m] += c;
+      }
+    }
+    std::uint32_t r = emit_bin(Op::kMul, compile_terms(inner), emit_slot(best));
+    if (!rest.empty()) r = emit_bin(Op::kAdd, r, compile_terms(rest));
+    return r;
+  }
+};
+
+CompiledExpr CompiledExpr::compile(const PerfExpr& expr) {
+  Builder b;
+  Terms terms;
+  for (const auto& [m, c] : expr.terms()) terms.emplace(m, c);
+  const std::uint32_t result = b.compile_terms(terms);
+  CompiledExpr out;
+  out.code_ = std::move(b.code);
+  out.slot_count_ = b.slot_count;
+  // Evaluation reads the result from the *last* register; identity folding
+  // and CSE can leave it elsewhere, so pin it with an explicit `+ 0` (raw
+  // instructions, bypassing the folding that would erase them again).
+  if (result + 1 != out.code_.size()) {
+    const auto zero = static_cast<std::uint32_t>(out.code_.size());
+    out.code_.push_back({Op::kConst, 0, 0, 0});
+    out.code_.push_back({Op::kAdd, result, zero, 0});
+  }
+  return out;
+}
+
+std::int64_t CompiledExpr::eval(const PcvBinding& binding) const {
+  std::vector<std::uint64_t> slots(slot_count_, 0);
+  for (const auto& [id, v] : binding.values()) {
+    if (id < slot_count_) slots[id] = v;
+  }
+  return eval_slots(slots.data());
+}
+
+std::int64_t CompiledExpr::eval_slots(const std::uint64_t* slots) const {
+  // Small fixed buffer covers every contract expression we generate;
+  // fall back to the heap for adversarial tests.
+  constexpr std::size_t kStack = 64;
+  std::uint64_t stack_regs[kStack] = {};
+  std::vector<std::uint64_t> heap_regs;
+  std::uint64_t* regs = stack_regs;
+  if (code_.size() > kStack) {
+    heap_regs.resize(code_.size());
+    regs = heap_regs.data();
+  }
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instr& ins = code_[i];
+    switch (ins.op) {
+      case Op::kConst:
+        regs[i] = ins.imm;
+        break;
+      case Op::kSlot:
+        regs[i] = slots[ins.a];
+        break;
+      case Op::kAdd:
+        regs[i] = regs[ins.a] + regs[ins.b];
+        break;
+      case Op::kMul:
+        regs[i] = regs[ins.a] * regs[ins.b];
+        break;
+    }
+  }
+  return static_cast<std::int64_t>(regs[code_.size() - 1]);
+}
+
+void CompiledExpr::eval_batch(const std::uint64_t* slots, std::size_t stride,
+                              std::size_t count, std::int64_t* out) const {
+  BOLT_CHECK(stride >= slot_count_, "expr_vm: batch stride below slot count");
+  // Instruction-major evaluation over lane blocks: each instruction's
+  // per-lane loop is a tight, branchless sweep the compiler can vectorize,
+  // and the register matrix for one block stays cache-resident.
+  constexpr std::size_t kLanes = 64;
+  std::vector<std::uint64_t> regs(code_.size() * kLanes);
+  for (std::size_t base = 0; base < count; base += kLanes) {
+    const std::size_t lanes = std::min(kLanes, count - base);
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Instr& ins = code_[i];
+      std::uint64_t* r = &regs[i * kLanes];
+      switch (ins.op) {
+        case Op::kConst:
+          for (std::size_t l = 0; l < lanes; ++l) r[l] = ins.imm;
+          break;
+        case Op::kSlot: {
+          const std::uint64_t* in = slots + base * stride + ins.a;
+          for (std::size_t l = 0; l < lanes; ++l) r[l] = in[l * stride];
+          break;
+        }
+        case Op::kAdd: {
+          const std::uint64_t* ra = &regs[ins.a * kLanes];
+          const std::uint64_t* rb = &regs[ins.b * kLanes];
+          for (std::size_t l = 0; l < lanes; ++l) r[l] = ra[l] + rb[l];
+          break;
+        }
+        case Op::kMul: {
+          const std::uint64_t* ra = &regs[ins.a * kLanes];
+          const std::uint64_t* rb = &regs[ins.b * kLanes];
+          for (std::size_t l = 0; l < lanes; ++l) r[l] = ra[l] * rb[l];
+          break;
+        }
+      }
+    }
+    const std::uint64_t* result = &regs[(code_.size() - 1) * kLanes];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      out[base + l] = static_cast<std::int64_t>(result[l]);
+    }
+  }
+}
+
+std::string CompiledExpr::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instr& ins = code_[i];
+    if (!out.empty()) out += "; ";
+    out += "r" + std::to_string(i) + "=";
+    switch (ins.op) {
+      case Op::kConst:
+        out += std::to_string(ins.imm);
+        break;
+      case Op::kSlot:
+        out += "slot[" + std::to_string(ins.a) + "]";
+        break;
+      case Op::kAdd:
+        out += "r" + std::to_string(ins.a) + "+r" + std::to_string(ins.b);
+        break;
+      case Op::kMul:
+        out += "r" + std::to_string(ins.a) + "*r" + std::to_string(ins.b);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bolt::perf

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/strings.h"
+
 namespace bolt::support {
 
 namespace {
@@ -17,19 +19,10 @@ std::uint64_t now_ns() {
 
 const char* json_dir() { return std::getenv("BOLT_BENCH_JSON"); }
 
-/// JSON string escaping for the small ASCII identifiers benches use.
-std::string escaped(const std::string& s) {
+/// Quoted JSON string literal (shared escaping rules).
+std::string quoted(const std::string& s) {
   std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c; break;
-    }
-  }
+  json_quote_into(out, s);
   return out;
 }
 
@@ -53,15 +46,15 @@ void BenchReport::metric(const std::string& metric_name, double value,
 bool BenchReport::json_enabled() { return json_dir() != nullptr; }
 
 std::string BenchReport::to_json() const {
-  std::string out = "{\n  \"bench\": \"" + escaped(name_) + "\",\n";
+  std::string out = "{\n  \"bench\": " + quoted(name_) + ",\n";
   out += "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     const Entry& m = metrics_[i];
     char value[64];
     std::snprintf(value, sizeof value, "%.6f", m.value);
     out += i == 0 ? "\n" : ",\n";
-    out += "    {\"name\": \"" + escaped(m.name) + "\", \"value\": " + value +
-           ", \"unit\": \"" + escaped(m.unit) + "\"}";
+    out += "    {\"name\": " + quoted(m.name) + ", \"value\": " + value +
+           ", \"unit\": " + quoted(m.unit) + "}";
   }
   out += "\n  ]\n}\n";
   return out;

@@ -4,8 +4,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <iterator>
+#include <map>
 #include <mutex>
-#include <numeric>
 #include <thread>
 #include <utility>
 
@@ -58,12 +59,17 @@ struct Executor::Explore {
   std::condition_variable cv;
   std::vector<State> queue;   // LIFO: newest fork first, DFS-like memory use
   std::size_t active = 0;     // workers currently executing a state
-  bool stop = false;          // path budget exhausted
   std::size_t max_workers = 1;     // including the inline caller
   std::size_t total_workers = 1;   // spawned + inline
   std::vector<std::thread> spawned;
   Executor* owner = nullptr;
-  std::vector<PathResult> results;
+  // Completed paths keyed by their scheduling-independent structural
+  // signature. When max_paths truncates, the *largest* signatures are
+  // evicted, so the surviving set is the canonical prefix of the full
+  // sorted path set — identical at any thread count (exploration still
+  // visits every path; only memory is bounded by the budget).
+  std::multimap<std::string, PathResult> results;
+  std::size_t truncated = 0;  // completed paths evicted by the budget
   std::atomic<std::size_t> pruned{0};
   std::atomic<std::size_t> abandoned{0};
   std::atomic<std::size_t> unknowns{0};
@@ -73,7 +79,7 @@ struct Executor::Explore {
       std::lock_guard<std::mutex> lock(mutex);
       queue.push_back(std::move(s));
       // Backlog beyond what this pusher will pop itself: grow the team.
-      if (!stop && total_workers < max_workers && queue.size() > 1) {
+      if (total_workers < max_workers && queue.size() > 1) {
         ++total_workers;
         Executor* exec = owner;
         spawned.emplace_back([exec, this] { exec->explore_worker(*this); });
@@ -221,20 +227,23 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
     return true;
   };
 
-  // Sinks a completed path. When the budget fills, raises the stop flag so
-  // idle and waiting workers shut down.
+  // Sinks a completed path into the signature-ordered result set. The
+  // max_paths budget truncates *canonically*: the set keeps the
+  // `max_paths` smallest signatures seen so far and evicts the largest,
+  // so the final set is the same canonical prefix no matter which worker
+  // finished which path first (the signature is computed outside the lock;
+  // it only depends on the path's structure).
   auto complete = [&](PathResult path) {
+    std::string sig = path_signature(path);
     std::lock_guard<std::mutex> lock(sh.mutex);
     if (sh.results.size() >= options_.max_paths) {
-      sh.stop = true;
-      sh.cv.notify_all();
-      return;
+      ++sh.truncated;
+      if (sh.results.empty()) return;  // a zero budget keeps nothing
+      auto last = std::prev(sh.results.end());
+      if (sig >= last->first) return;  // beyond the canonical prefix
+      sh.results.erase(last);
     }
-    sh.results.push_back(std::move(path));
-    if (sh.results.size() >= options_.max_paths) {
-      sh.stop = true;
-      sh.cv.notify_all();
-    }
+    sh.results.emplace(std::move(sig), std::move(path));
   };
 
   bool alive = true;
@@ -506,9 +515,7 @@ void Executor::explore_worker(Explore& sh) {
   Solver solver(symbols_, options_.solver);
   std::unique_lock<std::mutex> lock(sh.mutex);
   for (;;) {
-    sh.cv.wait(lock,
-               [&] { return sh.stop || !sh.queue.empty() || sh.active == 0; });
-    if (sh.stop) return;
+    sh.cv.wait(lock, [&] { return !sh.queue.empty() || sh.active == 0; });
     if (sh.queue.empty()) {
       if (sh.active == 0) {
         // Fully drained: wake every sibling so they observe termination.
@@ -552,28 +559,28 @@ std::vector<PathResult> Executor::run() {
   }
 
   stats_.completed_paths = sh.results.size();
+  stats_.truncated_paths = sh.truncated;
   stats_.pruned_branches = sh.pruned.load();
   stats_.abandoned_paths = sh.abandoned.load();
   stats_.solver_unknowns = sh.unknowns.load();
 
-  canonicalize(sh.results);
-  return std::move(sh.results);
+  // The result sink already holds the paths in canonical signature order;
+  // all that remains is the canonical symbol renumbering over that order.
+  std::vector<PathResult> paths;
+  paths.reserve(sh.results.size());
+  for (auto& [sig, path] : sh.results) paths.push_back(std::move(path));
+  canonicalize(paths);
+  return paths;
 }
 
 void Executor::canonicalize(std::vector<PathResult>& paths) {
   if (paths.empty()) return;
 
-  // 1) Order paths by their scheduling-independent structural signature.
-  std::vector<std::string> sigs;
-  sigs.reserve(paths.size());
-  for (const PathResult& p : paths) sigs.push_back(path_signature(p));
-  std::vector<std::size_t> order(paths.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return sigs[a] < sigs[b];
-  });
+  // The caller (run()'s result sink) already ordered the paths by their
+  // scheduling-independent structural signature; recomputing signatures
+  // and re-sorting here would be pure waste on the generation hot path.
 
-  // 2) Renumber symbols in first-use order over the sorted paths. Shared
+  // 1) Renumber symbols in first-use order over the sorted paths. Shared
   //    prefix symbols keep one id (the first path that uses them wins).
   std::map<SymId, SymId> remap;
   std::vector<std::pair<std::string, int>> entries;
@@ -582,9 +589,9 @@ void Executor::canonicalize(std::vector<PathResult>& paths) {
       entries.emplace_back(symbols_.name(old_id), symbols_.width_bits(old_id));
     }
   };
-  for (std::size_t idx : order) visit_path_symbols(paths[idx], assign);
+  for (const PathResult& p : paths) visit_path_symbols(p, assign);
 
-  // 3) Rewrite every expression, preserving DAG sharing so downstream
+  // 2) Rewrite every expression, preserving DAG sharing so downstream
   //    pointer-equality folds behave exactly as before.
   std::map<const Expr*, ExprPtr> memo;
   std::function<ExprPtr(const ExprPtr&)> rewrite =
@@ -629,12 +636,6 @@ void Executor::canonicalize(std::vector<PathResult>& paths) {
     if (p.has_time_sym) p.time_sym = remap.at(p.time_sym);
   }
   symbols_.rebuild(std::move(entries));
-
-  // 4) Emit the paths in canonical order.
-  std::vector<PathResult> sorted;
-  sorted.reserve(paths.size());
-  for (std::size_t idx : order) sorted.push_back(std::move(paths[idx]));
-  paths = std::move(sorted);
 }
 
 void Executor::solve_inputs(std::vector<PathResult>& paths) const {

@@ -21,15 +21,20 @@
 namespace bolt::symbex {
 
 struct ExecutorOptions {
-  std::size_t max_paths = 4096;          ///< total completed paths
+  /// Path budget. Truncation is *canonical*: when exploration completes
+  /// more paths than this, the paths with the smallest structural
+  /// signatures are kept (the canonical prefix of the sorted path set),
+  /// the rest are counted in `ExecutorStats::truncated_paths`. A tight
+  /// budget therefore bounds memory and output size, not exploration
+  /// time — every path is still visited once.
+  std::size_t max_paths = 4096;
   std::uint64_t max_steps_per_path = 100'000;
   std::uint64_t max_loop_trips = 64;     ///< per loop header per path
   bool prune_infeasible = true;          ///< solver-check each fork
   /// Worker threads for exploration and solving (0 = one per hardware
   /// thread). Results are canonicalized after exploration, so contracts
-  /// are bit-identical at any thread count — unless `max_paths` truncates
-  /// the search, in which case *which* paths complete first is scheduling-
-  /// dependent (the default budget is far above every shipped NF).
+  /// are bit-identical at any thread count, including under max_paths
+  /// truncation.
   std::size_t threads = 0;
   SolverOptions solver;
   /// Initial contents of NF-local scratch memory. Scratch is configuration,
@@ -39,7 +44,8 @@ struct ExecutorOptions {
 };
 
 struct ExecutorStats {
-  std::size_t completed_paths = 0;
+  std::size_t completed_paths = 0;   ///< paths returned (post-truncation)
+  std::size_t truncated_paths = 0;   ///< completed but evicted by max_paths
   std::size_t pruned_branches = 0;   ///< forks proved infeasible
   std::size_t abandoned_paths = 0;   ///< loop/step budget exceeded
   std::size_t solver_unknowns = 0;   ///< feasibility checks that timed out
@@ -86,8 +92,9 @@ class Executor {
   /// Worker loop: pop states until the queue drains or the path budget is
   /// exhausted.
   void explore_worker(Explore& sh);
-  /// Deterministic post-pass: sort paths by structural signature and
-  /// renumber symbols canonically (see run()).
+  /// Deterministic post-pass over paths *already in canonical signature
+  /// order* (run()'s result sink maintains that order): renumbers symbols
+  /// in first-use order and rewrites every expression (see run()).
   void canonicalize(std::vector<PathResult>& paths);
 
   std::vector<const ir::Program*> programs_;

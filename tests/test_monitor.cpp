@@ -1,0 +1,196 @@
+// The contract monitor's own contract:
+//  * every packet of a well-formed workload is attributed to a contract
+//    input class, and compliant runs report zero violations (the paper's
+//    essential property, checked online);
+//  * an injected cost perturbation (measurement framework more expensive
+//    than the one the contract was generated for) is reported as a
+//    violation with class, packet index, and predicted vs measured values;
+//  * reports are byte-identical at 1, 2, and 8 threads, and identical
+//    between the compiled-expression VM and the tree-walk baseline;
+//  * sharding is flow-affine.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/bolt.h"
+#include "core/targets.h"
+#include "monitor/monitor.h"
+#include "net/flow.h"
+#include "net/workload.h"
+#include "perf/contract_io.h"
+
+namespace bolt::monitor {
+namespace {
+
+using perf::Metric;
+
+/// Generates the contract for a named target (the generation-side half).
+core::GenerationResult contract_for(const std::string& name,
+                                    perf::PcvRegistry& reg) {
+  core::NfTarget target;
+  EXPECT_TRUE(core::make_named_target(name, reg, target));
+  core::ContractGenerator gen(reg);
+  return gen.generate(target.analysis());
+}
+
+std::vector<net::Packet> workload_for(const std::string& name,
+                                      std::size_t count) {
+  if (name == "bridge") {
+    net::BridgeSpec spec;
+    spec.stations = 300;
+    spec.broadcast_fraction = 0.1;
+    spec.packet_count = count;
+    return net::bridge_traffic(spec);
+  }
+  net::ZipfSpec spec;
+  spec.flow_pool = 512;
+  spec.skew = 1.1;
+  spec.packet_count = count;
+  return net::zipf_traffic(spec);
+}
+
+class MonitorSoundness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MonitorSoundness, CompliantRunsHaveZeroViolations) {
+  const std::string name = GetParam();
+  perf::PcvRegistry reg;
+  const auto result = contract_for(name, reg);
+  const auto packets = workload_for(name, 4000);
+
+  MonitorOptions opts;
+  opts.shards = 4;
+  MonitorEngine engine(result.contract, reg, opts);
+  const MonitorReport report =
+      engine.run(packets, MonitorEngine::named_factory(name));
+
+  EXPECT_EQ(report.packets, packets.size());
+  EXPECT_EQ(report.unattributed, 0u)
+      << "first unattributed: packet " << report.first_unattributed_packet;
+  EXPECT_EQ(report.attributed, packets.size());
+  EXPECT_EQ(report.violations, 0u) << report.str();
+
+  // Per-class packet counts add up, and observed classes have offenders
+  // recorded (the compliance-headroom view).
+  std::uint64_t across = 0;
+  for (const ClassReport& c : report.classes) {
+    across += c.packets;
+    if (c.packets > 0) {
+      EXPECT_FALSE(c.offenders.empty()) << c.input_class;
+      for (const Offender& o : c.offenders) {
+        EXPECT_LT(o.packet_index, packets.size());
+        EXPECT_LE(static_cast<std::int64_t>(o.measured), o.predicted);
+      }
+    }
+  }
+  EXPECT_EQ(across, packets.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, MonitorSoundness,
+                         ::testing::Values("nat", "bridge", "fw+router"));
+
+TEST(Monitor, ReportsAreByteIdenticalAcrossThreadCounts) {
+  perf::PcvRegistry reg;
+  const auto result = contract_for("nat", reg);
+  const auto packets = workload_for("nat", 3000);
+
+  std::string baseline;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    MonitorOptions opts;
+    opts.shards = 8;
+    opts.threads = threads;
+    MonitorEngine engine(result.contract, reg, opts);
+    const MonitorReport report =
+        engine.run(packets, MonitorEngine::named_factory("nat"));
+    const std::string json = report_to_json(report);
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "threads=" << threads;
+    }
+  }
+  EXPECT_NE(baseline.find("\"violations\":0"), std::string::npos);
+}
+
+TEST(Monitor, CompiledVmMatchesTreeWalkBaseline) {
+  perf::PcvRegistry reg;
+  const auto result = contract_for("bridge", reg);
+  const auto packets = workload_for("bridge", 2000);
+
+  MonitorOptions vm_opts;
+  vm_opts.shards = 4;
+  MonitorOptions tw_opts = vm_opts;
+  tw_opts.use_compiled_exprs = false;
+
+  const MonitorReport vm_report =
+      MonitorEngine(result.contract, reg, vm_opts)
+          .run(packets, MonitorEngine::named_factory("bridge"));
+  const MonitorReport tw_report =
+      MonitorEngine(result.contract, reg, tw_opts)
+          .run(packets, MonitorEngine::named_factory("bridge"));
+  EXPECT_EQ(report_to_json(vm_report), report_to_json(tw_report));
+}
+
+TEST(Monitor, InjectedCostPerturbationIsReported) {
+  perf::PcvRegistry reg;
+  const auto result = contract_for("nat", reg);
+  const auto packets = workload_for("nat", 2000);
+
+  // The contract was generated for the standard framework; measure with an
+  // inflated one (a "framework regression": rx path got 50% pricier).
+  MonitorOptions opts;
+  opts.shards = 4;
+  opts.framework.rx_instructions += opts.framework.rx_instructions / 2;
+  opts.framework.rx_accesses += opts.framework.rx_accesses / 2;
+  MonitorEngine engine(result.contract, reg, opts);
+  const MonitorReport report =
+      engine.run(packets, MonitorEngine::named_factory("nat"));
+
+  EXPECT_EQ(report.unattributed, 0u);
+  EXPECT_GT(report.violations, 0u);
+
+  // Violations carry a reproducer: class, packet index, predicted vs
+  // measured, with measured exceeding the bound.
+  bool found = false;
+  for (const ClassReport& c : report.classes) {
+    for (const Offender& o : c.offenders) {
+      if (static_cast<std::int64_t>(o.measured) <= o.predicted) continue;
+      found = true;
+      EXPECT_FALSE(c.input_class.empty());
+      EXPECT_LT(o.packet_index, packets.size());
+      EXPECT_GT(static_cast<std::int64_t>(o.measured), o.predicted);
+    }
+    // Histogram overflow bucket mirrors the violation count per metric.
+    for (const auto& mr : c.metrics) {
+      EXPECT_EQ(mr.histogram[kViolationBucket], mr.violations);
+    }
+  }
+  EXPECT_TRUE(found) << report.str();
+
+  // The JSON rendering carries the top-level violation count.
+  const std::string json = report_to_json(report);
+  EXPECT_NE(json.find("\"violations\":" + std::to_string(report.violations)),
+            std::string::npos);
+}
+
+TEST(Monitor, ShardingIsFlowAffine) {
+  net::ZipfSpec spec;
+  spec.flow_pool = 64;
+  spec.packet_count = 2000;
+  const auto packets = net::zipf_traffic(spec);
+  std::map<std::uint64_t, std::size_t> shard_of_flow;
+  std::set<std::size_t> used;
+  for (const net::Packet& p : packets) {
+    const auto tuple = net::extract_five_tuple(p);
+    ASSERT_TRUE(tuple.has_value());
+    const std::size_t s = shard_of(p, 8);
+    ASSERT_LT(s, 8u);
+    used.insert(s);
+    const auto [it, inserted] = shard_of_flow.emplace(tuple->key(), s);
+    EXPECT_EQ(it->second, s);  // one flow never splits across shards
+  }
+  EXPECT_GT(used.size(), 4u);  // and flows actually spread out
+}
+
+}  // namespace
+}  // namespace bolt::monitor

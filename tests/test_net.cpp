@@ -176,6 +176,49 @@ TEST(Workload, UniformDeterministic) {
   }
 }
 
+TEST(Workload, ZipfIsDeterministicAndHeavyTailed) {
+  ZipfSpec spec;
+  spec.flow_pool = 512;
+  spec.skew = 1.2;
+  spec.packet_count = 20'000;
+  const auto a = zipf_traffic(spec);
+  const auto b = zipf_traffic(spec);
+  ASSERT_EQ(a.size(), spec.packet_count);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(std::equal(a[i].bytes().begin(), a[i].bytes().end(),
+                           b[i].bytes().begin()));
+  }
+
+  std::map<std::uint64_t, std::size_t> counts;
+  for (const auto& p : a) {
+    const auto t = extract_five_tuple(p);
+    ASSERT_TRUE(t.has_value());
+    ++counts[t->key()];
+  }
+  // Many distinct flows appear, but the head dominates: the most popular
+  // flow carries far more than its uniform share, and the top ~10% of
+  // flows carry the majority of packets.
+  EXPECT_GT(counts.size(), 100u);
+  std::vector<std::size_t> sorted;
+  for (const auto& [key, n] : counts) sorted.push_back(n);
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_GT(sorted.front(), spec.packet_count / spec.flow_pool * 20);
+  std::size_t top_decile = 0;
+  for (std::size_t i = 0; i < sorted.size() / 10; ++i) top_decile += sorted[i];
+  EXPECT_GT(top_decile, spec.packet_count / 2);
+
+  // skew = 0 degenerates to (near-)uniform: the head flow stays small.
+  ZipfSpec flat = spec;
+  flat.skew = 0.0;
+  std::map<std::uint64_t, std::size_t> flat_counts;
+  for (const auto& p : zipf_traffic(flat)) {
+    ++flat_counts[extract_five_tuple(p)->key()];
+  }
+  std::size_t flat_max = 0;
+  for (const auto& [key, n] : flat_counts) flat_max = std::max(flat_max, n);
+  EXPECT_LT(flat_max, spec.packet_count / spec.flow_pool * 5);
+}
+
 TEST(Workload, ChurnIntroducesNewFlows) {
   ChurnSpec spec;
   spec.active_flows = 16;

@@ -123,6 +123,51 @@ TEST(ParallelExecutor, StatsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(s1.abandoned_paths, s4.abandoned_paths);
 }
 
+/// max_paths truncation is canonical: the budget keeps the first N paths
+/// in canonical signature order — the same N at any thread count, and a
+/// prefix of the untruncated canonical path set.
+TEST(ParallelExecutor, MaxPathsTruncationIsCanonical) {
+  const ir::Program firewall = nf::Firewall::program();
+  const ir::Program router = nf::StaticRouter::program();
+  auto fingerprint = [&](std::size_t threads, std::size_t max_paths,
+                         std::size_t* truncated = nullptr) {
+    symbex::ExecutorOptions opts;
+    opts.threads = threads;
+    opts.max_paths = max_paths;
+    symbex::Executor executor({&firewall, &router}, {}, opts);
+    const std::vector<symbex::PathResult> paths = executor.run();
+    if (truncated != nullptr) *truncated = executor.stats().truncated_paths;
+    auto namer = [&](symbex::SymId id) {
+      return executor.symbols().name(id) + "#" + std::to_string(id);
+    };
+    std::string out;
+    for (const symbex::PathResult& p : paths) {
+      out += p.class_label();
+      for (const auto& c : p.constraints) out += " & " + c->str(namer);
+      out += '\n';
+    }
+    return out;
+  };
+
+  // The chain has more than 5 paths, so a budget of 5 truncates.
+  std::size_t truncated = 0;
+  const std::string full = fingerprint(1, 4096, &truncated);
+  EXPECT_EQ(truncated, 0u);
+  const std::string t1 = fingerprint(1, 5, &truncated);
+  EXPECT_GT(truncated, 0u);
+  EXPECT_EQ(t1, fingerprint(2, 5));
+  EXPECT_EQ(t1, fingerprint(8, 5));
+
+  // Truncated output = the first lines of the full canonical output.
+  EXPECT_EQ(full.compare(0, t1.size(), t1), 0)
+      << "truncated set is not a canonical prefix:\n"
+      << t1 << "\n-- full --\n" << full;
+
+  // Degenerate budget: a zero budget keeps nothing (and must not crash).
+  EXPECT_EQ(fingerprint(2, 0, &truncated), "");
+  EXPECT_GT(truncated, 0u);
+}
+
 // ------------------------------------------------------------ contracts --
 
 enum class Subject { kNat, kBridge, kChain };

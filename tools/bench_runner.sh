@@ -5,10 +5,12 @@
 #   build-dir   where the bench_* binaries live (default: build)
 #   output-dir  where BENCH_*.json land (default: bench-results)
 #
-# Plain benches (fig*/table*/p123*) emit BENCH_<name>.json through the
-# BOLT_BENCH_JSON env var; Google-Benchmark micro benches emit their native
-# JSON via --benchmark_format. CI uploads the output directory per commit,
-# so perf trajectories accumulate alongside the code.
+# Plain benches (fig*/table*/p123*, monitor_throughput) emit
+# BENCH_<name>.json through the BOLT_BENCH_JSON env var; Google-Benchmark
+# micro benches emit their native JSON via --benchmark_format. CI uploads
+# the output directory per commit, so perf trajectories accumulate
+# alongside the code — BENCH_monitor_throughput.json tracks monitor
+# packets/sec and the compiled-expression speedup per commit.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"

@@ -1,12 +1,17 @@
-// bolt — command-line front end to the contract generator and Distiller.
+// bolt — command-line front end to the contract generator, the Distiller,
+// and the contract monitor.
 //
 //   bolt contract <nf> [--json]      generate + print an NF's contract
 //   bolt paths <nf>                  per-path report (no coalescing)
 //   bolt distill <nf> <pcap>         run a PCAP through the NF, report PCVs
 //   bolt predict <nf> k=v [k=v...]   evaluate the contract at a PCV binding
+//   bolt monitor <nf> [...]          stream traffic through the NF and
+//                                    validate every packet against the
+//                                    contract (violations, headroom,
+//                                    worst offenders)
 //   bolt gen <kind> <out.pcap> [n]   write a workload PCAP
-//                                    (kind: uniform | churn | bridge | attack
-//                                     | heartbeat)
+//                                    (kind: uniform | churn | zipf | bridge
+//                                     | attack | heartbeat)
 //   bolt scenarios                   run the Figure-1 scenario sweep
 //
 // <nf> is one of: bridge, nat, nat-b (allocator B), lb, lpm, lpm-simple,
@@ -18,11 +23,12 @@
 #include "core/bolt.h"
 #include "core/distiller.h"
 #include "core/experiments.h"
-#include "core/scenarios.h"
+#include "core/targets.h"
+#include "monitor/monitor.h"
 #include "net/pcap.h"
 #include "net/workload.h"
-#include "nf/firewall.h"
 #include "perf/contract_io.h"
+#include "support/bench.h"
 #include "support/strings.h"
 
 using namespace bolt;
@@ -30,71 +36,35 @@ using namespace bolt;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: bolt contract <nf> [--json] [--threads N]\n"
-               "       bolt paths <nf> [--json] [--threads N]\n"
-               "       bolt distill <nf> <pcap>\n"
-               "       bolt predict <nf> pcv=value [pcv=value ...]\n"
-               "       bolt gen <kind> <out.pcap> [count]\n"
-               "       bolt scenarios [--threads N]\n"
-               "nf: bridge | nat | nat-b | lb | lpm | lpm-simple | firewall |"
-               " router | fw+router\n"
-               "--threads N: pipeline worker threads (default: one per"
-               " hardware thread; contracts are identical at any N)\n");
+  std::fprintf(
+      stderr,
+      "usage: bolt contract <nf> [--json] [--threads N]\n"
+      "       bolt paths <nf> [--json] [--threads N]\n"
+      "       bolt distill <nf> <pcap>\n"
+      "       bolt predict <nf> pcv=value [pcv=value ...]\n"
+      "       bolt monitor <nf> [--workload K] [--packets N] [--shards N]\n"
+      "                    [--threads N] [--violation-threshold N]\n"
+      "                    [--inflate PCT] [--no-cycles] [--pcap FILE]\n"
+      "                    [--json]\n"
+      "       bolt gen <kind> <out.pcap> [count]\n"
+      "       bolt scenarios [--threads N]\n"
+      "nf: bridge | nat | nat-b | lb | lpm | lpm-simple | firewall |"
+      " router | fw+router\n"
+      "workload kinds: uniform | churn | zipf | bridge | attack | heartbeat\n"
+      "--threads N: worker threads (default: one per hardware thread;\n"
+      "             contracts and monitor reports are identical at any N)\n"
+      "--shards N: monitor flow shards (part of the semantics; default 8)\n"
+      "--inflate PCT: inflate measured framework costs by PCT%% (violation\n"
+      "               injection; the monitor must report it)\n"
+      "--violation-threshold N: exit 1 when more than N violations\n");
   return 2;
-}
-
-/// Holder for an analysable NF (instance-backed or stateless program(s)).
-struct Target {
-  core::NfInstance instance;     // when stateful
-  std::vector<ir::Program> stateless;  // when purely stateless
-  dslib::MethodTable no_methods;
-  bool is_stateless = false;
-
-  core::NfAnalysis analysis() {
-    if (!is_stateless) return instance.analysis();
-    core::NfAnalysis a;
-    a.name = stateless.size() > 1 ? "fw+router" : stateless.front().name;
-    for (const auto& p : stateless) a.programs.push_back(&p);
-    a.methods = &no_methods;
-    return a;
-  }
-};
-
-bool make_target(const std::string& name, perf::PcvRegistry& reg, Target& out) {
-  if (name == "bridge") {
-    out.instance = core::make_bridge(reg, core::default_bridge_config());
-  } else if (name == "nat" || name == "nat-b") {
-    auto cfg = core::default_nat_config();
-    if (name == "nat-b") cfg.allocator = dslib::NatState::AllocatorKind::kB;
-    out.instance = core::make_nat(reg, cfg);
-  } else if (name == "lb") {
-    out.instance = core::make_lb(reg, core::default_lb_config());
-  } else if (name == "lpm") {
-    out.instance = core::make_dir_lpm(reg);
-  } else if (name == "lpm-simple") {
-    out.instance = core::make_simple_lpm(reg);
-  } else if (name == "firewall") {
-    out.stateless.push_back(nf::Firewall::program());
-    out.is_stateless = true;
-  } else if (name == "router") {
-    out.stateless.push_back(nf::StaticRouter::program());
-    out.is_stateless = true;
-  } else if (name == "fw+router") {
-    out.stateless.push_back(nf::Firewall::program());
-    out.stateless.push_back(nf::StaticRouter::program());
-    out.is_stateless = true;
-  } else {
-    return false;
-  }
-  return true;
 }
 
 int cmd_contract(const std::string& nf, bool per_path, bool as_json,
                  std::size_t threads) {
   perf::PcvRegistry reg;
-  Target target;
-  if (!make_target(nf, reg, target)) return usage();
+  core::NfTarget target;
+  if (!core::make_named_target(nf, reg, target)) return usage();
   core::BoltOptions options;
   options.coalesce = !per_path;
   options.threads = threads;
@@ -108,6 +78,11 @@ int cmd_contract(const std::string& nf, bool per_path, bool as_json,
   std::printf("\npaths: %zu   entries: %zu   unsolved: %zu   pruned: %zu\n",
               result.total_paths, result.contract.entries().size(),
               result.unsolved_paths, result.executor_stats.pruned_branches);
+  if (result.executor_stats.truncated_paths > 0) {
+    std::printf("truncated: %zu (canonical prefix kept; raise max_paths to"
+                " see all)\n",
+                result.executor_stats.truncated_paths);
+  }
   if (!reg.all().empty()) {
     std::printf("\nPCV glossary:\n");
     for (const perf::PcvId id : reg.all()) {
@@ -122,26 +97,15 @@ int cmd_contract(const std::string& nf, bool per_path, bool as_json,
 
 int cmd_distill(const std::string& nf, const std::string& pcap) {
   perf::PcvRegistry reg;
-  Target target;
-  if (!make_target(nf, reg, target)) return usage();
+  core::NfTarget target;
+  if (!core::make_named_target(nf, reg, target)) return usage();
   std::vector<net::Packet> packets = net::read_pcap(pcap);
   std::printf("loaded %zu packets from %s\n\n", packets.size(), pcap.c_str());
 
   hw::RealisticSim testbed;
-  std::unique_ptr<core::NfRunner> runner;
-  if (target.is_stateless) {
-    ir::InterpreterOptions iopts;
-    nf::apply_framework(iopts, nf::framework_full());
-    iopts.sink = &testbed;
-    std::vector<const ir::Program*> programs;
-    for (const auto& p : target.stateless) programs.push_back(&p);
-    runner = std::make_unique<core::NfRunner>(programs, nullptr, iopts);
-  } else {
-    runner = target.instance.make_runner(nf::framework_full(), &testbed);
-  }
-  core::Distiller distiller(
-      *runner, &testbed,
-      target.is_stateless ? nullptr : &target.instance.methods);
+  const auto runner = target.make_runner(nf::framework_full(), &testbed);
+  core::Distiller distiller(*runner, &testbed,
+                            target.is_stateless ? nullptr : &target.methods());
   const auto report = distiller.run(packets);
 
   std::map<std::string, std::size_t> classes;
@@ -173,8 +137,8 @@ int cmd_distill(const std::string& nf, const std::string& pcap) {
 
 int cmd_predict(const std::string& nf, int argc, char** argv, int first) {
   perf::PcvRegistry reg;
-  Target target;
-  if (!make_target(nf, reg, target)) return usage();
+  core::NfTarget target;
+  if (!core::make_named_target(nf, reg, target)) return usage();
   core::ContractGenerator generator(reg);
   const auto result = generator.generate(target.analysis());
 
@@ -203,6 +167,133 @@ int cmd_predict(const std::string& nf, int argc, char** argv, int first) {
              entry.perf.get(perf::Metric::kCycles).eval(bind))});
   }
   std::printf("%s", support::render_table(rows).c_str());
+  return 0;
+}
+
+/// Workload for a monitor run: explicit kind, or a default that suits the
+/// target (bridge traffic for the bridge, heavy-tailed flows otherwise).
+std::vector<net::Packet> monitor_workload(const std::string& nf,
+                                          std::string kind,
+                                          std::size_t count) {
+  if (kind.empty()) kind = nf == "bridge" ? "bridge" : "zipf";
+  if (kind == "uniform") {
+    net::UniformSpec spec;
+    spec.packet_count = count;
+    return net::uniform_random_traffic(spec);
+  }
+  if (kind == "churn") {
+    net::ChurnSpec spec;
+    spec.packet_count = count;
+    spec.churn = 0.05;
+    return net::churn_traffic(spec);
+  }
+  if (kind == "zipf") {
+    net::ZipfSpec spec;
+    spec.packet_count = count;
+    spec.flow_pool = 2048;
+    spec.skew = 1.1;
+    return net::zipf_traffic(spec);
+  }
+  if (kind == "bridge") {
+    net::BridgeSpec spec;
+    spec.packet_count = count;
+    spec.stations = 1000;
+    spec.broadcast_fraction = 0.05;
+    return net::bridge_traffic(spec);
+  }
+  if (kind == "attack") {
+    net::BridgeAttackSpec spec;
+    spec.packet_count = count;
+    return net::bridge_collision_attack(spec);
+  }
+  if (kind == "heartbeat") {
+    net::HeartbeatSpec spec;
+    spec.packet_count = count;
+    return net::heartbeat_traffic(spec);
+  }
+  return {};
+}
+
+struct MonitorCliArgs {
+  std::string workload;  // empty = target default
+  std::string pcap;      // overrides workload when set
+  std::size_t packets = 100'000;
+  std::size_t shards = 8;
+  std::size_t threads = 0;
+  std::uint64_t violation_threshold = 0;
+  std::uint64_t inflate_pct = 0;
+  bool cycles = true;
+  bool json = false;
+};
+
+int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
+  perf::PcvRegistry reg;
+  core::NfTarget target;
+  if (!core::make_named_target(nf, reg, target)) return usage();
+
+  // Generation side: the artifact the operator was handed.
+  core::ContractGenerator generator(reg);
+  const auto generated = generator.generate(target.analysis());
+
+  // Traffic side.
+  std::vector<net::Packet> packets;
+  if (!args.pcap.empty()) {
+    packets = net::read_pcap(args.pcap);
+  } else {
+    packets = monitor_workload(nf, args.workload, args.packets);
+  }
+  if (packets.empty()) {
+    std::fprintf(stderr, "error: no packets to monitor\n");
+    return usage();
+  }
+
+  monitor::MonitorOptions options;
+  options.shards = args.shards;
+  options.threads = args.threads;
+  options.check_cycles = args.cycles;
+  if (args.inflate_pct > 0) {
+    options.framework.rx_instructions +=
+        options.framework.rx_instructions * args.inflate_pct / 100;
+    options.framework.rx_accesses +=
+        options.framework.rx_accesses * args.inflate_pct / 100;
+    options.framework.tx_instructions +=
+        options.framework.tx_instructions * args.inflate_pct / 100;
+    options.framework.tx_accesses +=
+        options.framework.tx_accesses * args.inflate_pct / 100;
+  }
+  monitor::MonitorEngine engine(generated.contract, reg, options);
+
+  support::BenchTimer timer;
+  const monitor::MonitorReport report =
+      engine.run(packets, monitor::MonitorEngine::named_factory(nf));
+  const double elapsed_ms = timer.elapsed_ms();
+
+  if (args.json) {
+    std::printf("%s\n", monitor::report_to_json(report).c_str());
+  } else {
+    std::printf("%s", report.str().c_str());
+    const double pps = elapsed_ms > 0.0
+                           ? static_cast<double>(packets.size()) /
+                                 (elapsed_ms / 1000.0)
+                           : 0.0;
+    std::printf("\nprocessed %zu packets in %.1f ms (%.2f Mpps)\n",
+                packets.size(), elapsed_ms, pps / 1e6);
+  }
+  if (report.unattributed > 0) {
+    std::fprintf(stderr,
+                 "error: %llu packets not attributable to any contract "
+                 "entry (first at %llu)\n",
+                 static_cast<unsigned long long>(report.unattributed),
+                 static_cast<unsigned long long>(
+                     report.first_unattributed_packet));
+    return 1;
+  }
+  if (report.violations > args.violation_threshold) {
+    std::fprintf(stderr, "error: %llu violations (threshold %llu)\n",
+                 static_cast<unsigned long long>(report.violations),
+                 static_cast<unsigned long long>(args.violation_threshold));
+    return 1;
+  }
   return 0;
 }
 
@@ -236,6 +327,10 @@ int cmd_gen(const std::string& kind, const std::string& out,
     spec.packet_count = count;
     spec.churn = 0.1;
     packets = net::churn_traffic(spec);
+  } else if (kind == "zipf") {
+    net::ZipfSpec spec;
+    spec.packet_count = count;
+    packets = net::zipf_traffic(spec);
   } else if (kind == "bridge") {
     net::BridgeSpec spec;
     spec.packet_count = count;
@@ -262,25 +357,74 @@ int cmd_gen(const std::string& kind, const std::string& out,
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  // Shared trailing flags: --json, --threads N (0 = hardware concurrency).
+  // Shared trailing flags: --json, --threads N (0 = hardware concurrency),
+  // plus the monitor's own knobs.
   bool json = false;
+  MonitorCliArgs margs;
   std::size_t threads = 0;
+  auto numeric = [&](int& i, const char* flag) -> std::uint64_t {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s requires a value\n", flag);
+      std::exit(2);
+    }
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(argv[++i], &end, 10);
+    if (end == argv[i] || *end != '\0') {
+      std::fprintf(stderr, "error: bad %s value '%s'\n", flag, argv[i]);
+      std::exit(2);
+    }
+    return v;
+  };
+  // Positionals (nf names, paths, counts, k=v bindings) pass through; a
+  // flag that is unknown — or known but inapplicable to this subcommand —
+  // must not be silently ignored: the monitor exit code is a CI gate, and
+  // a typo'd or misplaced flag would change what it gates on.
+  const bool is_monitor = cmd == "monitor";
+  auto only_for = [&](bool applies, const char* flag) {
+    if (applies) return;
+    std::fprintf(stderr, "error: flag '%s' does not apply to '%s'\n", flag,
+                 cmd.c_str());
+    std::exit(2);
+  };
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
+      only_for(cmd == "contract" || cmd == "paths" || is_monitor, "--json");
       json = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --threads requires a value\n");
-        return 2;
-      }
-      char* end = nullptr;
-      threads = std::strtoull(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0') {
-        std::fprintf(stderr, "error: bad --threads value '%s'\n", argv[i]);
-        return 2;
-      }
+      only_for(cmd == "contract" || cmd == "paths" || cmd == "scenarios" ||
+                   is_monitor,
+               "--threads");
+      threads = numeric(i, "--threads");
+    } else if (std::strcmp(argv[i], "--packets") == 0) {
+      only_for(is_monitor, "--packets");
+      margs.packets = numeric(i, "--packets");
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      only_for(is_monitor, "--shards");
+      margs.shards = numeric(i, "--shards");
+    } else if (std::strcmp(argv[i], "--violation-threshold") == 0) {
+      only_for(is_monitor, "--violation-threshold");
+      margs.violation_threshold = numeric(i, "--violation-threshold");
+    } else if (std::strcmp(argv[i], "--inflate") == 0) {
+      only_for(is_monitor, "--inflate");
+      margs.inflate_pct = numeric(i, "--inflate");
+    } else if (std::strcmp(argv[i], "--no-cycles") == 0) {
+      only_for(is_monitor, "--no-cycles");
+      margs.cycles = false;
+    } else if (std::strcmp(argv[i], "--workload") == 0) {
+      only_for(is_monitor, "--workload");
+      if (i + 1 >= argc) return usage();
+      margs.workload = argv[++i];
+    } else if (std::strcmp(argv[i], "--pcap") == 0) {
+      only_for(is_monitor, "--pcap");
+      if (i + 1 >= argc) return usage();
+      margs.pcap = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return usage();
     }
   }
+  margs.threads = threads;
+  margs.json = json;
   if (cmd == "contract" && argc >= 3) {
     return cmd_contract(argv[2], false, json, threads);
   }
@@ -289,6 +433,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "distill" && argc >= 4) return cmd_distill(argv[2], argv[3]);
   if (cmd == "predict" && argc >= 3) return cmd_predict(argv[2], argc, argv, 3);
+  if (cmd == "monitor" && argc >= 3) return cmd_monitor(argv[2], margs);
   if (cmd == "gen" && argc >= 4) {
     // The count is positional; don't mistake a trailing flag for it.
     std::size_t count = 10'000;
