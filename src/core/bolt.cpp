@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "core/classkey.h"
 #include "core/runner.h"
@@ -139,7 +140,22 @@ GenerationResult ContractGenerator::generate(const NfAnalysis& nf) {
 
     net::Packet packet = packet_from_path(path);
     ReplayEnv env(path);
-    hw::ConservativeModel cycles_model(cc);
+    // One conservative cycle model per worker thread, reused across paths
+    // (and, on persistent threads, across generate() calls): its must-hit
+    // L1 array is the single biggest allocation on this path, and
+    // begin_packet() resets the analysis per path in O(1) (epoch clear).
+    // Indices still come from the pool's dynamic grab, so an expensive
+    // path never serializes a stripe of cheap ones behind it.
+    struct ModelSlot {
+      hw::CycleCosts costs;
+      std::unique_ptr<hw::ConservativeModel> model;
+    };
+    thread_local ModelSlot slot;
+    if (slot.model == nullptr || !(slot.costs == cc)) {
+      slot.model = std::make_unique<hw::ConservativeModel>(cc);
+      slot.costs = cc;
+    }
+    hw::ConservativeModel& cycles_model = *slot.model;
     ir::InterpreterOptions iopts;
     nf::apply_framework(iopts, options_.framework);
     iopts.sink = &cycles_model;
@@ -196,6 +212,8 @@ GenerationResult ContractGenerator::generate(const NfAnalysis& nf) {
   for (const PathReport& r : result.path_reports) {
     if (r.solved) groups[r.class_key].push_back(&r);
   }
+  result.contract.reserve(options_.coalesce ? groups.size()
+                                            : result.path_reports.size());
 
   for (const auto& [key, members] : groups) {
     if (!options_.coalesce) {

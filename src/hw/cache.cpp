@@ -17,16 +17,20 @@ bool Cache::access(std::uint64_t line) {
   const std::size_t base = set_of(line) * ways_;
   ++tick_;
   std::size_t victim = base;
+  std::uint64_t victim_lru = lru_of(slots_[base]);
   for (std::size_t w = 0; w < ways_; ++w) {
     Way& way = slots_[base + w];
-    if (way.line == line) {
+    if (way.epoch == epoch_ && way.line == line) {
       way.lru = tick_;
       return true;
     }
-    if (way.lru < slots_[victim].lru) victim = base + w;
+    const std::uint64_t lru = lru_of(way);
+    if (lru < victim_lru) {
+      victim = base + w;
+      victim_lru = lru;
+    }
   }
-  slots_[victim].line = line;
-  slots_[victim].lru = tick_;
+  slots_[victim] = Way{line, tick_, epoch_};
   return false;
 }
 
@@ -34,30 +38,36 @@ void Cache::insert(std::uint64_t line) {
   const std::size_t base = set_of(line) * ways_;
   ++tick_;
   std::size_t victim = base;
+  std::uint64_t victim_lru = lru_of(slots_[base]);
   for (std::size_t w = 0; w < ways_; ++w) {
     Way& way = slots_[base + w];
-    if (way.line == line) {
+    if (way.epoch == epoch_ && way.line == line) {
       return;  // already resident; prefetch is a no-op
     }
-    if (way.lru < slots_[victim].lru) victim = base + w;
+    const std::uint64_t lru = lru_of(way);
+    if (lru < victim_lru) {
+      victim = base + w;
+      victim_lru = lru;
+    }
   }
-  slots_[victim].line = line;
-  slots_[victim].lru = tick_;
+  slots_[victim] = Way{line, tick_, epoch_};
 }
 
 bool Cache::contains(std::uint64_t line) const {
   const std::size_t base = set_of(line) * ways_;
   for (std::size_t w = 0; w < ways_; ++w) {
-    if (slots_[base + w].line == line) return true;
+    const Way& way = slots_[base + w];
+    if (way.epoch == epoch_ && way.line == line) return true;
   }
   return false;
 }
 
 void Cache::clear() {
-  for (auto& way : slots_) {
-    way.line = ~0ULL;
-    way.lru = 0;
-  }
+  // O(1) epoch invalidation: entries stamped with an older epoch read as
+  // empty (line ~0, LRU 0), exactly as if the array had been rewritten.
+  // The conservative model clears per packet/path, so the eager rewrite
+  // of sets*ways slots was a real cost on the contract-generation path.
+  ++epoch_;
   tick_ = 0;
 }
 

@@ -36,14 +36,18 @@ class Cache {
  private:
   struct Way {
     std::uint64_t line = ~0ULL;
-    std::uint64_t lru = 0;  // higher = more recently used
+    std::uint64_t lru = 0;    // higher = more recently used
+    std::uint64_t epoch = 0;  // valid only when == cache epoch (0 = never)
   };
 
   std::size_t set_of(std::uint64_t line) const { return line & (sets_ - 1); }
+  /// LRU rank with stale (pre-clear) entries reading as empty.
+  std::uint64_t lru_of(const Way& w) const { return w.epoch == epoch_ ? w.lru : 0; }
 
   std::size_t sets_;
   std::size_t ways_;
   std::uint64_t tick_ = 0;
+  std::uint64_t epoch_ = 1;  // bumped by clear(); way.epoch 0 is pre-first-use
   std::vector<Way> slots_;  // sets_ * ways_
 };
 

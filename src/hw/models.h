@@ -43,6 +43,16 @@ struct CycleCosts {
   /// *independent* streamed misses almost fully.
   std::uint64_t real_stream_dependent = 25;
   std::uint64_t real_stream_independent = 10;
+
+  bool operator==(const CycleCosts& o) const {
+    return cons_alu == o.cons_alu && cons_l1 == o.cons_l1 &&
+           cons_dram == o.cons_dram && real_ipc_num == o.real_ipc_num &&
+           real_ipc_den == o.real_ipc_den && real_l1 == o.real_l1 &&
+           real_l2 == o.real_l2 && real_l3 == o.real_l3 &&
+           real_dram == o.real_dram &&
+           real_stream_dependent == o.real_stream_dependent &&
+           real_stream_independent == o.real_stream_independent;
+  }
 };
 
 inline const CycleCosts& default_cycle_costs() {

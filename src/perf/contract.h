@@ -56,6 +56,8 @@ class Contract {
   const std::string& nf_name() const { return nf_name_; }
 
   void add(ContractEntry entry);
+  /// Pre-sizes the entry vector (the generator knows the class count).
+  void reserve(std::size_t n) { entries_.reserve(n); }
   const std::vector<ContractEntry>& entries() const { return entries_; }
 
   /// Entry whose input_class matches `label` exactly, or nullptr.

@@ -1,0 +1,67 @@
+// Append-only chunked object arena with stable addresses.
+//
+// Objects are constructed into fixed-size chunks; addresses never move and
+// nothing is freed individually — the arena releases everything wholesale
+// when it dies. This is the allocation substrate for hash-consed
+// (interned) immutable nodes: the interner guarantees each structurally
+// distinct value is constructed exactly once, so per-object lifetime
+// tracking (shared_ptr control blocks, refcount traffic) is pure overhead.
+//
+// Not thread-safe on its own; concurrent users shard and lock (see the
+// expression interner in symbex/expr.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace bolt::support {
+
+template <typename T, std::size_t ChunkSize = 256>
+class ChunkArena {
+ public:
+  ChunkArena() = default;
+  ChunkArena(const ChunkArena&) = delete;
+  ChunkArena& operator=(const ChunkArena&) = delete;
+
+  ~ChunkArena() {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (std::size_t i = 0; i < size_; ++i) at(i)->~T();
+    }
+  }
+
+  /// Constructs a new T in place; the returned pointer is stable for the
+  /// arena's lifetime.
+  template <typename... Args>
+  T* create(Args&&... args) {
+    if (used_ == ChunkSize || chunks_.empty()) {
+      chunks_.push_back(std::make_unique<Chunk>());
+      used_ = 0;
+    }
+    T* slot = reinterpret_cast<T*>(chunks_.back()->bytes) + used_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++used_;
+    ++size_;
+    return slot;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Chunk {
+    alignas(T) unsigned char bytes[sizeof(T) * ChunkSize];
+  };
+
+  T* at(std::size_t i) {
+    return reinterpret_cast<T*>(chunks_[i / ChunkSize]->bytes) + i % ChunkSize;
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t used_ = ChunkSize;  // forces a chunk on first create()
+  std::size_t size_ = 0;
+};
+
+}  // namespace bolt::support

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "support/strings.h"
 
@@ -47,6 +48,10 @@ bool BenchReport::json_enabled() { return json_dir() != nullptr; }
 
 std::string BenchReport::to_json() const {
   std::string out = "{\n  \"bench\": " + quoted(name_) + ",\n";
+  // Machine context, so the CI baseline diff can tell same-hardware
+  // comparisons (gate) from cross-hardware ones (informational).
+  out += "  \"num_cpus\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
   out += "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     const Entry& m = metrics_[i];

@@ -1,0 +1,23 @@
+// Shared structural-hash mixing primitives.
+//
+// The symbolic-expression interner and the solver's constraint-set memo
+// both build 64-bit structural hashes from the same finalizer; keeping the
+// mixer in one place keeps their distributions (and any future tweak) in
+// lockstep.
+#pragma once
+
+#include <cstdint>
+
+namespace bolt::support {
+
+/// splitmix64 finalizer: cheap, well distributed, deterministic.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace bolt::support

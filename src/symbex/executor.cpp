@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "support/assert.h"
+#include "support/random.h"
 #include "support/thread_pool.h"
 
 namespace bolt::symbex {
@@ -40,94 +43,206 @@ struct Executor::State {
   std::vector<ExprPtr> locals;
   std::vector<ExprPtr> scratch;  // shared layout, copied on fork
   PathResult path;
+  /// The solver's propagated domains over path.constraints, maintained
+  /// incrementally: every constraint pushed onto the path is folded in at
+  /// push time, so feasibility checks never re-propagate the whole set.
+  DomainStore inc;
   // Packet field symbols (shared packet across a chain).
   std::map<std::pair<std::uint64_t, std::uint8_t>, SymId> field_syms;
   // Packet writes, newest last.
   std::vector<std::tuple<std::uint64_t, std::uint8_t, ExprPtr>> writes;
 };
 
-// Shared state of one exploration run: the work queue, the termination
-// protocol (queue empty + no worker active, or path budget exhausted), and
-// the result sink. Stats are atomics so workers never serialize on them.
+// Shared state of one exploration run.
 //
-// Workers spawn on demand: the calling thread explores inline, and extra
-// workers are only started when a push leaves backlog behind. An NF with
-// two paths never pays for a 64-thread team; a big chain ramps up to the
-// configured width within a few forks.
+// Work distribution is per-worker deques with randomized stealing
+// (Chase-Lev-style discipline under a per-deque mutex: the owner pushes
+// and pops at the back — DFS-like memory use — while thieves take from
+// the front, which holds the oldest forks and therefore the biggest
+// unexplored subtrees). `in_flight` counts states that are queued or
+// currently executing; exploration terminates exactly when it reaches
+// zero. Workers spawn on demand: the calling thread explores inline, and
+// extra workers are only started when a push leaves backlog behind. An NF
+// with two paths never pays for a 64-thread team; a big chain ramps up to
+// the configured width within a few forks.
 struct Executor::Explore {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::vector<State> queue;   // LIFO: newest fork first, DFS-like memory use
-  std::size_t active = 0;     // workers currently executing a state
-  std::size_t max_workers = 1;     // including the inline caller
-  std::size_t total_workers = 1;   // spawned + inline
+  struct alignas(64) WorkerQueue {
+    std::mutex mutex;
+    std::deque<State> deque;
+  };
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues;  // max_workers entries
+  std::atomic<std::size_t> in_flight{0};  // queued + executing states
+  std::atomic<std::size_t> total_workers{1};  // spawned + inline caller
+  std::size_t max_workers = 1;
+  std::mutex spawn_mutex;
   std::vector<std::thread> spawned;
   Executor* owner = nullptr;
+
+  // Starved workers block here until a push or termination wakes them —
+  // no polling. `push_gen` ticks on every push; a worker snapshots it
+  // BEFORE scanning the deques, so a push it raced with either shows up
+  // in the scan or flips the wait predicate. Pushers only take the sleep
+  // mutex when `sleepers` says someone is actually parked (the seq_cst
+  // ordering of sleepers/push_gen closes the pred-vs-notify window).
+  std::mutex sleep_mutex;
+  std::condition_variable cv;
+  std::atomic<std::uint64_t> push_gen{0};
+  std::atomic<std::size_t> sleepers{0};  // mutated under sleep_mutex
+
   // Completed paths keyed by their scheduling-independent structural
   // signature. When max_paths truncates, the *largest* signatures are
   // evicted, so the surviving set is the canonical prefix of the full
   // sorted path set — identical at any thread count (exploration still
   // visits every path; only memory is bounded by the budget).
+  std::mutex results_mutex;
   std::multimap<std::string, PathResult> results;
   std::size_t truncated = 0;  // completed paths evicted by the budget
   std::atomic<std::size_t> pruned{0};
   std::atomic<std::size_t> abandoned{0};
   std::atomic<std::size_t> unknowns{0};
+  std::atomic<std::size_t> steals{0};
+  std::atomic<std::uint64_t> solver_calls{0};
+  std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> memo_misses{0};
 
-  void push(State s) {
+  void push(std::size_t self, State s) {
+    in_flight.fetch_add(1, std::memory_order_acq_rel);
+    if (max_workers == 1) {
+      // Serial exploration (the developer edit-compile loop): no other
+      // worker can exist, so skip the deque lock and the wakeup.
+      queues[self]->deque.push_back(std::move(s));
+      return;
+    }
+    bool backlog;
     {
-      std::lock_guard<std::mutex> lock(mutex);
-      queue.push_back(std::move(s));
-      // Backlog beyond what this pusher will pop itself: grow the team.
-      if (total_workers < max_workers && queue.size() > 1) {
-        ++total_workers;
+      WorkerQueue& q = *queues[self];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      q.deque.push_back(std::move(s));
+      backlog = q.deque.size() > 1;
+    }
+    push_gen.fetch_add(1);
+    // Backlog beyond what this pusher will pop itself: grow the team.
+    if (backlog && total_workers.load(std::memory_order_relaxed) < max_workers) {
+      std::lock_guard<std::mutex> lock(spawn_mutex);
+      const std::size_t idx = total_workers.load(std::memory_order_relaxed);
+      if (idx < max_workers) {
+        total_workers.store(idx + 1, std::memory_order_relaxed);
         Executor* exec = owner;
-        spawned.emplace_back([exec, this] { exec->explore_worker(*this); });
+        spawned.emplace_back([exec, this, idx] { exec->explore_worker(*this, idx); });
       }
     }
-    cv.notify_one();
+    if (sleepers.load() > 0) {
+      std::lock_guard<std::mutex> lock(sleep_mutex);
+      cv.notify_one();
+    }
   }
+
+  bool pop_own(std::size_t self, State& out) {
+    WorkerQueue& q = *queues[self];
+    if (max_workers == 1) {
+      if (q.deque.empty()) return false;
+      out = std::move(q.deque.back());
+      q.deque.pop_back();
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.deque.empty()) return false;
+    out = std::move(q.deque.back());
+    q.deque.pop_back();
+    return true;
+  }
+
+  bool steal(std::size_t self, support::Rng& rng, State& out) {
+    const std::size_t n = total_workers.load(std::memory_order_acquire);
+    if (n <= 1) return false;
+    // Randomized victim selection: one full sweep from a random start.
+    const std::size_t start = rng.below(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t victim = (start + i) % n;
+      if (victim == self) continue;
+      WorkerQueue& q = *queues[victim];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.deque.empty()) continue;
+      out = std::move(q.deque.front());
+      q.deque.pop_front();
+      steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Per-worker context: the deque index, a private Solver (whose
+/// feasibility memo therefore never needs a lock), and the steal rng.
+struct Executor::WorkerCtx {
+  std::size_t index;
+  Solver solver;
+  support::Rng rng;
 };
 
 namespace {
 
-/// Depth-first, left-to-right symbol visit (the canonical traversal order
-/// shared by path signatures and the renumbering pass).
-template <typename Fn>
-void visit_expr_symbols(const ExprPtr& e, const Fn& fn) {
-  if (e == nullptr) return;
-  switch (e->kind()) {
-    case ExprKind::kConst:
-      return;
-    case ExprKind::kSym:
-      fn(e->sym_id());
-      return;
-    case ExprKind::kUnary:
-      visit_expr_symbols(e->lhs(), fn);
-      return;
-    case ExprKind::kBinary:
-      visit_expr_symbols(e->lhs(), fn);
-      visit_expr_symbols(e->rhs(), fn);
-      return;
-  }
-}
-
-/// Visits every symbol a path references, in a deterministic order that
-/// depends only on the path's structure (never on global symbol ids).
+/// Visits every symbol a path references (via the canonical occurrence
+/// traversal in expr.h), in a deterministic order that depends only on
+/// the path's structure (never on global symbol ids).
 template <typename Fn>
 void visit_path_symbols(const PathResult& p, const Fn& fn) {
   for (const PacketField& f : p.fields) fn(f.sym);
   if (p.has_len_sym) fn(p.len_sym);
   if (p.has_port_sym) fn(p.port_sym);
   if (p.has_time_sym) fn(p.time_sym);
-  for (const ExprPtr& c : p.constraints) visit_expr_symbols(c, fn);
+  for (const ExprPtr& c : p.constraints) visit_symbol_occurrences(c, fn);
   for (const PathCall& c : p.calls) {
-    visit_expr_symbols(c.arg0, fn);
-    visit_expr_symbols(c.arg1, fn);
-    visit_expr_symbols(c.ret0, fn);
-    visit_expr_symbols(c.ret1, fn);
+    visit_symbol_occurrences(c.arg0, fn);
+    visit_symbol_occurrences(c.arg1, fn);
+    visit_symbol_occurrences(c.ret0, fn);
+    visit_symbol_occurrences(c.ret1, fn);
   }
-  visit_expr_symbols(p.out_port, fn);
+  visit_symbol_occurrences(p.out_port, fn);
+}
+
+/// First-use local symbol numbering for path signatures. Paths reference a
+/// handful of symbols, so a flat vector beats a std::map.
+struct LocalNamer {
+  std::vector<SymId> order;  // index == local number
+  std::size_t local_of(SymId id) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == id) return i;
+    }
+    order.push_back(id);
+    return order.size() - 1;
+  }
+};
+
+/// Appends exactly what Expr::str would produce (with symbols named
+/// "s<local#>") without building any intermediate strings — signatures are
+/// computed once per completed path and were the hottest string code in
+/// exploration.
+void append_sig_expr(ExprPtr e, LocalNamer& names, std::string& out) {
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      out += std::to_string(e->const_value());
+      return;
+    case ExprKind::kSym:
+      out += 's';
+      out += std::to_string(names.local_of(e->sym_id()));
+      return;
+    case ExprKind::kUnary:
+      out += "~(";
+      append_sig_expr(e->lhs(), names, out);
+      out += ')';
+      return;
+    case ExprKind::kBinary:
+      out += '(';
+      append_sig_expr(e->lhs(), names, out);
+      out += ' ';
+      out += expr_op_name(e->op());
+      out += ' ';
+      append_sig_expr(e->rhs(), names, out);
+      out += ')';
+      return;
+  }
 }
 
 /// A scheduling-independent structural key for a path: every symbol is
@@ -135,14 +250,10 @@ void visit_path_symbols(const PathResult& p, const Fn& fn) {
 /// explored the same path under different interleavings (and therefore
 /// minted different global symbol ids) produce identical signatures.
 std::string path_signature(const PathResult& p) {
-  std::map<SymId, std::size_t> local;
-  auto reg = [&local](SymId id) { local.emplace(id, local.size()); };
-  auto namer = [&local](SymId id) {
-    auto it = local.emplace(id, local.size()).first;
-    return "s" + std::to_string(it->second);
-  };
+  LocalNamer names;
 
   std::string sig;
+  sig.reserve(256);
   sig += p.action == PathAction::kForward ? 'F' : 'D';
   for (const std::string& tag : p.class_tags) {
     sig += '|';
@@ -156,16 +267,22 @@ std::string path_signature(const PathResult& p) {
   }
   // Register input symbols first so local numbering matches the canonical
   // visit order exactly.
-  visit_path_symbols(p, reg);
-  for (const ExprPtr& c : p.constraints) sig += ";c" + c->str(namer);
+  visit_path_symbols(p, [&names](SymId id) { (void)names.local_of(id); });
+  for (const ExprPtr& c : p.constraints) {
+    sig += ";c";
+    append_sig_expr(c, names, sig);
+  }
   for (const PathCall& c : p.calls) {
     sig += ";m" + std::to_string(c.method) + "=" + c.case_label;
-    if (c.arg0 != nullptr) sig += ",a0:" + c.arg0->str(namer);
-    if (c.arg1 != nullptr) sig += ",a1:" + c.arg1->str(namer);
-    if (c.ret0 != nullptr) sig += ",r0:" + c.ret0->str(namer);
-    if (c.ret1 != nullptr) sig += ",r1:" + c.ret1->str(namer);
+    if (c.arg0 != nullptr) { sig += ",a0:"; append_sig_expr(c.arg0, names, sig); }
+    if (c.arg1 != nullptr) { sig += ",a1:"; append_sig_expr(c.arg1, names, sig); }
+    if (c.ret0 != nullptr) { sig += ",r0:"; append_sig_expr(c.ret0, names, sig); }
+    if (c.ret1 != nullptr) { sig += ",r1:"; append_sig_expr(c.ret1, names, sig); }
   }
-  if (p.out_port != nullptr) sig += ";o" + p.out_port->str(namer);
+  if (p.out_port != nullptr) {
+    sig += ";o";
+    append_sig_expr(p.out_port, names, sig);
+  }
   return sig;
 }
 
@@ -196,35 +313,43 @@ void Executor::enter_program(State& s, std::size_t index) const {
   }
 }
 
-void Executor::execute_state(State s, Solver& solver, Explore& sh) {
+void Executor::execute_state(State s, WorkerCtx& ctx, Explore& sh) {
+  // Appends a constraint to a state's path AND folds it into the state's
+  // cached solver domains, keeping the two in lockstep. Propagating here —
+  // once, where the constraint is born — is what makes every later
+  // feasibility check O(new constraint) instead of O(whole path).
+  auto add_constraint = [&](State& st, ExprPtr c) {
+    st.path.constraints.push_back(c);
+    if (options_.prune_infeasible) ctx.solver.propagate_into(st.inc, c);
+  };
+
   auto ensure_len_sym = [&](State& st) {
     if (!st.path.has_len_sym) {
       st.path.len_sym = symbols_.fresh("pkt.len", 16);
       st.path.has_len_sym = true;
       const ExprPtr len = Expr::symbol(st.path.len_sym);
-      st.path.constraints.push_back(
-          Expr::binary(ExprOp::kGeU, len, Expr::constant(60)));
-      st.path.constraints.push_back(
-          Expr::binary(ExprOp::kLeU, len, Expr::constant(1514)));
+      add_constraint(st, Expr::binary(ExprOp::kGeU, len, Expr::constant(60)));
+      add_constraint(st, Expr::binary(ExprOp::kLeU, len, Expr::constant(1514)));
     }
   };
 
-  // Feasibility probe for a candidate extension of a path.
-  auto feasible = [&](const std::vector<ExprPtr>& constraints) {
+  // Feasibility probe for a candidate extension of a path: the new
+  // constraints were already folded into st.inc by add_constraint, so
+  // propagation contradictions are already known, and the bounded
+  // sat-search is memoized per constraint-set hash inside the solver.
+  auto feasible = [&](State& st) {
     if (!options_.prune_infeasible) return true;
-    // Constant-false fast path.
-    for (const ExprPtr& c : constraints) {
-      if (c->is_const() && c->const_value() == 0) return false;
-    }
-    const SolveStatus st = solver.quick_check(constraints);
-    if (st == SolveStatus::kUnsat) {
+    if (st.inc.const_false) return false;  // constant-false fast path
+    if (st.inc.infeasible) {
       sh.pruned.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    if (st == SolveStatus::kUnknown) {
+    const SolveStatus status =
+        ctx.solver.quick_check_incremental(st.inc, st.path.constraints);
+    if (status == SolveStatus::kUnknown) {
       sh.unknowns.fetch_add(1, std::memory_order_relaxed);
     }
-    return true;
+    return true;  // kSat and kUnknown both keep the path alive
   };
 
   // Sinks a completed path into the signature-ordered result set. The
@@ -235,7 +360,7 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
   // it only depends on the path's structure).
   auto complete = [&](PathResult path) {
     std::string sig = path_signature(path);
-    std::lock_guard<std::mutex> lock(sh.mutex);
+    std::lock_guard<std::mutex> lock(sh.results_mutex);
     if (sh.results.size() >= options_.max_paths) {
       ++sh.truncated;
       if (sh.results.empty()) return;  // a zero budget keeps nothing
@@ -269,7 +394,7 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
       return s.regs[static_cast<std::size_t>(r)];
     };
     auto setR = [&](ir::Reg r, ExprPtr v) {
-      s.regs[static_cast<std::size_t>(r)] = std::move(v);
+      s.regs[static_cast<std::size_t>(r)] = v;
     };
     auto concrete_u64 = [&](const ExprPtr& e, const char* what) {
       BOLT_CHECK(e->is_const(), prog.name + ": symbolic " + what +
@@ -306,7 +431,7 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
         const std::uint64_t offset = concrete_u64(R(ins.a), "packet offset");
         const std::uint8_t width = ins.width;
         // Most recent overlapping write wins; require exact ranges.
-        ExprPtr from_write;
+        ExprPtr from_write = nullptr;
         for (auto it = s.writes.rbegin(); it != s.writes.rend(); ++it) {
           const auto& [woff, wwidth, wexpr] = *it;
           const bool overlap =
@@ -318,7 +443,7 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
           break;
         }
         if (from_write != nullptr) {
-          setR(ins.dst, std::move(from_write));
+          setR(ins.dst, from_write);
           break;
         }
         const auto key = std::make_pair(offset, width);
@@ -340,9 +465,9 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
           s.path.fields.push_back(PacketField{offset, width, sym});
           if (offset + width > 60) {
             ensure_len_sym(s);
-            s.path.constraints.push_back(
-                Expr::binary(ExprOp::kGeU, Expr::symbol(s.path.len_sym),
-                             Expr::constant(offset + width)));
+            add_constraint(
+                s, Expr::binary(ExprOp::kGeU, Expr::symbol(s.path.len_sym),
+                                Expr::constant(offset + width)));
           }
         }
         setR(ins.dst, Expr::symbol(sym));
@@ -405,18 +530,17 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
         std::vector<ModelOutcome> outcomes = mit->second(symbols_, arg0, arg1);
         BOLT_CHECK(!outcomes.empty(), "model produced no outcomes");
 
-        // Fork one state per feasible outcome onto the shared queue.
+        // Fork one state per feasible outcome onto this worker's deque.
         bool continued = false;
         for (std::size_t i = 0; i < outcomes.size(); ++i) {
           ModelOutcome& outcome = outcomes[i];
           State candidate = (i + 1 == outcomes.size() && !continued)
                                 ? std::move(s)
                                 : s;  // last reuse avoids one copy
-          for (ExprPtr& c : outcome.constraints) {
-            candidate.path.constraints.push_back(c);
+          for (const ExprPtr& c : outcome.constraints) {
+            add_constraint(candidate, c);
           }
-          if (!outcome.constraints.empty() &&
-              !feasible(candidate.path.constraints)) {
+          if (!outcome.constraints.empty() && !feasible(candidate)) {
             continue;
           }
           PathCall call;
@@ -434,10 +558,10 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
             candidate.regs[static_cast<std::size_t>(ins.dst2)] = call.ret1;
           }
           candidate.pc = next;
-          sh.push(std::move(candidate));
+          sh.push(ctx.index, std::move(candidate));
           continued = true;
         }
-        // All outcomes pushed onto the queue; current state is done.
+        // All outcomes pushed onto the deque; current state is done.
         alive = false;
         break;
       }
@@ -451,13 +575,13 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
         }
         // Fork: true branch continues in place, false branch is pushed.
         State false_state = s;
-        false_state.path.constraints.push_back(logical_not(cond));
+        add_constraint(false_state, logical_not(cond));
         false_state.pc = static_cast<std::size_t>(ins.f);
-        if (feasible(false_state.path.constraints)) {
-          sh.push(std::move(false_state));
+        if (feasible(false_state)) {
+          sh.push(ctx.index, std::move(false_state));
         }
-        s.path.constraints.push_back(cond);
-        if (!feasible(s.path.constraints)) {
+        add_constraint(s, cond);
+        if (!feasible(s)) {
           alive = false;
           break;
         }
@@ -477,12 +601,14 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
         }
         s.path.action = PathAction::kForward;
         s.path.out_port = R(ins.a);
+        s.path.witness = std::move(s.inc.witness);
         complete(std::move(s.path));
         alive = false;
         break;
       }
       case ir::Op::kDrop: {
         s.path.action = PathAction::kDrop;
+        s.path.witness = std::move(s.inc.witness);
         complete(std::move(s.path));
         alive = false;
         break;
@@ -511,47 +637,69 @@ void Executor::execute_state(State s, Solver& solver, Explore& sh) {
   }
 }
 
-void Executor::explore_worker(Explore& sh) {
-  Solver solver(symbols_, options_.solver);
-  std::unique_lock<std::mutex> lock(sh.mutex);
+void Executor::explore_worker(Explore& sh, std::size_t self) {
+  WorkerCtx ctx{self, Solver(symbols_, options_.solver),
+                support::Rng(options_.solver.seed ^
+                             (0x9e3779b97f4a7c15ULL * (self + 1)))};
   for (;;) {
-    sh.cv.wait(lock, [&] { return !sh.queue.empty() || sh.active == 0; });
-    if (sh.queue.empty()) {
-      if (sh.active == 0) {
-        // Fully drained: wake every sibling so they observe termination.
+    // Snapshot the push generation BEFORE scanning: any state enqueued
+    // earlier is visible to the scan, any state enqueued later bumps the
+    // generation and flips the wait predicate below.
+    const std::uint64_t gen = sh.push_gen.load();
+    State s;
+    if (sh.pop_own(self, s) || sh.steal(self, ctx.rng, s)) {
+      execute_state(std::move(s), ctx, sh);
+      // The state (and everything it forked) is accounted; if this was the
+      // last in-flight state anywhere, wake the sleepers so they exit.
+      if (sh.in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(sh.sleep_mutex);
         sh.cv.notify_all();
-        return;
       }
-      continue;  // a sibling is still running and may fork more work
+      continue;
     }
-    State s = std::move(sh.queue.back());
-    sh.queue.pop_back();
-    ++sh.active;
-    lock.unlock();
-    execute_state(std::move(s), solver, sh);
-    lock.lock();
-    --sh.active;
-    if (sh.queue.empty() && sh.active == 0) sh.cv.notify_all();
+    if (sh.in_flight.load(std::memory_order_acquire) == 0) break;
+    // Starved but exploration is still running somewhere: park until a
+    // push or termination pokes us (no polling — an idle worker costs
+    // nothing while a sibling grinds through a deep serial tail).
+    std::unique_lock<std::mutex> lock(sh.sleep_mutex);
+    sh.sleepers.fetch_add(1);
+    sh.cv.wait(lock, [&] {
+      return sh.push_gen.load() != gen || sh.in_flight.load() == 0;
+    });
+    sh.sleepers.fetch_sub(1);
   }
+  // Fold this worker's solver instrumentation into the shared totals. The
+  // feasibility cache on the exploration path is the witness/verified-
+  // prefix cache (deterministic — the constraint-set memo is bypassed
+  // there precisely so results cannot depend on scheduling).
+  const Solver::Counters& c = ctx.solver.counters();
+  sh.solver_calls.fetch_add(c.quick_checks, std::memory_order_relaxed);
+  sh.memo_hits.fetch_add(c.witness_hits, std::memory_order_relaxed);
+  sh.memo_misses.fetch_add(c.witness_searches, std::memory_order_relaxed);
 }
 
 std::vector<PathResult> Executor::run() {
   Explore sh;
+  sh.owner = this;
+  sh.max_workers = support::resolve_threads(options_.threads);
+  sh.queues.reserve(sh.max_workers);
+  for (std::size_t i = 0; i < sh.max_workers; ++i) {
+    sh.queues.push_back(std::make_unique<Explore::WorkerQueue>());
+  }
   {
     State init;
     enter_program(init, 0);
-    sh.queue.push_back(std::move(init));
+    sh.in_flight.store(1, std::memory_order_relaxed);
+    sh.queues[0]->deque.push_back(std::move(init));
   }
 
-  sh.owner = this;
-  sh.max_workers = support::resolve_threads(options_.threads);
-  explore_worker(sh);
+  explore_worker(sh, 0);
   // Join demand-spawned workers; a straggler can spawn more while we join,
   // so drain in batches until none remain.
   for (;;) {
     std::vector<std::thread> batch;
     {
-      std::lock_guard<std::mutex> lock(sh.mutex);
+      std::lock_guard<std::mutex> lock(sh.spawn_mutex);
       batch.swap(sh.spawned);
     }
     if (batch.empty()) break;
@@ -563,6 +711,10 @@ std::vector<PathResult> Executor::run() {
   stats_.pruned_branches = sh.pruned.load();
   stats_.abandoned_paths = sh.abandoned.load();
   stats_.solver_unknowns = sh.unknowns.load();
+  stats_.steal_count = sh.steals.load();
+  stats_.solver_calls = sh.solver_calls.load();
+  stats_.feas_cache_hits = sh.memo_hits.load();
+  stats_.feas_cache_misses = sh.memo_misses.load();
 
   // The result sink already holds the paths in canonical signature order;
   // all that remains is the canonical symbol renumbering over that order.
@@ -591,15 +743,32 @@ void Executor::canonicalize(std::vector<PathResult>& paths) {
   };
   for (const PathResult& p : paths) visit_path_symbols(p, assign);
 
-  // 2) Rewrite every expression, preserving DAG sharing so downstream
-  //    pointer-equality folds behave exactly as before.
-  std::map<const Expr*, ExprPtr> memo;
-  std::function<ExprPtr(const ExprPtr&)> rewrite =
-      [&](const ExprPtr& e) -> ExprPtr {
+  // Single-worker exploration (the developer edit-compile loop) mints
+  // symbols in exactly first-use order, so the remap is the identity: the
+  // rewrite below would rebuild every node to itself. An identity remap
+  // also means the used symbols are the dense prefix [0, n) of the table,
+  // so rebuilding the (identical, possibly truncated) entry list is all
+  // that canonicalization requires.
+  bool identity = true;
+  for (const auto& [old_id, new_id] : remap) {
+    if (old_id != new_id) {
+      identity = false;
+      break;
+    }
+  }
+  if (identity) {
+    symbols_.rebuild(std::move(entries));
+    return;
+  }
+
+  // 2) Rewrite every expression. Interning preserves DAG sharing by
+  //    construction; the memo only avoids re-walking shared subgraphs.
+  std::map<ExprPtr, ExprPtr> memo;
+  std::function<ExprPtr(ExprPtr)> rewrite = [&](ExprPtr e) -> ExprPtr {
     if (e == nullptr) return nullptr;
-    auto it = memo.find(e.get());
+    auto it = memo.find(e);
     if (it != memo.end()) return it->second;
-    ExprPtr out;
+    ExprPtr out = nullptr;
     switch (e->kind()) {
       case ExprKind::kConst:
         out = e;
@@ -617,7 +786,7 @@ void Executor::canonicalize(std::vector<PathResult>& paths) {
         out = Expr::binary(e->op(), rewrite(e->lhs()), rewrite(e->rhs()));
         break;
     }
-    memo.emplace(e.get(), out);
+    memo.emplace(e, out);
     return out;
   };
 
@@ -630,6 +799,8 @@ void Executor::canonicalize(std::vector<PathResult>& paths) {
       c.ret1 = rewrite(c.ret1);
     }
     p.out_port = rewrite(p.out_port);
+    for (auto& w : p.witness) w.first = remap.at(w.first);
+    std::sort(p.witness.begin(), p.witness.end());
     for (PacketField& f : p.fields) f.sym = remap.at(f.sym);
     if (p.has_len_sym) p.len_sym = remap.at(p.len_sym);
     if (p.has_port_sym) p.port_sym = remap.at(p.port_sym);
@@ -645,7 +816,8 @@ void Executor::solve_inputs(std::vector<PathResult>& paths) const {
   pool.parallel_for(0, paths.size(), [&](std::size_t i) {
     PathResult& path = paths[i];
     const Solver solver(symbols_, options_.solver);
-    SolveResult solved = solver.solve(path.constraints);
+    SolveResult solved = solver.solve(
+        path.constraints, path.witness.empty() ? nullptr : &path.witness);
     if (solved.status != SolveStatus::kSat) {
       path.solved = false;
       return;

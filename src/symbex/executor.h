@@ -6,6 +6,21 @@
 // modelled stateful call's abstract-state cases. Loop headers are trip-
 // counted per path so the contract generator can fold unrolled loop
 // families back into closed forms.
+//
+// Hot-path architecture (the "recompute the contract after an NF change"
+// inner loop):
+//   * expressions are hash-consed (symbex/expr.h), so forking a state
+//     copies raw pointers, and feasibility machinery compares and hashes
+//     constraints in O(1);
+//   * each exploration state carries the solver's propagated interval
+//     domains (solver::DomainStore), so a fork's feasibility check only
+//     propagates the one new branch constraint instead of re-deriving the
+//     whole path's domains;
+//   * exploration runs on per-worker deques with randomized work stealing
+//     (owner pops newest — DFS-like memory use; thieves steal oldest —
+//     the biggest subtrees), not a single mutex+condvar queue.
+// Completed paths are canonicalized after exploration, so contracts stay
+// bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +64,14 @@ struct ExecutorStats {
   std::size_t pruned_branches = 0;   ///< forks proved infeasible
   std::size_t abandoned_paths = 0;   ///< loop/step budget exceeded
   std::size_t solver_unknowns = 0;   ///< feasibility checks that timed out
+  // Hot-path instrumentation. solver_calls and the cache split are
+  // deterministic — probes and the witness/verified-prefix cache are pure
+  // functions of the (deterministic) exploration tree; only steal_count
+  // depends on scheduling.
+  std::size_t solver_calls = 0;      ///< feasibility probes issued
+  std::size_t feas_cache_hits = 0;   ///< settled by the carried witness
+  std::size_t feas_cache_misses = 0; ///< required an actual bounded search
+  std::size_t steal_count = 0;       ///< states stolen between workers
 };
 
 class Executor {
@@ -63,11 +86,13 @@ class Executor {
   /// Exhaustively executes and returns all completed paths (unsolved;
   /// run `solve_inputs` afterwards or let the bolt pipeline do it).
   ///
-  /// Exploration fans out across `options.threads` workers sharing a work
-  /// queue, each with its own Solver for feasibility pruning. Completed
-  /// paths are then *canonicalized*: sorted by a scheduling-independent
-  /// structural signature and their symbols renumbered in first-use order
-  /// over that ordering, so the returned paths (and the symbol table) are
+  /// Exploration fans out across `options.threads` workers, each owning a
+  /// deque (newest-first for the owner) and stealing from random victims
+  /// when its own deque drains; each worker runs its own Solver (with its
+  /// own feasibility memo) for pruning. Completed paths are then
+  /// *canonicalized*: sorted by a scheduling-independent structural
+  /// signature and their symbols renumbered in first-use order over that
+  /// ordering, so the returned paths (and the symbol table) are
   /// bit-identical at 1, 2, or N threads. Call run() at most once per
   /// Executor instance (canonicalization rebuilds the symbol table).
   std::vector<PathResult> run();
@@ -82,16 +107,17 @@ class Executor {
   const SymbolTable& symbols() const { return symbols_; }
 
  private:
-  struct State;    // defined in executor.cpp
-  struct Explore;  // shared work queue + result sink, in executor.cpp
+  struct State;      // defined in executor.cpp
+  struct Explore;    // deques + result sink + termination, in executor.cpp
+  struct WorkerCtx;  // per-worker solver/deque-index/rng, in executor.cpp
 
   void enter_program(State& s, std::size_t index) const;
   /// Runs one state to completion (fork points push siblings onto the
-  /// shared queue; completed paths land in the shared result sink).
-  void execute_state(State s, Solver& solver, Explore& sh);
-  /// Worker loop: pop states until the queue drains or the path budget is
-  /// exhausted.
-  void explore_worker(Explore& sh);
+  /// worker's own deque; completed paths land in the shared result sink).
+  void execute_state(State s, WorkerCtx& ctx, Explore& sh);
+  /// Worker loop: pop own deque (newest first), steal from random victims
+  /// when empty, exit when no state is queued or executing anywhere.
+  void explore_worker(Explore& sh, std::size_t self);
   /// Deterministic post-pass over paths *already in canonical signature
   /// order* (run()'s result sink maintains that order): renumbers symbols
   /// in first-use order and rewrites every expression (see run()).

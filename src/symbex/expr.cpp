@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <mutex>
+#include <unordered_map>
 
 #include "support/assert.h"
+#include "support/hash.h"
 
 namespace bolt::symbex {
+
+using support::mix64;
 
 const char* expr_op_name(ExprOp op) {
   switch (op) {
@@ -49,28 +53,123 @@ std::uint64_t apply_op(ExprOp op, std::uint64_t a, std::uint64_t b) {
   BOLT_UNREACHABLE("bad ExprOp");
 }
 
+// ------------------------------------------------------------ interner --
+
+namespace {
+
+/// Structural hash of a prospective node; children are already interned so
+/// their hashes are final. Order-sensitive in (a, b).
+inline std::uint64_t node_hash(ExprKind kind, ExprOp op, std::uint64_t value,
+                               ExprPtr a, ExprPtr b) {
+  std::uint64_t h = static_cast<std::uint64_t>(kind) * 0x9e3779b97f4a7c15ULL +
+                    static_cast<std::uint64_t>(op) * 0xc2b2ae3d27d4eb4fULL;
+  h = mix64(h ^ value);
+  if (a != nullptr) h = mix64(h + 0x165667b19e3779f9ULL + a->hash());
+  if (b != nullptr) h = mix64(h ^ (b->hash() * 0x27d4eb2f165667c5ULL));
+  return h;
+}
+
+}  // namespace
+
+/// Global sharded hash-consing table. Nodes live in per-shard chunk arenas
+/// and are immortal; the table maps structural identity -> node. Sharded by
+/// structural hash so concurrent workers rarely contend on a mutex.
+class ExprInterner {
+ public:
+  static ExprInterner& instance() {
+    static ExprInterner interner;
+    return interner;
+  }
+
+  ExprPtr intern(ExprKind kind, ExprOp op, std::uint64_t value, ExprPtr a,
+                 ExprPtr b) {
+    const std::uint64_t h = node_hash(kind, op, value, a, b);
+    Shard& shard = shards_[h & (kShards - 1)];
+    const Key key{value, a, b, kind, op};
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.table.emplace(key, nullptr);
+    if (!inserted) return it->second;
+    Expr* e = shard.arena.create();
+    e->kind_ = kind;
+    e->op_ = op;
+    e->value_ = value;
+    e->a_ = a;
+    e->b_ = b;
+    e->hash_ = h;
+    switch (kind) {
+      case ExprKind::kConst:
+        break;
+      case ExprKind::kSym:
+        e->sym_mask_ = 1ULL << (value & 63);
+        break;
+      case ExprKind::kUnary:
+        e->sym_mask_ = a->sym_mask();
+        break;
+      case ExprKind::kBinary:
+        e->sym_mask_ = a->sym_mask() | b->sym_mask();
+        break;
+    }
+    it->second = e;
+    return e;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      total += s.arena.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Key {
+    std::uint64_t value;
+    ExprPtr a;
+    ExprPtr b;
+    ExprKind kind;
+    ExprOp op;
+    bool operator==(const Key& o) const {
+      // Children are interned, so pointer comparison IS structural
+      // comparison — the whole point of hash consing.
+      return value == o.value && a == o.a && b == o.b && kind == o.kind &&
+             op == o.op;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(
+          node_hash(k.kind, k.op, k.value, k.a, k.b));
+    }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, ExprPtr, KeyHash> table;
+    support::ChunkArena<Expr> arena;
+  };
+
+  static constexpr std::size_t kShards = 32;  // power of two
+  Shard shards_[kShards];
+};
+
+std::size_t interned_expr_count() { return ExprInterner::instance().size(); }
+
+// ------------------------------------------------- smart constructors --
+
 ExprPtr Expr::constant(std::uint64_t value) {
-  auto e = std::shared_ptr<Expr>(new Expr());
-  e->kind_ = ExprKind::kConst;
-  e->value_ = value;
-  return e;
+  return ExprInterner::instance().intern(ExprKind::kConst, ExprOp::kAdd, value,
+                                         nullptr, nullptr);
 }
 
 ExprPtr Expr::symbol(SymId id) {
-  auto e = std::shared_ptr<Expr>(new Expr());
-  e->kind_ = ExprKind::kSym;
-  e->value_ = id;
-  return e;
+  return ExprInterner::instance().intern(ExprKind::kSym, ExprOp::kAdd, id,
+                                         nullptr, nullptr);
 }
 
 ExprPtr Expr::unary(ExprOp op, ExprPtr a) {
   BOLT_CHECK(op == ExprOp::kNot, "only kNot is unary");
   if (a->is_const()) return constant(~a->const_value());
-  auto e = std::shared_ptr<Expr>(new Expr());
-  e->kind_ = ExprKind::kUnary;
-  e->op_ = op;
-  e->a_ = std::move(a);
-  return e;
+  return ExprInterner::instance().intern(ExprKind::kUnary, op, 0, a, nullptr);
 }
 
 ExprPtr Expr::binary(ExprOp op, ExprPtr a, ExprPtr b) {
@@ -108,10 +207,10 @@ ExprPtr Expr::binary(ExprOp op, ExprPtr a, ExprPtr b) {
     }
     if (c == 1 && op == ExprOp::kMul) return b;
   }
-  const bool same_value =
-      a.get() == b.get() ||
-      (a->is_sym() && b->is_sym() && a->sym_id() == b->sym_id());
-  if (same_value) {
+  // Interning makes structural equality pointer equality, so this single
+  // comparison covers the seed's pointer *and* same-symbol checks (and
+  // reaches any structurally shared subexpression).
+  if (a == b) {
     switch (op) {
       case ExprOp::kSub: case ExprOp::kXor: return constant(0);
       case ExprOp::kAnd: case ExprOp::kOr: return a;
@@ -120,12 +219,7 @@ ExprPtr Expr::binary(ExprOp op, ExprPtr a, ExprPtr b) {
       default: break;
     }
   }
-  auto e = std::shared_ptr<Expr>(new Expr());
-  e->kind_ = ExprKind::kBinary;
-  e->op_ = op;
-  e->a_ = std::move(a);
-  e->b_ = std::move(b);
-  return e;
+  return ExprInterner::instance().intern(ExprKind::kBinary, op, 0, a, b);
 }
 
 std::uint64_t Expr::const_value() const {
@@ -155,38 +249,73 @@ std::uint64_t Expr::eval(const Assignment& assignment) const {
   BOLT_UNREACHABLE("bad ExprKind");
 }
 
-void Expr::collect_symbols(std::vector<SymId>& out) const {
+std::uint64_t Expr::eval_flat(const std::uint64_t* values) const {
   switch (kind_) {
     case ExprKind::kConst:
-      return;
+      return value_;
     case ExprKind::kSym:
-      out.push_back(static_cast<SymId>(value_));
-      return;
+      return values[value_];
     case ExprKind::kUnary:
-      a_->collect_symbols(out);
-      return;
+      return ~a_->eval_flat(values);
     case ExprKind::kBinary:
-      a_->collect_symbols(out);
-      b_->collect_symbols(out);
-      return;
+      return apply_op(op_, a_->eval_flat(values), b_->eval_flat(values));
   }
+  BOLT_UNREACHABLE("bad ExprKind");
+}
+
+namespace {
+
+/// Small visited set for shared-subgraph-aware DAG walks: inline storage
+/// for the common (tiny) constraint DAGs, heap overflow for pathological
+/// ones. Linear scan — constraint DAGs rarely exceed a dozen nodes.
+struct VisitedSet {
+  static constexpr std::size_t kInline = 32;
+  ExprPtr inline_slots[kInline];
+  std::size_t count = 0;
+  std::vector<ExprPtr> overflow;
+
+  bool insert(ExprPtr p) {
+    const std::size_t n = count < kInline ? count : kInline;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (inline_slots[i] == p) return false;
+    }
+    for (const ExprPtr q : overflow) {
+      if (q == p) return false;
+    }
+    if (count < kInline) {
+      inline_slots[count++] = p;
+    } else {
+      overflow.push_back(p);
+    }
+    return true;
+  }
+};
+
+/// Shared-subgraph-aware DAG walk: visits each node once (interning makes
+/// shared subexpressions pointer-identical, so revisits are pure waste).
+template <typename Fn>
+void walk_once(ExprPtr root, VisitedSet& visited, const Fn& fn) {
+  if (root == nullptr || !visited.insert(root)) return;
+  fn(root);
+  walk_once(root->lhs(), visited, fn);
+  walk_once(root->rhs(), visited, fn);
+}
+
+}  // namespace
+
+void Expr::collect_symbols(std::vector<SymId>& out) const {
+  if (!has_symbols()) return;
+  VisitedSet visited;
+  walk_once(this, visited, [&out](ExprPtr e) {
+    if (e->is_sym()) out.push_back(e->sym_id());
+  });
 }
 
 void Expr::collect_constants(std::vector<std::uint64_t>& out) const {
-  switch (kind_) {
-    case ExprKind::kConst:
-      out.push_back(value_);
-      return;
-    case ExprKind::kSym:
-      return;
-    case ExprKind::kUnary:
-      a_->collect_constants(out);
-      return;
-    case ExprKind::kBinary:
-      a_->collect_constants(out);
-      b_->collect_constants(out);
-      return;
-  }
+  VisitedSet visited;
+  walk_once(this, visited, [&out](ExprPtr e) {
+    if (e->is_const()) out.push_back(e->const_value());
+  });
 }
 
 std::string Expr::str(const std::function<std::string(SymId)>& sym_name) const {
@@ -205,7 +334,7 @@ std::string Expr::str(const std::function<std::string(SymId)>& sym_name) const {
   BOLT_UNREACHABLE("bad ExprKind");
 }
 
-ExprPtr logical_not(const ExprPtr& e) {
+ExprPtr logical_not(ExprPtr e) {
   // Negate comparisons structurally when possible (keeps solver patterns).
   if (e->kind() == ExprKind::kBinary) {
     switch (e->op()) {
@@ -221,11 +350,14 @@ ExprPtr logical_not(const ExprPtr& e) {
   return Expr::binary(ExprOp::kEq, e, Expr::constant(0));
 }
 
+// --------------------------------------------------------- SymbolTable --
+
 SymId SymbolTable::fresh(const std::string& name, int width_bits) {
   BOLT_CHECK(width_bits >= 1 && width_bits <= 64, "bad symbol width");
   std::unique_lock<std::shared_mutex> lock(mutex_);
   const SymId id = static_cast<SymId>(entries_.size());
   entries_.push_back(Entry{name, width_bits});
+  ++version_;
   return id;
 }
 
@@ -253,12 +385,48 @@ std::size_t SymbolTable::size() const {
   return entries_.size();
 }
 
+SymbolTable::Snapshot SymbolTable::snapshot() const {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (snapshot_version_ != version_ || snapshot_cache_ == nullptr) {
+    auto entries = std::make_shared<std::vector<Snapshot::Entry>>();
+    entries->reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      entries->push_back(Snapshot::Entry{e.name, e.width_bits});
+    }
+    snapshot_cache_ = std::move(entries);
+    snapshot_version_ = version_;
+  }
+  Snapshot snap;
+  snap.entries_ = snapshot_cache_;
+  return snap;
+}
+
 void SymbolTable::rebuild(std::vector<std::pair<std::string, int>> entries) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
   entries_.clear();
   for (auto& [name, width] : entries) {
     entries_.push_back(Entry{std::move(name), width});
   }
+  ++version_;
+  snapshot_cache_ = nullptr;
+  snapshot_version_ = ~0ULL;
+}
+
+const std::string& SymbolTable::Snapshot::name(SymId id) const {
+  BOLT_CHECK(entries_ != nullptr && id < entries_->size(),
+             "snapshot: symbol id out of range");
+  return (*entries_)[id].name;
+}
+
+int SymbolTable::Snapshot::width_bits(SymId id) const {
+  BOLT_CHECK(entries_ != nullptr && id < entries_->size(),
+             "snapshot: symbol id out of range");
+  return (*entries_)[id].width_bits;
+}
+
+std::uint64_t SymbolTable::Snapshot::max_value(SymId id) const {
+  const int w = width_bits(id);
+  return w == 64 ? ~0ULL : ((1ULL << w) - 1);
 }
 
 }  // namespace bolt::symbex

@@ -22,8 +22,8 @@ namespace bolt::symbex {
 /// One forked outcome of a modelled stateful call.
 struct ModelOutcome {
   std::string case_label;            ///< contract case, e.g. "hit" / "miss"
-  ExprPtr ret0;                      ///< v0 (null = constant 0)
-  ExprPtr ret1;                      ///< v1 (null = constant 0)
+  ExprPtr ret0 = nullptr;            ///< v0 (null = constant 0)
+  ExprPtr ret1 = nullptr;            ///< v1 (null = constant 0)
   std::vector<ExprPtr> constraints;  ///< extra path constraints for this case
 };
 

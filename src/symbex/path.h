@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "symbex/expr.h"
+#include "symbex/solver.h"
 
 namespace bolt::symbex {
 
@@ -17,8 +18,8 @@ enum class PathAction : std::uint8_t { kDrop, kForward };
 struct PathCall {
   std::int64_t method = 0;
   std::string case_label;
-  ExprPtr arg0, arg1;  ///< symbolic arguments (may be null)
-  ExprPtr ret0, ret1;  ///< symbolic return values (may be null)
+  ExprPtr arg0 = nullptr, arg1 = nullptr;  ///< symbolic arguments (may be null)
+  ExprPtr ret0 = nullptr, ret1 = nullptr;  ///< symbolic return values (may be null)
 };
 
 /// A symbolic packet-field access: `width` bytes at concrete `offset`,
@@ -33,7 +34,7 @@ struct PathResult {
   std::vector<ExprPtr> constraints;  ///< conjunction; each means "expr != 0"
   std::vector<PathCall> calls;
   PathAction action = PathAction::kDrop;
-  ExprPtr out_port;                  ///< for kForward
+  ExprPtr out_port = nullptr;        ///< for kForward
   std::vector<std::string> class_tags;
   std::map<std::int64_t, std::uint64_t> loop_trips;  ///< loop id -> trips
   /// IR instructions executed along this path during symbolic execution
@@ -50,6 +51,11 @@ struct PathResult {
   bool has_port_sym = false;
   SymId time_sym = 0;
   bool has_time_sym = false;
+
+  /// The satisfying assignment the last exploration-time feasibility check
+  /// found (symbol ids canonicalized with the rest of the path). Seeds the
+  /// final input solve, which then usually costs one evaluation.
+  Witness witness;
 
   /// Concrete model satisfying `constraints` (filled by the pipeline after
   /// solving); empty if the solver returned unknown.

@@ -170,12 +170,14 @@ TEST(ParallelExecutor, MaxPathsTruncationIsCanonical) {
 
 // ------------------------------------------------------------ contracts --
 
-enum class Subject { kNat, kBridge, kChain };
+enum class Subject { kNat, kBridge, kChain, kStatefulChain };
 
-std::string contract_json(Subject subject, std::size_t threads) {
+std::string contract_json(Subject subject, std::size_t threads,
+                          std::size_t max_paths = 4096) {
   perf::PcvRegistry reg;
   BoltOptions opts;
   opts.threads = threads;
+  opts.executor.max_paths = max_paths;
 
   NfInstance instance;
   const ir::Program firewall = nf::Firewall::program();
@@ -196,16 +198,32 @@ std::string contract_json(Subject subject, std::size_t threads) {
       analysis.programs = {&firewall, &router};
       analysis.methods = &no_methods;
       break;
+    case Subject::kStatefulChain:
+      // The paper's joint chain analysis with a *stateful* stage: the NAT's
+      // model forks per abstract-state case between two stateless NFs, so
+      // work stealing sees model forks, branch forks, and loop unrolls.
+      instance = make_nat(reg, default_nat_config());
+      analysis = instance.analysis();
+      analysis.name = "firewall+nat";
+      analysis.programs = {&firewall, analysis.programs[0]};
+      break;
   }
 
   ContractGenerator gen(reg, opts);
   const GenerationResult result = gen.generate(analysis);
-  EXPECT_EQ(result.unsolved_paths, 0u);
+  // The stateful chain carries one path whose bounded search exhausts
+  // (kUnknown is allowed by the solver's contract and deterministic); the
+  // plain subjects must solve fully. Either way the count is part of the
+  // fingerprint, so it must be identical at every thread count.
+  if (subject != Subject::kStatefulChain) {
+    EXPECT_EQ(result.unsolved_paths, 0u);
+  }
   EXPECT_GT(result.total_paths, 0u);
 
   // Path reports must come back in canonical order with identical keys,
   // not just fold into the same contract.
-  std::string json = perf::contract_to_json(result.contract, reg);
+  std::string json = "unsolved=" + std::to_string(result.unsolved_paths) +
+                     "\n" + perf::contract_to_json(result.contract, reg);
   json += "\n-- path reports --\n";
   for (const PathReport& r : result.path_reports) {
     json += r.class_key + " ic=" +
@@ -228,15 +246,62 @@ TEST_P(ContractDeterminism, BitIdenticalAtOneTwoEightThreads) {
 
 INSTANTIATE_TEST_SUITE_P(NfSubjects, ContractDeterminism,
                          ::testing::Values(Subject::kNat, Subject::kBridge,
-                                           Subject::kChain),
+                                           Subject::kChain,
+                                           Subject::kStatefulChain),
                          [](const ::testing::TestParamInfo<Subject>& info) {
                            switch (info.param) {
                              case Subject::kNat: return "nat";
                              case Subject::kBridge: return "bridge";
                              case Subject::kChain: return "chain";
+                             case Subject::kStatefulChain:
+                               return "stateful_chain";
                            }
                            return "unknown";
                          });
+
+/// Work stealing + canonical truncation: a tight path budget must yield
+/// byte-identical contracts at 1, 2, and 8 threads too (the budget keeps
+/// the canonical prefix of the signature-sorted path set regardless of
+/// which worker finished which path).
+TEST(ContractDeterminismTruncated, BitIdenticalAtOneTwoEightThreads) {
+  const std::string t1 = contract_json(Subject::kChain, 1, 5);
+  EXPECT_EQ(t1, contract_json(Subject::kChain, 2, 5));
+  EXPECT_EQ(t1, contract_json(Subject::kChain, 8, 5));
+  const std::string s1 = contract_json(Subject::kStatefulChain, 1, 6);
+  EXPECT_EQ(s1, contract_json(Subject::kStatefulChain, 2, 6));
+  EXPECT_EQ(s1, contract_json(Subject::kStatefulChain, 8, 6));
+}
+
+/// The new hot-path stats: solver_calls is deterministic (one per
+/// feasibility probe on the deterministic exploration tree); steals can
+/// only happen when more than one worker exists.
+TEST(ParallelExecutor, HotPathStatsAreSane) {
+  const ir::Program firewall = nf::Firewall::program();
+  const ir::Program router = nf::StaticRouter::program();
+  auto stats_at = [&](std::size_t threads) {
+    symbex::ExecutorOptions opts;
+    opts.threads = threads;
+    symbex::Executor executor({&firewall, &router}, {}, opts);
+    (void)executor.run();
+    return executor.stats();
+  };
+  const symbex::ExecutorStats s1 = stats_at(1);
+  EXPECT_EQ(s1.steal_count, 0u) << "one worker cannot steal from itself";
+  EXPECT_GT(s1.solver_calls, 0u);
+  // Every memoized-search consult belongs to some probe; probes that the
+  // verified-prefix fast path settles consult neither side of the cache.
+  EXPECT_LE(s1.feas_cache_hits + s1.feas_cache_misses, s1.solver_calls);
+  const symbex::ExecutorStats s8 = stats_at(8);
+  EXPECT_EQ(s1.solver_calls, s8.solver_calls)
+      << "feasibility probes are per-fork and the fork tree is deterministic";
+  // The witness cache is carried in each path's state, not in a worker, so
+  // its hit/miss split must not depend on the thread count either.
+  EXPECT_EQ(s1.feas_cache_hits, s8.feas_cache_hits);
+  EXPECT_EQ(s1.feas_cache_misses, s8.feas_cache_misses);
+  EXPECT_EQ(s1.solver_unknowns, s8.solver_unknowns);
+  EXPECT_EQ(s1.completed_paths, s8.completed_paths);
+  EXPECT_EQ(s1.pruned_branches, s8.pruned_branches);
+}
 
 // A scenario sweep through the parallel driver matches the sequential
 // reference results.

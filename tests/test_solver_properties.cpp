@@ -161,6 +161,125 @@ TEST(SolverRepair, BitLevelDisjunctions) {
   EXPECT_TRUE((v >> 24) == 127 || (v >> 28) == 14);
 }
 
+// ------------------------------------------------- incremental solving --
+
+/// Batch propagation (quick_check over the whole set) and incremental
+/// propagation (propagate_into one constraint at a time, as the executor
+/// does on every fork) must reach identical unsat verdicts: the executor's
+/// deterministic pruned-branch counts depend on it.
+TEST_P(SolverPropertyTest, IncrementalPropagationMatchesBatch) {
+  support::Rng rng(GetParam() ^ 0x1234abcd);
+  SymbolTable syms;
+  std::vector<SymId> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(syms.fresh("z", 16));
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<ExprPtr> constraints;
+    for (int i = 0; i < 6; ++i) {
+      static const ExprOp cmps[] = {ExprOp::kEq, ExprOp::kNe, ExprOp::kLtU,
+                                    ExprOp::kLeU, ExprOp::kGtU, ExprOp::kGeU};
+      constraints.push_back(Expr::binary(
+          cmps[rng.below(6)], random_expr(rng, ids, 2),
+          Expr::constant(rng.below(1 << 16))));
+    }
+    Solver solver(syms);
+    const SolveStatus batch = solver.quick_check(constraints);
+
+    DomainStore store;
+    std::vector<ExprPtr> so_far;
+    SolveStatus incremental = SolveStatus::kUnknown;
+    bool decided = false;
+    for (const ExprPtr& c : constraints) {
+      so_far.push_back(c);
+      solver.propagate_into(store, c);
+      if (store.infeasible) {
+        incremental = SolveStatus::kUnsat;
+        decided = true;
+        break;
+      }
+    }
+    if (!decided) {
+      incremental = solver.quick_check_incremental(store, so_far);
+    }
+    // kUnsat must agree exactly (it is decided by propagation alone).
+    EXPECT_EQ(batch == SolveStatus::kUnsat, incremental == SolveStatus::kUnsat)
+        << "trial " << trial;
+  }
+}
+
+/// A witness carried across incremental checks must always genuinely
+/// satisfy the constraint prefix it claims (checked_upto).
+TEST_P(SolverPropertyTest, CarriedWitnessSatisfiesCheckedPrefix) {
+  support::Rng rng(GetParam() * 31 + 7);
+  SymbolTable syms;
+  std::vector<SymId> ids;
+  Assignment truth;
+  for (int i = 0; i < 3; ++i) {
+    const SymId id = syms.fresh("w", 16);
+    ids.push_back(id);
+    truth[id] = rng.next() & syms.max_value(id);
+  }
+  // Satisfiable-by-construction chain, added one constraint at a time with
+  // a check after each addition — the executor's exact access pattern.
+  Solver solver(syms);
+  DomainStore store;
+  std::vector<ExprPtr> so_far;
+  for (int i = 0; i < 6; ++i) {
+    const ExprPtr e = random_expr(rng, ids, 2);
+    const std::uint64_t v = e->eval(truth);
+    const ExprPtr c = rng.chance(0.5)
+                          ? Expr::binary(ExprOp::kEq, e, Expr::constant(v))
+                          : Expr::binary(ExprOp::kLeU, e, Expr::constant(v));
+    so_far.push_back(c);
+    solver.propagate_into(store, c);
+    ASSERT_FALSE(store.infeasible) << "satisfiable by construction";
+    const SolveStatus status = solver.quick_check_incremental(store, so_far);
+    ASSERT_NE(status, SolveStatus::kUnsat);
+    if (status == SolveStatus::kSat && store.checked_upto == so_far.size()) {
+      Assignment model;
+      for (const auto& [id, val] : store.witness) model[id] = val;
+      for (std::size_t k = 0; k < store.checked_upto; ++k) {
+        EXPECT_NE(so_far[k]->eval(model), 0u)
+            << "witness violates checked constraint " << k;
+      }
+    }
+  }
+}
+
+TEST(SolverMemo, RepeatedQuickChecksHitTheCache) {
+  SymbolTable syms;
+  const SymId x = syms.fresh("x", 16);
+  Solver solver(syms);
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kGeU, Expr::symbol(x), Expr::constant(100)),
+      Expr::binary(ExprOp::kLtU, Expr::symbol(x), Expr::constant(500))};
+  const SolveStatus first = solver.quick_check(cs);
+  const auto after_first = solver.counters();
+  EXPECT_EQ(after_first.memo_misses, 1u);
+  // Re-deriving the identical (interned) constraint set must be answered
+  // from the memo with the same verdict.
+  std::vector<ExprPtr> cs2 = {
+      Expr::binary(ExprOp::kGeU, Expr::symbol(x), Expr::constant(100)),
+      Expr::binary(ExprOp::kLtU, Expr::symbol(x), Expr::constant(500))};
+  EXPECT_EQ(solver.quick_check(cs2), first);
+  const auto after_second = solver.counters();
+  EXPECT_EQ(after_second.memo_hits, after_first.memo_hits + 1);
+  EXPECT_EQ(after_second.memo_misses, after_first.memo_misses);
+}
+
+TEST(SolverHints, SolveWarmStartsFromWitness) {
+  SymbolTable syms;
+  const SymId x = syms.fresh("x", 16);
+  Solver solver(syms);
+  std::vector<ExprPtr> cs = {
+      Expr::binary(ExprOp::kGeU, Expr::symbol(x), Expr::constant(5000)),
+      Expr::binary(ExprOp::kLtU, Expr::symbol(x), Expr::constant(6000))};
+  const Witness hint = {{x, 5555}};
+  const SolveResult r = solver.solve(cs, &hint);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  // The hint satisfies the set, so the solver must adopt it outright.
+  EXPECT_EQ(r.model.at(x), 5555u);
+}
+
 TEST(SolverRepair, ConjunctionOfRanges) {
   // The firewall's port block: (p >= 5000) & (p < 6000), plus p != 5500.
   SymbolTable syms;

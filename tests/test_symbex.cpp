@@ -22,8 +22,8 @@ TEST(Expr, ConstantFolding) {
 TEST(Expr, Identities) {
   SymbolTable syms;
   const ExprPtr x = Expr::symbol(syms.fresh("x", 32));
-  EXPECT_TRUE(Expr::binary(ExprOp::kAdd, x, Expr::constant(0)).get() == x.get());
-  EXPECT_TRUE(Expr::binary(ExprOp::kMul, x, Expr::constant(1)).get() == x.get());
+  EXPECT_TRUE(Expr::binary(ExprOp::kAdd, x, Expr::constant(0)) == x);
+  EXPECT_TRUE(Expr::binary(ExprOp::kMul, x, Expr::constant(1)) == x);
   const ExprPtr zero = Expr::binary(ExprOp::kXor, x, x);
   ASSERT_TRUE(zero->is_const());
   EXPECT_EQ(zero->const_value(), 0u);

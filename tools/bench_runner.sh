@@ -10,9 +10,18 @@
 # micro benches emit their native JSON via --benchmark_format. CI uploads
 # the output directory per commit, so perf trajectories accumulate
 # alongside the code — BENCH_monitor_throughput.json tracks monitor
-# packets/sec and the compiled-expression speedup per commit.
+# packets/sec and the compiled-expression speedup per commit, and
+# BENCH_micro_symbex.json tracks contract-generation latency (including
+# the chain benchmark's contract_gen_speedup counter).
+#
+# After running, results are diffed against the committed baselines in
+# bench/baselines/ (tools/bench_diff.py): a >25% regression in any gated
+# metric — contract generation real_time/speedup, monitor packets/sec —
+# fails the job. Refresh baselines deliberately with:
+#   python3 tools/bench_diff.py bench/baselines bench-results --update
 set -euo pipefail
 
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
 
@@ -50,4 +59,16 @@ done
 echo
 echo "Archived bench output in $OUT_DIR:"
 ls -l "$OUT_DIR"
+
+# Gate on the committed perf baselines (first consumer of the bench
+# trajectory). Skipped when the baselines directory or python3 is absent.
+BASELINES="$REPO_ROOT/bench/baselines"
+if [[ -d "$BASELINES" ]] && command -v python3 >/dev/null 2>&1; then
+  echo
+  echo "=== baseline diff (tolerance ${BOLT_BENCH_TOLERANCE:-0.25}) ==="
+  if ! python3 "$REPO_ROOT/tools/bench_diff.py" "$BASELINES" "$OUT_DIR"; then
+    echo "bench_runner: perf regression against bench/baselines" >&2
+    status=1
+  fi
+fi
 exit "$status"

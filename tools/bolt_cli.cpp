@@ -78,6 +78,12 @@ int cmd_contract(const std::string& nf, bool per_path, bool as_json,
   std::printf("\npaths: %zu   entries: %zu   unsolved: %zu   pruned: %zu\n",
               result.total_paths, result.contract.entries().size(),
               result.unsolved_paths, result.executor_stats.pruned_branches);
+  std::printf("solver: %zu feasibility probes (%zu cache hits, %zu misses)"
+              "   steals: %zu\n",
+              result.executor_stats.solver_calls,
+              result.executor_stats.feas_cache_hits,
+              result.executor_stats.feas_cache_misses,
+              result.executor_stats.steal_count);
   if (result.executor_stats.truncated_paths > 0) {
     std::printf("truncated: %zu (canonical prefix kept; raise max_paths to"
                 " see all)\n",
