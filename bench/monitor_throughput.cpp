@@ -11,6 +11,13 @@
 //     evaluated over a large batch of PCV rows, tree-walk vs compiled VM
 //     (`expr_vm_speedup` is the headline number — the VM exists because
 //     the tree walk would otherwise dominate the monitor's hot loop).
+//
+//  3. Operator mode: stored-contract load latency (serialise + reload
+//     through contract_io — the zero-symbex path an operator's deploy
+//     takes) and a compressed simulated week of long-run traffic with the
+//     epoch clock on — packets/sec, flow-state high-water mark, and the
+//     p99 headroom sketch quantile, all archived per commit.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -18,6 +25,7 @@
 #include "core/targets.h"
 #include "monitor/monitor.h"
 #include "net/workload.h"
+#include "perf/contract_io.h"
 #include "perf/expr_vm.h"
 #include "support/bench.h"
 #include "support/random.h"
@@ -65,7 +73,7 @@ int main() {
   const double pps_1t = monitor_pps(result.contract, reg, packets, 1, true);
   const double pps_nt = monitor_pps(result.contract, reg, packets, 0, true);
   const double pps_1t_tw = monitor_pps(result.contract, reg, packets, 1, false);
-  std::printf("monitor (NAT, %zu packets, 8 shards):\n", packets.size());
+  std::printf("monitor (NAT, %zu packets, 8 partitions):\n", packets.size());
   std::printf("  1 thread,  compiled exprs: %10.0f pps\n", pps_1t);
   std::printf("  N threads, compiled exprs: %10.0f pps\n", pps_nt);
   std::printf("  1 thread,  tree-walk eval: %10.0f pps\n", pps_1t_tw);
@@ -127,5 +135,50 @@ int main() {
   bench.metric("expr_vm_meval_per_s", evals / vm_s / 1e6, "Meval/s");
   bench.metric("expr_treewalk_meval_per_s", evals / tw_s / 1e6, "Meval/s");
   bench.metric("expr_vm_speedup", tw_s / vm_s, "x");
+
+  // --- operator mode: stored-contract load + long-run monitoring ---------
+  timer.reset();
+  const std::string artifact = perf::contract_to_json(result.contract, reg);
+  perf::PcvRegistry op_reg;
+  const perf::Contract stored = perf::contract_from_json(artifact, op_reg);
+  const double load_ms = timer.elapsed_ms();
+  std::printf("\nstored contract: %zu bytes, serialise+reload %.2f ms\n",
+              artifact.size(), load_ms);
+  bench.metric("contract_roundtrip_ms", load_ms, "ms");
+
+  net::LongRunSpec week;
+  week.flow_pool = 1024;
+  week.packet_count = 100'000;
+  const std::vector<net::Packet> week_packets = net::long_run_traffic(week);
+  monitor::MonitorOptions lr_opts;
+  lr_opts.threads = 0;
+  monitor::MonitorEngine lr_engine(stored, op_reg, lr_opts);
+  timer.reset();
+  const monitor::MonitorReport lr_report = lr_engine.run(
+      week_packets, monitor::MonitorEngine::named_factory("nat"));
+  const double lr_s = timer.elapsed_ms() / 1000.0;
+  std::uint64_t p99 = 0;
+  for (const auto& cls : lr_report.classes) {
+    for (const auto& mr : cls.metrics) {
+      p99 = std::max(p99, mr.headroom_pm.p99);
+    }
+  }
+  std::printf("long-run monitor (simulated week, %zu packets): %10.0f pps, "
+              "high-water %llu entries/partition, %llu idle-expired, "
+              "p99 headroom %llu pm\n",
+              week_packets.size(),
+              static_cast<double>(week_packets.size()) / lr_s,
+              static_cast<unsigned long long>(lr_report.state_high_water),
+              static_cast<unsigned long long>(lr_report.state_expired_idle),
+              static_cast<unsigned long long>(p99));
+  if (lr_report.violations != 0 || lr_report.unattributed != 0) {
+    std::fprintf(stderr, "bench: long-run violations/unattributed!\n");
+  }
+  bench.metric("monitor_longrun_pps",
+               static_cast<double>(week_packets.size()) / lr_s, "packets/s");
+  bench.metric("monitor_longrun_high_water",
+               static_cast<double>(lr_report.state_high_water), "entries");
+  bench.metric("monitor_longrun_p99_headroom_pm", static_cast<double>(p99),
+               "pm");
   return 0;
 }

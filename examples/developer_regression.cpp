@@ -25,7 +25,7 @@ monitor::MonitorReport run_monitor(const core::GenerationResult& result,
                                    const std::vector<net::Packet>& packets,
                                    bool regressed) {
   monitor::MonitorOptions opts;
-  opts.shards = 4;
+  opts.partitions = 4;
   if (regressed) {
     opts.framework.rx_instructions += opts.framework.rx_instructions / 2;
     opts.framework.rx_accesses += opts.framework.rx_accesses / 2;

@@ -1,29 +1,44 @@
 // Operator use case, monitor edition (paper §2/§5.2): continuous
-// validation of a provisioned bound.
+// validation of a provisioned bound — the full operator workflow:
+//
+//   generate (dev side)  ->  store the artifact  ->  monitor --contract
 //
 // The operator of examples/operator_provisioning.cpp provisioned queues
 // around the bridge contract. The monitor closes the loop: stream real
 // (heavy-tailed) traffic through the bridge, attribute every packet to its
 // contract class, and watch the *headroom* — how close each class runs to
-// its provisioned bound. A violation (or shrinking headroom after a config
-// change) pages before customers notice.
+// its provisioned bound, at p50/p99/worst. A violation (or shrinking
+// headroom after a config change) pages before customers notice. Crucially
+// the operator side never runs symbolic execution: it validates against
+// the stored JSON artifact alone (here: serialised and reloaded in
+// process; in production: `bolt_cli contract bridge --out contract.json`
+// once, then `bolt_cli monitor bridge --contract contract.json` forever).
 #include <cstdio>
 
 #include "core/bolt.h"
 #include "core/targets.h"
 #include "monitor/monitor.h"
 #include "net/workload.h"
+#include "perf/contract_io.h"
 #include "support/strings.h"
 
 using namespace bolt;
 
 int main() {
-  // The artifact the operator was handed: the bridge contract.
+  // Dev side: generate the contract once and ship it as JSON.
+  std::string artifact;
+  {
+    perf::PcvRegistry dev_pcvs;
+    core::NfTarget bridge;
+    core::make_named_target("bridge", dev_pcvs, bridge);
+    core::ContractGenerator generator(dev_pcvs);
+    artifact = perf::contract_to_json(
+        generator.generate(bridge.analysis()).contract, dev_pcvs);
+  }
+
+  // Operator side: all that exists here is the artifact.
   perf::PcvRegistry pcvs;
-  core::NfTarget bridge;
-  core::make_named_target("bridge", pcvs, bridge);
-  core::ContractGenerator generator(pcvs);
-  const core::GenerationResult result = generator.generate(bridge.analysis());
+  const perf::Contract contract = perf::contract_from_json(artifact, pcvs);
 
   // A day of (scaled-down) switch traffic: many stations, some broadcast.
   net::BridgeSpec traffic;
@@ -33,8 +48,8 @@ int main() {
   auto packets = net::bridge_traffic(traffic);
 
   monitor::MonitorOptions opts;
-  opts.shards = 8;  // the deployment's RSS width
-  monitor::MonitorEngine engine(result.contract, pcvs, opts);
+  opts.partitions = 8;  // the deployment's RSS width
+  monitor::MonitorEngine engine(contract, pcvs, opts);
   const monitor::MonitorReport report =
       engine.run(packets, monitor::MonitorEngine::named_factory("bridge"));
 
@@ -42,13 +57,17 @@ int main() {
               report.str().c_str());
 
   // Operator's eyes go to two numbers: violations (must be zero) and the
-  // utilization histogram of the hot classes (how much provisioned
-  // headroom is actually in use).
+  // headroom distribution of the hot classes (how much provisioned
+  // headroom is actually in use — the p99 matters more than the worst
+  // single packet).
   std::printf("== Headroom by class (share of bound in use, cycles) ==\n");
   for (const auto& cls : report.classes) {
     if (cls.packets == 0) continue;
     const auto& cyc = cls.metrics[perf::metric_index(perf::Metric::kCycles)];
-    std::printf("%-66s worst %5.1f%%\n", cls.input_class.c_str(),
+    std::printf("%-66s p50 %5.1f%%  p99 %5.1f%%  worst %5.1f%%\n",
+                cls.input_class.c_str(),
+                static_cast<double>(cyc.headroom_pm.p50) / 10.0,
+                static_cast<double>(cyc.headroom_pm.p99) / 10.0,
                 cyc.max_utilization() * 100.0);
   }
 

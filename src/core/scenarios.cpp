@@ -49,6 +49,12 @@ NfInstance make_bridge(perf::PcvRegistry& reg,
   auto state = std::make_shared<dslib::BridgeState>(config, reg);
   nf.env = std::make_unique<dslib::DispatchEnv>();
   state->bind(*nf.env);
+  dslib::BridgeState* raw = state.get();
+  nf.state_occupancy = [raw] { return raw->mac_table().occupancy(); };
+  nf.state_expire = [raw](net::TimestampNs now_ns) {
+    ir::CostMeter silent;
+    return raw->mac_table().expire(now_ns, silent).expired;
+  };
   nf.state = std::move(state);
   return nf;
 }
@@ -60,12 +66,22 @@ NfInstance make_nat(perf::PcvRegistry& reg,
   // NF kinds stay disjoint if ever composed into one simulated memory.
   ir::ArenaAllocator::reset(1);
   NfInstance nf;
-  nf.name = "nat";
+  // The allocator variant is part of the contract's identity: a stored
+  // "nat" artifact must never be mistaken for allocator-B bounds (the
+  // monitor's --contract cross-check relies on this name).
+  nf.name = config.allocator == dslib::NatState::AllocatorKind::kB ? "nat-b"
+                                                                   : "nat";
   nf.program = nf::Nat::program(config.external_ip);
   nf.methods = nf::Nat::methods(reg, config);
   auto state = std::make_shared<dslib::NatState>(config, reg);
   nf.env = std::make_unique<dslib::DispatchEnv>();
   state->bind(*nf.env);
+  dslib::NatState* raw = state.get();
+  nf.state_occupancy = [raw] { return raw->internal_table().occupancy(); };
+  nf.state_expire = [raw](net::TimestampNs now_ns) {
+    ir::CostMeter silent;
+    return raw->sweep_expired(now_ns, silent).flow.expired;
+  };
   nf.state = std::move(state);
   return nf;
 }
@@ -83,6 +99,12 @@ NfInstance make_lb(perf::PcvRegistry& reg,
   auto state = std::make_shared<dslib::LbState>(config, reg);
   nf.env = std::make_unique<dslib::DispatchEnv>();
   state->bind(*nf.env);
+  dslib::LbState* raw = state.get();
+  nf.state_occupancy = [raw] { return raw->flow_table().occupancy(); };
+  nf.state_expire = [raw](net::TimestampNs now_ns) {
+    ir::CostMeter silent;
+    return raw->flow_table().expire(now_ns, silent).expired;
+  };
   nf.state = std::move(state);
   return nf;
 }

@@ -4,6 +4,7 @@
 // the same way the contracts were generated for.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -28,6 +29,15 @@ struct NfInstance {
   dslib::MethodTable methods;
   std::unique_ptr<dslib::DispatchEnv> env;
   std::shared_ptr<void> state;  ///< keeps the state object alive
+
+  /// Long-running-operation observers (empty for static-state NFs like the
+  /// LPM routers). `state_occupancy` reports live flow/MAC entries;
+  /// `state_expire` sweeps entries stale as of `now_ns` off-path (silent
+  /// metering — operational maintenance, not attributable to any packet)
+  /// and returns how many were evicted. The monitor's deterministic epoch
+  /// clock drives both.
+  std::function<std::size_t()> state_occupancy;
+  std::function<std::uint64_t(net::TimestampNs now_ns)> state_expire;
 
   /// View for the contract generator.
   NfAnalysis analysis() const {

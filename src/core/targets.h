@@ -44,6 +44,29 @@ struct NfTarget {
   std::unique_ptr<NfRunner> make_runner(
       const nf::FrameworkCosts& fw = nf::framework_full(),
       ir::TraceSink* sink = nullptr) const;
+
+  /// The name contracts generated for this target carry (the analysis
+  /// name; differs from the registry name for the LPM targets). Used to
+  /// cross-check stored contract artifacts against the monitored target.
+  std::string contract_name() const {
+    return is_stateless ? name : instance.name;
+  }
+
+  /// Long-running-operation observers (see NfInstance); no-ops for
+  /// stateless chains and static-state NFs.
+  std::size_t state_occupancy() const {
+    return !is_stateless && instance.state_occupancy
+               ? instance.state_occupancy()
+               : 0;
+  }
+  std::uint64_t expire_state(net::TimestampNs now_ns) const {
+    return !is_stateless && instance.state_expire
+               ? instance.state_expire(now_ns)
+               : 0;
+  }
+  bool has_state_observers() const {
+    return !is_stateless && static_cast<bool>(instance.state_occupancy);
+  }
 };
 
 /// Builds the target registered under `name`:

@@ -46,21 +46,26 @@ NatState::NatState(const Config& config, perf::PcvRegistry& reg)
   s_ = reg.require(pcv::kAllocProbes);
 }
 
+NatState::SweepResult NatState::sweep_expired(std::uint64_t now_ns,
+                                              ir::CostMeter& meter) {
+  SweepResult result;
+  result.flow = int_table_.expire(
+      now_ns, meter,
+      [&](std::uint64_t /*key*/, std::uint64_t ext_port, ir::CostMeter& m) {
+        const auto erased = ext_table_.erase(ext_port, m);
+        result.ext_walk += erased.stats.traversals;
+        result.ext_collisions += erased.stats.collisions;
+        allocator_->free(static_cast<std::uint16_t>(ext_port), m);
+      });
+  return result;
+}
+
 void NatState::bind(DispatchEnv& env) {
   env.register_method(kExpire, [this](std::uint64_t, std::uint64_t,
                                       const net::Packet& pkt,
                                       ir::CostMeter& meter) {
-    std::uint64_t ext_walk = 0;
-    std::uint64_t ext_collisions = 0;
-    const auto r = int_table_.expire(
-        pkt.timestamp_ns(), meter,
-        [&](std::uint64_t /*key*/, std::uint64_t ext_port,
-            ir::CostMeter& m) {
-          const auto erased = ext_table_.erase(ext_port, m);
-          ext_walk += erased.stats.traversals;
-          ext_collisions += erased.stats.collisions;
-          allocator_->free(static_cast<std::uint16_t>(ext_port), m);
-        });
+    const SweepResult sweep = sweep_expired(pkt.timestamp_ns(), meter);
+    const auto& r = sweep.flow;
     ir::CallOutcome out;
     out.v0 = r.expired;
     out.case_label = "expire";
@@ -69,8 +74,10 @@ void NatState::bind(DispatchEnv& env) {
       // Combined amortisation across both tables' erase walks, so the
       // contract's single e*t / e*c cross terms stay tight (see
       // contract_exprs.cpp).
-      out.pcvs.set(t_, (r.total_walk + ext_walk + r.expired - 1) / r.expired);
-      out.pcvs.set(c_, (r.total_collisions + ext_collisions + r.expired - 1) /
+      out.pcvs.set(t_, (r.total_walk + sweep.ext_walk + r.expired - 1) /
+                           r.expired);
+      out.pcvs.set(c_, (r.total_collisions + sweep.ext_collisions +
+                        r.expired - 1) /
                            r.expired);
     } else {
       out.pcvs.set(t_, 0);

@@ -37,6 +37,17 @@ class NatState {
   void bind(DispatchEnv& env);
   static MethodTable method_table(perf::PcvRegistry& reg, const Config& config);
 
+  /// Coupled expiry sweep as of `now_ns`: every stale internal mapping is
+  /// erased together with its reverse mapping, and its external port is
+  /// released. Shared by the NF's own kExpire method (metered, feeds the
+  /// e/t/c PCVs) and by the monitor's idle-epoch sweeps (silent meter).
+  struct SweepResult {
+    FlowTable::ExpireResult flow;
+    std::uint64_t ext_walk = 0;        ///< reverse-map erase traversals
+    std::uint64_t ext_collisions = 0;  ///< reverse-map erase collisions
+  };
+  SweepResult sweep_expired(std::uint64_t now_ns, ir::CostMeter& meter);
+
   FlowTable& internal_table() { return int_table_; }
   FlowTable& external_table() { return ext_table_; }
   PortAllocator& allocator() { return *allocator_; }

@@ -6,6 +6,7 @@
 #include "net/flow.h"
 #include "net/headers.h"
 #include "perf/expr_vm.h"
+#include "perf/quantile_sketch.h"
 #include "support/assert.h"
 #include "support/thread_pool.h"
 
@@ -16,6 +17,11 @@ namespace {
 using perf::Metric;
 using perf::kAllMetrics;
 using perf::metric_index;
+
+/// Per-mille utilization recorded for a degenerate bound (predicted <= 0
+/// with measured work): effectively infinite, clamped so the sketch stays
+/// in integer range.
+constexpr std::uint64_t kDegenerateUtilPm = 1'000'000'000ull;
 
 /// Exact utilization comparison between two (measured, predicted) pairs
 /// without floating point: u(m, p) = m/p for p > 0; 0 when m == 0; and
@@ -48,6 +54,12 @@ std::size_t util_bucket(std::uint64_t measured, std::int64_t predicted) {
   return std::min<std::uint64_t>(b, kViolationBucket - 1);
 }
 
+/// Utilization in per-mille of the bound (the sketch's unit).
+std::uint64_t util_pm(std::uint64_t measured, std::int64_t predicted) {
+  if (predicted <= 0) return measured > 0 ? kDegenerateUtilPm : 0;
+  return measured * 1000 / static_cast<std::uint64_t>(predicted);
+}
+
 struct MetricAccum {
   std::uint64_t violations = 0;
   bool has_worst = false;
@@ -55,11 +67,13 @@ struct MetricAccum {
   std::int64_t worst_predicted = 0;
   std::uint64_t worst_measured = 0;
   std::array<std::uint64_t, kUtilizationBuckets> histogram{};
+  perf::QuantileSketch headroom_pm;
 
   void record(std::uint64_t packet, std::uint64_t measured,
               std::int64_t predicted) {
     if (static_cast<std::int64_t>(measured) > predicted) ++violations;
     ++histogram[util_bucket(measured, predicted)];
+    headroom_pm.add(util_pm(measured, predicted));
     const int cmp =
         util_cmp(measured, predicted, worst_measured, worst_predicted);
     if (!has_worst || cmp > 0 || (cmp == 0 && packet < worst_packet)) {
@@ -75,6 +89,7 @@ struct MetricAccum {
     for (std::size_t b = 0; b < kUtilizationBuckets; ++b) {
       histogram[b] += other.histogram[b];
     }
+    headroom_pm.merge(other.headroom_pm);
     if (!other.has_worst) return;
     const int cmp = util_cmp(other.worst_measured, other.worst_predicted,
                              worst_measured, worst_predicted);
@@ -98,6 +113,7 @@ bool offender_before(const Offender& a, const Offender& b) {
 struct ClassAccum {
   std::uint64_t packets = 0;
   std::array<MetricAccum, 3> metrics;
+  perf::QuantileSketch violation_margin_pm;
   std::vector<Offender> offenders;  // sorted by offender_before, bounded
 
   void add_offender(const Offender& o, std::size_t cap) {
@@ -114,9 +130,21 @@ struct ClassAccum {
     for (std::size_t m = 0; m < metrics.size(); ++m) {
       metrics[m].merge(other.metrics[m]);
     }
+    violation_margin_pm.merge(other.violation_margin_pm);
     for (const Offender& o : other.offenders) add_offender(o, cap);
   }
 };
+
+QuantileSummary summarize(const perf::QuantileSketch& sketch) {
+  QuantileSummary out;
+  out.count = sketch.count();
+  out.p50 = sketch.quantile(0.50);
+  out.p90 = sketch.quantile(0.90);
+  out.p99 = sketch.quantile(0.99);
+  out.p999 = sketch.quantile(0.999);
+  out.max = sketch.max();
+  return out;
+}
 
 }  // namespace
 
@@ -124,14 +152,20 @@ struct MonitorEngine::EntryVm {
   std::array<perf::CompiledExpr, 3> exprs;
 };
 
-struct MonitorEngine::ShardResult {
+struct MonitorEngine::PartitionResult {
   std::vector<ClassAccum> classes;
   std::uint64_t unattributed = 0;
   std::uint64_t first_unattributed = 0;
+  // Long-running-operation observations (deterministic per partition).
+  std::uint64_t epoch_sweeps = 0;
+  std::uint64_t expired_idle = 0;
+  std::uint64_t high_water = 0;
+  std::uint64_t residents = 0;
+  bool state_tracked = false;
 };
 
-std::size_t shard_of(const net::Packet& packet, std::size_t shards) {
-  if (shards <= 1) return 0;
+std::size_t partition_of(const net::Packet& packet, std::size_t partitions) {
+  if (partitions <= 1) return 0;
   std::uint64_t h = 0;
   if (const auto eth = net::parse_ethernet(packet.bytes())) {
     h = net::mix64(eth->src.to_u64() * 0x9E3779B97F4A7C15ULL ^
@@ -140,14 +174,14 @@ std::size_t shard_of(const net::Packet& packet, std::size_t shards) {
   if (const auto tuple = net::extract_five_tuple(packet)) {
     h = net::mix64(h ^ tuple->key());
   }
-  return static_cast<std::size_t>(h % shards);
+  return static_cast<std::size_t>(h % partitions);
 }
 
 MonitorEngine::MonitorEngine(const perf::Contract& contract,
                              const perf::PcvRegistry& reg,
                              MonitorOptions options)
     : contract_(contract), reg_(reg), options_(options) {
-  if (options_.shards == 0) options_.shards = 1;
+  if (options_.partitions == 0) options_.partitions = 1;
   if (options_.batch == 0) options_.batch = 1;
   vms_.reserve(contract_.entries().size());
   slot_stride_ = std::max<std::size_t>(reg_.size(), 1);
@@ -175,14 +209,15 @@ MonitorEngine::TargetFactory MonitorEngine::named_factory(std::string name) {
   };
 }
 
-void MonitorEngine::run_shard(const std::vector<std::uint64_t>& indices,
-                              const std::vector<net::Packet>& packets,
-                              const TargetFactory& factory,
-                              ShardResult& out) const {
+void MonitorEngine::run_partition(const std::vector<std::uint64_t>& indices,
+                                  const std::vector<net::Packet>& packets,
+                                  const TargetFactory& factory,
+                                  PartitionResult& out) const {
   out.classes.assign(contract_.entries().size(), ClassAccum{});
 
-  // Fresh per-shard state, described by a shard-local PCV registry; map
-  // its ids onto the contract registry's by name once, up front.
+  // Fresh per-partition state, described by a partition-local PCV
+  // registry; map its ids onto the contract registry's by name once, up
+  // front.
   perf::PcvRegistry local_reg;
   const core::NfTarget target = factory(local_reg);
   constexpr std::uint32_t kUnmapped = ~0u;
@@ -253,16 +288,23 @@ void MonitorEngine::run_shard(const std::vector<std::uint64_t>& indices,
       for (const Metric m : kAllMetrics) {
         const int mi = metric_index(m);
         if (m == Metric::kCycles && !options_.check_cycles) continue;
-        acc.metrics[mi].record(b.indices[r], b.measured[r][mi],
-                               predicted[mi][r]);
+        const std::uint64_t measured = b.measured[r][mi];
+        const std::int64_t bound = predicted[mi][r];
+        acc.metrics[mi].record(b.indices[r], measured, bound);
+        if (static_cast<std::int64_t>(measured) > bound) {
+          // Violation margin in per-mille of the bound (how far past it).
+          acc.violation_margin_pm.add(
+              bound > 0 ? (measured - static_cast<std::uint64_t>(bound)) *
+                              1000 / static_cast<std::uint64_t>(bound)
+                        : kDegenerateUtilPm);
+        }
         if (!has_offender ||
-            util_cmp(b.measured[r][mi], predicted[mi][r], worst.measured,
-                     worst.predicted) > 0) {
+            util_cmp(measured, bound, worst.measured, worst.predicted) > 0) {
           has_offender = true;
           worst.packet_index = b.indices[r];
           worst.metric = m;
-          worst.predicted = predicted[mi][r];
-          worst.measured = b.measured[r][mi];
+          worst.predicted = bound;
+          worst.measured = measured;
         }
       }
       if (has_offender) acc.add_offender(worst, options_.max_offenders);
@@ -272,12 +314,40 @@ void MonitorEngine::run_shard(const std::vector<std::uint64_t>& indices,
     b.indices.clear();
   };
 
+  // Deterministic epoch clock: driven purely by this partition's packet
+  // timestamps (never wall-clock), so every crossing — and therefore every
+  // idle-expiry sweep and occupancy sample — is a pure function of the
+  // trace and the partition count.
+  const bool track_state = target.has_state_observers();
+  const bool epochs_on = options_.epoch_ns > 0 && track_state;
+  bool have_epoch = false;
+  std::uint64_t current_epoch = 0;
+
   bool any_unattributed = false;
   std::vector<std::pair<std::string, std::string>> cases;
   for (const std::uint64_t index : indices) {
+    if (epochs_on) {
+      const std::uint64_t epoch =
+          packets[index].timestamp_ns() / options_.epoch_ns;
+      if (!have_epoch) {
+        have_epoch = true;
+        current_epoch = epoch;
+      } else if (epoch > current_epoch) {
+        // Sweep state stale as of the boundary the clock just crossed.
+        out.expired_idle +=
+            target.expire_state(epoch * options_.epoch_ns);
+        ++out.epoch_sweeps;
+        current_epoch = epoch;
+      }
+    }
+
     net::Packet packet = packets[index];  // the NF mutates headers
     if (options_.check_cycles) cycles.begin_packet();
     const ir::RunResult run = runner->process(packet);
+    if (track_state) {
+      out.high_water = std::max<std::uint64_t>(out.high_water,
+                                               target.state_occupancy());
+    }
 
     cases.clear();
     for (const ir::CallSite& call : run.calls) {
@@ -318,51 +388,72 @@ void MonitorEngine::run_shard(const std::vector<std::uint64_t>& indices,
     if (b.indices.size() >= options_.batch) flush(entry);
   }
   for (std::size_t e = 0; e < batches.size(); ++e) flush(e);
+  out.state_tracked = track_state;
+  if (track_state) out.residents = target.state_occupancy();
 }
 
 MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
                                  const TargetFactory& factory) const {
-  // Fixed flow-affine partition: shard membership depends only on packet
-  // contents and the shard count, never on scheduling. Shards carry
-  // indices only — packets are copied one at a time as each is processed,
-  // so monitoring never duplicates the whole trace.
-  std::vector<std::vector<std::uint64_t>> work(options_.shards);
+  // Fixed flow-affine partition: membership depends only on packet
+  // contents and the partition count, never on scheduling. Partitions
+  // carry indices only — packets are copied one at a time as each is
+  // processed, so monitoring never duplicates the whole trace.
+  const std::size_t partitions = options_.partitions;
+  std::vector<std::vector<std::uint64_t>> work(partitions);
   for (std::size_t i = 0; i < packets.size(); ++i) {
-    work[shard_of(packets[i], options_.shards)].push_back(i);
+    work[partition_of(packets[i], partitions)].push_back(i);
   }
 
-  std::vector<ShardResult> shard_results(options_.shards);
+  // Execution: partitions are grouped round-robin into `shards` work
+  // queues and queues run concurrently on the pool. Neither knob can
+  // change report bytes — every partition computes the same result
+  // regardless of which queue or thread ran it.
+  const std::size_t shards =
+      options_.shards == 0 ? partitions
+                           : std::min(options_.shards, partitions);
+  std::vector<PartitionResult> partition_results(partitions);
   support::ThreadPool pool(
-      std::min(support::resolve_threads(options_.threads), options_.shards));
-  pool.parallel_for(0, options_.shards, [&](std::size_t s) {
-    run_shard(work[s], packets, factory, shard_results[s]);
+      std::min(support::resolve_threads(options_.threads), shards));
+  pool.parallel_for(0, shards, [&](std::size_t s) {
+    for (std::size_t p = s; p < partitions; p += shards) {
+      run_partition(work[p], packets, factory, partition_results[p]);
+    }
   });
 
-  // Deterministic merge in shard order.
+  // Deterministic merge in partition order.
   std::vector<ClassAccum> merged(contract_.entries().size());
   std::uint64_t unattributed = 0, first_unattributed = 0;
   bool any_unattributed = false;
-  for (const ShardResult& sr : shard_results) {
+  MonitorReport report;
+  for (const PartitionResult& pr : partition_results) {
     for (std::size_t e = 0; e < merged.size(); ++e) {
-      merged[e].merge(sr.classes[e], options_.max_offenders);
+      merged[e].merge(pr.classes[e], options_.max_offenders);
     }
-    if (sr.unattributed > 0) {
-      unattributed += sr.unattributed;
-      if (!any_unattributed || sr.first_unattributed < first_unattributed) {
+    if (pr.unattributed > 0) {
+      unattributed += pr.unattributed;
+      if (!any_unattributed || pr.first_unattributed < first_unattributed) {
         any_unattributed = true;
-        first_unattributed = sr.first_unattributed;
+        first_unattributed = pr.first_unattributed;
       }
     }
+    report.epoch_sweeps += pr.epoch_sweeps;
+    report.state_expired_idle += pr.expired_idle;
+    report.state_high_water =
+        std::max(report.state_high_water, pr.high_water);
+    report.state_residents += pr.residents;
+    report.state_tracked = report.state_tracked || pr.state_tracked;
   }
 
-  MonitorReport report;
   report.nf = contract_.nf_name();
   report.packets = packets.size();
   report.unattributed = unattributed;
   report.first_unattributed_packet = first_unattributed;
   report.attributed = packets.size() - unattributed;
-  report.shards = options_.shards;
+  report.partitions = partitions;
   report.cycles_checked = options_.check_cycles;
+  // A target with no state observers never runs epoch maintenance, no
+  // matter what the option says — report the effective value.
+  report.epoch_ns = report.state_tracked ? options_.epoch_ns : 0;
   report.classes.reserve(merged.size());
   for (std::size_t e = 0; e < merged.size(); ++e) {
     ClassReport cr;
@@ -376,8 +467,10 @@ MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
       mr.worst_predicted = acc.worst_predicted;
       mr.worst_measured = acc.worst_measured;
       mr.histogram = acc.histogram;
+      mr.headroom_pm = summarize(acc.headroom_pm);
       report.violations += acc.violations;
     }
+    cr.violation_margin_pm = summarize(merged[e].violation_margin_pm);
     cr.offenders = std::move(merged[e].offenders);
     report.classes.push_back(std::move(cr));
   }

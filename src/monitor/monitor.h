@@ -7,23 +7,40 @@
 // class-key language the generator and the Distiller speak), evaluates the
 // per-class bound for each metric at the packet's induced PCVs, and
 // aggregates per-class statistics: packet counts, violation counts,
-// headroom histograms, and worst offenders with reproducer packet indices.
+// headroom histograms and quantile sketches, and worst offenders with
+// reproducer packet indices.
 //
-// Two design points make it fast AND deterministic:
+// Operator mode: the engine validates against a perf::Contract regardless
+// of where it came from — freshly generated, or a *stored* artifact loaded
+// through perf/contract_io (`bolt_cli monitor --contract FILE.json`), in
+// which case no symbolic execution happens at all.
+//
+// Three design points make it fast AND deterministic:
 //
 //  * Compiled expressions — contract polynomials are flattened once into
 //    perf::CompiledExpr bytecode and evaluated in batches over dense PCV
 //    rows instead of per-packet tree walks (bench/monitor_throughput.cpp
 //    measures the difference).
 //
-//  * Fixed sharding — the stream is split into `shards` flow-affine
-//    sub-streams (RSS-style: flows hash to shards, so per-flow state in a
-//    shard sees a coherent history), each shard runs a freshly built NF
-//    instance, and shard reports are merged in shard order. The shard
-//    count is part of the *semantics*; the thread count only decides how
-//    many shards run concurrently. Reports are therefore byte-identical
-//    at 1, 2, or N threads — the same determinism contract the PR-1
-//    pipeline enforces (tests/test_monitor.cpp).
+//  * Fixed state partitions — the stream is split into `partitions`
+//    flow-affine sub-streams (RSS-style: flows hash to partitions, so
+//    per-flow state in a partition sees a coherent history), each with a
+//    freshly built NF instance; partition results are merged in partition
+//    order. The partition count is part of the *semantics*; `shards` (how
+//    partitions are grouped into work queues) and `threads` (how many
+//    queues run concurrently) are pure execution knobs. Reports are
+//    therefore byte-identical at any shard and thread count — the same
+//    determinism contract the PR-1 pipeline enforces
+//    (tests/test_monitor.cpp, tests/test_monitor_longrun.cpp).
+//
+//  * A deterministic epoch clock — driven by packet timestamps, never by
+//    wall-clock: when a partition's traffic crosses an `epoch_ns`
+//    boundary, the engine sweeps that partition's stale flow/NF state
+//    (reusing the dslib::FlowTable expiry substrate, silently metered —
+//    maintenance is not attributable to a packet) and tracks the
+//    occupancy high-water mark. A simulated week of traffic thus runs in
+//    bounded state, and the report says so (state_high_water,
+//    state_expired_idle).
 #pragma once
 
 #include <cstdint>
@@ -44,19 +61,30 @@
 namespace bolt::monitor {
 
 struct MonitorOptions {
-  /// Flow-affine sub-streams, each with its own NF state. Part of the
-  /// monitor's semantics (reports at different shard counts legitimately
-  /// differ; reports at different *thread* counts never do).
-  std::size_t shards = 8;
-  /// Worker threads (0 = one per hardware thread).
+  /// Flow-affine state partitions, each with its own NF instance. Part of
+  /// the monitor's semantics (reports at different partition counts
+  /// legitimately differ; reports at different shard or *thread* counts
+  /// never do).
+  std::size_t partitions = 8;
+  /// Work queues the partitions are grouped into (round-robin). Execution
+  /// only — it affects scheduling, never report bytes. 0 = one queue per
+  /// partition.
+  std::size_t shards = 0;
+  /// Worker threads (0 = one per hardware thread). Execution only.
   std::size_t threads = 0;
+  /// Deterministic epoch clock granularity (packet-timestamp time). At
+  /// every boundary crossing the engine expires the partition's stale
+  /// state and samples its occupancy. 0 disables epoch maintenance (state
+  /// then only ages out through the NF's own expiry calls).
+  std::uint64_t epoch_ns = 1'000'000'000;
   /// Per-packet framework cost applied on the *measurement* side. The
   /// contract was generated for some framework level; measuring with a
   /// different (inflated) one is the canonical violation-injection test.
   nf::FrameworkCosts framework = nf::framework_full();
   hw::CycleCosts cycle_costs = hw::default_cycle_costs();
   /// Check the cycles metric (attaches a conservative, contract-grade
-  /// cycle model to every shard; ~2x slower than IC/MA-only monitoring).
+  /// cycle model to every partition; ~2x slower than IC/MA-only
+  /// monitoring).
   bool check_cycles = true;
   /// Worst offenders kept per class.
   std::size_t max_offenders = 4;
@@ -70,21 +98,22 @@ struct MonitorOptions {
 
 class MonitorEngine {
  public:
-  /// Builds a fresh target for one shard. PCVs are interned into the
-  /// shard-local registry passed in; the engine maps them back to the
+  /// Builds a fresh target for one partition. PCVs are interned into the
+  /// partition-local registry passed in; the engine maps them back to the
   /// contract's registry by name, so the factory does not need to share
   /// registries with the generation side.
   using TargetFactory = std::function<core::NfTarget(perf::PcvRegistry&)>;
 
-  /// `contract` + `reg` are the generation-side artifacts (the registry
-  /// the contract's PCV ids refer to). Both must outlive the engine.
+  /// `contract` + `reg` are the contract-side artifacts (the registry the
+  /// contract's PCV ids refer to) — generated in-process or loaded via
+  /// perf::load_contract. Both must outlive the engine.
   MonitorEngine(const perf::Contract& contract, const perf::PcvRegistry& reg,
                 MonitorOptions options = {});
   ~MonitorEngine();  // out of line: EntryVm is incomplete here
 
-  /// Streams `packets` through per-shard instances built by `factory` and
-  /// returns the merged report. The input is not mutated (shards run on
-  /// copies, as the NF rewrites headers).
+  /// Streams `packets` through per-partition instances built by `factory`
+  /// and returns the merged report. The input is not mutated (partitions
+  /// run on copies, as the NF rewrites headers).
   MonitorReport run(const std::vector<net::Packet>& packets,
                     const TargetFactory& factory) const;
 
@@ -95,14 +124,15 @@ class MonitorEngine {
   const MonitorOptions& options() const { return options_; }
 
  private:
-  struct ShardResult;
+  struct PartitionResult;
   struct EntryVm;
 
-  /// Processes one shard's packets (`indices` into the caller's stream;
-  /// each is copied just before processing, as the NF mutates headers).
-  void run_shard(const std::vector<std::uint64_t>& indices,
-                 const std::vector<net::Packet>& packets,
-                 const TargetFactory& factory, ShardResult& out) const;
+  /// Processes one partition's packets (`indices` into the caller's
+  /// stream; each is copied just before processing, as the NF mutates
+  /// headers).
+  void run_partition(const std::vector<std::uint64_t>& indices,
+                     const std::vector<net::Packet>& packets,
+                     const TargetFactory& factory, PartitionResult& out) const;
 
   const perf::Contract& contract_;
   const perf::PcvRegistry& reg_;
@@ -112,9 +142,9 @@ class MonitorEngine {
   std::size_t slot_stride_ = 0;    ///< dense PCV row width (registry size)
 };
 
-/// The shard a packet belongs to: a flow-affine hash over the Ethernet
+/// The partition a packet belongs to: a flow-affine hash over the Ethernet
 /// pair and the five-tuple (packets of one flow always land in the same
-/// shard). Exposed for tests.
-std::size_t shard_of(const net::Packet& packet, std::size_t shards);
+/// partition). Exposed for tests.
+std::size_t partition_of(const net::Packet& packet, std::size_t partitions);
 
 }  // namespace bolt::monitor

@@ -16,6 +16,23 @@ std::string pct(double v) {
   return buf;
 }
 
+std::string pm(std::uint64_t per_mille) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%",
+                static_cast<double>(per_mille) / 10.0);
+  return buf;
+}
+
+void summary_to_json(std::string& out, const QuantileSummary& s) {
+  out += "{\"count\":" + std::to_string(s.count);
+  out += ",\"p50\":" + std::to_string(s.p50);
+  out += ",\"p90\":" + std::to_string(s.p90);
+  out += ",\"p99\":" + std::to_string(s.p99);
+  out += ",\"p999\":" + std::to_string(s.p999);
+  out += ",\"max\":" + std::to_string(s.max);
+  out += '}';
+}
+
 }  // namespace
 
 double MetricReport::max_utilization() const {
@@ -28,7 +45,7 @@ std::string MonitorReport::str() const {
   std::string out;
   out += "monitor: " + nf + " — " + support::with_commas(
              static_cast<std::int64_t>(packets)) + " packets, " +
-         std::to_string(shards) + " shards\n";
+         std::to_string(partitions) + " partitions\n";
   out += "violations: " + support::with_commas(
              static_cast<std::int64_t>(violations));
   if (unattributed > 0) {
@@ -37,11 +54,23 @@ std::string MonitorReport::str() const {
            " (first at packet " +
            std::to_string(first_unattributed_packet) + ")";
   }
-  out += "\n\n";
+  out += '\n';
+  if (state_tracked) {
+    out += "state: high-water " + support::with_commas(
+               static_cast<std::int64_t>(state_high_water)) +
+           " entries/partition, " + support::with_commas(
+               static_cast<std::int64_t>(state_residents)) +
+           " resident, " + support::with_commas(
+               static_cast<std::int64_t>(state_expired_idle)) +
+           " idle-expired over " + support::with_commas(
+               static_cast<std::int64_t>(epoch_sweeps)) +
+           " epoch sweeps\n";
+  }
+  out += '\n';
 
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({"Input Class", "Packets", "Viol", "IC worst", "MA worst",
-                  cycles_checked ? "Cyc worst" : "Cyc (off)"});
+  rows.push_back({"Input Class", "Packets", "Viol", "IC worst", "IC p99",
+                  "MA worst", cycles_checked ? "Cyc worst" : "Cyc (off)"});
   for (const ClassReport& c : classes) {
     std::uint64_t viol = 0;
     for (const auto& m : c.metrics) viol += m.violations;
@@ -53,9 +82,13 @@ std::string MonitorReport::str() const {
               ? "-"
               : pct(mr.max_utilization());
     }
+    const MetricReport& ic =
+        c.metrics[perf::metric_index(perf::Metric::kInstructions)];
     rows.push_back({c.input_class,
                     support::with_commas(static_cast<std::int64_t>(c.packets)),
-                    std::to_string(viol), worst[0], worst[1], worst[2]});
+                    std::to_string(viol), worst[0],
+                    c.packets > 0 ? pm(ic.headroom_pm.p99) : "-", worst[1],
+                    worst[2]});
   }
   out += support::render_table(rows);
 
@@ -74,7 +107,8 @@ std::string MonitorReport::str() const {
 }
 
 std::string report_to_json(const MonitorReport& report) {
-  std::string out = "{\"version\":1,\"nf\":";
+  std::string out =
+      "{\"version\":" + std::to_string(kReportSchemaVersion) + ",\"nf\":";
   json_quote_into(out, report.nf);
   out += ",\"packets\":" + std::to_string(report.packets);
   out += ",\"attributed\":" + std::to_string(report.attributed);
@@ -84,9 +118,16 @@ std::string report_to_json(const MonitorReport& report) {
            std::to_string(report.first_unattributed_packet);
   }
   out += ",\"violations\":" + std::to_string(report.violations);
-  out += ",\"shards\":" + std::to_string(report.shards);
+  out += ",\"partitions\":" + std::to_string(report.partitions);
   out += ",\"cycles_checked\":";
   out += report.cycles_checked ? "true" : "false";
+  out += ",\"state_tracked\":";
+  out += report.state_tracked ? "true" : "false";
+  out += ",\"epoch_ns\":" + std::to_string(report.epoch_ns);
+  out += ",\"epoch_sweeps\":" + std::to_string(report.epoch_sweeps);
+  out += ",\"state_expired_idle\":" + std::to_string(report.state_expired_idle);
+  out += ",\"state_high_water\":" + std::to_string(report.state_high_water);
+  out += ",\"state_residents\":" + std::to_string(report.state_residents);
   out += ",\"classes\":[";
   bool first_class = true;
   for (const ClassReport& c : report.classes) {
@@ -111,9 +152,13 @@ std::string report_to_json(const MonitorReport& report) {
         if (b != 0) out += ',';
         out += std::to_string(mr.histogram[b]);
       }
-      out += "]}";
+      out += "],\"headroom_pm\":";
+      summary_to_json(out, mr.headroom_pm);
+      out += '}';
     }
-    out += "},\"offenders\":[";
+    out += "},\"violation_margin_pm\":";
+    summary_to_json(out, c.violation_margin_pm);
+    out += ",\"offenders\":[";
     bool first_off = true;
     for (const Offender& o : c.offenders) {
       if (!first_off) out += ',';

@@ -2,14 +2,23 @@
 //
 // Per input class, the monitor aggregates packet counts, per-metric
 // violation counts, headroom (utilization = measured / predicted bound)
-// histograms, and the worst offenders with their global packet indices so
-// a violation can be replayed from the original trace ("packet 17342 of
-// this pcap broke the NAT's internal_new bound").
+// histograms, online headroom *distribution* sketches (p50/p90/p99/p999 in
+// per-mille of the bound), violation-margin quantiles, and the worst
+// offenders with their global packet indices so a violation can be
+// replayed from the original trace ("packet 17342 of this pcap broke the
+// NAT's internal_new bound").
+//
+// Long-running-operation fields (epoch sweeps, flow-state high-water mark,
+// resident entries) make a week-long monitoring run auditable: an operator
+// reads off that state stayed bounded and how much of it idle-epoch expiry
+// reclaimed.
 //
 // Reports are deterministic by construction: every field is derived from
-// integer aggregation in a fixed order, so a report for a given (contract,
-// traffic, shard count) is byte-identical no matter how many threads
-// computed it — that property is enforced by tests/test_monitor.cpp.
+// integer aggregation over fixed flow-affine state partitions, merged in
+// partition order — so a report for a given (contract, traffic, partition
+// count) is byte-identical no matter how many shards or threads computed
+// it. That property is enforced by tests/test_monitor.cpp and
+// tests/test_monitor_longrun.cpp.
 #pragma once
 
 #include <array>
@@ -20,6 +29,11 @@
 #include "perf/metric.h"
 
 namespace bolt::monitor {
+
+/// Monitor report JSON schema version (bumped to 2 by the operator-mode
+/// work: partitions replace shards, state/epoch fields, quantile
+/// summaries). Keep in lockstep with README "Monitor report schema".
+inline constexpr std::int64_t kReportSchemaVersion = 2;
 
 /// Utilization histogram shape: deciles [0,10%) .. [90,100%] of the bound,
 /// plus one overflow bucket for violations (measured > predicted).
@@ -34,6 +48,18 @@ struct Offender {
   std::uint64_t measured = 0;
 };
 
+/// Selected quantiles of a per-mille distribution (utilization or
+/// violation margin), extracted from the merged QuantileSketch. All values
+/// are integers, so the rendering is byte-deterministic.
+struct QuantileSummary {
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+  std::uint64_t max = 0;
+};
+
 /// Per-class, per-metric aggregation.
 struct MetricReport {
   std::uint64_t violations = 0;
@@ -42,6 +68,8 @@ struct MetricReport {
   std::int64_t worst_predicted = 0;
   std::uint64_t worst_measured = 0;
   std::array<std::uint64_t, kUtilizationBuckets> histogram{};
+  /// Distribution of measured/predicted in per-mille of the bound.
+  QuantileSummary headroom_pm;
 
   /// measured/predicted at the worst packet (0 when the class is empty).
   double max_utilization() const;
@@ -51,6 +79,9 @@ struct ClassReport {
   std::string input_class;
   std::uint64_t packets = 0;
   std::array<MetricReport, 3> metrics;  ///< indexed by perf::metric_index
+  /// Distribution of (measured - predicted) in per-mille of the bound,
+  /// across all metrics, violations only (empty on a compliant run).
+  QuantileSummary violation_margin_pm;
   /// Worst offenders across metrics, highest utilization first (ties:
   /// lower packet index). Bounded by MonitorOptions::max_offenders.
   std::vector<Offender> offenders;
@@ -65,8 +96,21 @@ struct MonitorReport {
   std::uint64_t unattributed = 0;
   std::uint64_t first_unattributed_packet = 0;  ///< valid when > 0 above
   std::uint64_t violations = 0;  ///< total across classes and metrics
-  std::size_t shards = 0;
+  /// Flow-affine state partitions (semantic; part of the report).
+  std::size_t partitions = 0;
   bool cycles_checked = false;
+
+  // --- long-running operation (deterministic epoch clock) ---
+  /// False for targets with no observable flow/NF state (stateless chains,
+  /// static routers): the state/epoch fields below are then vacuous zeros,
+  /// not "maintenance ran and found nothing".
+  bool state_tracked = false;
+  std::uint64_t epoch_ns = 0;       ///< 0 = epoch maintenance disabled
+  std::uint64_t epoch_sweeps = 0;   ///< idle-expiry sweeps run (all partitions)
+  std::uint64_t state_expired_idle = 0;  ///< entries reclaimed by those sweeps
+  std::uint64_t state_high_water = 0;    ///< max per-partition occupancy seen
+  std::uint64_t state_residents = 0;     ///< live entries at end of run (sum)
+
   std::vector<ClassReport> classes;  ///< sorted by input_class
 
   /// Aligned text rendering (the CLI's default output).

@@ -97,6 +97,53 @@ std::vector<Packet> zipf_traffic(const ZipfSpec& spec) {
   return out;
 }
 
+std::vector<Packet> long_run_traffic(const LongRunSpec& spec) {
+  BOLT_CHECK(spec.flow_pool > 0, "long_run_traffic needs a non-empty pool");
+  BOLT_CHECK(spec.bursts > 0, "long_run_traffic needs at least one burst");
+  BOLT_CHECK(spec.rotation_bursts > 0,
+             "long_run_traffic needs a non-zero rotation period");
+  const std::uint64_t burst_spacing = spec.duration_ns / spec.bursts;
+  const std::size_t per_burst =
+      (spec.packet_count + spec.bursts - 1) / spec.bursts;
+  BOLT_CHECK(static_cast<std::uint64_t>(per_burst) * spec.burst_gap_ns <
+                 burst_spacing,
+             "long_run_traffic: bursts overlap (raise duration_ns or bursts)");
+  support::Rng rng(spec.seed);
+
+  // Zipf mass over the working-set ranks (same inverse-CDF sampling as
+  // zipf_traffic).
+  std::vector<double> cumulative(spec.flow_pool);
+  double total = 0.0;
+  for (std::size_t r = 0; r < spec.flow_pool; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), spec.skew);
+    cumulative[r] = total;
+  }
+
+  std::vector<Packet> out;
+  out.reserve(spec.packet_count);
+  for (std::size_t i = 0; i < spec.packet_count; ++i) {
+    const std::size_t burst = i / per_burst;
+    const std::size_t in_burst = i % per_burst;
+    const TimestampNs ts = spec.start_ns + burst * burst_spacing +
+                           in_burst * spec.burst_gap_ns;
+    const double u = rng.uniform() * total;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    // The working set rotates wholesale every rotation_bursts bursts:
+    // rank r of generation g is a globally fresh flow, scattered through
+    // tuple space by the mix (so generations do not cluster in buckets or
+    // monitor partitions).
+    const std::uint64_t generation = burst / spec.rotation_bursts;
+    const std::uint64_t flow = mix64(
+        (generation << 32) ^ std::min<std::uint64_t>(rank, spec.flow_pool - 1) ^
+        (spec.seed * 0x9E3779B97F4A7C15ULL));
+    out.push_back(packet_for_tuple(tuple_for_index(flow, spec.internal_side),
+                                   ts, spec.in_port));
+  }
+  return out;
+}
+
 std::vector<Packet> churn_traffic(const ChurnSpec& spec) {
   support::Rng rng(spec.seed);
   std::deque<std::uint64_t> active;

@@ -41,7 +41,7 @@ std::vector<Packet> uniform_random_traffic(const UniformSpec& spec);
 /// the classic Internet mix, higher values concentrate harder. Ranks are
 /// mapped to five-tuples through a seed-keyed permutation so the popular
 /// flows do not cluster in tuple space (and therefore spread across
-/// monitor shards and hash buckets).
+/// monitor partitions and hash buckets).
 struct ZipfSpec {
   std::uint64_t seed = 1;
   std::size_t flow_pool = 4096;  ///< number of distinct flows (ranks)
@@ -52,6 +52,34 @@ struct ZipfSpec {
   bool internal_side = true;
 };
 std::vector<Packet> zipf_traffic(const ZipfSpec& spec);
+
+/// Long-running operator traffic: a simulated multi-day trace compressed
+/// into a bounded packet count. Traffic arrives in `bursts` evenly spaced
+/// bursts across `duration_ns` (the paper's operator reality: diurnal /
+/// periodic load, not a constant firehose). Within a burst, packets are
+/// `burst_gap_ns` apart and flows are drawn Zipf from a working set that
+/// rotates every `rotation_bursts` bursts — so the distinct-flow count
+/// over the whole run vastly exceeds any flow table's capacity, and
+/// between bursts every cached entry goes stale (TTLs are seconds, burst
+/// spacing is hours). Each burst therefore opens with a mass-expiry event
+/// — the paper's §5.3 pathological scenario — making this the canonical
+/// input for the monitor's state-expiry and bounded-memory guarantees.
+/// Deterministic in `seed`; a prefix of the trace is itself a valid
+/// shorter run.
+struct LongRunSpec {
+  std::uint64_t seed = 1;
+  std::size_t flow_pool = 1024;  ///< active working set (Zipf ranks)
+  double skew = 1.1;
+  std::size_t packet_count = 100'000;
+  TimestampNs start_ns = 1'000'000'000;
+  std::uint64_t duration_ns = 7ull * 24 * 3600 * 1'000'000'000ull;  ///< a week
+  std::size_t bursts = 168;          ///< one per simulated hour by default
+  std::uint64_t burst_gap_ns = 10'000;  ///< 100kpps within a burst
+  std::size_t rotation_bursts = 4;   ///< working set rotates this often
+  std::uint16_t in_port = 0;
+  bool internal_side = true;
+};
+std::vector<Packet> long_run_traffic(const LongRunSpec& spec);
 
 /// Flow-churn traffic: a working set of `active_flows` flows; with
 /// probability `churn` a packet retires the oldest flow and starts a fresh

@@ -1,6 +1,7 @@
 #include "perf/contract_io.h"
 
 #include <cctype>
+#include <cstdio>
 
 #include "support/assert.h"
 #include "support/strings.h"
@@ -131,7 +132,8 @@ PerfExpr expr_from_json(JsonReader& r, PcvRegistry& reg) {
 }  // namespace
 
 std::string contract_to_json(const Contract& contract, const PcvRegistry& reg) {
-  std::string out = "{\"version\":1,\"nf\":";
+  std::string out =
+      "{\"version\":" + std::to_string(kContractSchemaVersion) + ",\"nf\":";
   json_quote_into(out, contract.nf_name());
   out += ",\"pcvs\":[";
   bool first = true;
@@ -171,7 +173,8 @@ Contract contract_from_json(const std::string& json, PcvRegistry& reg) {
   JsonReader r(json);
   r.expect('{');
   r.key("version");
-  BOLT_CHECK(r.integer() == 1, "contract json: unsupported version");
+  BOLT_CHECK(r.integer() == kContractSchemaVersion,
+             "contract json: unsupported version");
   r.expect(',');
   r.key("nf");
   Contract contract(r.string());
@@ -222,6 +225,34 @@ Contract contract_from_json(const std::string& json, PcvRegistry& reg) {
   }
   r.expect('}');
   return contract;
+}
+
+bool save_contract(const std::string& path, const Contract& contract,
+                   const PcvRegistry& reg) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = contract_to_json(contract, reg) + "\n";
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (std::fclose(f) != 0 || !ok) {
+    // Never leave a truncated artifact behind for a later deploy to trip
+    // over.
+    std::remove(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+Contract load_contract(const std::string& path, PcvRegistry& reg) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  BOLT_CHECK(f != nullptr, "cannot open contract artifact '" + path + "'");
+  std::string json;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) json.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  BOLT_CHECK(!read_error, "I/O error reading contract artifact '" + path + "'");
+  return contract_from_json(json, reg);
 }
 
 }  // namespace bolt::perf

@@ -32,11 +32,27 @@
 
 namespace bolt::perf {
 
+/// The contract artifact schema version. Bump it when the JSON layout
+/// changes in any way — tests/test_contract_golden.cpp pins the committed
+/// golden artifacts byte-for-byte, so unversioned drift fails loudly.
+inline constexpr std::int64_t kContractSchemaVersion = 1;
+
 /// Serialises a contract (and the PCVs it references) to JSON.
 std::string contract_to_json(const Contract& contract, const PcvRegistry& reg);
 
 /// Parses a contract back. PCVs are interned into `reg`. Aborts on
 /// malformed input (contracts are trusted build artifacts).
 Contract contract_from_json(const std::string& json, PcvRegistry& reg);
+
+/// Writes the contract artifact to `path` (the operator's "store" step).
+/// Returns false on I/O failure.
+bool save_contract(const std::string& path, const Contract& contract,
+                   const PcvRegistry& reg);
+
+/// Loads a stored contract artifact. PCVs are interned into `reg` in file
+/// order (so a freshly loaded registry reproduces the generation-side
+/// name->id mapping). Aborts on a missing file, malformed JSON, or a
+/// schema-version mismatch.
+Contract load_contract(const std::string& path, PcvRegistry& reg);
 
 }  // namespace bolt::perf

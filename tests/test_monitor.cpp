@@ -59,7 +59,7 @@ TEST_P(MonitorSoundness, CompliantRunsHaveZeroViolations) {
   const auto packets = workload_for(name, 4000);
 
   MonitorOptions opts;
-  opts.shards = 4;
+  opts.partitions = 4;
   MonitorEngine engine(result.contract, reg, opts);
   const MonitorReport report =
       engine.run(packets, MonitorEngine::named_factory(name));
@@ -69,6 +69,18 @@ TEST_P(MonitorSoundness, CompliantRunsHaveZeroViolations) {
       << "first unattributed: packet " << report.first_unattributed_packet;
   EXPECT_EQ(report.attributed, packets.size());
   EXPECT_EQ(report.violations, 0u) << report.str();
+
+  // State/epoch fields are only meaningful for stateful targets; a
+  // stateless chain must report them as explicitly untracked.
+  const bool stateful = name != "fw+router";
+  EXPECT_EQ(report.state_tracked, stateful);
+  if (!stateful) {
+    EXPECT_EQ(report.epoch_ns, 0u);
+    EXPECT_EQ(report.state_high_water, 0u);
+    EXPECT_EQ(report.state_residents, 0u);
+  } else {
+    EXPECT_GT(report.state_residents, 0u);
+  }
 
   // Per-class packet counts add up, and observed classes have offenders
   // recorded (the compliance-headroom view).
@@ -97,7 +109,7 @@ TEST(Monitor, ReportsAreByteIdenticalAcrossThreadCounts) {
   std::string baseline;
   for (const std::size_t threads : {1u, 2u, 8u}) {
     MonitorOptions opts;
-    opts.shards = 8;
+    opts.partitions = 8;
     opts.threads = threads;
     MonitorEngine engine(result.contract, reg, opts);
     const MonitorReport report =
@@ -118,7 +130,7 @@ TEST(Monitor, CompiledVmMatchesTreeWalkBaseline) {
   const auto packets = workload_for("bridge", 2000);
 
   MonitorOptions vm_opts;
-  vm_opts.shards = 4;
+  vm_opts.partitions = 4;
   MonitorOptions tw_opts = vm_opts;
   tw_opts.use_compiled_exprs = false;
 
@@ -139,7 +151,7 @@ TEST(Monitor, InjectedCostPerturbationIsReported) {
   // The contract was generated for the standard framework; measure with an
   // inflated one (a "framework regression": rx path got 50% pricier).
   MonitorOptions opts;
-  opts.shards = 4;
+  opts.partitions = 4;
   opts.framework.rx_instructions += opts.framework.rx_instructions / 2;
   opts.framework.rx_accesses += opts.framework.rx_accesses / 2;
   MonitorEngine engine(result.contract, reg, opts);
@@ -173,6 +185,64 @@ TEST(Monitor, InjectedCostPerturbationIsReported) {
             std::string::npos);
 }
 
+TEST(Monitor, HeadroomSketchesAreCoherent) {
+  perf::PcvRegistry reg;
+  const auto result = contract_for("nat", reg);
+  const auto packets = workload_for("nat", 3000);
+
+  MonitorOptions opts;
+  opts.partitions = 4;
+  MonitorEngine engine(result.contract, reg, opts);
+  const MonitorReport report =
+      engine.run(packets, MonitorEngine::named_factory("nat"));
+
+  for (const ClassReport& c : report.classes) {
+    for (const perf::Metric m : perf::kAllMetrics) {
+      const MetricReport& mr = c.metrics[perf::metric_index(m)];
+      const QuantileSummary& s = mr.headroom_pm;
+      // Every attributed packet of the class feeds the sketch.
+      EXPECT_EQ(s.count, c.packets) << c.input_class;
+      // Quantiles are monotone and capped by the recorded max.
+      EXPECT_LE(s.p50, s.p90) << c.input_class;
+      EXPECT_LE(s.p90, s.p99) << c.input_class;
+      EXPECT_LE(s.p99, s.p999) << c.input_class;
+      EXPECT_LE(s.p999, s.max + s.max / 32 + 1) << c.input_class;
+      // Compliant run: nothing past the bound (1000 per-mille).
+      EXPECT_LE(s.max, 1000u) << c.input_class;
+    }
+    // No violations -> empty margin distribution.
+    EXPECT_EQ(c.violation_margin_pm.count, 0u) << c.input_class;
+  }
+}
+
+TEST(Monitor, ViolationMarginSketchTracksViolations) {
+  perf::PcvRegistry reg;
+  const auto result = contract_for("nat", reg);
+  const auto packets = workload_for("nat", 2000);
+
+  MonitorOptions opts;
+  opts.partitions = 4;
+  opts.framework.rx_instructions += opts.framework.rx_instructions / 2;
+  opts.framework.rx_accesses += opts.framework.rx_accesses / 2;
+  MonitorEngine engine(result.contract, reg, opts);
+  const MonitorReport report =
+      engine.run(packets, MonitorEngine::named_factory("nat"));
+  ASSERT_GT(report.violations, 0u);
+
+  std::uint64_t margins = 0;
+  for (const ClassReport& c : report.classes) {
+    std::uint64_t class_violations = 0;
+    for (const auto& mr : c.metrics) class_violations += mr.violations;
+    EXPECT_EQ(c.violation_margin_pm.count, class_violations)
+        << c.input_class;
+    if (class_violations > 0) {
+      EXPECT_GT(c.violation_margin_pm.max, 0u) << c.input_class;
+    }
+    margins += c.violation_margin_pm.count;
+  }
+  EXPECT_EQ(margins, report.violations);
+}
+
 TEST(Monitor, ShardingIsFlowAffine) {
   net::ZipfSpec spec;
   spec.flow_pool = 64;
@@ -183,7 +253,7 @@ TEST(Monitor, ShardingIsFlowAffine) {
   for (const net::Packet& p : packets) {
     const auto tuple = net::extract_five_tuple(p);
     ASSERT_TRUE(tuple.has_value());
-    const std::size_t s = shard_of(p, 8);
+    const std::size_t s = partition_of(p, 8);
     ASSERT_LT(s, 8u);
     used.insert(s);
     const auto [it, inserted] = shard_of_flow.emplace(tuple->key(), s);

@@ -272,6 +272,51 @@ TEST(ContractDeterminismTruncated, BitIdenticalAtOneTwoEightThreads) {
   EXPECT_EQ(s1, contract_json(Subject::kStatefulChain, 8, 6));
 }
 
+/// ROADMAP open-item pin: the fw->NAT chain deterministically carries
+/// exactly ONE path whose bounded search exhausts (the solver returns
+/// kUnknown under its three-valued contract, and the pipeline counts it
+/// in unsolved_paths). This regression test is the tripwire: a propagator
+/// or search-phase change that *resolves* the path (prunes it as unsat or
+/// finally solves it) — or that multiplies it — must show up here, get
+/// looked at, and update this pin deliberately.
+TEST(StatefulChainUnsolvedPin, ExactlyOneUnknownPathAndItIsCounted) {
+  for (const std::size_t threads : {1u, 4u}) {
+    perf::PcvRegistry reg;
+    NfInstance instance = make_nat(reg, default_nat_config());
+    const ir::Program firewall = nf::Firewall::program();
+    NfAnalysis analysis = instance.analysis();
+    analysis.name = "firewall+nat";
+    analysis.programs = {&firewall, analysis.programs[0]};
+
+    BoltOptions opts;
+    opts.threads = threads;
+    ContractGenerator gen(reg, opts);
+    const GenerationResult result = gen.generate(analysis);
+
+    // Counted in stats, exactly once, at any thread count.
+    EXPECT_EQ(result.unsolved_paths, 1u) << "threads=" << threads;
+    EXPECT_EQ(result.total_paths, 12u) << "threads=" << threads;
+
+    // It is the firewall-pass -> NAT-invalid drop path, and only it.
+    std::size_t unsolved_reports = 0;
+    for (const PathReport& report : result.path_reports) {
+      if (report.solved) continue;
+      ++unsolved_reports;
+      EXPECT_EQ(report.class_key, "firewall:no_options/nat:invalid");
+      EXPECT_EQ(report.action, symbex::PathAction::kDrop);
+    }
+    EXPECT_EQ(unsolved_reports, 1u) << "threads=" << threads;
+
+    // The unsolved path contributes no contract entry (no concrete input
+    // to replay), and every other path still coalesces as before.
+    EXPECT_EQ(result.contract.entries().size(), 8u);
+    for (const auto& entry : result.contract.entries()) {
+      EXPECT_EQ(entry.input_class.find("nat:invalid"), std::string::npos)
+          << entry.input_class;
+    }
+  }
+}
+
 /// The new hot-path stats: solver_calls is deterministic (one per
 /// feasibility probe on the deterministic exploration tree); steals can
 /// only happen when more than one worker exists.

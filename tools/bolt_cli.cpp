@@ -1,17 +1,21 @@
 // bolt — command-line front end to the contract generator, the Distiller,
 // and the contract monitor.
 //
-//   bolt contract <nf> [--json]      generate + print an NF's contract
+//   bolt contract <nf> [--json] [--out F]  generate + print (or store) an
+//                                    NF's contract artifact
 //   bolt paths <nf>                  per-path report (no coalescing)
 //   bolt distill <nf> <pcap>         run a PCAP through the NF, report PCVs
 //   bolt predict <nf> k=v [k=v...]   evaluate the contract at a PCV binding
 //   bolt monitor <nf> [...]          stream traffic through the NF and
 //                                    validate every packet against the
 //                                    contract (violations, headroom,
-//                                    worst offenders)
+//                                    quantile sketches, worst offenders).
+//                                    With --contract FILE.json the stored
+//                                    artifact is validated instead — the
+//                                    operator workflow, no symbex at all.
 //   bolt gen <kind> <out.pcap> [n]   write a workload PCAP
 //                                    (kind: uniform | churn | zipf | bridge
-//                                     | attack | heartbeat)
+//                                     | attack | heartbeat | longrun)
 //   bolt scenarios                   run the Figure-1 scenario sweep
 //
 // <nf> is one of: bridge, nat, nat-b (allocator B), lb, lpm, lpm-simple,
@@ -38,30 +42,42 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: bolt contract <nf> [--json] [--threads N]\n"
+      "usage: bolt contract <nf> [--json] [--out FILE] [--threads N]\n"
       "       bolt paths <nf> [--json] [--threads N]\n"
       "       bolt distill <nf> <pcap>\n"
       "       bolt predict <nf> pcv=value [pcv=value ...]\n"
-      "       bolt monitor <nf> [--workload K] [--packets N] [--shards N]\n"
-      "                    [--threads N] [--violation-threshold N]\n"
-      "                    [--inflate PCT] [--no-cycles] [--pcap FILE]\n"
-      "                    [--json]\n"
+      "       bolt monitor <nf> [--contract FILE] [--workload K]\n"
+      "                    [--packets N] [--partitions N] [--shards N]\n"
+      "                    [--threads N] [--epoch-ns N]\n"
+      "                    [--violation-threshold N] [--inflate PCT]\n"
+      "                    [--no-cycles] [--pcap FILE] [--json]\n"
+      "                    [--report FILE]\n"
       "       bolt gen <kind> <out.pcap> [count]\n"
       "       bolt scenarios [--threads N]\n"
       "nf: bridge | nat | nat-b | lb | lpm | lpm-simple | firewall |"
       " router | fw+router\n"
-      "workload kinds: uniform | churn | zipf | bridge | attack | heartbeat\n"
+      "workload kinds: uniform | churn | zipf | bridge | attack | heartbeat"
+      " | longrun\n"
+      "--out FILE: store the contract artifact (JSON) for later monitoring\n"
+      "--contract FILE: validate against a stored artifact instead of\n"
+      "                 regenerating (the operator workflow; no symbex)\n"
       "--threads N: worker threads (default: one per hardware thread;\n"
       "             contracts and monitor reports are identical at any N)\n"
-      "--shards N: monitor flow shards (part of the semantics; default 8)\n"
+      "--partitions N: flow-affine state partitions (part of the monitor's\n"
+      "                semantics; default 8)\n"
+      "--shards N: monitor work queues (execution only; never changes the\n"
+      "            report; default: one per partition)\n"
+      "--epoch-ns N: epoch clock for idle-state expiry + occupancy tracking\n"
+      "              (packet-timestamp time; default 1s, 0 disables)\n"
       "--inflate PCT: inflate measured framework costs by PCT%% (violation\n"
       "               injection; the monitor must report it)\n"
-      "--violation-threshold N: exit 1 when more than N violations\n");
+      "--violation-threshold N: exit 1 when more than N violations\n"
+      "--report FILE: also write the report JSON to FILE\n");
   return 2;
 }
 
 int cmd_contract(const std::string& nf, bool per_path, bool as_json,
-                 std::size_t threads) {
+                 std::size_t threads, const std::string& out_file) {
   perf::PcvRegistry reg;
   core::NfTarget target;
   if (!core::make_named_target(nf, reg, target)) return usage();
@@ -70,6 +86,20 @@ int cmd_contract(const std::string& nf, bool per_path, bool as_json,
   options.threads = threads;
   core::ContractGenerator generator(reg, options);
   const auto result = generator.generate(target.analysis());
+  if (!out_file.empty()) {
+    if (!perf::save_contract(out_file, result.contract, reg)) {
+      std::fprintf(stderr, "error: cannot write contract to '%s'\n",
+                   out_file.c_str());
+      return 1;
+    }
+    // Status goes to stderr: with --json, stdout is a machine-read stream.
+    std::fprintf(stderr,
+                 "stored contract for %s (%zu entries, schema v%lld) in %s\n",
+                 nf.c_str(), result.contract.entries().size(),
+                 static_cast<long long>(perf::kContractSchemaVersion),
+                 out_file.c_str());
+    if (!as_json) return 0;
+  }
   if (as_json) {
     std::printf("%s\n", perf::contract_to_json(result.contract, reg).c_str());
     return 0;
@@ -217,15 +247,24 @@ std::vector<net::Packet> monitor_workload(const std::string& nf,
     spec.packet_count = count;
     return net::heartbeat_traffic(spec);
   }
+  if (kind == "longrun") {
+    net::LongRunSpec spec;
+    spec.packet_count = count;
+    return net::long_run_traffic(spec);
+  }
   return {};
 }
 
 struct MonitorCliArgs {
   std::string workload;  // empty = target default
   std::string pcap;      // overrides workload when set
+  std::string contract;  // stored artifact; empty = regenerate in-process
+  std::string report;    // also write the report JSON here
   std::size_t packets = 100'000;
-  std::size_t shards = 8;
+  std::size_t partitions = 8;
+  std::size_t shards = 0;
   std::size_t threads = 0;
+  std::uint64_t epoch_ns = 1'000'000'000;
   std::uint64_t violation_threshold = 0;
   std::uint64_t inflate_pct = 0;
   bool cycles = true;
@@ -234,12 +273,32 @@ struct MonitorCliArgs {
 
 int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
   perf::PcvRegistry reg;
-  core::NfTarget target;
-  if (!core::make_named_target(nf, reg, target)) return usage();
+  perf::Contract contract("");
 
-  // Generation side: the artifact the operator was handed.
-  core::ContractGenerator generator(reg);
-  const auto generated = generator.generate(target.analysis());
+  if (!args.contract.empty()) {
+    // Operator mode: validate against the stored artifact. No generation,
+    // no symbolic execution — the target is only instantiated per
+    // partition for concrete measurement. Sanity-check that the artifact
+    // was generated for the target we're about to run.
+    core::NfTarget probe;
+    perf::PcvRegistry probe_reg;
+    if (!core::make_named_target(nf, probe_reg, probe)) return usage();
+    contract = perf::load_contract(args.contract, reg);
+    if (contract.nf_name() != probe.contract_name()) {
+      std::fprintf(stderr,
+                   "error: contract '%s' was generated for nf '%s', not "
+                   "'%s'\n",
+                   args.contract.c_str(), contract.nf_name().c_str(),
+                   probe.contract_name().c_str());
+      return 2;
+    }
+  } else {
+    // Developer mode: regenerate the artifact in-process.
+    core::NfTarget target;
+    if (!core::make_named_target(nf, reg, target)) return usage();
+    core::ContractGenerator generator(reg);
+    contract = generator.generate(target.analysis()).contract;
+  }
 
   // Traffic side.
   std::vector<net::Packet> packets;
@@ -254,8 +313,10 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
   }
 
   monitor::MonitorOptions options;
+  options.partitions = args.partitions;
   options.shards = args.shards;
   options.threads = args.threads;
+  options.epoch_ns = args.epoch_ns;
   options.check_cycles = args.cycles;
   if (args.inflate_pct > 0) {
     options.framework.rx_instructions +=
@@ -267,13 +328,29 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
     options.framework.tx_accesses +=
         options.framework.tx_accesses * args.inflate_pct / 100;
   }
-  monitor::MonitorEngine engine(generated.contract, reg, options);
+  monitor::MonitorEngine engine(contract, reg, options);
 
   support::BenchTimer timer;
   const monitor::MonitorReport report =
       engine.run(packets, monitor::MonitorEngine::named_factory(nf));
   const double elapsed_ms = timer.elapsed_ms();
 
+  if (!args.report.empty()) {
+    const std::string json = monitor::report_to_json(report) + "\n";
+    std::FILE* f = std::fopen(args.report.c_str(), "wb");
+    const bool wrote =
+        f != nullptr &&
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    // fclose can surface the real write error (buffered I/O, disk full);
+    // never leave a truncated report behind for CI to archive as valid.
+    const bool closed = f != nullptr && std::fclose(f) == 0;
+    if (!wrote || !closed) {
+      std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                   args.report.c_str());
+      if (f != nullptr) std::remove(args.report.c_str());
+      return 1;
+    }
+  }
   if (args.json) {
     std::printf("%s\n", monitor::report_to_json(report).c_str());
   } else {
@@ -350,6 +427,10 @@ int cmd_gen(const std::string& kind, const std::string& out,
     net::HeartbeatSpec spec;
     spec.packet_count = count;
     packets = net::heartbeat_traffic(spec);
+  } else if (kind == "longrun") {
+    net::LongRunSpec spec;
+    spec.packet_count = count;
+    packets = net::long_run_traffic(spec);
   } else {
     return usage();
   }
@@ -367,6 +448,7 @@ int main(int argc, char** argv) {
   // plus the monitor's own knobs.
   bool json = false;
   MonitorCliArgs margs;
+  std::string out_file;
   std::size_t threads = 0;
   auto numeric = [&](int& i, const char* flag) -> std::uint64_t {
     if (i + 1 >= argc) {
@@ -407,6 +489,24 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       only_for(is_monitor, "--shards");
       margs.shards = numeric(i, "--shards");
+    } else if (std::strcmp(argv[i], "--partitions") == 0) {
+      only_for(is_monitor, "--partitions");
+      margs.partitions = numeric(i, "--partitions");
+    } else if (std::strcmp(argv[i], "--epoch-ns") == 0) {
+      only_for(is_monitor, "--epoch-ns");
+      margs.epoch_ns = numeric(i, "--epoch-ns");
+    } else if (std::strcmp(argv[i], "--contract") == 0) {
+      only_for(is_monitor, "--contract");
+      if (i + 1 >= argc) return usage();
+      margs.contract = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      only_for(is_monitor, "--report");
+      if (i + 1 >= argc) return usage();
+      margs.report = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      only_for(cmd == "contract", "--out");
+      if (i + 1 >= argc) return usage();
+      out_file = argv[++i];
     } else if (std::strcmp(argv[i], "--violation-threshold") == 0) {
       only_for(is_monitor, "--violation-threshold");
       margs.violation_threshold = numeric(i, "--violation-threshold");
@@ -432,10 +532,10 @@ int main(int argc, char** argv) {
   margs.threads = threads;
   margs.json = json;
   if (cmd == "contract" && argc >= 3) {
-    return cmd_contract(argv[2], false, json, threads);
+    return cmd_contract(argv[2], false, json, threads, out_file);
   }
   if (cmd == "paths" && argc >= 3) {
-    return cmd_contract(argv[2], true, json, threads);
+    return cmd_contract(argv[2], true, json, threads, "");
   }
   if (cmd == "distill" && argc >= 4) return cmd_distill(argv[2], argv[3]);
   if (cmd == "predict" && argc >= 3) return cmd_predict(argv[2], argc, argv, 3);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the golden contract artifacts pinned by
+# tests/test_contract_golden.cpp. Run this ONLY when a contract change is
+# intentional (new cost model, schema bump, ...), and say why in the
+# commit message — the goldens are the shipped operator artifacts.
+#
+# Usage: tools/regen_goldens.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/bolt_cli"
+
+if [[ ! -x "$CLI" ]]; then
+  echo "error: $CLI not found (build first)" >&2
+  exit 1
+fi
+
+for nf in bridge nat lb lpm; do
+  "$CLI" contract "$nf" --out "$REPO_ROOT/tests/data/contract_${nf}.json"
+done
