@@ -37,10 +37,15 @@ namespace {
 double monitor_pps(const perf::Contract& contract,
                    const perf::PcvRegistry& reg,
                    const std::vector<net::Packet>& packets,
-                   std::size_t threads, bool compiled) {
+                   std::size_t threads, bool compiled,
+                   std::size_t shards = 0,
+                   monitor::ShardGrouping grouping =
+                       monitor::ShardGrouping::kRoundRobin) {
   monitor::MonitorOptions opts;
   opts.threads = threads;
   opts.use_compiled_exprs = compiled;
+  opts.shards = shards;
+  opts.grouping = grouping;
   monitor::MonitorEngine engine(contract, reg, opts);
   support::BenchTimer timer;
   const monitor::MonitorReport report =
@@ -81,6 +86,30 @@ int main() {
   bench.metric("monitor_pps_all_threads", pps_nt, "packets/s");
   bench.metric("monitor_pps_1thread_treewalk", pps_1t_tw, "packets/s");
   bench.metric("monitor_thread_scaling", pps_nt / pps_1t, "x");
+
+  // --- shard grouping under skewed traffic -------------------------------
+  // Heavily skewed flow popularity concentrates packets on few partitions;
+  // with fewer shards than partitions, round-robin grouping can lump the
+  // hot partitions onto one queue while longest-queue-first (LPT) spreads
+  // them. Reports are byte-identical either way (tests enforce it); only
+  // the wall-clock may differ.
+  net::ZipfSpec skewed_spec;
+  skewed_spec.flow_pool = 64;
+  skewed_spec.skew = 2.2;
+  skewed_spec.packet_count = 200'000;
+  const std::vector<net::Packet> skewed = net::zipf_traffic(skewed_spec);
+  const double pps_skew_rr =
+      monitor_pps(result.contract, reg, skewed, 4, true, 4,
+                  monitor::ShardGrouping::kRoundRobin);
+  const double pps_skew_lqf =
+      monitor_pps(result.contract, reg, skewed, 4, true, 4,
+                  monitor::ShardGrouping::kLongestQueueFirst);
+  std::printf("\nskewed traffic (zipf 2.2, 8 partitions on 4 shards):\n");
+  std::printf("  round-robin grouping:       %10.0f pps\n", pps_skew_rr);
+  std::printf("  longest-queue-first (LPT):  %10.0f pps\n", pps_skew_lqf);
+  bench.metric("monitor_pps_skewed_roundrobin", pps_skew_rr, "packets/s");
+  bench.metric("monitor_pps_skewed_lqf", pps_skew_lqf, "packets/s");
+  bench.metric("monitor_grouping_speedup", pps_skew_lqf / pps_skew_rr, "x");
 
   // --- expression evaluation only ----------------------------------------
   // Evaluate every contract bound over a matrix of random PCV rows; this

@@ -1,0 +1,166 @@
+#include "adversary/trace.h"
+
+#include <cstdio>
+
+#include "net/pcap.h"
+#include "support/assert.h"
+#include "support/io.h"
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace bolt::adversary {
+
+namespace {
+
+std::string plan_to_json(const AdversarialTrace& trace) {
+  using support::json_quote_into;
+  std::string out =
+      "{\"version\":" + std::to_string(kTraceSchemaVersion) + ",\"nf\":";
+  json_quote_into(out, trace.nf);
+  out += ",\"contract_nf\":";
+  json_quote_into(out, trace.contract_nf);
+  out += ",\"seed\":" + std::to_string(trace.seed);
+  out += ",\"partitions\":" + std::to_string(trace.partitions);
+  out += ",\"epoch_ns\":" + std::to_string(trace.epoch_ns);
+  out += ",\"classes\":[";
+  bool first = true;
+  for (const ClassPlan& cp : trace.classes) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"input_class\":";
+    json_quote_into(out, cp.input_class);
+    out += ",\"packets\":" + std::to_string(cp.packets);
+    out += ",\"reached\":" + std::string(cp.reached ? "true" : "false");
+    out += ",\"note\":";
+    json_quote_into(out, cp.note);
+    out += '}';
+  }
+  out += "],\"packets\":[";
+  first = true;
+  for (std::size_t i = 0; i < trace.plans.size(); ++i) {
+    const PacketPlan& plan = trace.plans[i];
+    if (!first) out += ',';
+    first = false;
+    // kNoEntry serialises as -1 (the sidecar is signed-friendly JSON).
+    const std::int64_t entry =
+        plan.entry == kNoEntry ? -1 : static_cast<std::int64_t>(plan.entry);
+    out += "{\"entry\":" + std::to_string(entry);
+    out += ",\"in_port\":" + std::to_string(trace.packets[i].in_port());
+    out += ",\"predicted\":[" + std::to_string(plan.predicted[0]) + ',' +
+           std::to_string(plan.predicted[1]) + ',' +
+           std::to_string(plan.predicted[2]) + "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+bool save_trace(const std::string& prefix, const AdversarialTrace& trace) {
+  const std::string pcap_path = prefix + ".pcap";
+  const std::string json_path = prefix + ".json";
+  if (!support::write_file(json_path, plan_to_json(trace) + "\n")) {
+    return false;
+  }
+  // Serialise in memory and write through the same graceful path — a full
+  // disk must not abort the process, and must not leave a dangling
+  // sidecar next to a missing/truncated pcap.
+  const std::vector<std::uint8_t> pcap = net::serialize_pcap(trace.packets);
+  if (!support::write_file(
+          pcap_path, std::string(pcap.begin(), pcap.end()))) {
+    std::remove(json_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+AdversarialTrace load_trace(const std::string& prefix) {
+  AdversarialTrace trace;
+  trace.packets = net::read_pcap(prefix + ".pcap");
+
+  const std::string json =
+      support::read_file_or_die(prefix + ".json", "adversarial trace");
+  support::JsonReader r(json, "adversary trace json");
+  r.expect('{');
+  r.key("version");
+  if (r.integer() != kTraceSchemaVersion) {
+    r.fail("unsupported trace schema version");
+  }
+  r.expect(',');
+  r.key("nf");
+  trace.nf = r.string();
+  r.expect(',');
+  r.key("contract_nf");
+  trace.contract_nf = r.string();
+  r.expect(',');
+  r.key("seed");
+  trace.seed = static_cast<std::uint64_t>(r.integer());
+  r.expect(',');
+  r.key("partitions");
+  trace.partitions = static_cast<std::size_t>(r.integer());
+  r.expect(',');
+  r.key("epoch_ns");
+  trace.epoch_ns = static_cast<std::uint64_t>(r.integer());
+  r.expect(',');
+  r.key("classes");
+  r.expect('[');
+  if (!r.try_consume(']')) {
+    do {
+      r.expect('{');
+      ClassPlan cp;
+      r.key("input_class");
+      cp.input_class = r.string();
+      r.expect(',');
+      r.key("packets");
+      cp.packets = static_cast<std::uint64_t>(r.integer());
+      r.expect(',');
+      r.key("reached");
+      cp.reached = r.boolean();
+      r.expect(',');
+      r.key("note");
+      cp.note = r.string();
+      r.expect('}');
+      trace.classes.push_back(std::move(cp));
+    } while (r.try_consume(','));
+    r.expect(']');
+  }
+  r.expect(',');
+  r.key("packets");
+  r.expect('[');
+  if (!r.try_consume(']')) {
+    do {
+      r.expect('{');
+      PacketPlan plan;
+      r.key("entry");
+      const std::int64_t entry = r.integer();
+      plan.entry = entry < 0 ? kNoEntry : static_cast<std::uint32_t>(entry);
+      r.expect(',');
+      r.key("in_port");
+      const std::uint16_t in_port = static_cast<std::uint16_t>(r.integer());
+      r.expect(',');
+      r.key("predicted");
+      r.expect('[');
+      plan.predicted[0] = r.integer();
+      r.expect(',');
+      plan.predicted[1] = r.integer();
+      r.expect(',');
+      plan.predicted[2] = r.integer();
+      r.expect(']');
+      r.expect('}');
+      // PCAP carries no ingress-port column; restore it from the sidecar.
+      if (trace.plans.size() < trace.packets.size()) {
+        trace.packets[trace.plans.size()].set_in_port(in_port);
+      }
+      trace.plans.push_back(plan);
+    } while (r.try_consume(','));
+    r.expect(']');
+  }
+  r.expect('}');
+  r.end();
+  BOLT_CHECK(trace.plans.size() == trace.packets.size(),
+             "adversarial trace '" + prefix +
+                 "': pcap and sidecar packet counts disagree");
+  return trace;
+}
+
+}  // namespace bolt::adversary

@@ -139,6 +139,7 @@ GenerationResult ContractGenerator::generate(const NfAnalysis& nf) {
     report.solved = true;
 
     net::Packet packet = packet_from_path(path);
+    report.input = packet;  // keep the pristine witness (the replay mutates)
     ReplayEnv env(path);
     // One conservative cycle model per worker thread, reused across paths
     // (and, on persistent threads, across generate() calls): its must-hit

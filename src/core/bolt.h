@@ -61,6 +61,11 @@ struct PathReport {
   std::string class_key;
   symbex::PathAction action = symbex::PathAction::kDrop;
   bool solved = false;
+  /// The solved witness input (GetInputsForPath materialised): the concrete
+  /// packet whose replay produced this path. Valid iff `solved` — this is
+  /// what the adversarial workload synthesiser (src/adversary) seeds each
+  /// class's traffic from.
+  net::Packet input;
   std::uint64_t stateless_instructions = 0;
   std::uint64_t stateless_accesses = 0;
   std::uint64_t stateless_cycles = 0;  ///< conservative, from the replay trace

@@ -125,6 +125,20 @@ NfInstance make_simple_lpm(perf::PcvRegistry& reg) {
   return nf;
 }
 
+const std::vector<DirLpmRoute>& dir_lpm_routes() {
+  // 198.18.0.0/15 is where tuple_for_index() aims synthetic traffic; the
+  // /28 and /30 nests inside it put tbl8 walks on the workload's own path.
+  // 203.0.113.0/24 (TEST-NET-3) carries the out-of-workload tier pair.
+  static const std::vector<DirLpmRoute> kRoutes = {
+      {0xc6120000u, 15, 1},  // 198.18.0.0/15      -> one lookup
+      {0xc6120700u, 28, 4},  // 198.18.7.0/28      -> two lookups
+      {0xc6120740u, 30, 5},  // 198.18.7.64/30     -> two lookups (deepest)
+      {0xcb007100u, 24, 2},  // 203.0.113.0/24     -> one lookup
+      {0xcb007140u, 26, 3},  // 203.0.113.64/26    -> two lookups
+  };
+  return kRoutes;
+}
+
 NfInstance make_dir_lpm(perf::PcvRegistry& reg) {
   // Deterministic per-kind arena bank: the same NF always occupies the
   // same address space regardless of which thread built it, and different
@@ -135,6 +149,9 @@ NfInstance make_dir_lpm(perf::PcvRegistry& reg) {
   nf.program = nf::DirLpmRouter::program();
   nf.methods = nf::DirLpmRouter::methods(reg);
   auto state = std::make_shared<dslib::LpmDirState>(reg);
+  for (const DirLpmRoute& r : dir_lpm_routes()) {
+    state->table().insert(r.prefix, r.length, r.port);
+  }
   nf.env = std::make_unique<dslib::DispatchEnv>();
   state->bind(*nf.env);
   nf.state = std::move(state);

@@ -72,6 +72,19 @@ dslib::MacTable::Config default_bridge_config();
 dslib::NatState::Config default_nat_config();
 dslib::LbState::Config default_lb_config();
 
+/// The canonical route set installed in the named "lpm" target (DIR-24-8).
+/// Both lookup tiers must be reachable by traffic — <=24-bit prefixes
+/// resolve in one lookup, longer ones in two — so the set spans both, and
+/// 198.18.0.0/15 covers the synthetic workload generators' destination
+/// space. Deterministic and shared so the adversarial synthesiser and
+/// tests can aim packets at specific tiers.
+struct DirLpmRoute {
+  std::uint32_t prefix = 0;  ///< host order, low bits zero
+  int length = 0;
+  std::uint16_t port = 0;
+};
+const std::vector<DirLpmRoute>& dir_lpm_routes();
+
 NfInstance make_bridge(perf::PcvRegistry& reg,
                        const dslib::MacTable::Config& config);
 NfInstance make_nat(perf::PcvRegistry& reg,

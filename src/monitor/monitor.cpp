@@ -212,7 +212,8 @@ MonitorEngine::TargetFactory MonitorEngine::named_factory(std::string name) {
 void MonitorEngine::run_partition(const std::vector<std::uint64_t>& indices,
                                   const std::vector<net::Packet>& packets,
                                   const TargetFactory& factory,
-                                  PartitionResult& out) const {
+                                  PartitionResult& out,
+                                  std::vector<std::uint32_t>* attribution) const {
   out.classes.assign(contract_.entries().size(), ClassAccum{});
 
   // Fresh per-partition state, described by a partition-local PCV
@@ -360,6 +361,7 @@ void MonitorEngine::run_partition(const std::vector<std::uint64_t>& indices,
     const std::string key = core::class_key(run.class_tags, cases);
     const auto entry_it = entry_index_.find(key);
     if (entry_it == entry_index_.end()) {
+      if (attribution != nullptr) (*attribution)[index] = kUnattributedEntry;
       if (!any_unattributed) {
         any_unattributed = true;
         out.first_unattributed = index;
@@ -368,6 +370,9 @@ void MonitorEngine::run_partition(const std::vector<std::uint64_t>& indices,
       continue;
     }
     const std::size_t entry = entry_it->second;
+    if (attribution != nullptr) {
+      (*attribution)[index] = static_cast<std::uint32_t>(entry);
+    }
 
     Batch& b = batches[entry];
     const std::size_t row = b.indices.size();
@@ -393,7 +398,8 @@ void MonitorEngine::run_partition(const std::vector<std::uint64_t>& indices,
 }
 
 MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
-                                 const TargetFactory& factory) const {
+                                 const TargetFactory& factory,
+                                 std::vector<std::uint32_t>* attribution) const {
   // Fixed flow-affine partition: membership depends only on packet
   // contents and the partition count, never on scheduling. Partitions
   // carry indices only — packets are copied one at a time as each is
@@ -403,20 +409,47 @@ MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
   for (std::size_t i = 0; i < packets.size(); ++i) {
     work[partition_of(packets[i], partitions)].push_back(i);
   }
+  if (attribution != nullptr) {
+    attribution->assign(packets.size(), kUnattributedEntry);
+  }
 
-  // Execution: partitions are grouped round-robin into `shards` work
-  // queues and queues run concurrently on the pool. Neither knob can
-  // change report bytes — every partition computes the same result
-  // regardless of which queue or thread ran it.
+  // Execution: partitions are grouped into `shards` work queues by the
+  // configured policy and queues run concurrently on the pool. None of
+  // these knobs can change report bytes — every partition computes the
+  // same result regardless of which queue or thread ran it.
   const std::size_t shards =
       options_.shards == 0 ? partitions
                            : std::min(options_.shards, partitions);
+  std::vector<std::vector<std::size_t>> queue(shards);
+  if (options_.grouping == ShardGrouping::kLongestQueueFirst) {
+    // LPT: heaviest partitions placed first, each on the lightest queue.
+    std::vector<std::size_t> order(partitions);
+    for (std::size_t p = 0; p < partitions; ++p) order[p] = p;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return work[a].size() > work[b].size();
+                     });
+    std::vector<std::size_t> load(shards, 0);
+    for (const std::size_t p : order) {
+      std::size_t lightest = 0;
+      for (std::size_t s = 1; s < shards; ++s) {
+        if (load[s] < load[lightest]) lightest = s;
+      }
+      queue[lightest].push_back(p);
+      load[lightest] += work[p].size();
+    }
+  } else {
+    for (std::size_t p = 0; p < partitions; ++p) {
+      queue[p % shards].push_back(p);
+    }
+  }
   std::vector<PartitionResult> partition_results(partitions);
   support::ThreadPool pool(
       std::min(support::resolve_threads(options_.threads), shards));
   pool.parallel_for(0, shards, [&](std::size_t s) {
-    for (std::size_t p = s; p < partitions; p += shards) {
-      run_partition(work[p], packets, factory, partition_results[p]);
+    for (const std::size_t p : queue[s]) {
+      run_partition(work[p], packets, factory, partition_results[p],
+                    attribution);
     }
   });
 

@@ -60,16 +60,35 @@
 
 namespace bolt::monitor {
 
+/// Attribution slot value for packets no contract entry matched.
+inline constexpr std::uint32_t kUnattributedEntry = ~0u;
+
+/// How partitions are grouped into work queues. Execution-only — grouping
+/// can change wall-clock, never report bytes (partitions compute the same
+/// result wherever they run; the merge is in partition order).
+enum class ShardGrouping : std::uint8_t {
+  /// Partition p joins queue p % shards. Fine for uniform traffic.
+  kRoundRobin = 0,
+  /// LPT scheduling: partitions sorted by queue length (descending, ties by
+  /// lower partition id) are each placed on the currently-lightest queue —
+  /// the classic longest-processing-time heuristic. Under skewed traffic
+  /// (one hot partition, e.g. an adversarial trace hammering a single RSS
+  /// queue) round-robin can lump hot partitions onto one shard; this
+  /// spreads them.
+  kLongestQueueFirst = 1,
+};
+
 struct MonitorOptions {
   /// Flow-affine state partitions, each with its own NF instance. Part of
   /// the monitor's semantics (reports at different partition counts
   /// legitimately differ; reports at different shard or *thread* counts
   /// never do).
   std::size_t partitions = 8;
-  /// Work queues the partitions are grouped into (round-robin). Execution
-  /// only — it affects scheduling, never report bytes. 0 = one queue per
-  /// partition.
+  /// Work queues the partitions are grouped into. Execution only — it
+  /// affects scheduling, never report bytes. 0 = one queue per partition.
   std::size_t shards = 0;
+  /// Partition -> queue placement policy (execution only, like `shards`).
+  ShardGrouping grouping = ShardGrouping::kRoundRobin;
   /// Worker threads (0 = one per hardware thread). Execution only.
   std::size_t threads = 0;
   /// Deterministic epoch clock granularity (packet-timestamp time). At
@@ -114,8 +133,17 @@ class MonitorEngine {
   /// Streams `packets` through per-partition instances built by `factory`
   /// and returns the merged report. The input is not mutated (partitions
   /// run on copies, as the NF rewrites headers).
+  ///
+  /// `attribution` (optional) receives one entry per packet: the contract
+  /// entry index the packet was attributed to, or kUnattributedEntry. This
+  /// is the pre-attributed replay mode the adversarial synthesiser closes
+  /// its loop with: a trace whose every packet carries an *intended* class
+  /// can be checked packet-by-packet against what the monitor actually
+  /// observed. Deterministic like the report (each partition writes only
+  /// its own packet slots).
   MonitorReport run(const std::vector<net::Packet>& packets,
-                    const TargetFactory& factory) const;
+                    const TargetFactory& factory,
+                    std::vector<std::uint32_t>* attribution = nullptr) const;
 
   /// Factory for a registered target name (core::make_named_target).
   /// Aborts at call time if the name is unknown.
@@ -129,10 +157,12 @@ class MonitorEngine {
 
   /// Processes one partition's packets (`indices` into the caller's
   /// stream; each is copied just before processing, as the NF mutates
-  /// headers).
+  /// headers). `attribution` (optional) is the whole-stream per-packet
+  /// entry table; only this partition's slots are written.
   void run_partition(const std::vector<std::uint64_t>& indices,
                      const std::vector<net::Packet>& packets,
-                     const TargetFactory& factory, PartitionResult& out) const;
+                     const TargetFactory& factory, PartitionResult& out,
+                     std::vector<std::uint32_t>* attribution) const;
 
   const perf::Contract& contract_;
   const perf::PcvRegistry& reg_;

@@ -217,6 +217,22 @@ std::vector<std::uint64_t> colliding_keys(std::size_t count, std::size_t bucket,
   return keys;
 }
 
+std::vector<FiveTuple> colliding_tuples(std::size_t count, std::size_t bucket,
+                                        std::size_t table_buckets,
+                                        std::uint64_t hash_key, bool internal,
+                                        std::uint64_t start) {
+  BOLT_CHECK(table_buckets != 0 && (table_buckets & (table_buckets - 1)) == 0,
+             "table_buckets must be a power of two");
+  std::vector<FiveTuple> tuples;
+  tuples.reserve(count);
+  const std::uint64_t mask = table_buckets - 1;
+  for (std::uint64_t index = start; tuples.size() < count; ++index) {
+    const FiveTuple t = tuple_for_index(index, internal);
+    if ((mix64(t.key() ^ hash_key) & mask) == bucket) tuples.push_back(t);
+  }
+  return tuples;
+}
+
 std::vector<Packet> bridge_collision_attack(const BridgeAttackSpec& spec) {
   support::Rng rng(spec.seed);
   // MAC-table keys are the 48-bit MAC as an integer; pick MACs in the

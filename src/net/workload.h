@@ -125,6 +125,17 @@ std::vector<std::uint64_t> colliding_keys(std::size_t count, std::size_t bucket,
                                           std::uint64_t hash_key = 0,
                                           std::uint64_t start = 1);
 
+/// The five-tuple flavour of colliding_keys: walks tuple_for_index() from
+/// `start` and keeps tuples whose FiveTuple::key() lands in `bucket` of a
+/// power-of-two flow table under `hash_key`. This is how an attacker with
+/// the (public or leaked) table key builds bucket-chain traffic against the
+/// NAT's and LB's flow tables — the adversarial synthesiser's raw material.
+std::vector<FiveTuple> colliding_tuples(std::size_t count, std::size_t bucket,
+                                        std::size_t table_buckets,
+                                        std::uint64_t hash_key = 0,
+                                        bool internal = true,
+                                        std::uint64_t start = 0);
+
 /// IPv4 traffic whose destination addresses match LPM prefixes with lengths
 /// drawn from [min_prefix_len, max_prefix_len]. Used for LPM1 (>24) and
 /// LPM2 (<=24).

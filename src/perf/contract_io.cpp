@@ -1,15 +1,18 @@
 #include "perf/contract_io.h"
 
-#include <cctype>
 #include <cstdio>
+#include <set>
 
 #include "support/assert.h"
+#include "support/io.h"
+#include "support/json.h"
 #include "support/strings.h"
 
 namespace bolt::perf {
 namespace {
 
 using support::json_quote_into;
+using support::JsonReader;
 
 void expr_to_json(std::string& out, const PerfExpr& expr,
                   const PcvRegistry& reg) {
@@ -31,78 +34,6 @@ void expr_to_json(std::string& out, const PerfExpr& expr,
   }
   out += ']';
 }
-
-/// Minimal recursive-descent JSON reader, sufficient for the schema above.
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  void expect(char c) {
-    skip_ws();
-    BOLT_CHECK(pos_ < text_.size() && text_[pos_] == c,
-               std::string("contract json: expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool try_consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          default: c = esc; break;
-        }
-      }
-      out += c;
-    }
-    BOLT_CHECK(pos_ < text_.size(), "contract json: unterminated string");
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  std::int64_t integer() {
-    skip_ws();
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    BOLT_CHECK(pos_ > start, "contract json: expected integer");
-    return std::stoll(text_.substr(start, pos_ - start));
-  }
-
-  /// Reads `"key":` and checks the key name.
-  void key(const char* name) {
-    const std::string k = string();
-    BOLT_CHECK(k == name, "contract json: expected key '" + std::string(name) +
-                              "', got '" + k + "'");
-    expect(':');
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
 
 PerfExpr expr_from_json(JsonReader& r, PcvRegistry& reg) {
   PerfExpr expr;
@@ -170,7 +101,7 @@ std::string contract_to_json(const Contract& contract, const PcvRegistry& reg) {
 }
 
 Contract contract_from_json(const std::string& json, PcvRegistry& reg) {
-  JsonReader r(json);
+  JsonReader r(json, "contract json");
   r.expect('{');
   r.key("version");
   BOLT_CHECK(r.integer() == kContractSchemaVersion,
@@ -197,12 +128,19 @@ Contract contract_from_json(const std::string& json, PcvRegistry& reg) {
   r.expect(',');
   r.key("entries");
   r.expect('[');
+  // Input classes are the lookup key for everything downstream (monitor
+  // attribution, gap reports); a duplicate means two conflicting bounds for
+  // the same traffic and must never be half-loaded.
+  std::set<std::string> seen_classes;
   if (!r.try_consume(']')) {
     do {
       r.expect('{');
       ContractEntry entry;
       r.key("input_class");
       entry.input_class = r.string();
+      if (!seen_classes.insert(entry.input_class).second) {
+        r.fail("duplicate input class '" + entry.input_class + "'");
+      }
       r.expect(',');
       r.key("paths_coalesced");
       entry.paths_coalesced = static_cast<std::size_t>(r.integer());
@@ -224,35 +162,18 @@ Contract contract_from_json(const std::string& json, PcvRegistry& reg) {
     r.expect(']');
   }
   r.expect('}');
+  r.end();
   return contract;
 }
 
 bool save_contract(const std::string& path, const Contract& contract,
                    const PcvRegistry& reg) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const std::string json = contract_to_json(contract, reg) + "\n";
-  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-  if (std::fclose(f) != 0 || !ok) {
-    // Never leave a truncated artifact behind for a later deploy to trip
-    // over.
-    std::remove(path.c_str());
-    return false;
-  }
-  return true;
+  return support::write_file(path, contract_to_json(contract, reg) + "\n");
 }
 
 Contract load_contract(const std::string& path, PcvRegistry& reg) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  BOLT_CHECK(f != nullptr, "cannot open contract artifact '" + path + "'");
-  std::string json;
-  char buf[4096];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) json.append(buf, n);
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  BOLT_CHECK(!read_error, "I/O error reading contract artifact '" + path + "'");
-  return contract_from_json(json, reg);
+  return contract_from_json(
+      support::read_file_or_die(path, "contract artifact"), reg);
 }
 
 }  // namespace bolt::perf

@@ -1,0 +1,163 @@
+// Minimal recursive-descent JSON reading, shared by the artifact parsers
+// (perf/contract_io, adversary/trace).
+//
+// This is deliberately not a general JSON library: the schemas we read are
+// fixed and key order is part of each format's byte-stability contract, so
+// the reader checks keys in place instead of building a DOM. What it *is*
+// strict about is failure: every check reports what was expected and the
+// byte offset where the input disagreed, truncated input is "unexpected end
+// of input" rather than a mis-parse, and integers are accumulated with an
+// explicit overflow check (std::stoll would throw an uncaught exception) —
+// bound constants must be finite 64-bit integers, so "1.5", "1e9", "NaN"
+// and out-of-range values are all rejected with a precise message.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include "support/assert.h"
+
+namespace bolt::support {
+
+class JsonReader {
+ public:
+  /// `what` names the artifact kind in error messages ("contract json").
+  JsonReader(const std::string& text, std::string what)
+      : text_(text), what_(std::move(what)) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail(std::string("expected '") + c + "', got unexpected end of input");
+    }
+    if (text_[pos_] != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc; break;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string (unexpected end of input)");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  /// Strict int64: optional sign, digits only. Rejects fractions,
+  /// exponents, and non-finite spellings (NaN/Infinity) — the values we
+  /// read are bound constants and counts, which must be finite integers —
+  /// and overflow, which std::stoll would turn into an uncaught throw.
+  std::int64_t integer() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("expected integer, got unexpected end of input");
+    }
+    bool negative = false;
+    if (text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("expected integer (bound constants must be finite integers)");
+    }
+    std::uint64_t magnitude = 0;
+    const std::uint64_t limit =
+        negative ? 0x8000000000000000ULL : 0x7fffffffffffffffULL;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      const std::uint64_t digit = std::uint64_t(text_[pos_] - '0');
+      if (magnitude > (limit - digit) / 10) {
+        fail("integer overflows 64 bits");
+      }
+      magnitude = magnitude * 10 + digit;
+      ++pos_;
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      fail("non-integer constant (bound constants must be finite integers)");
+    }
+    // Negate in unsigned space: -INT64_MIN is signed-overflow UB, but the
+    // unsigned negation of 2^63 converts back to exactly INT64_MIN.
+    return static_cast<std::int64_t>(negative ? 0 - magnitude : magnitude);
+  }
+
+  bool boolean() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected boolean");
+    return false;
+  }
+
+  /// Reads `"key":` and checks the key name.
+  void key(const char* name) {
+    const std::string k = string();
+    if (k != name) {
+      fail("expected key '" + std::string(name) + "', got '" + k + "'");
+    }
+    expect(':');
+  }
+
+  /// Call after the top-level value: trailing non-whitespace (a second
+  /// object, concatenated artifacts, binary junk) is rejected, and so is an
+  /// input that ended before the value completed (the callers' expect()s
+  /// catch that earlier with "unexpected end of input").
+  void end() {
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage after the top-level value");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    support::fatal(what_ + ": " + message + " at byte " +
+                       std::to_string(pos_),
+                   __FILE__, __LINE__);
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::string what_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bolt::support

@@ -124,6 +124,51 @@ TEST(Monitor, ReportsAreByteIdenticalAcrossThreadCounts) {
   EXPECT_NE(baseline.find("\"violations\":0"), std::string::npos);
 }
 
+TEST(Monitor, ShardGroupingPolicyNeverChangesReportBytes) {
+  // Grouping (like shards and threads) is execution-only as of the
+  // partition/shard split: longest-queue-first may change which queue runs
+  // a partition, never what the partition computes. Exercise it under
+  // heavily skewed traffic — the case the policy exists for — across a
+  // shard x thread grid, with per-packet attribution also compared.
+  perf::PcvRegistry reg;
+  const auto result = contract_for("nat", reg);
+  net::ZipfSpec spec;
+  spec.flow_pool = 48;  // few flows -> few hot partitions
+  spec.skew = 2.0;
+  spec.packet_count = 3000;
+  const auto packets = net::zipf_traffic(spec);
+
+  std::string baseline;
+  std::vector<std::uint32_t> baseline_attr;
+  for (const ShardGrouping grouping :
+       {ShardGrouping::kRoundRobin, ShardGrouping::kLongestQueueFirst}) {
+    for (const std::size_t shards : {std::size_t(1), std::size_t(3),
+                                     std::size_t(8)}) {
+      for (const std::size_t threads : {std::size_t(1), std::size_t(4)}) {
+        MonitorOptions opts;
+        opts.partitions = 8;
+        opts.shards = shards;
+        opts.threads = threads;
+        opts.grouping = grouping;
+        MonitorEngine engine(result.contract, reg, opts);
+        std::vector<std::uint32_t> attr;
+        const MonitorReport report =
+            engine.run(packets, MonitorEngine::named_factory("nat"), &attr);
+        const std::string json = report_to_json(report);
+        if (baseline.empty()) {
+          baseline = json;
+          baseline_attr = attr;
+        } else {
+          EXPECT_EQ(json, baseline)
+              << "grouping=" << static_cast<int>(grouping)
+              << " shards=" << shards << " threads=" << threads;
+          EXPECT_EQ(attr, baseline_attr);
+        }
+      }
+    }
+  }
+}
+
 TEST(Monitor, CompiledVmMatchesTreeWalkBaseline) {
   perf::PcvRegistry reg;
   const auto result = contract_for("bridge", reg);

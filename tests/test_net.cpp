@@ -108,6 +108,156 @@ TEST(PacketBuilder, TcpFrames) {
   EXPECT_EQ(tcp->dst_port, 443);
 }
 
+// --- build -> parse -> rebuild round trips -------------------------------
+//
+// Every header combination the adversarial synthesiser emits must survive
+// a full parse/rebuild cycle byte-for-byte: the parsed view carries all the
+// information the builder needs, and the rebuild recomputes identical
+// lengths and checksums. This is what makes witness "materialisation"
+// (adversary/adversary.cpp) safe — a rebuilt frame is the same frame.
+
+namespace {
+
+/// Rebuilds a frame from its parsed headers. Expects plain Ethernet/IPv4/
+/// {UDP,TCP} (optionally with NOP/timestamp options re-added verbatim).
+Packet rebuild_from_parse(const Packet& original) {
+  const auto eth = parse_ethernet(original.bytes());
+  EXPECT_TRUE(eth.has_value());
+  PacketBuilder b;
+  if (eth->ether_type != kEtherTypeIpv4) {
+    b.eth(eth->src, eth->dst, eth->ether_type);
+  } else {
+    const auto ip = parse_ipv4(original.bytes(), kEthernetHeaderSize);
+    EXPECT_TRUE(ip.has_value());
+    b.eth(eth->src, eth->dst).ipv4(ip->src, ip->dst, ip->protocol, ip->ttl);
+    // Re-add option bytes one option at a time (NOPs, multi-byte options;
+    // trailing END padding is reapplied by build()).
+    for (std::size_t i = 0; i < ip->options.size();) {
+      const std::uint8_t kind = ip->options[i];
+      if (kind == kIpOptEnd) break;
+      if (kind == kIpOptNop) {
+        b.ip_option(kIpOptNop);
+        ++i;
+        continue;
+      }
+      const std::uint8_t len = ip->options[i + 1];
+      b.ip_option(kind, std::vector<std::uint8_t>(
+                            ip->options.begin() + i + 2,
+                            ip->options.begin() + i + len));
+      i += len;
+    }
+    const std::size_t l4 = kEthernetHeaderSize + ip->header_size();
+    if (ip->protocol == kIpProtoUdp) {
+      const auto udp = parse_udp(original.bytes(), l4);
+      EXPECT_TRUE(udp.has_value());
+      b.udp(udp->src_port, udp->dst_port);
+    } else if (ip->protocol == kIpProtoTcp) {
+      const auto tcp = parse_tcp(original.bytes(), l4);
+      EXPECT_TRUE(tcp.has_value());
+      b.tcp(tcp->src_port, tcp->dst_port);
+    }
+  }
+  b.frame_size(original.size());
+  b.timestamp_ns(original.timestamp_ns()).in_port(original.in_port());
+  return b.build();
+}
+
+void expect_round_trip(const Packet& original) {
+  const Packet rebuilt = rebuild_from_parse(original);
+  EXPECT_EQ(std::vector<std::uint8_t>(original.bytes().begin(),
+                                      original.bytes().end()),
+            std::vector<std::uint8_t>(rebuilt.bytes().begin(),
+                                      rebuilt.bytes().end()));
+  EXPECT_EQ(original.timestamp_ns(), rebuilt.timestamp_ns());
+  EXPECT_EQ(original.in_port(), rebuilt.in_port());
+  // IPv4 checksum must validate (sum over the header including the
+  // checksum field is zero).
+  const auto eth = parse_ethernet(original.bytes());
+  if (eth && eth->ether_type == kEtherTypeIpv4) {
+    const auto ip = parse_ipv4(original.bytes(), kEthernetHeaderSize);
+    ASSERT_TRUE(ip.has_value());
+    EXPECT_EQ(internet_checksum(original.bytes().subspan(kEthernetHeaderSize,
+                                                         ip->header_size())),
+              0);
+  }
+}
+
+}  // namespace
+
+TEST(PacketBuilderRoundTrip, PlainUdp) {
+  expect_round_trip(PacketBuilder()
+                        .eth(MacAddress::from_u64(0x020000000123),
+                             MacAddress::from_u64(0x020000000456))
+                        .ipv4(Ipv4Address::from_octets(10, 1, 2, 3),
+                              Ipv4Address::from_octets(198, 18, 7, 65))
+                        .udp(4321, 80)
+                        .timestamp_ns(77)
+                        .in_port(3)
+                        .build());
+}
+
+TEST(PacketBuilderRoundTrip, PlainTcp) {
+  expect_round_trip(PacketBuilder()
+                        .ipv4(Ipv4Address::from_octets(198, 18, 0, 9),
+                              Ipv4Address::from_octets(10, 0, 0, 7),
+                              kIpProtoTcp, 17)
+                        .tcp(50000, 443)
+                        .build());
+}
+
+TEST(PacketBuilderRoundTrip, NopOptions) {
+  expect_round_trip(PacketBuilder()
+                        .ipv4(Ipv4Address::from_octets(1, 2, 3, 4),
+                              Ipv4Address::from_octets(5, 6, 7, 8))
+                        .ip_nop_options(5)
+                        .udp(1, 2)
+                        .build());
+}
+
+TEST(PacketBuilderRoundTrip, TimestampOption) {
+  expect_round_trip(PacketBuilder()
+                        .ipv4(Ipv4Address::from_octets(1, 2, 3, 4),
+                              Ipv4Address::from_octets(5, 6, 7, 8))
+                        .ip_timestamp_option(3)
+                        .udp(7, 9)
+                        .build());
+}
+
+TEST(PacketBuilderRoundTrip, NonIpFrame) {
+  expect_round_trip(PacketBuilder()
+                        .eth(MacAddress::from_u64(0x020000100001),
+                             MacAddress::broadcast(), kEtherTypeArp)
+                        .timestamp_ns(12)
+                        .build());
+}
+
+TEST(PacketBuilderRoundTrip, PaddedFrame) {
+  expect_round_trip(PacketBuilder()
+                        .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                              Ipv4Address::from_octets(10, 0, 0, 2))
+                        .udp(1234, 5678)
+                        .frame_size(256)
+                        .build());
+}
+
+TEST(PacketBuilderRoundTrip, WorkloadGeneratorFrames) {
+  // The frames the generators (and therefore the adversary) actually emit.
+  expect_round_trip(packet_for_tuple(tuple_for_index(42, true), 9, 0));
+  expect_round_trip(packet_for_tuple(tuple_for_index(43, false), 10, 1));
+}
+
+TEST(CollidingTuples, LandInTheRequestedBucket) {
+  const std::size_t buckets = 4096;
+  const auto tuples = colliding_tuples(16, 5, buckets, /*hash_key=*/0x1234);
+  ASSERT_EQ(tuples.size(), 16u);
+  std::set<std::uint64_t> keys;
+  for (const FiveTuple& t : tuples) {
+    EXPECT_EQ(mix64(t.key() ^ 0x1234) & (buckets - 1), 5u);
+    keys.insert(t.key());
+  }
+  EXPECT_EQ(keys.size(), tuples.size());  // distinct flows
+}
+
 TEST(Flow, ExtractFiveTuple) {
   const FiveTuple want{Ipv4Address::from_octets(10, 1, 2, 3),
                        Ipv4Address::from_octets(192, 0, 2, 9), 5555, 80,

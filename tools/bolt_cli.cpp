@@ -24,6 +24,9 @@
 #include <cstring>
 #include <string>
 
+#include "adversary/adversary.h"
+#include "adversary/report.h"
+#include "adversary/trace.h"
 #include "core/bolt.h"
 #include "core/distiller.h"
 #include "core/experiments.h"
@@ -33,6 +36,7 @@
 #include "net/workload.h"
 #include "perf/contract_io.h"
 #include "support/bench.h"
+#include "support/io.h"
 #include "support/strings.h"
 
 using namespace bolt;
@@ -52,15 +56,25 @@ int usage() {
       "                    [--violation-threshold N] [--inflate PCT]\n"
       "                    [--no-cycles] [--pcap FILE] [--json]\n"
       "                    [--report FILE]\n"
+      "       bolt adversary <nf> [--contract FILE] [--out PREFIX]\n"
+      "                    [--seed N] [--probes N] [--partitions N]\n"
+      "                    [--shards N] [--threads N] [--epoch-ns N]\n"
+      "                    [--min-reached-pct P] [--json] [--report FILE]\n"
       "       bolt gen <kind> <out.pcap> [count]\n"
       "       bolt scenarios [--threads N]\n"
       "nf: bridge | nat | nat-b | lb | lpm | lpm-simple | firewall |"
       " router | fw+router\n"
       "workload kinds: uniform | churn | zipf | bridge | attack | heartbeat"
       " | longrun\n"
-      "--out FILE: store the contract artifact (JSON) for later monitoring\n"
+      "--out FILE: store the contract artifact (JSON) for later monitoring;\n"
+      "            for 'adversary', the trace pair PREFIX.pcap+PREFIX.json\n"
       "--contract FILE: validate against a stored artifact instead of\n"
       "                 regenerating (the operator workflow; no symbex)\n"
+      "--seed N: adversarial synthesis seed (trace bytes are a pure\n"
+      "          function of target+contract+options)\n"
+      "--probes N: steady-state probe packets per contract class\n"
+      "--min-reached-pct P: adversary exit gate — fail unless at least P%%\n"
+      "                     of contract classes were reached (default 1)\n"
       "--threads N: worker threads (default: one per hardware thread;\n"
       "             contracts and monitor reports are identical at any N)\n"
       "--partitions N: flow-affine state partitions (part of the monitor's\n"
@@ -335,21 +349,14 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
       engine.run(packets, monitor::MonitorEngine::named_factory(nf));
   const double elapsed_ms = timer.elapsed_ms();
 
-  if (!args.report.empty()) {
-    const std::string json = monitor::report_to_json(report) + "\n";
-    std::FILE* f = std::fopen(args.report.c_str(), "wb");
-    const bool wrote =
-        f != nullptr &&
-        std::fwrite(json.data(), 1, json.size(), f) == json.size();
-    // fclose can surface the real write error (buffered I/O, disk full);
-    // never leave a truncated report behind for CI to archive as valid.
-    const bool closed = f != nullptr && std::fclose(f) == 0;
-    if (!wrote || !closed) {
-      std::fprintf(stderr, "error: cannot write report to '%s'\n",
-                   args.report.c_str());
-      if (f != nullptr) std::remove(args.report.c_str());
-      return 1;
-    }
+  // Never leave a truncated report behind for CI to archive as valid
+  // (support::write_file removes the file on a failed or short write).
+  if (!args.report.empty() &&
+      !support::write_file(args.report,
+                           monitor::report_to_json(report) + "\n")) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 args.report.c_str());
+    return 1;
   }
   if (args.json) {
     std::printf("%s\n", monitor::report_to_json(report).c_str());
@@ -375,6 +382,115 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
     std::fprintf(stderr, "error: %llu violations (threshold %llu)\n",
                  static_cast<unsigned long long>(report.violations),
                  static_cast<unsigned long long>(args.violation_threshold));
+    return 1;
+  }
+  return 0;
+}
+
+struct AdversaryCliArgs {
+  std::string contract;   // stored artifact; empty = generate in-process
+  std::string out;        // trace pair prefix
+  std::string report;     // gap-report JSON file
+  std::uint64_t seed = 1;
+  std::size_t probes = 12;
+  std::size_t partitions = 8;
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  std::uint64_t epoch_ns = 1'000'000'000;
+  std::uint64_t min_reached_pct = 1;
+  bool json = false;
+};
+
+int cmd_adversary(const std::string& nf, const AdversaryCliArgs& args) {
+  perf::PcvRegistry reg;
+  perf::Contract contract("");
+  core::NfTarget probe;
+  {
+    perf::PcvRegistry probe_reg;
+    if (!core::make_named_target(nf, probe_reg, probe)) return usage();
+  }
+  // In-process mode runs the generator once; its path reports double as
+  // the synthesiser's witnesses. Stored mode leaves witness generation to
+  // adversarial_traffic (bounds come from the artifact, witnesses can't).
+  core::GenerationResult generated;
+  const std::vector<core::PathReport>* witnesses = nullptr;
+  if (!args.contract.empty()) {
+    contract = perf::load_contract(args.contract, reg);
+    if (contract.nf_name() != probe.contract_name()) {
+      std::fprintf(stderr,
+                   "error: contract '%s' was generated for nf '%s', not "
+                   "'%s'\n",
+                   args.contract.c_str(), contract.nf_name().c_str(),
+                   probe.contract_name().c_str());
+      return 2;
+    }
+  } else {
+    core::NfTarget target;
+    if (!core::make_named_target(nf, reg, target)) return usage();
+    core::BoltOptions options;
+    options.threads = args.threads;
+    core::ContractGenerator generator(reg, options);
+    generated = generator.generate(target.analysis());
+    contract = generated.contract;
+    witnesses = &generated.path_reports;
+  }
+
+  adversary::AdversaryOptions opts;
+  opts.seed = args.seed;
+  opts.partitions = args.partitions;
+  opts.epoch_ns = args.epoch_ns;
+  opts.probes_per_class = args.probes;
+  opts.threads = args.threads;
+  const adversary::AdversarialTrace trace =
+      adversary::adversarial_traffic(nf, contract, reg, opts, witnesses);
+  if (!args.out.empty()) {
+    if (!adversary::save_trace(args.out, trace)) {
+      std::fprintf(stderr, "error: cannot write trace pair '%s.{pcap,json}'\n",
+                   args.out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "stored adversarial trace (%zu packets) in %s.pcap "
+                 "+ %s.json\n",
+                 trace.packets.size(), args.out.c_str(), args.out.c_str());
+  }
+
+  monitor::MonitorOptions mopts;
+  mopts.shards = args.shards;
+  mopts.threads = args.threads;
+  const adversary::GapReport gap =
+      adversary::replay(trace, contract, reg, mopts);
+
+  if (!args.report.empty() &&
+      !support::write_file(args.report,
+                           adversary::gap_report_to_json(gap) + "\n")) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 args.report.c_str());
+    return 1;
+  }
+  if (args.json) {
+    std::printf("%s\n", adversary::gap_report_to_json(gap).c_str());
+  } else {
+    std::printf("%s", gap.str().c_str());
+  }
+
+  // CI gates: the closed loop must actually close (plan == observation)
+  // and cover the demanded share of the contract's classes.
+  if (gap.mismatched > 0) {
+    std::fprintf(stderr,
+                 "error: %llu packets attributed differently than planned "
+                 "(first at %llu)\n",
+                 static_cast<unsigned long long>(gap.mismatched),
+                 static_cast<unsigned long long>(gap.first_mismatch));
+    return 1;
+  }
+  const std::uint64_t reached_pct =
+      gap.classes_total == 0
+          ? 100
+          : gap.classes_reached * 100 / gap.classes_total;
+  if (reached_pct < args.min_reached_pct) {
+    std::fprintf(stderr, "error: only %llu%% of classes reached (need %llu%%)\n",
+                 static_cast<unsigned long long>(reached_pct),
+                 static_cast<unsigned long long>(args.min_reached_pct));
     return 1;
   }
   return 0;
@@ -463,11 +579,13 @@ int main(int argc, char** argv) {
     }
     return v;
   };
+  AdversaryCliArgs aargs;
   // Positionals (nf names, paths, counts, k=v bindings) pass through; a
   // flag that is unknown — or known but inapplicable to this subcommand —
   // must not be silently ignored: the monitor exit code is a CI gate, and
   // a typo'd or misplaced flag would change what it gates on.
   const bool is_monitor = cmd == "monitor";
+  const bool is_adversary = cmd == "adversary";
   auto only_for = [&](bool applies, const char* flag) {
     if (applies) return;
     std::fprintf(stderr, "error: flag '%s' does not apply to '%s'\n", flag,
@@ -476,37 +594,48 @@ int main(int argc, char** argv) {
   };
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
-      only_for(cmd == "contract" || cmd == "paths" || is_monitor, "--json");
+      only_for(cmd == "contract" || cmd == "paths" || is_monitor ||
+                   is_adversary,
+               "--json");
       json = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       only_for(cmd == "contract" || cmd == "paths" || cmd == "scenarios" ||
-                   is_monitor,
+                   is_monitor || is_adversary,
                "--threads");
       threads = numeric(i, "--threads");
     } else if (std::strcmp(argv[i], "--packets") == 0) {
       only_for(is_monitor, "--packets");
       margs.packets = numeric(i, "--packets");
     } else if (std::strcmp(argv[i], "--shards") == 0) {
-      only_for(is_monitor, "--shards");
-      margs.shards = numeric(i, "--shards");
+      only_for(is_monitor || is_adversary, "--shards");
+      margs.shards = aargs.shards = numeric(i, "--shards");
     } else if (std::strcmp(argv[i], "--partitions") == 0) {
-      only_for(is_monitor, "--partitions");
-      margs.partitions = numeric(i, "--partitions");
+      only_for(is_monitor || is_adversary, "--partitions");
+      margs.partitions = aargs.partitions = numeric(i, "--partitions");
     } else if (std::strcmp(argv[i], "--epoch-ns") == 0) {
-      only_for(is_monitor, "--epoch-ns");
-      margs.epoch_ns = numeric(i, "--epoch-ns");
+      only_for(is_monitor || is_adversary, "--epoch-ns");
+      margs.epoch_ns = aargs.epoch_ns = numeric(i, "--epoch-ns");
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      only_for(is_adversary, "--seed");
+      aargs.seed = numeric(i, "--seed");
+    } else if (std::strcmp(argv[i], "--probes") == 0) {
+      only_for(is_adversary, "--probes");
+      aargs.probes = numeric(i, "--probes");
+    } else if (std::strcmp(argv[i], "--min-reached-pct") == 0) {
+      only_for(is_adversary, "--min-reached-pct");
+      aargs.min_reached_pct = numeric(i, "--min-reached-pct");
     } else if (std::strcmp(argv[i], "--contract") == 0) {
-      only_for(is_monitor, "--contract");
+      only_for(is_monitor || is_adversary, "--contract");
       if (i + 1 >= argc) return usage();
-      margs.contract = argv[++i];
+      margs.contract = aargs.contract = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0) {
-      only_for(is_monitor, "--report");
+      only_for(is_monitor || is_adversary, "--report");
       if (i + 1 >= argc) return usage();
-      margs.report = argv[++i];
+      margs.report = aargs.report = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0) {
-      only_for(cmd == "contract", "--out");
+      only_for(cmd == "contract" || is_adversary, "--out");
       if (i + 1 >= argc) return usage();
-      out_file = argv[++i];
+      out_file = aargs.out = argv[++i];
     } else if (std::strcmp(argv[i], "--violation-threshold") == 0) {
       only_for(is_monitor, "--violation-threshold");
       margs.violation_threshold = numeric(i, "--violation-threshold");
@@ -531,6 +660,8 @@ int main(int argc, char** argv) {
   }
   margs.threads = threads;
   margs.json = json;
+  aargs.threads = threads;
+  aargs.json = json;
   if (cmd == "contract" && argc >= 3) {
     return cmd_contract(argv[2], false, json, threads, out_file);
   }
@@ -540,6 +671,7 @@ int main(int argc, char** argv) {
   if (cmd == "distill" && argc >= 4) return cmd_distill(argv[2], argv[3]);
   if (cmd == "predict" && argc >= 3) return cmd_predict(argv[2], argc, argv, 3);
   if (cmd == "monitor" && argc >= 3) return cmd_monitor(argv[2], margs);
+  if (cmd == "adversary" && argc >= 3) return cmd_adversary(argv[2], aargs);
   if (cmd == "gen" && argc >= 4) {
     // The count is positional; don't mistake a trailing flag for it.
     std::size_t count = 10'000;
