@@ -16,29 +16,39 @@ NfRunner::NfRunner(std::vector<const ir::Program*> programs,
 
 ir::RunResult NfRunner::process(net::Packet& packet) {
   ir::RunResult merged;
-  const bool chain = programs_.size() > 1;
+  process_into(packet, merged);
+  return merged;
+}
+
+void NfRunner::process_into(net::Packet& packet, ir::RunResult& out) {
+  // Single program (the common case): run straight into the caller's
+  // buffer — no merge, no intermediate result.
+  if (programs_.size() == 1) {
+    interps_[0].run_into(packet, out);
+    return;
+  }
+  out.clear();
+  ir::RunResult& r = chain_scratch_;
   for (std::size_t i = 0; i < programs_.size(); ++i) {
-    ir::RunResult r = interps_[i].run(packet);
-    merged.instructions += r.instructions;
-    merged.mem_accesses += r.mem_accesses;
-    merged.stateless_instructions += r.stateless_instructions;
-    merged.stateless_accesses += r.stateless_accesses;
+    interps_[i].run_into(packet, r);
+    out.instructions += r.instructions;
+    out.mem_accesses += r.mem_accesses;
+    out.stateless_instructions += r.stateless_instructions;
+    out.stateless_accesses += r.stateless_accesses;
     for (const auto& [id, v] : r.pcvs.values()) {
-      if (v > merged.pcvs.get(id)) merged.pcvs.set(id, v);
+      if (v > out.pcvs.get(id)) out.pcvs.set(id, v);
     }
-    for (auto& call : r.calls) merged.calls.push_back(std::move(call));
+    for (auto& call : r.calls) out.calls.push_back(std::move(call));
     for (auto& tag : r.class_tags) {
-      merged.class_tags.push_back(chain ? programs_[i]->name + ":" + tag
-                                        : std::move(tag));
+      out.class_tags.push_back(programs_[i]->name + ":" + tag);
     }
     for (const auto& [loop, trips] : r.loop_trips) {
-      merged.loop_trips[static_cast<std::int64_t>(i) * 1000 + loop] += trips;
+      out.loop_trips[static_cast<std::int64_t>(i) * 1000 + loop] += trips;
     }
-    merged.verdict = r.verdict;
-    merged.out_port = r.out_port;
+    out.verdict = r.verdict;
+    out.out_port = r.out_port;
     if (r.verdict == net::NfVerdict::kDrop) break;
   }
-  return merged;
 }
 
 void NfRunner::process_trace(std::vector<net::Packet>& packets,

@@ -24,6 +24,12 @@ class NfRunner {
   /// Counters/tags/calls/PCVs are merged across the chain.
   ir::RunResult process(net::Packet& packet);
 
+  /// Allocation-reusing variant of process(): clears `out` (keeping its
+  /// container capacity) and merges the chain's results into it. The
+  /// monitor's batched hot loop calls this with one long-lived RunResult
+  /// per partition instead of materialising a fresh one per packet.
+  void process_into(net::Packet& packet, ir::RunResult& out);
+
   /// Replays a whole trace in order (mutating the packets, as the NF
   /// would), marking packet boundaries on `sink` when given. A runner is
   /// inherently sequential (the NF's state is shared across packets), so
@@ -42,6 +48,7 @@ class NfRunner {
  private:
   std::vector<const ir::Program*> programs_;
   std::vector<ir::Interpreter> interps_;
+  ir::RunResult chain_scratch_;  ///< per-program scratch for process_into
 };
 
 }  // namespace bolt::core

@@ -1,5 +1,7 @@
 #include "ir/interp.h"
 
+#include <algorithm>
+
 #include "support/assert.h"
 
 namespace bolt::ir {
@@ -13,6 +15,19 @@ std::string RunResult::class_label() const {
   return out.empty() ? "(untagged)" : out;
 }
 
+void RunResult::clear() {
+  verdict = net::NfVerdict::kDrop;
+  out_port = 0;
+  instructions = 0;
+  mem_accesses = 0;
+  stateless_instructions = 0;
+  stateless_accesses = 0;
+  pcvs = perf::PcvBinding{};
+  calls.clear();
+  class_tags.clear();
+  loop_trips.clear();
+}
+
 Interpreter::Interpreter(const Program& program, StatefulEnv* env,
                          InterpreterOptions options)
     : program_(program), env_(env), options_(options) {
@@ -20,6 +35,7 @@ Interpreter::Interpreter(const Program& program, StatefulEnv* env,
   regs_.resize(static_cast<std::size_t>(program_.num_regs), 0);
   locals_.resize(static_cast<std::size_t>(program_.num_locals), 0);
   scratch_.resize(program_.scratch_slots, 0);
+  from_load_.resize(regs_.size(), false);
   for (std::size_t i = 0;
        i < std::min(options_.scratch_init.size(), scratch_.size()); ++i) {
     scratch_[i] = options_.scratch_init[i];
@@ -28,6 +44,12 @@ Interpreter::Interpreter(const Program& program, StatefulEnv* env,
 
 RunResult Interpreter::run(net::Packet& packet) {
   RunResult result;
+  run_into(packet, result);
+  return result;
+}
+
+void Interpreter::run_into(net::Packet& packet, RunResult& result) {
+  result.clear();
   CostMeter meter(options_.sink);
 
   // Framework rx cost (our DPDK/driver substitute): fixed instruction and
@@ -47,7 +69,8 @@ RunResult Interpreter::run(net::Packet& packet) {
   // Load-taint per register: true if the value (transitively) derives from
   // a memory load. Loads at tainted addresses are pointer chases — the
   // realistic hardware model cannot overlap their misses (no MLP).
-  std::vector<bool> from_load(regs_.size(), false);
+  std::fill(from_load_.begin(), from_load_.end(), false);
+  auto& from_load = from_load_;
   auto taint2 = [&](Reg dst, Reg a, Reg b) {
     from_load[static_cast<std::size_t>(dst)] =
         (a != kNoReg && from_load[static_cast<std::size_t>(a)]) ||
@@ -211,7 +234,6 @@ RunResult Interpreter::run(net::Packet& packet) {
   result.mem_accesses = meter.accesses();
   result.stateless_instructions = meter.stateless_instructions();
   result.stateless_accesses = meter.stateless_accesses();
-  return result;
 }
 
 }  // namespace bolt::ir

@@ -44,6 +44,11 @@ struct RunResult {
 
   /// Joined class tags, e.g. "ipv4/flow_hit" — the path's input-class label.
   std::string class_label() const;
+
+  /// Resets to the default state while keeping container capacity, so a
+  /// caller streaming millions of packets can reuse one RunResult instead
+  /// of reallocating its vectors per packet (the monitor's hot loop does).
+  void clear();
 };
 
 struct InterpreterOptions {
@@ -69,6 +74,10 @@ class Interpreter {
   /// kStorePkt, e.g. NAT header rewriting).
   RunResult run(net::Packet& packet);
 
+  /// Allocation-reusing variant: clears `result` (keeping capacity) and
+  /// runs into it. `run` is a thin wrapper over this.
+  void run_into(net::Packet& packet, RunResult& result);
+
   /// NF-local scratch memory (persists across packets); exposed so
   /// microbenchmark programs (P1/P2/P3) can be pre-initialised.
   std::vector<std::uint64_t>& scratch() { return scratch_; }
@@ -80,6 +89,7 @@ class Interpreter {
   std::vector<std::uint64_t> regs_;
   std::vector<std::uint64_t> locals_;
   std::vector<std::uint64_t> scratch_;
+  std::vector<bool> from_load_;  ///< per-register load taint, reused per run
 };
 
 }  // namespace bolt::ir

@@ -1,6 +1,8 @@
 #include "monitor/monitor.h"
 
 #include <algorithm>
+#include <memory>
+#include <thread>
 
 #include "core/classkey.h"
 #include "net/flow.h"
@@ -8,6 +10,7 @@
 #include "perf/expr_vm.h"
 #include "perf/quantile_sketch.h"
 #include "support/assert.h"
+#include "support/spsc_ring.h"
 #include "support/thread_pool.h"
 
 namespace bolt::monitor {
@@ -59,6 +62,14 @@ std::uint64_t util_pm(std::uint64_t measured, std::int64_t predicted) {
   if (predicted <= 0) return measured > 0 ? kDegenerateUtilPm : 0;
   return measured * 1000 / static_cast<std::uint64_t>(predicted);
 }
+
+// Every accumulator below merges order-independently: counters are sums,
+// worsts are maxima under a *total* order (utilization, ties by packet
+// index), the bounded offender list is a top-k under the same total order,
+// and the sketches are merge-order independent by property test. That is
+// what lets statistics accumulate per work queue (whose composition
+// depends on the execution-only shards/grouping knobs) and still merge to
+// byte-identical reports.
 
 struct MetricAccum {
   std::uint64_t violations = 0;
@@ -152,16 +163,344 @@ struct MonitorEngine::EntryVm {
   std::array<perf::CompiledExpr, 3> exprs;
 };
 
-struct MonitorEngine::PartitionResult {
-  std::vector<ClassAccum> classes;
+/// One batch of attributed packets for one contract entry, laid out
+/// structure-of-arrays: a dense (rows x stride) PCV slot matrix plus one
+/// column per measured metric and the global packet indices. This is both
+/// the unit the validate stage amortises over and the message type on the
+/// pipeline's SPSC rings.
+struct MonitorEngine::SoaBatch {
+  std::uint32_t entry = 0;  ///< contract entry all rows belong to
+  std::uint32_t queue = 0;  ///< work queue that produced the rows
+  std::size_t rows = 0;
+  std::vector<std::uint64_t> slots;  ///< rows x slot_stride_ PCV values
+  std::array<std::vector<std::uint64_t>, 3> measured;  ///< per metric_index
+  std::vector<std::uint64_t> indices;  ///< global packet indices
+};
+
+/// Everything one work queue accumulates. The execute/attribute stage owns
+/// the unattributed/state fields, the validate stage owns `classes`; in
+/// pipelined execution the two stages run on different threads and the
+/// field split is what keeps them race-free without locks.
+struct MonitorEngine::QueueResult {
+  std::vector<ClassAccum> classes;  // written by the validate stage
+  // -- written by the execute/attribute stage --
   std::uint64_t unattributed = 0;
   std::uint64_t first_unattributed = 0;
-  // Long-running-operation observations (deterministic per partition).
+  bool any_unattributed = false;
   std::uint64_t epoch_sweeps = 0;
   std::uint64_t expired_idle = 0;
   std::uint64_t high_water = 0;
   std::uint64_t residents = 0;
   bool state_tracked = false;
+};
+
+/// The validate stage: evaluates a batch's compiled bounds and folds every
+/// row into the owning queue's ClassAccum. Holds the reusable expression
+/// scratch, so steady-state validation performs no allocations.
+class MonitorEngine::Validator {
+ public:
+  Validator(const MonitorEngine& e, std::vector<QueueResult>& results)
+      : e_(e), results_(results) {}
+
+  void validate(const SoaBatch& b) {
+    const std::size_t rows = b.rows;
+    if (rows == 0) return;
+    const std::size_t stride = e_.slot_stride_;
+    ClassAccum& acc = results_[b.queue].classes[b.entry];
+    for (const Metric m : kAllMetrics) {
+      const int mi = metric_index(m);
+      if (m == Metric::kCycles && !e_.options_.check_cycles) continue;
+      if (predicted_[mi].size() < rows) predicted_[mi].resize(rows);
+      if (e_.options_.use_compiled_exprs) {
+        e_.vms_[b.entry].exprs[mi].eval_batch(b.slots.data(), stride, rows,
+                                              predicted_[mi].data(), scratch_);
+      } else {
+        // Tree-walk baseline: rebuild a binding per row.
+        const perf::PerfExpr& expr =
+            e_.contract_.entries()[b.entry].perf.get(m);
+        for (std::size_t r = 0; r < rows; ++r) {
+          perf::PcvBinding bind;
+          const std::uint64_t* row = b.slots.data() + r * stride;
+          for (std::size_t s = 0; s < stride; ++s) {
+            if (row[s] != 0) bind.set(static_cast<perf::PcvId>(s), row[s]);
+          }
+          predicted_[mi][r] = expr.eval(bind);
+        }
+      }
+    }
+    acc.packets += rows;
+    for (std::size_t r = 0; r < rows; ++r) {
+      Offender worst;
+      bool has_offender = false;
+      for (const Metric m : kAllMetrics) {
+        const int mi = metric_index(m);
+        if (m == Metric::kCycles && !e_.options_.check_cycles) continue;
+        const std::uint64_t measured = b.measured[mi][r];
+        const std::int64_t bound = predicted_[mi][r];
+        acc.metrics[mi].record(b.indices[r], measured, bound);
+        if (static_cast<std::int64_t>(measured) > bound) {
+          // Violation margin in per-mille of the bound (how far past it).
+          acc.violation_margin_pm.add(
+              bound > 0 ? (measured - static_cast<std::uint64_t>(bound)) *
+                              1000 / static_cast<std::uint64_t>(bound)
+                        : kDegenerateUtilPm);
+        }
+        if (!has_offender ||
+            util_cmp(measured, bound, worst.measured, worst.predicted) > 0) {
+          has_offender = true;
+          worst.packet_index = b.indices[r];
+          worst.metric = m;
+          worst.predicted = bound;
+          worst.measured = measured;
+        }
+      }
+      if (has_offender) acc.add_offender(worst, e_.options_.max_offenders);
+    }
+  }
+
+ private:
+  const MonitorEngine& e_;
+  std::vector<QueueResult>& results_;
+  perf::BatchScratch scratch_;
+  std::array<std::vector<std::int64_t>, 3> predicted_;
+};
+
+/// The execute + attribute stages for one or more work queues: streams
+/// each partition's packets through a fresh NF instance, resolves every
+/// run's class key to a contract entry (allocation-free — a reused key
+/// buffer plus a last-key memo), and appends rows to per-entry SoaBatch
+/// buffers. Full batches go to the inline Validator, or over the SPSC
+/// ring to the validate thread (with emptied buffers recycled back).
+class MonitorEngine::QueueTask {
+ public:
+  QueueTask(const MonitorEngine& e, const std::vector<net::Packet>& packets,
+            const TargetFactory& factory,
+            std::vector<std::uint32_t>* attribution,
+            std::vector<QueueResult>& results, Validator* inline_validator,
+            support::SpscRing<SoaBatch>* ring,
+            support::SpscRing<SoaBatch>* recycle)
+      : e_(e),
+        packets_(packets),
+        factory_(factory),
+        attribution_(attribution),
+        results_(results),
+        validator_(inline_validator),
+        ring_(ring),
+        recycle_(recycle),
+        capacity_(e.options_.batch) {
+    pending_.resize(e_.contract_.entries().size());
+    for (std::size_t entry = 0; entry < pending_.size(); ++entry) {
+      pending_[entry].entry = static_cast<std::uint32_t>(entry);
+    }
+  }
+
+  /// Processes every partition of work queue `queue` (partition ids in
+  /// `members`, per-partition packet index lists in `work`), then flushes
+  /// all pending batches — rows never cross a queue boundary.
+  void run_queue(std::uint32_t queue, const std::vector<std::size_t>& members,
+                 const std::vector<std::vector<std::uint64_t>>& work) {
+    queue_ = queue;
+    for (SoaBatch& b : pending_) b.queue = queue;
+    for (const std::size_t p : members) run_partition(work[p]);
+    for (SoaBatch& b : pending_) {
+      if (b.rows > 0) emit(b);
+    }
+  }
+
+ private:
+  void ensure_buffers(SoaBatch& b) {
+    if (!b.slots.empty()) return;
+    b.slots.resize(capacity_ * e_.slot_stride_);
+    for (auto& col : b.measured) col.resize(capacity_);
+    b.indices.resize(capacity_);
+  }
+
+  /// Hands a full (or final partial) batch to the validate stage. In
+  /// pipelined mode the batch buffer is replaced by a recycled one coming
+  /// back over the return ring (or a fresh one when the return ring is
+  /// momentarily empty); inline mode validates in place and reuses it.
+  void emit(SoaBatch& b) {
+    if (ring_ != nullptr) {
+      SoaBatch fresh;
+      recycle_->try_pop(fresh);
+      fresh.entry = b.entry;
+      fresh.queue = queue_;
+      fresh.rows = 0;
+      ring_->push(std::move(b));
+      b = std::move(fresh);
+    } else {
+      validator_->validate(b);
+      b.rows = 0;
+    }
+  }
+
+  /// Builds the run's class key into the reused buffer — byte-identical
+  /// to core::class_key — and resolves it against the contract. Returns
+  /// kUnattributedEntry when no entry matches.
+  std::uint32_t resolve_entry(
+      const ir::RunResult& run,
+      const std::unordered_map<std::int64_t, std::string>& method_names) {
+    std::string& key = key_buf_;
+    key.clear();
+    for (const auto& tag : run.class_tags) {
+      if (!key.empty()) key += '/';
+      key += tag;
+    }
+    if (key.empty()) key = "(untagged)";
+    bool first_call = true;
+    for (const ir::CallSite& call : run.calls) {
+      key += first_call ? " | " : ",";
+      first_call = false;
+      const auto it = method_names.find(call.method);
+      if (it != method_names.end()) {
+        key += it->second;
+      } else {
+        key += 'm';
+        key += std::to_string(call.method);
+      }
+      key += '=';
+      key += call.case_label;
+    }
+    // Consecutive packets usually repeat a handful of hot classes; the
+    // one-entry memo turns the common case into a short string compare.
+    if (have_last_ && key == last_key_) return last_entry_;
+    const auto entry_it = e_.entry_index_.find(key);
+    const std::uint32_t entry =
+        entry_it == e_.entry_index_.end()
+            ? kUnattributedEntry
+            : static_cast<std::uint32_t>(entry_it->second);
+    have_last_ = true;
+    last_key_ = key;
+    last_entry_ = entry;
+    return entry;
+  }
+
+  void run_partition(const std::vector<std::uint64_t>& indices) {
+    QueueResult& out = results_[queue_];
+
+    // Fresh per-partition state, described by a partition-local PCV
+    // registry; map its ids onto the contract registry's by name once, up
+    // front.
+    perf::PcvRegistry local_reg;
+    const core::NfTarget target = factory_(local_reg);
+    constexpr std::uint32_t kUnmapped = ~0u;
+    std::vector<std::uint32_t> pcv_slot(local_reg.size(), kUnmapped);
+    for (const perf::PcvId id : local_reg.all()) {
+      const std::string& name = local_reg.name(id);
+      if (e_.reg_.contains(name)) pcv_slot[id] = e_.reg_.require(name);
+    }
+    // Loop-trip PCVs (linearised loop families): chain-namespaced loop id
+    // -> contract slot of the PCV named after the loop.
+    std::unordered_map<std::int64_t, std::uint32_t> loop_slot;
+    const auto programs = target.programs();
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+      for (std::size_t l = 0; l < programs[p]->loops.size(); ++l) {
+        const std::string& name = programs[p]->loops[l];
+        if (e_.reg_.contains(name)) {
+          loop_slot.emplace(static_cast<std::int64_t>(p) * 1000 +
+                                static_cast<std::int64_t>(l),
+                            e_.reg_.require(name));
+        }
+      }
+    }
+    // Method id -> name, resolved once instead of per call site per packet.
+    std::unordered_map<std::int64_t, std::string> method_names;
+    for (const auto& [id, spec] : target.methods()) {
+      method_names.emplace(id, spec.name);
+    }
+
+    hw::ConservativeModel cycles(e_.options_.cycle_costs);
+    const bool check_cycles = e_.options_.check_cycles;
+    const auto runner =
+        target.make_runner(e_.options_.framework, check_cycles ? &cycles : nullptr);
+
+    // Deterministic epoch clock: driven purely by this partition's packet
+    // timestamps (never wall-clock), so every crossing — and therefore
+    // every idle-expiry sweep and occupancy sample — is a pure function of
+    // the trace and the partition count. The per-packet check is a single
+    // compare against the next boundary; the division only runs at
+    // crossings.
+    const bool track_state = target.has_state_observers();
+    const bool epochs_on = e_.options_.epoch_ns > 0 && track_state;
+    bool have_epoch = false;
+    std::uint64_t next_boundary = 0;
+
+    const std::size_t stride = e_.slot_stride_;
+    for (const std::uint64_t index : indices) {
+      if (epochs_on) {
+        const std::uint64_t ts = packets_[index].timestamp_ns();
+        if (!have_epoch) {
+          have_epoch = true;
+          next_boundary = (ts / e_.options_.epoch_ns + 1) * e_.options_.epoch_ns;
+        } else if (ts >= next_boundary) {
+          // Sweep state stale as of the boundary the clock just crossed.
+          const std::uint64_t epoch = ts / e_.options_.epoch_ns;
+          out.expired_idle +=
+              target.expire_state(epoch * e_.options_.epoch_ns);
+          ++out.epoch_sweeps;
+          next_boundary = (epoch + 1) * e_.options_.epoch_ns;
+        }
+      }
+
+      scratch_pkt_ = packets_[index];  // the NF mutates headers
+      if (check_cycles) cycles.begin_packet();
+      runner->process_into(scratch_pkt_, run_);
+      if (track_state) {
+        out.high_water = std::max<std::uint64_t>(out.high_water,
+                                                 target.state_occupancy());
+      }
+
+      const std::uint32_t entry = resolve_entry(run_, method_names);
+      if (attribution_ != nullptr) (*attribution_)[index] = entry;
+      if (entry == kUnattributedEntry) {
+        if (!out.any_unattributed || index < out.first_unattributed) {
+          out.any_unattributed = true;
+          out.first_unattributed = index;
+        }
+        ++out.unattributed;
+        continue;
+      }
+
+      SoaBatch& b = pending_[entry];
+      ensure_buffers(b);
+      std::uint64_t* row = b.slots.data() + b.rows * stride;
+      std::fill_n(row, stride, 0);
+      for (const auto& [id, value] : run_.pcvs.values()) {
+        if (id < pcv_slot.size() && pcv_slot[id] != kUnmapped) {
+          row[pcv_slot[id]] = value;
+        }
+      }
+      for (const auto& [loop, trips] : run_.loop_trips) {
+        const auto slot_it = loop_slot.find(loop);
+        if (slot_it != loop_slot.end()) row[slot_it->second] = trips;
+      }
+      b.measured[0][b.rows] = run_.instructions;
+      b.measured[1][b.rows] = run_.mem_accesses;
+      b.measured[2][b.rows] = check_cycles ? cycles.packet_cycles() : 0;
+      b.indices[b.rows] = index;
+      if (++b.rows >= capacity_) emit(b);
+    }
+    out.state_tracked = out.state_tracked || track_state;
+    if (track_state) out.residents += target.state_occupancy();
+  }
+
+  const MonitorEngine& e_;
+  const std::vector<net::Packet>& packets_;
+  const TargetFactory& factory_;
+  std::vector<std::uint32_t>* attribution_;
+  std::vector<QueueResult>& results_;
+  Validator* validator_;                 ///< inline mode
+  support::SpscRing<SoaBatch>* ring_;    ///< pipelined mode: to validate
+  support::SpscRing<SoaBatch>* recycle_; ///< pipelined mode: buffers back
+  const std::size_t capacity_;           ///< rows per batch
+  std::uint32_t queue_ = 0;
+  std::vector<SoaBatch> pending_;        ///< one open batch per entry
+  net::Packet scratch_pkt_;              ///< reused packet copy
+  ir::RunResult run_;                    ///< reused run result
+  std::string key_buf_;                  ///< reused class-key buffer
+  bool have_last_ = false;
+  std::string last_key_;                 ///< one-entry attribution memo
+  std::uint32_t last_entry_ = 0;
 };
 
 std::size_t partition_of(const net::Packet& packet, std::size_t partitions) {
@@ -209,194 +548,6 @@ MonitorEngine::TargetFactory MonitorEngine::named_factory(std::string name) {
   };
 }
 
-void MonitorEngine::run_partition(const std::vector<std::uint64_t>& indices,
-                                  const std::vector<net::Packet>& packets,
-                                  const TargetFactory& factory,
-                                  PartitionResult& out,
-                                  std::vector<std::uint32_t>* attribution) const {
-  out.classes.assign(contract_.entries().size(), ClassAccum{});
-
-  // Fresh per-partition state, described by a partition-local PCV
-  // registry; map its ids onto the contract registry's by name once, up
-  // front.
-  perf::PcvRegistry local_reg;
-  const core::NfTarget target = factory(local_reg);
-  constexpr std::uint32_t kUnmapped = ~0u;
-  std::vector<std::uint32_t> pcv_slot(local_reg.size(), kUnmapped);
-  for (const perf::PcvId id : local_reg.all()) {
-    const std::string& name = local_reg.name(id);
-    if (reg_.contains(name)) pcv_slot[id] = reg_.require(name);
-  }
-  // Loop-trip PCVs (linearised loop families): chain-namespaced loop id ->
-  // contract slot of the PCV named after the loop.
-  std::unordered_map<std::int64_t, std::uint32_t> loop_slot;
-  const auto programs = target.programs();
-  for (std::size_t p = 0; p < programs.size(); ++p) {
-    for (std::size_t l = 0; l < programs[p]->loops.size(); ++l) {
-      const std::string& name = programs[p]->loops[l];
-      if (reg_.contains(name)) {
-        loop_slot.emplace(static_cast<std::int64_t>(p) * 1000 +
-                              static_cast<std::int64_t>(l),
-                          reg_.require(name));
-      }
-    }
-  }
-
-  hw::ConservativeModel cycles(options_.cycle_costs);
-  const auto runner = target.make_runner(
-      options_.framework, options_.check_cycles ? &cycles : nullptr);
-
-  // Per-entry pending batches: dense PCV rows plus the measured triples
-  // and global packet indices they belong to.
-  struct Batch {
-    std::vector<std::uint64_t> slots;               // batch x stride
-    std::vector<std::array<std::uint64_t, 3>> measured;
-    std::vector<std::uint64_t> indices;
-  };
-  std::vector<Batch> batches(contract_.entries().size());
-  std::vector<std::int64_t> predicted[3];
-
-  const auto flush = [&](std::size_t entry) {
-    Batch& b = batches[entry];
-    if (b.indices.empty()) return;
-    const std::size_t rows = b.indices.size();
-    ClassAccum& acc = out.classes[entry];
-    for (const Metric m : kAllMetrics) {
-      const int mi = metric_index(m);
-      if (m == Metric::kCycles && !options_.check_cycles) continue;
-      predicted[mi].resize(rows);
-      if (options_.use_compiled_exprs) {
-        vms_[entry].exprs[mi].eval_batch(b.slots.data(), slot_stride_, rows,
-                                         predicted[mi].data());
-      } else {
-        // Tree-walk baseline: rebuild a binding per row.
-        const perf::PerfExpr& expr =
-            contract_.entries()[entry].perf.get(m);
-        for (std::size_t r = 0; r < rows; ++r) {
-          perf::PcvBinding bind;
-          const std::uint64_t* row = b.slots.data() + r * slot_stride_;
-          for (std::size_t s = 0; s < slot_stride_; ++s) {
-            if (row[s] != 0) bind.set(static_cast<perf::PcvId>(s), row[s]);
-          }
-          predicted[mi][r] = expr.eval(bind);
-        }
-      }
-    }
-    for (std::size_t r = 0; r < rows; ++r) {
-      ++acc.packets;
-      Offender worst;
-      bool has_offender = false;
-      for (const Metric m : kAllMetrics) {
-        const int mi = metric_index(m);
-        if (m == Metric::kCycles && !options_.check_cycles) continue;
-        const std::uint64_t measured = b.measured[r][mi];
-        const std::int64_t bound = predicted[mi][r];
-        acc.metrics[mi].record(b.indices[r], measured, bound);
-        if (static_cast<std::int64_t>(measured) > bound) {
-          // Violation margin in per-mille of the bound (how far past it).
-          acc.violation_margin_pm.add(
-              bound > 0 ? (measured - static_cast<std::uint64_t>(bound)) *
-                              1000 / static_cast<std::uint64_t>(bound)
-                        : kDegenerateUtilPm);
-        }
-        if (!has_offender ||
-            util_cmp(measured, bound, worst.measured, worst.predicted) > 0) {
-          has_offender = true;
-          worst.packet_index = b.indices[r];
-          worst.metric = m;
-          worst.predicted = bound;
-          worst.measured = measured;
-        }
-      }
-      if (has_offender) acc.add_offender(worst, options_.max_offenders);
-    }
-    b.slots.clear();
-    b.measured.clear();
-    b.indices.clear();
-  };
-
-  // Deterministic epoch clock: driven purely by this partition's packet
-  // timestamps (never wall-clock), so every crossing — and therefore every
-  // idle-expiry sweep and occupancy sample — is a pure function of the
-  // trace and the partition count.
-  const bool track_state = target.has_state_observers();
-  const bool epochs_on = options_.epoch_ns > 0 && track_state;
-  bool have_epoch = false;
-  std::uint64_t current_epoch = 0;
-
-  bool any_unattributed = false;
-  std::vector<std::pair<std::string, std::string>> cases;
-  for (const std::uint64_t index : indices) {
-    if (epochs_on) {
-      const std::uint64_t epoch =
-          packets[index].timestamp_ns() / options_.epoch_ns;
-      if (!have_epoch) {
-        have_epoch = true;
-        current_epoch = epoch;
-      } else if (epoch > current_epoch) {
-        // Sweep state stale as of the boundary the clock just crossed.
-        out.expired_idle +=
-            target.expire_state(epoch * options_.epoch_ns);
-        ++out.epoch_sweeps;
-        current_epoch = epoch;
-      }
-    }
-
-    net::Packet packet = packets[index];  // the NF mutates headers
-    if (options_.check_cycles) cycles.begin_packet();
-    const ir::RunResult run = runner->process(packet);
-    if (track_state) {
-      out.high_water = std::max<std::uint64_t>(out.high_water,
-                                               target.state_occupancy());
-    }
-
-    cases.clear();
-    for (const ir::CallSite& call : run.calls) {
-      auto it = target.methods().find(call.method);
-      cases.emplace_back(it != target.methods().end()
-                             ? it->second.name
-                             : "m" + std::to_string(call.method),
-                         call.case_label);
-    }
-    const std::string key = core::class_key(run.class_tags, cases);
-    const auto entry_it = entry_index_.find(key);
-    if (entry_it == entry_index_.end()) {
-      if (attribution != nullptr) (*attribution)[index] = kUnattributedEntry;
-      if (!any_unattributed) {
-        any_unattributed = true;
-        out.first_unattributed = index;
-      }
-      ++out.unattributed;
-      continue;
-    }
-    const std::size_t entry = entry_it->second;
-    if (attribution != nullptr) {
-      (*attribution)[index] = static_cast<std::uint32_t>(entry);
-    }
-
-    Batch& b = batches[entry];
-    const std::size_t row = b.indices.size();
-    b.slots.resize((row + 1) * slot_stride_, 0);  // new row arrives zeroed
-    std::uint64_t* slots = b.slots.data() + row * slot_stride_;
-    for (const auto& [id, value] : run.pcvs.values()) {
-      if (id < pcv_slot.size() && pcv_slot[id] != kUnmapped) {
-        slots[pcv_slot[id]] = value;
-      }
-    }
-    for (const auto& [loop, trips] : run.loop_trips) {
-      const auto slot_it = loop_slot.find(loop);
-      if (slot_it != loop_slot.end()) slots[slot_it->second] = trips;
-    }
-    b.measured.push_back({run.instructions, run.mem_accesses,
-                          options_.check_cycles ? cycles.packet_cycles() : 0});
-    b.indices.push_back(index);
-    if (b.indices.size() >= options_.batch) flush(entry);
-  }
-  for (std::size_t e = 0; e < batches.size(); ++e) flush(e);
-  out.state_tracked = track_state;
-  if (track_state) out.residents = target.state_occupancy();
-}
-
 MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
                                  const TargetFactory& factory,
                                  std::vector<std::uint32_t>* attribution) const {
@@ -414,9 +565,10 @@ MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
   }
 
   // Execution: partitions are grouped into `shards` work queues by the
-  // configured policy and queues run concurrently on the pool. None of
-  // these knobs can change report bytes — every partition computes the
-  // same result regardless of which queue or thread ran it.
+  // configured policy and queues run concurrently. None of these knobs
+  // can change report bytes — every partition computes the same rows
+  // regardless of which queue or thread ran it, and all accumulation is
+  // order-independent.
   const std::size_t shards =
       options_.shards == 0 ? partitions
                            : std::min(options_.shards, partitions);
@@ -443,38 +595,87 @@ MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
       queue[p % shards].push_back(p);
     }
   }
-  std::vector<PartitionResult> partition_results(partitions);
-  support::ThreadPool pool(
-      std::min(support::resolve_threads(options_.threads), shards));
-  pool.parallel_for(0, shards, [&](std::size_t s) {
-    for (const std::size_t p : queue[s]) {
-      run_partition(work[p], packets, factory, partition_results[p],
-                    attribution);
-    }
-  });
 
-  // Deterministic merge in partition order.
+  // Per-queue accumulation, merged exactly once at end of run.
+  std::vector<QueueResult> queue_results(shards);
+  for (QueueResult& qr : queue_results) {
+    qr.classes.assign(contract_.entries().size(), ClassAccum{});
+  }
+
+  const std::size_t resolved = support::resolve_threads(options_.threads);
+  const bool pipelined = options_.pipeline && resolved >= 2;
+  if (pipelined) {
+    // Staged execution: worker pairs, each an execute/attribute producer
+    // and a validate consumer connected by an SPSC ring (plus a return
+    // ring recycling emptied batch buffers). Pair w owns queues w, w+P,
+    // w+2P, ... — ownership is static, so every ring stays strictly
+    // single-producer/single-consumer.
+    const std::size_t pairs =
+        std::min(shards, std::max<std::size_t>(1, resolved / 2));
+    constexpr std::size_t kRingDepth = 8;
+    std::vector<std::unique_ptr<support::SpscRing<SoaBatch>>> rings;
+    std::vector<std::unique_ptr<support::SpscRing<SoaBatch>>> returns;
+    for (std::size_t w = 0; w < pairs; ++w) {
+      rings.push_back(std::make_unique<support::SpscRing<SoaBatch>>(kRingDepth));
+      returns.push_back(
+          std::make_unique<support::SpscRing<SoaBatch>>(kRingDepth));
+    }
+    std::vector<std::thread> stage_threads;
+    stage_threads.reserve(pairs * 2);
+    for (std::size_t w = 0; w < pairs; ++w) {
+      stage_threads.emplace_back([&, w] {
+        QueueTask task(*this, packets, factory, attribution, queue_results,
+                       nullptr, rings[w].get(), returns[w].get());
+        for (std::size_t s = w; s < shards; s += pairs) {
+          task.run_queue(static_cast<std::uint32_t>(s), queue[s], work);
+        }
+        rings[w]->close();
+      });
+      stage_threads.emplace_back([&, w] {
+        Validator validator(*this, queue_results);
+        SoaBatch b;
+        while (rings[w]->pop(b)) {
+          validator.validate(b);
+          b.rows = 0;
+          returns[w]->try_push(b);  // full return ring: drop, producer allocs
+        }
+      });
+    }
+    for (std::thread& t : stage_threads) t.join();
+  } else {
+    // Inline execution: each queue runs both stages on one pool thread.
+    support::ThreadPool pool(std::min(resolved, shards));
+    pool.parallel_for(0, shards, [&](std::size_t s) {
+      Validator validator(*this, queue_results);
+      QueueTask task(*this, packets, factory, attribution, queue_results,
+                     &validator, nullptr, nullptr);
+      task.run_queue(static_cast<std::uint32_t>(s), queue[s], work);
+    });
+  }
+
+  // Deterministic merge in queue order (order-independent accumulators, so
+  // any queue composition yields the same bytes).
   std::vector<ClassAccum> merged(contract_.entries().size());
   std::uint64_t unattributed = 0, first_unattributed = 0;
   bool any_unattributed = false;
   MonitorReport report;
-  for (const PartitionResult& pr : partition_results) {
+  for (const QueueResult& qr : queue_results) {
     for (std::size_t e = 0; e < merged.size(); ++e) {
-      merged[e].merge(pr.classes[e], options_.max_offenders);
+      merged[e].merge(qr.classes[e], options_.max_offenders);
     }
-    if (pr.unattributed > 0) {
-      unattributed += pr.unattributed;
-      if (!any_unattributed || pr.first_unattributed < first_unattributed) {
+    if (qr.unattributed > 0) {
+      unattributed += qr.unattributed;
+      if (!any_unattributed || qr.first_unattributed < first_unattributed) {
         any_unattributed = true;
-        first_unattributed = pr.first_unattributed;
+        first_unattributed = qr.first_unattributed;
       }
     }
-    report.epoch_sweeps += pr.epoch_sweeps;
-    report.state_expired_idle += pr.expired_idle;
+    report.epoch_sweeps += qr.epoch_sweeps;
+    report.state_expired_idle += qr.expired_idle;
     report.state_high_water =
-        std::max(report.state_high_water, pr.high_water);
-    report.state_residents += pr.residents;
-    report.state_tracked = report.state_tracked || pr.state_tracked;
+        std::max(report.state_high_water, qr.high_water);
+    report.state_residents += qr.residents;
+    report.state_tracked = report.state_tracked || qr.state_tracked;
   }
 
   report.nf = contract_.nf_name();

@@ -17,6 +17,18 @@
 //
 // Three design points make it fast AND deterministic:
 //
+//  * A batched staged pipeline — packets flow through three stages,
+//    execute (run the NF, collect PCVs/counters) -> attribute (resolve the
+//    observed class key to a contract entry, allocation-free) ->
+//    validate (evaluate the entry's compiled bounds over a whole batch of
+//    same-class packets and accumulate statistics). Rows land in
+//    structure-of-arrays batch buffers, so dispatch, attribution
+//    bookkeeping and expression evaluation are amortised per batch rather
+//    than paid per packet. With two or more worker threads the execute and
+//    validate stages run on separate threads per worker pair, hand-off by
+//    lock-free SPSC ring (support/spsc_ring.h) with batch-buffer recycling
+//    on the return path.
+//
 //  * Compiled expressions — contract polynomials are flattened once into
 //    perf::CompiledExpr bytecode and evaluated in batches over dense PCV
 //    rows instead of per-packet tree walks (bench/monitor_throughput.cpp
@@ -25,12 +37,16 @@
 //  * Fixed state partitions — the stream is split into `partitions`
 //    flow-affine sub-streams (RSS-style: flows hash to partitions, so
 //    per-flow state in a partition sees a coherent history), each with a
-//    freshly built NF instance; partition results are merged in partition
-//    order. The partition count is part of the *semantics*; `shards` (how
-//    partitions are grouped into work queues) and `threads` (how many
-//    queues run concurrently) are pure execution knobs. Reports are
-//    therefore byte-identical at any shard and thread count — the same
-//    determinism contract the PR-1 pipeline enforces
+//    freshly built NF instance. The partition count is part of the
+//    *semantics*; `shards` (how partitions are grouped into work queues),
+//    `grouping` (the placement policy), `threads` (how many queues run
+//    concurrently), `batch` (rows per pipeline batch) and `pipeline`
+//    (staged or inline validation) are pure execution knobs. Statistics
+//    accumulate per work queue and are merged once at end of run; every
+//    accumulation is order-independent (sums, maxima under a total order,
+//    merge-order-independent quantile sketches), so reports are
+//    byte-identical at any shard x thread x grouping x batch combination —
+//    the same determinism contract the PR-1 pipeline enforces
 //    (tests/test_monitor.cpp, tests/test_monitor_longrun.cpp).
 //
 //  * A deterministic epoch clock — driven by packet timestamps, never by
@@ -107,8 +123,17 @@ struct MonitorOptions {
   bool check_cycles = true;
   /// Worst offenders kept per class.
   std::size_t max_offenders = 4;
-  /// Rows per compiled-expression batch evaluation.
+  /// Rows per staged-pipeline batch: dispatch, attribution bookkeeping and
+  /// compiled-expression evaluation are amortised over this many packets
+  /// of one input class. Execution-only — like shards/threads/grouping,
+  /// the batch size can change wall-clock, never report bytes (rows are
+  /// validated independently and accumulation is order-independent).
   std::size_t batch = 64;
+  /// Run execute/attribute and validate as two pipeline stages on separate
+  /// threads per worker pair, connected by a lock-free SPSC ring
+  /// (support/spsc_ring.h). Takes effect when at least two worker threads
+  /// are available; execution-only, never changes report bytes.
+  bool pipeline = true;
   /// Evaluate bounds through the compiled-expression VM (false = the
   /// per-packet tree walk; exists as the benchmark baseline and as a
   /// cross-check in tests).
@@ -152,17 +177,11 @@ class MonitorEngine {
   const MonitorOptions& options() const { return options_; }
 
  private:
-  struct PartitionResult;
-  struct EntryVm;
-
-  /// Processes one partition's packets (`indices` into the caller's
-  /// stream; each is copied just before processing, as the NF mutates
-  /// headers). `attribution` (optional) is the whole-stream per-packet
-  /// entry table; only this partition's slots are written.
-  void run_partition(const std::vector<std::uint64_t>& indices,
-                     const std::vector<net::Packet>& packets,
-                     const TargetFactory& factory, PartitionResult& out,
-                     std::vector<std::uint32_t>* attribution) const;
+  struct EntryVm;      ///< per contract entry: 3 compiled metric bounds
+  struct SoaBatch;     ///< one structure-of-arrays batch of attributed rows
+  struct QueueResult;  ///< per-work-queue accumulation (merged at end)
+  class Validator;     ///< the validate stage (batch eval + accumulation)
+  class QueueTask;     ///< the execute+attribute stage for one work queue
 
   const perf::Contract& contract_;
   const perf::PcvRegistry& reg_;

@@ -191,12 +191,22 @@ std::int64_t CompiledExpr::eval_slots(const std::uint64_t* slots) const {
 
 void CompiledExpr::eval_batch(const std::uint64_t* slots, std::size_t stride,
                               std::size_t count, std::int64_t* out) const {
+  BatchScratch scratch;
+  eval_batch(slots, stride, count, out, scratch);
+}
+
+void CompiledExpr::eval_batch(const std::uint64_t* slots, std::size_t stride,
+                              std::size_t count, std::int64_t* out,
+                              BatchScratch& scratch) const {
   BOLT_CHECK(stride >= slot_count_, "expr_vm: batch stride below slot count");
   // Instruction-major evaluation over lane blocks: each instruction's
   // per-lane loop is a tight, branchless sweep the compiler can vectorize,
   // and the register matrix for one block stays cache-resident.
   constexpr std::size_t kLanes = 64;
-  std::vector<std::uint64_t> regs(code_.size() * kLanes);
+  if (scratch.regs_.size() < code_.size() * kLanes) {
+    scratch.regs_.resize(code_.size() * kLanes);
+  }
+  std::vector<std::uint64_t>& regs = scratch.regs_;
   for (std::size_t base = 0; base < count; base += kLanes) {
     const std::size_t lanes = std::min(kLanes, count - base);
     for (std::size_t i = 0; i < code_.size(); ++i) {

@@ -33,6 +33,19 @@
 
 namespace bolt::perf {
 
+/// Reusable register matrix for CompiledExpr::eval_batch. One instance per
+/// monitor worker makes steady-state batch evaluation allocation-free: the
+/// matrix grows to the largest (program x lane-block) it has seen and is
+/// reused for every subsequent batch.
+class BatchScratch {
+ public:
+  BatchScratch() = default;
+
+ private:
+  friend class CompiledExpr;
+  std::vector<std::uint64_t> regs_;
+};
+
 class CompiledExpr {
  public:
   /// Compiles a polynomial. The resulting program reads PCV values from
@@ -52,6 +65,13 @@ class CompiledExpr {
   /// monitor's per-batch entry point.
   void eval_batch(const std::uint64_t* slots, std::size_t stride,
                   std::size_t count, std::int64_t* out) const;
+
+  /// Same, but with a caller-owned register matrix: zero allocations once
+  /// `scratch` has warmed up. The batched monitor pipeline evaluates every
+  /// same-class batch through one scratch per validate worker.
+  void eval_batch(const std::uint64_t* slots, std::size_t stride,
+                  std::size_t count, std::int64_t* out,
+                  BatchScratch& scratch) const;
 
   std::size_t slot_count() const { return slot_count_; }
   std::size_t instruction_count() const { return code_.size(); }

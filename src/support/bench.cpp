@@ -40,8 +40,8 @@ void BenchTimer::reset() { start_ns_ = now_ns(); }
 BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
 
 void BenchReport::metric(const std::string& metric_name, double value,
-                         const std::string& unit) {
-  metrics_.push_back(Entry{metric_name, value, unit});
+                         const std::string& unit, bool gate) {
+  metrics_.push_back(Entry{metric_name, value, unit, gate});
 }
 
 bool BenchReport::json_enabled() { return json_dir() != nullptr; }
@@ -59,7 +59,8 @@ std::string BenchReport::to_json() const {
     std::snprintf(value, sizeof value, "%.6f", m.value);
     out += i == 0 ? "\n" : ",\n";
     out += "    {\"name\": " + quoted(m.name) + ", \"value\": " + value +
-           ", \"unit\": " + quoted(m.unit) + "}";
+           ", \"unit\": " + quoted(m.unit) +
+           (m.gate ? "" : ", \"gate\": false") + "}";
   }
   out += "\n  ]\n}\n";
   return out;

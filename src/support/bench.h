@@ -38,8 +38,13 @@ class BenchReport {
   BenchReport(const BenchReport&) = delete;
   BenchReport& operator=(const BenchReport&) = delete;
 
+  /// Records a metric. `gate = false` marks it informational: archived
+  /// and shown in trend tables, but never hard-failed by bench_diff. Use
+  /// it for measurements whose value depends on host properties the run
+  /// can detect (e.g. thread counts above hardware_concurrency, which
+  /// measure the scheduler rather than the code).
   void metric(const std::string& metric_name, double value,
-              const std::string& unit = "");
+              const std::string& unit = "", bool gate = true);
 
   /// True when BOLT_BENCH_JSON is set (lets benches skip costly extra
   /// instrumentation when nobody will read it).
@@ -53,6 +58,7 @@ class BenchReport {
     std::string name;
     double value = 0.0;
     std::string unit;
+    bool gate = true;
   };
   std::string name_;
   std::vector<Entry> metrics_;

@@ -1,0 +1,121 @@
+// Lock-free single-producer/single-consumer ring — the stage connector of
+// the monitor's batched pipeline (parse/attribute -> validate), and a
+// reusable building block for any two-thread hand-off.
+//
+// Classic Lamport queue with two refinements from the io-pacing school of
+// staged pipelines:
+//
+//  * cache-line-separated head and tail, each side additionally keeping a
+//    *cached* copy of the opposite index, so the fast path (ring neither
+//    full nor empty) touches only one shared cache line per operation and
+//    the head/tail lines never ping-pong between cores;
+//  * a `close()` bit so a finite stream needs no sentinel element: the
+//    producer closes, the consumer drains and then observes end-of-stream.
+//
+// Exactly one thread may push and exactly one may pop; that discipline is
+// what makes plain acquire/release loads sufficient (no CAS anywhere).
+// The monitor's worker pairs honour it by construction (one ring per
+// producer/consumer pair), and tests/test_spsc_ring.cpp exercises the
+// claim under TSan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace bolt::support {
+
+/// Bounded lock-free SPSC queue of `T`. Capacity is rounded up to a power
+/// of two (so index wrap is a mask, not a modulo).
+template <typename T>
+class SpscRing {
+ public:
+  /// Creates a ring holding at least `min_capacity` elements (>= 1).
+  explicit SpscRing(std::size_t min_capacity) {
+    BOLT_CHECK(min_capacity > 0, "spsc_ring: capacity must be positive");
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Usable capacity (power-of-two rounding of the requested minimum).
+  std::size_t capacity() const { return buffer_.size(); }
+
+  /// Producer side: enqueues `value` if there is room. Returns false on a
+  /// full ring (the value is left untouched so the caller can retry).
+  bool try_push(T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == buffer_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == buffer_.size()) return false;
+    }
+    buffer_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: enqueues `value`, spinning (with yields) while the
+  /// ring is full. Must not be called after close().
+  void push(T value) {
+    while (!try_push(value)) std::this_thread::yield();
+  }
+
+  /// Producer side: marks the stream finished. After the consumer drains
+  /// the remaining elements, pop() returns false forever.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  /// Consumer side: dequeues into `out` if an element is ready. Returns
+  /// false on an empty ring (which may simply mean "not yet").
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(buffer_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: blocks (spinning with yields) until an element
+  /// arrives — true — or the ring is closed *and* drained — false.
+  bool pop(T& out) {
+    while (true) {
+      if (try_pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: the producer may have pushed right before closing.
+        return try_pop(out);
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// True when no element is buffered (racy by nature; exact only when
+  /// both sides are quiescent — e.g. in tests).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+
+  /// Consumer index, plus the producer's cached copy of it.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::size_t cached_head_ = 0;   // producer-owned
+  /// Producer index, plus the consumer's cached copy of it.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::size_t cached_tail_ = 0;   // consumer-owned
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace bolt::support

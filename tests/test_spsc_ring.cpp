@@ -1,0 +1,199 @@
+// support/spsc_ring.h — the lock-free stage connector of the monitor's
+// batched pipeline. Unit tests cover the single-threaded contract
+// (capacity rounding, full/empty boundaries, wraparound, close semantics,
+// move discipline); the threaded tests are the SPSC claim itself and are
+// what the TSan CI job watches.
+#include "support/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bolt::support {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(9).capacity(), 16u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, StartsEmptyAndPopFailsWhenEmpty) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(out, -1);  // untouched on failure
+}
+
+TEST(SpscRing, PushFailsExactlyAtCapacity) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.try_push(v)) << "push " << i;
+  }
+  int overflow = 99;
+  EXPECT_FALSE(ring.try_push(overflow));
+  EXPECT_EQ(overflow, 99);  // left untouched so the caller can retry
+  // Draining one slot makes room for exactly one more.
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(overflow));
+  EXPECT_FALSE(ring.try_push(overflow));
+}
+
+TEST(SpscRing, FifoOrderAcrossManyWraparounds) {
+  // Capacity 4, 1000 elements: the indices wrap the ring 250 times and
+  // (with size_t arithmetic) exercise the mask-based slot mapping.
+  SpscRing<int> ring(4);
+  int next_push = 0, next_pop = 0;
+  while (next_pop < 1000) {
+    int v = next_push;
+    while (next_push < 1000 && ring.try_push(v)) {
+      ++next_push;
+      v = next_push;
+    }
+    int out = -1;
+    while (ring.try_pop(out)) {
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PopReturnsFalseOnlyAfterClosedAndDrained) {
+  SpscRing<int> ring(8);
+  int v = 1;
+  ASSERT_TRUE(ring.try_push(v));
+  v = 2;
+  ASSERT_TRUE(ring.try_push(v));
+  ring.close();
+  int out = 0;
+  EXPECT_TRUE(ring.pop(out));  // close() never loses buffered elements
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(ring.pop(out));  // closed and drained: end of stream
+  EXPECT_FALSE(ring.pop(out));  // ...and stays that way
+}
+
+TEST(SpscRing, CloseOnEmptyRingEndsStreamImmediately) {
+  SpscRing<int> ring(2);
+  ring.close();
+  int out = 0;
+  EXPECT_FALSE(ring.pop(out));
+}
+
+TEST(SpscRing, MoveOnlyElementsPassThroughIntact) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  auto p = std::make_unique<int>(42);
+  ASSERT_TRUE(ring.try_push(p));
+  EXPECT_EQ(p, nullptr);  // moved from on success
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscRing, FailedPushDoesNotMoveFromTheValue) {
+  SpscRing<std::string> ring(1);
+  std::string keep = "first";
+  ASSERT_TRUE(ring.try_push(keep));
+  std::string second = "second";
+  ASSERT_FALSE(ring.try_push(second));
+  EXPECT_EQ(second, "second");
+}
+
+// --- threaded tests: the actual single-producer/single-consumer claim ---
+// Run under TSan in CI; a missing acquire/release pair or an index race
+// shows up here.
+
+TEST(SpscRingThreaded, StreamsEveryElementInOrder) {
+  // Small capacity forces constant full/empty boundary crossings — the
+  // contended paths, not the fast path.
+  SpscRing<std::uint64_t> ring(4);
+  constexpr std::uint64_t kCount = 200'000;
+  std::uint64_t sum = 0;
+  std::uint64_t popped = 0;
+  bool in_order = true;
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    std::uint64_t expected = 0;
+    while (ring.pop(v)) {
+      in_order = in_order && v == expected;
+      ++expected;
+      sum += v;
+      ++popped;
+    }
+  });
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) ring.push(i);
+    ring.close();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(popped, kCount);
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingThreaded, CloseRaceNeverLosesElements) {
+  // The close() re-check in pop(): the producer pushes its last element
+  // and closes immediately; the consumer must still see every element.
+  for (int round = 0; round < 200; ++round) {
+    SpscRing<int> ring(2);
+    int received = 0;
+    std::thread consumer([&] {
+      int v = 0;
+      while (ring.pop(v)) ++received;
+    });
+    for (int i = 0; i < 5; ++i) ring.push(i);
+    ring.close();
+    consumer.join();
+    EXPECT_EQ(received, 5) << "round " << round;
+  }
+}
+
+TEST(SpscRingThreaded, RecyclingPairMirrorsThePipeline) {
+  // The monitor's actual topology: a data ring one way, a return ring
+  // recycling buffers the other way, each ring strictly SPSC (the two
+  // directions have swapped roles, which is still one producer and one
+  // consumer per ring).
+  SpscRing<std::vector<int>> data(4);
+  SpscRing<std::vector<int>> recycle(4);
+  constexpr int kBatches = 20'000;
+  std::int64_t received_sum = 0;
+  std::thread consumer([&] {
+    std::vector<int> b;
+    while (data.pop(b)) {
+      received_sum += std::accumulate(b.begin(), b.end(), std::int64_t{0});
+      b.clear();
+      recycle.try_push(b);  // full return ring: drop, producer reallocates
+    }
+  });
+  std::int64_t sent_sum = 0;
+  std::vector<int> batch;
+  for (int i = 0; i < kBatches; ++i) {
+    batch.assign({i, i + 1, i + 2});
+    sent_sum += std::int64_t{3} * i + 3;
+    data.push(std::move(batch));
+    batch = {};
+    recycle.try_pop(batch);  // reuse a recycled buffer when one came back
+  }
+  data.close();
+  consumer.join();
+  EXPECT_EQ(received_sum, sent_sum);
+}
+
+}  // namespace
+}  // namespace bolt::support

@@ -96,7 +96,12 @@ def metrics_of(path):
             name = m.get("name")
             if name is None or "value" not in m:
                 continue
-            yield name, float(m["value"]), classify(name, m.get("unit", ""))
+            # The bench can mark a metric informational ("gate": false) when
+            # its value depends on host properties only the run can detect
+            # (e.g. thread counts above the machine's core count).
+            direction = 0 if m.get("gate", True) is False \
+                else classify(name, m.get("unit", ""))
+            yield name, float(m["value"]), direction
 
 
 def main(argv):

@@ -28,6 +28,7 @@
 #include "adversary/report.h"
 #include "adversary/trace.h"
 #include "core/bolt.h"
+#include "core/cli_usage.h"
 #include "core/distiller.h"
 #include "core/experiments.h"
 #include "core/targets.h"
@@ -44,49 +45,7 @@ using namespace bolt;
 namespace {
 
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: bolt contract <nf> [--json] [--out FILE] [--threads N]\n"
-      "       bolt paths <nf> [--json] [--threads N]\n"
-      "       bolt distill <nf> <pcap>\n"
-      "       bolt predict <nf> pcv=value [pcv=value ...]\n"
-      "       bolt monitor <nf> [--contract FILE] [--workload K]\n"
-      "                    [--packets N] [--partitions N] [--shards N]\n"
-      "                    [--threads N] [--epoch-ns N]\n"
-      "                    [--violation-threshold N] [--inflate PCT]\n"
-      "                    [--no-cycles] [--pcap FILE] [--json]\n"
-      "                    [--report FILE]\n"
-      "       bolt adversary <nf> [--contract FILE] [--out PREFIX]\n"
-      "                    [--seed N] [--probes N] [--partitions N]\n"
-      "                    [--shards N] [--threads N] [--epoch-ns N]\n"
-      "                    [--min-reached-pct P] [--json] [--report FILE]\n"
-      "       bolt gen <kind> <out.pcap> [count]\n"
-      "       bolt scenarios [--threads N]\n"
-      "nf: bridge | nat | nat-b | lb | lpm | lpm-simple | firewall |"
-      " router | fw+router\n"
-      "workload kinds: uniform | churn | zipf | bridge | attack | heartbeat"
-      " | longrun\n"
-      "--out FILE: store the contract artifact (JSON) for later monitoring;\n"
-      "            for 'adversary', the trace pair PREFIX.pcap+PREFIX.json\n"
-      "--contract FILE: validate against a stored artifact instead of\n"
-      "                 regenerating (the operator workflow; no symbex)\n"
-      "--seed N: adversarial synthesis seed (trace bytes are a pure\n"
-      "          function of target+contract+options)\n"
-      "--probes N: steady-state probe packets per contract class\n"
-      "--min-reached-pct P: adversary exit gate — fail unless at least P%%\n"
-      "                     of contract classes were reached (default 1)\n"
-      "--threads N: worker threads (default: one per hardware thread;\n"
-      "             contracts and monitor reports are identical at any N)\n"
-      "--partitions N: flow-affine state partitions (part of the monitor's\n"
-      "                semantics; default 8)\n"
-      "--shards N: monitor work queues (execution only; never changes the\n"
-      "            report; default: one per partition)\n"
-      "--epoch-ns N: epoch clock for idle-state expiry + occupancy tracking\n"
-      "              (packet-timestamp time; default 1s, 0 disables)\n"
-      "--inflate PCT: inflate measured framework costs by PCT%% (violation\n"
-      "               injection; the monitor must report it)\n"
-      "--violation-threshold N: exit 1 when more than N violations\n"
-      "--report FILE: also write the report JSON to FILE\n");
+  std::fputs(core::cli_usage_text(), stderr);
   return 2;
 }
 
@@ -281,6 +240,9 @@ struct MonitorCliArgs {
   std::uint64_t epoch_ns = 1'000'000'000;
   std::uint64_t violation_threshold = 0;
   std::uint64_t inflate_pct = 0;
+  std::size_t batch = 64;
+  monitor::ShardGrouping grouping = monitor::ShardGrouping::kRoundRobin;
+  bool pipeline = true;
   bool cycles = true;
   bool json = false;
 };
@@ -329,7 +291,10 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
   monitor::MonitorOptions options;
   options.partitions = args.partitions;
   options.shards = args.shards;
+  options.grouping = args.grouping;
   options.threads = args.threads;
+  options.batch = args.batch;
+  options.pipeline = args.pipeline;
   options.epoch_ns = args.epoch_ns;
   options.check_cycles = args.cycles;
   if (args.inflate_pct > 0) {
@@ -558,6 +523,15 @@ int cmd_gen(const std::string& kind, const std::string& out,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --help anywhere on the line: help is the requested output, so it goes
+  // to stdout and exits 0 (usage-on-error keeps going to stderr, exit 2).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(core::cli_usage_text(), stdout);
+      return 0;
+    }
+  }
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   // Shared trailing flags: --json, --threads N (0 = hardware concurrency),
@@ -642,6 +616,25 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--inflate") == 0) {
       only_for(is_monitor, "--inflate");
       margs.inflate_pct = numeric(i, "--inflate");
+    } else if (std::strcmp(argv[i], "--grouping") == 0) {
+      only_for(is_monitor, "--grouping");
+      if (i + 1 >= argc) return usage();
+      const std::string policy = argv[++i];
+      if (policy == "roundrobin") {
+        margs.grouping = monitor::ShardGrouping::kRoundRobin;
+      } else if (policy == "lqf") {
+        margs.grouping = monitor::ShardGrouping::kLongestQueueFirst;
+      } else {
+        std::fprintf(stderr, "error: bad --grouping value '%s' (roundrobin"
+                     " | lqf)\n", policy.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      only_for(is_monitor, "--batch");
+      margs.batch = numeric(i, "--batch");
+    } else if (std::strcmp(argv[i], "--no-pipeline") == 0) {
+      only_for(is_monitor, "--no-pipeline");
+      margs.pipeline = false;
     } else if (std::strcmp(argv[i], "--no-cycles") == 0) {
       only_for(is_monitor, "--no-cycles");
       margs.cycles = false;

@@ -19,3 +19,6 @@ fi
 for nf in bridge nat lb lpm; do
   "$CLI" contract "$nf" --out "$REPO_ROOT/tests/data/contract_${nf}.json"
 done
+
+# CLI help golden (tests/test_cli_help.cpp).
+"$CLI" --help > "$REPO_ROOT/tests/data/cli_usage.txt"
