@@ -17,6 +17,11 @@
 //     takes) and a compressed simulated week of long-run traffic with the
 //     epoch clock on — packets/sec, flow-state high-water mark, and the
 //     p99 headroom sketch quantile, all archived per commit.
+//
+//  4. Telemetry overhead: monitor_pps_1thread with the obs layer's
+//     hot-path counters on vs off. Archived as
+//     monitor_telemetry_overhead_pct and hard-gated at 5% in-binary (with
+//     one re-measure to absorb shared-VM noise).
 #include <algorithm>
 #include <cstdio>
 #include <thread>
@@ -59,7 +64,8 @@ double monitor_pps(const perf::Contract& contract,
                    std::size_t threads, bool compiled,
                    std::size_t shards = 0,
                    monitor::ShardGrouping grouping =
-                       monitor::ShardGrouping::kRoundRobin) {
+                       monitor::ShardGrouping::kRoundRobin,
+                   bool telemetry = false) {
   double best_pps = 0;
   for (int rep = 0; rep < kReps; ++rep) {
     monitor::MonitorOptions opts;
@@ -67,10 +73,13 @@ double monitor_pps(const perf::Contract& contract,
     opts.use_compiled_exprs = compiled;
     opts.shards = shards;
     opts.grouping = grouping;
+    opts.telemetry = telemetry;
     monitor::MonitorEngine engine(contract, reg, opts);
+    obs::RunObservations observations;
     support::BenchTimer timer;
     const monitor::MonitorReport report =
-        engine.run(packets, monitor::MonitorEngine::named_factory("nat"));
+        engine.run(packets, monitor::MonitorEngine::named_factory("nat"),
+                   nullptr, telemetry ? &observations : nullptr);
     const double seconds = timer.elapsed_ms() / 1000.0;
     if (report.violations != 0 || report.unattributed != 0) {
       std::fprintf(stderr, "bench: unexpected violations/unattributed!\n");
@@ -129,6 +138,46 @@ int main() {
   bench.metric("monitor_pps_all_threads", pps_nt, "packets/s");
   bench.metric("monitor_pps_1thread_treewalk", pps_1t_tw, "packets/s");
   bench.metric("monitor_thread_scaling", pps_nt / pps_1t, "x");
+
+  // --- telemetry overhead ------------------------------------------------
+  // The obs layer's hot-path counters must be execution-only in cost as
+  // well as in effect: the ISSUE gate is <= 5% off monitor_pps_1thread.
+  // One re-measure (both sides, back to back) before failing — one-shot
+  // deltas of a few percent are routinely scheduler noise on shared VMs.
+  // Each estimate measures off then on back to back (the sweep's pps_1t is
+  // seconds stale by now — host drift in between would land squarely in
+  // the difference); the re-measure keeps the *smaller* estimate, the
+  // differential analogue of best-of-N: noise can only inflate a
+  // difference of minima taken at different times.
+  const auto overhead_estimate = [&](double& pps_on_out) {
+    const double off = monitor_pps(result.contract, reg, packets, 1, true);
+    pps_on_out =
+        monitor_pps(result.contract, reg, packets, 1, true, 0,
+                    monitor::ShardGrouping::kRoundRobin, /*telemetry=*/true);
+    return (off - pps_on_out) / off * 100.0;
+  };
+  double pps_tel_on = 0;
+  double telemetry_overhead = overhead_estimate(pps_tel_on);
+  if (telemetry_overhead > 5.0) {
+    double retry_on = 0;
+    const double retry = overhead_estimate(retry_on);
+    if (retry < telemetry_overhead) {
+      telemetry_overhead = retry;
+      pps_tel_on = retry_on;
+    }
+  }
+  std::printf("  1 thread,  telemetry on:   %10.0f pps  (%.2f%% overhead)\n",
+              pps_tel_on, telemetry_overhead);
+  // Informational in the baseline diff (it jitters around zero); the hard
+  // <= 5% gate is enforced right here instead.
+  bench.metric("monitor_telemetry_overhead_pct", telemetry_overhead, "%",
+               /*gate=*/false);
+  if (telemetry_overhead > 5.0) {
+    std::fprintf(stderr,
+                 "bench: telemetry overhead %.2f%% exceeds the 5%% budget\n",
+                 telemetry_overhead);
+    return 1;
+  }
 
   // --- shard grouping under skewed traffic -------------------------------
   // Heavily skewed flow popularity concentrates packets on few partitions;

@@ -1,12 +1,15 @@
 #include "monitor/monitor.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <thread>
 
 #include "core/classkey.h"
 #include "net/flow.h"
 #include "net/headers.h"
+#include "obs/delta.h"
+#include "obs/drift.h"
 #include "perf/expr_vm.h"
 #include "perf/quantile_sketch.h"
 #include "support/assert.h"
@@ -146,16 +149,25 @@ struct ClassAccum {
   }
 };
 
-QuantileSummary summarize(const perf::QuantileSketch& sketch) {
-  QuantileSummary out;
-  out.count = sketch.count();
-  out.p50 = sketch.quantile(0.50);
-  out.p90 = sketch.quantile(0.90);
-  out.p99 = sketch.quantile(0.99);
-  out.p999 = sketch.quantile(0.999);
-  out.max = sketch.max();
-  return out;
-}
+using perf::summarize;
+
+/// Per-(window, contract entry) accumulation for delta-report mode: the
+/// same headroom values the main report's sketches see, bucketed by the
+/// semantic window id. Merging every window's sketches reproduces the
+/// end-of-run sketch state (tests/test_obs.cpp locks that down).
+struct DeltaEntryAccum {
+  std::uint64_t packets = 0;
+  std::array<std::uint64_t, 3> violations{};
+  std::array<perf::QuantileSketch, 3> headroom_pm;
+
+  void merge(const DeltaEntryAccum& other) {
+    packets += other.packets;
+    for (std::size_t m = 0; m < 3; ++m) {
+      violations[m] += other.violations[m];
+      headroom_pm[m].merge(other.headroom_pm[m]);
+    }
+  }
+};
 
 }  // namespace
 
@@ -175,6 +187,7 @@ struct MonitorEngine::SoaBatch {
   std::vector<std::uint64_t> slots;  ///< rows x slot_stride_ PCV values
   std::array<std::vector<std::uint64_t>, 3> measured;  ///< per metric_index
   std::vector<std::uint64_t> indices;  ///< global packet indices
+  std::vector<std::uint64_t> windows;  ///< delta window ids (delta mode only)
 };
 
 /// Everything one work queue accumulates. The execute/attribute stage owns
@@ -183,7 +196,13 @@ struct MonitorEngine::SoaBatch {
 /// field split is what keeps them race-free without locks.
 struct MonitorEngine::QueueResult {
   std::vector<ClassAccum> classes;  // written by the validate stage
+  /// Delta-report mode: window id -> per-entry accumulation. Written by the
+  /// validate stage, like `classes`; std::map so the end-of-run merge walks
+  /// windows in order (node-based, so cached vector pointers stay valid).
+  std::map<std::uint64_t, std::vector<DeltaEntryAccum>> delta_windows;
+  obs::MonitorTelemetry val_tel;   ///< validate-stage telemetry counters
   // -- written by the execute/attribute stage --
+  obs::MonitorTelemetry exec_tel;  ///< execute-stage telemetry counters
   std::uint64_t unattributed = 0;
   std::uint64_t first_unattributed = 0;
   bool any_unattributed = false;
@@ -207,6 +226,8 @@ class MonitorEngine::Validator {
     if (rows == 0) return;
     const std::size_t stride = e_.slot_stride_;
     ClassAccum& acc = results_[b.queue].classes[b.entry];
+    obs::MonitorTelemetry* tel =
+        e_.options_.telemetry ? &results_[b.queue].val_tel : nullptr;
     for (const Metric m : kAllMetrics) {
       const int mi = metric_index(m);
       if (m == Metric::kCycles && !e_.options_.check_cycles) continue;
@@ -214,6 +235,7 @@ class MonitorEngine::Validator {
       if (e_.options_.use_compiled_exprs) {
         e_.vms_[b.entry].exprs[mi].eval_batch(b.slots.data(), stride, rows,
                                               predicted_[mi].data(), scratch_);
+        if (tel != nullptr) ++tel->vm_batch_evals;
       } else {
         // Tree-walk baseline: rebuild a binding per row.
         const perf::PerfExpr& expr =
@@ -228,8 +250,13 @@ class MonitorEngine::Validator {
         }
       }
     }
+    if (tel != nullptr) tel->rows_validated += rows;
     acc.packets += rows;
+    const bool delta_on = e_.delta_window_ns_ > 0;
     for (std::size_t r = 0; r < rows; ++r) {
+      DeltaEntryAccum* da =
+          delta_on ? delta_for(b.queue, b.windows[r], b.entry) : nullptr;
+      if (da != nullptr) ++da->packets;
       Offender worst;
       bool has_offender = false;
       for (const Metric m : kAllMetrics) {
@@ -238,6 +265,12 @@ class MonitorEngine::Validator {
         const std::uint64_t measured = b.measured[mi][r];
         const std::int64_t bound = predicted_[mi][r];
         acc.metrics[mi].record(b.indices[r], measured, bound);
+        if (da != nullptr) {
+          da->headroom_pm[mi].add(util_pm(measured, bound));
+          if (static_cast<std::int64_t>(measured) > bound) {
+            ++da->violations[mi];
+          }
+        }
         if (static_cast<std::int64_t>(measured) > bound) {
           // Violation margin in per-mille of the bound (how far past it).
           acc.violation_margin_pm.add(
@@ -259,10 +292,30 @@ class MonitorEngine::Validator {
   }
 
  private:
+  /// The (queue, window) -> per-entry delta accumulators lookup, memoised:
+  /// consecutive batches overwhelmingly land in the same window, so the
+  /// common case is two compares. Map nodes are stable, so the cached
+  /// pointer survives later insertions.
+  DeltaEntryAccum* delta_for(std::uint32_t queue, std::uint64_t window,
+                             std::uint32_t entry) {
+    if (cached_accums_ == nullptr || queue != cached_queue_ ||
+        window != cached_window_) {
+      auto [it, inserted] = results_[queue].delta_windows.try_emplace(window);
+      if (inserted) it->second.resize(e_.contract_.entries().size());
+      cached_accums_ = &it->second;
+      cached_queue_ = queue;
+      cached_window_ = window;
+    }
+    return &(*cached_accums_)[entry];
+  }
+
   const MonitorEngine& e_;
   std::vector<QueueResult>& results_;
   perf::BatchScratch scratch_;
   std::array<std::vector<std::int64_t>, 3> predicted_;
+  std::vector<DeltaEntryAccum>* cached_accums_ = nullptr;
+  std::uint32_t cached_queue_ = 0;
+  std::uint64_t cached_window_ = 0;
 };
 
 /// The execute + attribute stages for one or more work queues: streams
@@ -300,6 +353,7 @@ class MonitorEngine::QueueTask {
   void run_queue(std::uint32_t queue, const std::vector<std::size_t>& members,
                  const std::vector<std::vector<std::uint64_t>>& work) {
     queue_ = queue;
+    tel_ = e_.options_.telemetry ? &results_[queue].exec_tel : nullptr;
     for (SoaBatch& b : pending_) b.queue = queue;
     for (const std::size_t p : members) run_partition(work[p]);
     for (SoaBatch& b : pending_) {
@@ -313,6 +367,7 @@ class MonitorEngine::QueueTask {
     b.slots.resize(capacity_ * e_.slot_stride_);
     for (auto& col : b.measured) col.resize(capacity_);
     b.indices.resize(capacity_);
+    b.windows.resize(capacity_);
   }
 
   /// Hands a full (or final partial) batch to the validate stage. In
@@ -320,9 +375,17 @@ class MonitorEngine::QueueTask {
   /// back over the return ring (or a fresh one when the return ring is
   /// momentarily empty); inline mode validates in place and reuses it.
   void emit(SoaBatch& b) {
+    if (tel_ != nullptr) {
+      ++tel_->batches_emitted;
+      tel_->batch_rows += b.rows;
+      tel_->batch_fill.add(b.rows);
+    }
     if (ring_ != nullptr) {
       SoaBatch fresh;
-      recycle_->try_pop(fresh);
+      const bool recycled = recycle_->try_pop(fresh);
+      if (tel_ != nullptr) {
+        ++(recycled ? tel_->recycle_hits : tel_->recycle_misses);
+      }
       fresh.entry = b.entry;
       fresh.queue = queue_;
       fresh.rows = 0;
@@ -363,7 +426,10 @@ class MonitorEngine::QueueTask {
     }
     // Consecutive packets usually repeat a handful of hot classes; the
     // one-entry memo turns the common case into a short string compare.
-    if (have_last_ && key == last_key_) return last_entry_;
+    if (have_last_ && key == last_key_) {
+      if (tel_ != nullptr) ++tel_->attr_memo_hits;
+      return last_entry_;
+    }
     const auto entry_it = e_.entry_index_.find(key);
     const std::uint32_t entry =
         entry_it == e_.entry_index_.end()
@@ -426,6 +492,7 @@ class MonitorEngine::QueueTask {
     std::uint64_t next_boundary = 0;
 
     const std::size_t stride = e_.slot_stride_;
+    const std::uint64_t delta_window_ns = e_.delta_window_ns_;
     for (const std::uint64_t index : indices) {
       if (epochs_on) {
         const std::uint64_t ts = packets_[index].timestamp_ns();
@@ -478,8 +545,14 @@ class MonitorEngine::QueueTask {
       b.measured[1][b.rows] = run_.mem_accesses;
       b.measured[2][b.rows] = check_cycles ? cycles.packet_cycles() : 0;
       b.indices[b.rows] = index;
+      if (delta_window_ns > 0) {
+        // Semantic window id — a pure function of the packet timestamp, so
+        // the delta stream inherits the report's determinism.
+        b.windows[b.rows] = packets_[index].timestamp_ns() / delta_window_ns;
+      }
       if (++b.rows >= capacity_) emit(b);
     }
+    if (tel_ != nullptr) tel_->packets_executed += indices.size();
     out.state_tracked = out.state_tracked || track_state;
     if (track_state) out.residents += target.state_occupancy();
   }
@@ -494,6 +567,7 @@ class MonitorEngine::QueueTask {
   support::SpscRing<SoaBatch>* recycle_; ///< pipelined mode: buffers back
   const std::size_t capacity_;           ///< rows per batch
   std::uint32_t queue_ = 0;
+  obs::MonitorTelemetry* tel_ = nullptr; ///< current queue's exec telemetry
   std::vector<SoaBatch> pending_;        ///< one open batch per entry
   net::Packet scratch_pkt_;              ///< reused packet copy
   ir::RunResult run_;                    ///< reused run result
@@ -535,6 +609,9 @@ MonitorEngine::MonitorEngine(const perf::Contract& contract,
     vms_.push_back(std::move(vm));
     entry_index_.emplace(entry.input_class, i);
   }
+  if (options_.delta_every > 0 && options_.epoch_ns > 0) {
+    delta_window_ns_ = options_.epoch_ns * options_.delta_every;
+  }
 }
 
 MonitorEngine::~MonitorEngine() = default;
@@ -550,7 +627,8 @@ MonitorEngine::TargetFactory MonitorEngine::named_factory(std::string name) {
 
 MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
                                  const TargetFactory& factory,
-                                 std::vector<std::uint32_t>* attribution) const {
+                                 std::vector<std::uint32_t>* attribution,
+                                 obs::RunObservations* observations) const {
   // Fixed flow-affine partition: membership depends only on packet
   // contents and the partition count, never on scheduling. Partitions
   // carry indices only — packets are copied one at a time as each is
@@ -604,6 +682,7 @@ MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
 
   const std::size_t resolved = support::resolve_threads(options_.threads);
   const bool pipelined = options_.pipeline && resolved >= 2;
+  std::vector<support::SpscRingStats> ring_stats;
   if (pipelined) {
     // Staged execution: worker pairs, each an execute/attribute producer
     // and a validate consumer connected by an SPSC ring (plus a return
@@ -619,6 +698,13 @@ MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
       rings.push_back(std::make_unique<support::SpscRing<SoaBatch>>(kRingDepth));
       returns.push_back(
           std::make_unique<support::SpscRing<SoaBatch>>(kRingDepth));
+    }
+    if (options_.telemetry) {
+      // Attach producer-owned ring stats before the producers start.
+      ring_stats.resize(pairs);
+      for (std::size_t w = 0; w < pairs; ++w) {
+        rings[w]->set_stats(&ring_stats[w]);
+      }
     }
     std::vector<std::thread> stage_threads;
     stage_threads.reserve(pairs * 2);
@@ -715,6 +801,86 @@ MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
                    [](const ClassReport& a, const ClassReport& b) {
                      return a.input_class < b.input_class;
                    });
+
+  if (observations != nullptr) {
+    *observations = obs::RunObservations{};
+    if (delta_window_ns_ > 0) {
+      // Merge the per-queue window maps in queue order. Window ids are
+      // semantic and every accumulator is order-independent, so the merged
+      // stream is byte-deterministic across the execution knobs.
+      const std::size_t entries = contract_.entries().size();
+      std::map<std::uint64_t, std::vector<DeltaEntryAccum>> windows;
+      for (const QueueResult& qr : queue_results) {
+        for (const auto& [w, accums] : qr.delta_windows) {
+          auto [it, inserted] = windows.try_emplace(w);
+          if (inserted) it->second.resize(entries);
+          for (std::size_t e = 0; e < entries; ++e) {
+            it->second[e].merge(accums[e]);
+          }
+        }
+      }
+      obs::DriftDetector detector(options_.drift);
+      observations->deltas.reserve(windows.size());
+      for (const auto& [w, accums] : windows) {
+        obs::DeltaWindow dw;
+        dw.window = w;
+        dw.window_ns = delta_window_ns_;
+        for (std::size_t e = 0; e < entries; ++e) {
+          const DeltaEntryAccum& ea = accums[e];
+          if (ea.packets == 0) continue;
+          obs::DeltaClass dc;
+          dc.input_class = contract_.entries()[e].input_class;
+          dc.packets = ea.packets;
+          dw.packets += ea.packets;
+          for (const Metric m : kAllMetrics) {
+            const int mi = metric_index(m);
+            dc.metrics[mi].violations = ea.violations[mi];
+            dc.metrics[mi].headroom_pm = ea.headroom_pm[mi];
+            dw.violations += ea.violations[mi];
+          }
+          dw.classes.push_back(std::move(dc));
+        }
+        std::stable_sort(
+            dw.classes.begin(), dw.classes.end(),
+            [](const obs::DeltaClass& a, const obs::DeltaClass& b) {
+              return a.input_class < b.input_class;
+            });
+        // Drift detection over exactly the stream the operator sees: one
+        // p99 point per (class, metric) per window, in window order.
+        for (const obs::DeltaClass& dc : dw.classes) {
+          for (const Metric m : kAllMetrics) {
+            const perf::QuantileSketch& sk =
+                dc.metrics[metric_index(m)].headroom_pm;
+            if (sk.count() == 0) continue;
+            obs::DriftAlert alert;
+            if (detector.observe(dc.input_class, m, w, sk.quantile(0.99),
+                                 &alert)) {
+              dw.alerts.push_back(alert);
+              observations->alerts.push_back(std::move(alert));
+            }
+          }
+        }
+        observations->deltas.push_back(std::move(dw));
+      }
+    }
+    // Fold the per-queue telemetry halves, then mirror the merge-time
+    // facts the report already computed.
+    obs::MonitorTelemetry& tel = observations->telemetry;
+    for (const QueueResult& qr : queue_results) {
+      tel.merge(qr.exec_tel);
+      tel.merge(qr.val_tel);
+    }
+    for (const support::SpscRingStats& rs : ring_stats) {
+      tel.ring_pushes += rs.pushes;
+      tel.ring_stalls += rs.stalls;
+      tel.ring_occupancy_high_water =
+          std::max(tel.ring_occupancy_high_water, rs.occupancy_high_water);
+    }
+    tel.epoch_sweeps = report.epoch_sweeps;
+    tel.state_high_water = report.state_high_water;
+    tel.delta_windows = observations->deltas.size();
+    tel.drift_alerts = observations->alerts.size();
+  }
   return report;
 }
 

@@ -71,6 +71,7 @@
 #include "monitor/report.h"
 #include "net/packet.h"
 #include "nf/framework.h"
+#include "obs/telemetry.h"
 #include "perf/contract.h"
 #include "perf/pcv.h"
 
@@ -138,6 +139,20 @@ struct MonitorOptions {
   /// per-packet tree walk; exists as the benchmark baseline and as a
   /// cross-check in tests).
   bool use_compiled_exprs = true;
+  /// Incremental reporting: emit one delta window every this many epochs
+  /// (0 = off; needs epoch_ns > 0). Windows are keyed purely by packet
+  /// timestamp (ts / (epoch_ns * delta_every)), so the delta stream is
+  /// byte-deterministic across the execution knobs — and the *main* report
+  /// is byte-identical at every delta_every setting (tests/test_obs.cpp).
+  std::size_t delta_every = 0;
+  /// Contract-drift detector tuning; runs over the delta stream whenever
+  /// delta_every > 0 (obs/drift.h).
+  obs::DriftOptions drift;
+  /// Collect hot-path execution telemetry (obs::MonitorTelemetry) into the
+  /// RunObservations passed to run(). Execution-only by construction:
+  /// report bytes are identical with this on or off, and the overhead is
+  /// gated at 5% by bench/monitor_throughput.cpp.
+  bool telemetry = false;
 };
 
 class MonitorEngine {
@@ -166,9 +181,15 @@ class MonitorEngine {
   /// can be checked packet-by-packet against what the monitor actually
   /// observed. Deterministic like the report (each partition writes only
   /// its own packet slots).
+  ///
+  /// `observations` (optional) receives the run's telemetry snapshot
+  /// (counters collected when options.telemetry is set), the delta window
+  /// stream (when options.delta_every > 0), and any drift alerts. None of
+  /// it can change the returned report's bytes.
   MonitorReport run(const std::vector<net::Packet>& packets,
                     const TargetFactory& factory,
-                    std::vector<std::uint32_t>* attribution = nullptr) const;
+                    std::vector<std::uint32_t>* attribution = nullptr,
+                    obs::RunObservations* observations = nullptr) const;
 
   /// Factory for a registered target name (core::make_named_target).
   /// Aborts at call time if the name is unknown.
@@ -189,6 +210,7 @@ class MonitorEngine {
   std::vector<EntryVm> vms_;       ///< per contract entry, 3 compiled exprs
   std::unordered_map<std::string, std::size_t> entry_index_;
   std::size_t slot_stride_ = 0;    ///< dense PCV row width (registry size)
+  std::uint64_t delta_window_ns_ = 0;  ///< epoch_ns * delta_every (0 = off)
 };
 
 /// The partition a packet belongs to: a flow-affine hash over the Ethernet

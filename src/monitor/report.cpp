@@ -23,15 +23,7 @@ std::string pm(std::uint64_t per_mille) {
   return buf;
 }
 
-void summary_to_json(std::string& out, const QuantileSummary& s) {
-  out += "{\"count\":" + std::to_string(s.count);
-  out += ",\"p50\":" + std::to_string(s.p50);
-  out += ",\"p90\":" + std::to_string(s.p90);
-  out += ",\"p99\":" + std::to_string(s.p99);
-  out += ",\"p999\":" + std::to_string(s.p999);
-  out += ",\"max\":" + std::to_string(s.max);
-  out += '}';
-}
+using perf::summary_to_json;
 
 }  // namespace
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "perf/metric.h"
+#include "perf/quantile_sketch.h"
 
 namespace bolt::monitor {
 
@@ -49,16 +50,11 @@ struct Offender {
 };
 
 /// Selected quantiles of a per-mille distribution (utilization or
-/// violation margin), extracted from the merged QuantileSketch. All values
-/// are integers, so the rendering is byte-deterministic.
-struct QuantileSummary {
-  std::uint64_t count = 0;
-  std::uint64_t p50 = 0;
-  std::uint64_t p90 = 0;
-  std::uint64_t p99 = 0;
-  std::uint64_t p999 = 0;
-  std::uint64_t max = 0;
-};
+/// violation margin), extracted from the merged QuantileSketch. Integer
+/// fields, so the rendering is byte-deterministic. The type lives in
+/// perf/quantile_sketch.h so the telemetry layer's delta stream shares
+/// the exact extraction and JSON shape.
+using QuantileSummary = perf::QuantileSummary;
 
 /// Per-class, per-metric aggregation.
 struct MetricReport {

@@ -313,6 +313,43 @@ LpmWorkload lpm_traffic(const LpmSpec& spec) {
   return out;
 }
 
+std::vector<Packet> drift_traffic(const DriftSpec& spec) {
+  BOLT_CHECK(spec.option_words <= 10,
+             "drift_traffic: at most 10 option words fit an IPv4 header");
+  support::Rng rng(spec.seed);
+  std::vector<Packet> out;
+  out.reserve(spec.windows * spec.packets_per_window);
+  // Packets spread evenly inside each window, strictly before its end.
+  const std::uint64_t gap = spec.window_ns / (spec.packets_per_window + 1);
+  for (std::size_t w = 0; w < spec.windows; ++w) {
+    // Expensive (timestamp) words this window: 0 at w=0 ramping linearly
+    // to all of them in the last window. Total word count never changes.
+    const std::size_t expensive =
+        spec.windows > 1
+            ? w * spec.option_words / (spec.windows - 1)
+            : spec.option_words;
+    for (std::size_t i = 0; i < spec.packets_per_window; ++i) {
+      const FiveTuple t = tuple_for_index(rng.below(spec.flow_pool), true);
+      PacketBuilder b;
+      b.eth(MacAddress::from_u64(0x020000000000ULL |
+                                 (t.src_ip.value & 0xffffff)),
+            MacAddress::from_u64(0x020000001000ULL |
+                                 (t.dst_ip.value & 0xffffff)));
+      b.ipv4(t.src_ip, t.dst_ip);
+      // A zero-slot RFC 781 timestamp option is exactly one 4-byte word
+      // starting with kind 68 — one expensive loop trip; 4 NOPs are one
+      // cheap word.
+      for (std::size_t o = 0; o < expensive; ++o) b.ip_timestamp_option(0);
+      b.ip_nop_options(static_cast<int>(4 * (spec.option_words - expensive)));
+      b.udp(t.src_port, t.dst_port);
+      b.timestamp_ns(spec.start_ns + w * spec.window_ns + (i + 1) * gap);
+      b.in_port(spec.in_port);
+      out.push_back(b.build());
+    }
+  }
+  return out;
+}
+
 std::vector<Packet> heartbeat_traffic(const HeartbeatSpec& spec) {
   support::Rng rng(spec.seed);
   std::vector<Packet> out;

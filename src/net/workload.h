@@ -162,6 +162,29 @@ struct LpmWorkload {
 };
 LpmWorkload lpm_traffic(const LpmSpec& spec);
 
+/// Headroom-eroding traffic for the contract-drift detector (obs/drift.h):
+/// IPv4-options packets for the static router whose options walk stays a
+/// fixed `option_words` words long (so the contract's loop bound — and
+/// therefore the predicted cost — is constant) while the *mix* of words
+/// shifts over time: window by window, cheap NOP words are replaced by
+/// RFC 781 timestamp words, the loop body's expensive branch. Measured
+/// cost rises linearly toward the per-word worst case the bound charges,
+/// so p99 utilization ramps monotonically toward — but never past — the
+/// bound: zero violations, unambiguous drift. One erosion step per
+/// `window_ns` window (align window_ns with epoch_ns * delta_every so
+/// each delta window sees one step). Deterministic in `seed`.
+struct DriftSpec {
+  std::uint64_t seed = 1;
+  std::size_t flow_pool = 256;
+  std::size_t windows = 11;  ///< erosion steps (cheap-only -> expensive-only)
+  std::uint64_t window_ns = 1'000'000'000;
+  std::size_t packets_per_window = 1'000;
+  TimestampNs start_ns = 1'000'000'000;
+  std::size_t option_words = 10;  ///< fixed walk length (10 => maximal ihl 15)
+  std::uint16_t in_port = 0;
+};
+std::vector<Packet> drift_traffic(const DriftSpec& spec);
+
 /// Maglev heartbeat datagrams from backend servers (LB5 class).
 struct HeartbeatSpec {
   std::uint64_t seed = 1;

@@ -1,0 +1,94 @@
+#include "obs/drift.h"
+
+#include <algorithm>
+
+namespace bolt::obs {
+
+namespace {
+
+/// One pairwise slope dy/dx as an exact rational (dx > 0 always: points
+/// arrive in strictly increasing window order).
+struct Slope {
+  std::int64_t dy = 0;
+  std::uint64_t dx = 1;
+};
+
+/// slope a < slope b, by cross-multiplication (no floating point — alerts
+/// must be bit-reproducible across compilers and machines).
+bool slope_less(const Slope& a, const Slope& b) {
+  const __int128 lhs = static_cast<__int128>(a.dy) * static_cast<std::int64_t>(b.dx);
+  const __int128 rhs = static_cast<__int128>(b.dy) * static_cast<std::int64_t>(a.dx);
+  return lhs < rhs;
+}
+
+}  // namespace
+
+DriftDetector::DriftDetector(const DriftOptions& opts) : opts_(opts) {
+  if (opts_.window_ring < 2) opts_.window_ring = 2;
+  if (opts_.min_points < 2) opts_.min_points = 2;
+}
+
+bool DriftDetector::observe(const std::string& input_class,
+                            perf::Metric metric, std::uint64_t window,
+                            std::uint64_t p99_pm, DriftAlert* alert) {
+  Series& s = series_[{input_class, perf::metric_index(metric)}];
+  // Ring of recent points: drop the oldest once full. Same-window repeats
+  // (not expected from the delta stream) replace the previous point.
+  if (!s.points.empty() && s.points.back().first == window) {
+    s.points.back().second = p99_pm;
+  } else {
+    s.points.emplace_back(window, p99_pm);
+    if (s.points.size() > opts_.window_ring) s.points.erase(s.points.begin());
+  }
+  if (s.points.size() < opts_.min_points) return false;
+
+  // Theil–Sen: median of all pairwise slopes, exact rational arithmetic.
+  std::vector<Slope> slopes;
+  slopes.reserve(s.points.size() * (s.points.size() - 1) / 2);
+  for (std::size_t i = 0; i < s.points.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.points.size(); ++j) {
+      Slope sl;
+      sl.dy = static_cast<std::int64_t>(s.points[j].second) -
+              static_cast<std::int64_t>(s.points[i].second);
+      sl.dx = s.points[j].first - s.points[i].first;
+      slopes.push_back(sl);
+    }
+  }
+  // Lower median (deterministic for even counts); nth_element suffices.
+  const std::size_t mid = (slopes.size() - 1) / 2;
+  std::nth_element(slopes.begin(), slopes.begin() + mid, slopes.end(),
+                   slope_less);
+  const Slope med = slopes[mid];
+
+  const std::uint64_t last_pm = s.points.back().second;
+  bool trending = false;
+  std::uint64_t eta = 0;
+  std::int64_t slope_mpm = 0;
+  if (med.dy > 0 && last_pm < opts_.bound_pm) {
+    slope_mpm = med.dy * 1000 / static_cast<std::int64_t>(med.dx);
+    // Projected windows until the series reaches the bound at the median
+    // slope (ceiling division; exact integers throughout).
+    const std::uint64_t gap = opts_.bound_pm - last_pm;
+    eta = (gap * med.dx + static_cast<std::uint64_t>(med.dy) - 1) /
+          static_cast<std::uint64_t>(med.dy);
+    trending = slope_mpm >= opts_.min_slope_mpm && eta <= opts_.horizon_windows;
+  }
+
+  if (!trending) {
+    s.alerted = false;  // re-arm once the trend breaks
+    return false;
+  }
+  if (s.alerted) return false;  // sustained drift: one alert, not N
+  s.alerted = true;
+  if (alert != nullptr) {
+    alert->window = window;
+    alert->input_class = input_class;
+    alert->metric = metric;
+    alert->p99_pm = last_pm;
+    alert->slope_mpm = slope_mpm;
+    alert->eta_windows = eta;
+  }
+  return true;
+}
+
+}  // namespace bolt::obs

@@ -130,4 +130,25 @@ bool QuantileSketch::operator==(const QuantileSketch& other) const {
          max() == other.max() && buckets_ == other.buckets_;
 }
 
+QuantileSummary summarize(const QuantileSketch& sketch) {
+  QuantileSummary out;
+  out.count = sketch.count();
+  out.p50 = sketch.quantile(0.50);
+  out.p90 = sketch.quantile(0.90);
+  out.p99 = sketch.quantile(0.99);
+  out.p999 = sketch.quantile(0.999);
+  out.max = sketch.max();
+  return out;
+}
+
+void summary_to_json(std::string& out, const QuantileSummary& s) {
+  out += "{\"count\":" + std::to_string(s.count);
+  out += ",\"p50\":" + std::to_string(s.p50);
+  out += ",\"p90\":" + std::to_string(s.p90);
+  out += ",\"p99\":" + std::to_string(s.p99);
+  out += ",\"p999\":" + std::to_string(s.p999);
+  out += ",\"max\":" + std::to_string(s.max);
+  out += '}';
+}
+
 }  // namespace bolt::perf

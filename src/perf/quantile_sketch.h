@@ -81,4 +81,25 @@ class QuantileSketch {
   std::uint64_t max_ = 0;
 };
 
+/// Selected quantiles of a sketch, extracted once at reporting time. All
+/// fields are integers, so every rendering that consumes a summary is
+/// byte-deterministic. Shared by the monitor's end-of-run report and the
+/// telemetry layer's per-window delta stream (src/obs/) — one extraction,
+/// one JSON shape.
+struct QuantileSummary {
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+  std::uint64_t max = 0;
+};
+
+/// Extracts the canonical summary quantiles from a merged sketch.
+QuantileSummary summarize(const QuantileSketch& sketch);
+
+/// Appends the summary as a JSON object ({"count":..,"p50":..,...}) — the
+/// shape both the monitor report and the delta stream embed.
+void summary_to_json(std::string& out, const QuantileSummary& s);
+
 }  // namespace bolt::perf

@@ -19,8 +19,10 @@
 // claim under TSan.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -28,6 +30,20 @@
 #include "support/assert.h"
 
 namespace bolt::support {
+
+/// Producer-side ring instrumentation (attached via SpscRing::set_stats).
+/// Plain non-atomic counters: every write happens on the producer thread,
+/// off the acquire/release fast path — readers must establish their own
+/// happens-before edge (e.g. join the producer) before looking, exactly
+/// like the ring's cached indices. `occupancy_high_water` is an upper
+/// bound: it is computed against the producer's *cached* consumer index,
+/// which may lag the true one, so the estimate can only overstate how full
+/// the ring ever was (the conservative direction for a stall diagnosis).
+struct SpscRingStats {
+  std::uint64_t pushes = 0;  ///< successful try_push calls
+  std::uint64_t stalls = 0;  ///< try_push calls that found the ring full
+  std::uint64_t occupancy_high_water = 0;  ///< max elements buffered (bound)
+};
 
 /// Bounded lock-free SPSC queue of `T`. Capacity is rounded up to a power
 /// of two (so index wrap is a mask, not a modulo).
@@ -49,16 +65,33 @@ class SpscRing {
   /// Usable capacity (power-of-two rounding of the requested minimum).
   std::size_t capacity() const { return buffer_.size(); }
 
+  /// Attaches (or detaches, with nullptr) producer-side stats counters.
+  /// Must be called while the producer is quiescent — before it starts, or
+  /// with the same happens-before discipline as reading the results. The
+  /// pointed-to struct must outlive the producer's last push.
+  void set_stats(SpscRingStats* stats) { stats_ = stats; }
+
   /// Producer side: enqueues `value` if there is room. Returns false on a
   /// full ring (the value is left untouched so the caller can retry).
   bool try_push(T& value) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ == buffer_.size()) {
       cached_head_ = head_.load(std::memory_order_acquire);
-      if (tail - cached_head_ == buffer_.size()) return false;
+      if (tail - cached_head_ == buffer_.size()) {
+        if (stats_ != nullptr) ++stats_->stalls;
+        return false;
+      }
     }
     buffer_[tail & mask_] = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
+    if (stats_ != nullptr) {
+      ++stats_->pushes;
+      // Occupancy after this push, measured against the cached consumer
+      // index (an upper bound; see SpscRingStats).
+      const std::uint64_t occupancy = tail - cached_head_ + 1;
+      stats_->occupancy_high_water =
+          std::max(stats_->occupancy_high_water, occupancy);
+    }
     return true;
   }
 
@@ -109,9 +142,11 @@ class SpscRing {
   std::vector<T> buffer_;
   std::size_t mask_ = 0;
 
-  /// Consumer index, plus the producer's cached copy of it.
+  /// Consumer index, plus the producer's cached copy of it (and the
+  /// producer-owned stats hook, which shares the producer's line).
   alignas(64) std::atomic<std::size_t> head_{0};
   alignas(64) std::size_t cached_head_ = 0;   // producer-owned
+  SpscRingStats* stats_ = nullptr;            // producer-owned
   /// Producer index, plus the consumer's cached copy of it.
   alignas(64) std::atomic<std::size_t> tail_{0};
   alignas(64) std::size_t cached_tail_ = 0;   // consumer-owned

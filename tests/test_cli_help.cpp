@@ -43,7 +43,8 @@ TEST(CliHelp, DocumentsEveryMonitorFlag) {
       "--shards",   "--grouping",  "--threads",  "--batch",
       "--no-pipeline", "--epoch-ns", "--violation-threshold",
       "--inflate",  "--no-cycles", "--pcap",     "--json",
-      "--report",   "--help",
+      "--report",   "--delta-every", "--delta-out", "--metrics-out",
+      "--metrics-format", "--watch", "--help",
   };
   const std::string help = cli_usage_text();
   for (const std::string& flag : flags) {

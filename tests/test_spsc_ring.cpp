@@ -113,6 +113,72 @@ TEST(SpscRing, FailedPushDoesNotMoveFromTheValue) {
   EXPECT_EQ(second, "second");
 }
 
+// --- producer-side stats hook (the telemetry layer's ring counters) ---
+
+TEST(SpscRingStatsHook, CountsPushesStallsAndHighWater) {
+  SpscRing<int> ring(4);
+  SpscRingStats stats;
+  ring.set_stats(&stats);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(v));
+  }
+  EXPECT_EQ(stats.pushes, 4u);
+  EXPECT_EQ(stats.stalls, 0u);
+  EXPECT_EQ(stats.occupancy_high_water, 4u);
+
+  int overflow = 99;
+  EXPECT_FALSE(ring.try_push(overflow));
+  EXPECT_FALSE(ring.try_push(overflow));
+  EXPECT_EQ(stats.stalls, 2u);
+  EXPECT_EQ(stats.pushes, 4u);  // failed pushes are not pushes
+
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(ring.try_push(overflow));
+  EXPECT_EQ(stats.pushes, 5u);
+  // High-water stays at the historical maximum, not the current occupancy.
+  EXPECT_EQ(stats.occupancy_high_water, 4u);
+}
+
+TEST(SpscRingStatsHook, DetachingStopsCounting) {
+  SpscRing<int> ring(2);
+  SpscRingStats stats;
+  ring.set_stats(&stats);
+  int v = 1;
+  ASSERT_TRUE(ring.try_push(v));
+  ring.set_stats(nullptr);
+  v = 2;
+  ASSERT_TRUE(ring.try_push(v));
+  EXPECT_EQ(stats.pushes, 1u);
+}
+
+TEST(SpscRingStatsHook, ThreadedCountsMatchAndBoundHolds) {
+  // Attach before the producer starts, read after it joins — the
+  // documented discipline. Counts must be exact; the occupancy estimate
+  // must never exceed the capacity bound.
+  SpscRing<std::uint64_t> ring(4);
+  SpscRingStats stats;
+  ring.set_stats(&stats);
+  constexpr std::uint64_t kCount = 50'000;
+  std::uint64_t popped = 0;
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    while (ring.pop(v)) ++popped;
+  });
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) ring.push(i);
+    ring.close();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(popped, kCount);
+  EXPECT_EQ(stats.pushes, kCount);
+  EXPECT_LE(stats.occupancy_high_water, ring.capacity());
+  EXPECT_GE(stats.occupancy_high_water, 1u);
+}
+
 // --- threaded tests: the actual single-producer/single-consumer claim ---
 // Run under TSan in CI; a missing acquire/release pair or an index race
 // shows up here.

@@ -2,6 +2,7 @@
 """Render a BENCH_*.json archive into a markdown trend table.
 
 Usage: tools/bench_trend.py <result-dir> [<result-dir> ...] [-o trend.md]
+       tools/bench_trend.py --archive <archive-dir> [-o trend.md]
 
 Each <result-dir> is one column of the trend — a directory of BENCH_*.json
 files as produced by tools/bench_runner.sh (CI uploads one such directory
@@ -9,6 +10,14 @@ per commit as bench-results-<sha>; bench/baselines holds the committed
 reference point). Directories are rendered in the order given, so a local
 archive accumulated as bench-archive/<n>-<sha>/ renders oldest-to-newest
 with a shell glob.
+
+--archive DIR is the downloaded-CI-artifacts convenience: DIR's immediate
+subdirectories each become one column, ordered oldest-to-newest by
+(mtime, name) — so an archive of unpacked bench-results-<sha> artifact
+directories renders chronologically without the caller having to know the
+shas, and prepending bench/baselines still works by listing it before
+--archive. Extra positional directories compose with --archive: positionals
+render first, then the archive expansion.
 
 Both bench JSON flavours are understood:
   * support::BenchReport ({"bench": ..., "metrics": [{name, value, unit}]})
@@ -140,14 +149,34 @@ def render(dirs, labels):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("dirs", nargs="+",
+    parser.add_argument("dirs", nargs="*",
                         help="bench result directories, oldest first")
+    parser.add_argument("--archive", default=None, metavar="DIR",
+                        help="expand DIR's subdirectories into columns, "
+                             "ordered by (mtime, name)")
     parser.add_argument("-o", "--output", default="-",
                         help="output markdown file (default: stdout)")
     parser.add_argument("--labels", default=None,
                         help="comma-separated column labels "
                              "(default: directory basenames)")
     args = parser.parse_args()
+
+    if args.archive is not None:
+        if not os.path.isdir(args.archive):
+            print(f"error: '{args.archive}' is not a directory",
+                  file=sys.stderr)
+            return 2
+        entries = [os.path.join(args.archive, n)
+                   for n in os.listdir(args.archive)]
+        entries = [p for p in entries if os.path.isdir(p)]
+        entries.sort(key=lambda p: (os.path.getmtime(p), p))
+        if not entries:
+            print(f"error: '{args.archive}' has no subdirectories",
+                  file=sys.stderr)
+            return 2
+        args.dirs = args.dirs + entries
+    if not args.dirs:
+        parser.error("no result directories (positional or --archive)")
 
     for d in args.dirs:
         if not os.path.isdir(d):

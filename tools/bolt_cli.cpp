@@ -20,6 +20,7 @@
 //
 // <nf> is one of: bridge, nat, nat-b (allocator B), lb, lpm, lpm-simple,
 // firewall, router, fw+router (the chain).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -35,6 +36,8 @@
 #include "monitor/monitor.h"
 #include "net/pcap.h"
 #include "net/workload.h"
+#include "obs/delta.h"
+#include "obs/telemetry.h"
 #include "perf/contract_io.h"
 #include "support/bench.h"
 #include "support/io.h"
@@ -225,6 +228,16 @@ std::vector<net::Packet> monitor_workload(const std::string& nf,
     spec.packet_count = count;
     return net::long_run_traffic(spec);
   }
+  if (kind == "drift") {
+    net::DriftSpec spec;
+    // The erosion schedule (windows, ramp) is the spec's; --packets only
+    // scales the per-window density.
+    if (count > 0) {
+      spec.packets_per_window =
+          std::max<std::size_t>(std::size_t{1}, count / spec.windows);
+    }
+    return net::drift_traffic(spec);
+  }
   return {};
 }
 
@@ -245,6 +258,12 @@ struct MonitorCliArgs {
   bool pipeline = true;
   bool cycles = true;
   bool json = false;
+  // Telemetry layer (src/obs/).
+  std::size_t delta_every = 0;   // delta window width in epochs (0 = off)
+  std::string delta_out;         // write the delta JSONL stream here
+  std::string metrics_out;       // write the telemetry snapshot here
+  std::string metrics_format = "json";  // json | prom
+  bool watch = false;            // stream delta windows to stdout
 };
 
 int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
@@ -297,6 +316,13 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
   options.pipeline = args.pipeline;
   options.epoch_ns = args.epoch_ns;
   options.check_cycles = args.cycles;
+  // Telemetry layer: --watch and --delta-out imply delta mode at the
+  // finest granularity unless --delta-every chose one.
+  options.delta_every = args.delta_every;
+  if ((args.watch || !args.delta_out.empty()) && options.delta_every == 0) {
+    options.delta_every = 1;
+  }
+  options.telemetry = !args.metrics_out.empty();
   if (args.inflate_pct > 0) {
     options.framework.rx_instructions +=
         options.framework.rx_instructions * args.inflate_pct / 100;
@@ -309,10 +335,39 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
   }
   monitor::MonitorEngine engine(contract, reg, options);
 
+  obs::RunObservations observations;
+  const bool want_obs = options.delta_every > 0 || options.telemetry;
   support::BenchTimer timer;
   const monitor::MonitorReport report =
-      engine.run(packets, monitor::MonitorEngine::named_factory(nf));
+      engine.run(packets, monitor::MonitorEngine::named_factory(nf), nullptr,
+                 want_obs ? &observations : nullptr);
   const double elapsed_ms = timer.elapsed_ms();
+
+  // Delta stream: one JSON line per window. Stdout in watch mode (the
+  // tail-able operator view), a file via --delta-out, or both.
+  std::string delta_lines;
+  for (const obs::DeltaWindow& w : observations.deltas) {
+    delta_lines += obs::delta_window_to_json(w);
+    delta_lines += '\n';
+  }
+  if (args.watch) std::fputs(delta_lines.c_str(), stdout);
+  if (!args.delta_out.empty() &&
+      !support::write_file(args.delta_out, delta_lines)) {
+    std::fprintf(stderr, "error: cannot write delta stream to '%s'\n",
+                 args.delta_out.c_str());
+    return 1;
+  }
+  if (!args.metrics_out.empty()) {
+    const std::string metrics =
+        args.metrics_format == "prom"
+            ? obs::telemetry_to_prometheus(observations.telemetry, report.nf)
+            : obs::telemetry_to_json(observations.telemetry, report.nf) + "\n";
+    if (!support::write_file(args.metrics_out, metrics)) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
+  }
 
   // Never leave a truncated report behind for CI to archive as valid
   // (support::write_file removes the file on a failed or short write).
@@ -325,7 +380,9 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
   }
   if (args.json) {
     std::printf("%s\n", monitor::report_to_json(report).c_str());
-  } else {
+  } else if (!args.watch) {
+    // Watch mode keeps stdout a pure JSONL stream (the deltas above);
+    // --json appends the report as one more JSON line.
     std::printf("%s", report.str().c_str());
     const double pps = elapsed_ms > 0.0
                            ? static_cast<double>(packets.size()) /
@@ -348,6 +405,15 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
                  static_cast<unsigned long long>(report.violations),
                  static_cast<unsigned long long>(args.violation_threshold));
     return 1;
+  }
+  // Drift alerts get their own exit code so CI can distinguish "about to
+  // violate" (3) from "violating" (1) and "clean" (0).
+  if (!observations.alerts.empty()) {
+    std::fprintf(stderr,
+                 "warning: %zu contract-drift alert(s) raised (no violation "
+                 "yet; details in the delta stream)\n",
+                 observations.alerts.size());
+    return 3;
   }
   return 0;
 }
@@ -512,6 +578,13 @@ int cmd_gen(const std::string& kind, const std::string& out,
     net::LongRunSpec spec;
     spec.packet_count = count;
     packets = net::long_run_traffic(spec);
+  } else if (kind == "drift") {
+    net::DriftSpec spec;
+    if (count > 0) {
+      spec.packets_per_window =
+          std::max<std::size_t>(std::size_t{1}, count / spec.windows);
+    }
+    packets = net::drift_traffic(spec);
   } else {
     return usage();
   }
@@ -638,6 +711,31 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--no-cycles") == 0) {
       only_for(is_monitor, "--no-cycles");
       margs.cycles = false;
+    } else if (std::strcmp(argv[i], "--delta-every") == 0) {
+      only_for(is_monitor, "--delta-every");
+      margs.delta_every = numeric(i, "--delta-every");
+    } else if (std::strcmp(argv[i], "--delta-out") == 0) {
+      only_for(is_monitor, "--delta-out");
+      if (i + 1 >= argc) return usage();
+      margs.delta_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      only_for(is_monitor, "--metrics-out");
+      if (i + 1 >= argc) return usage();
+      margs.metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-format") == 0) {
+      only_for(is_monitor, "--metrics-format");
+      if (i + 1 >= argc) return usage();
+      const std::string fmt = argv[++i];
+      if (fmt != "json" && fmt != "prom") {
+        std::fprintf(stderr,
+                     "error: bad --metrics-format value '%s' (json | prom)\n",
+                     fmt.c_str());
+        return 2;
+      }
+      margs.metrics_format = fmt;
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      only_for(is_monitor, "--watch");
+      margs.watch = true;
     } else if (std::strcmp(argv[i], "--workload") == 0) {
       only_for(is_monitor, "--workload");
       if (i + 1 >= argc) return usage();
