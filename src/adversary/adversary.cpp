@@ -41,6 +41,8 @@ constexpr std::uint64_t kSearchBudget = 64'000'000;
 // ---------------------------------------------------------------------------
 class Shadow {
  public:
+  static constexpr std::uint32_t kUnmapped = ~0u;
+
   Shadow(const std::string& nf, const perf::Contract& contract,
          const perf::PcvRegistry& reg, const AdversaryOptions& opts)
       : opts_(opts) {
@@ -52,24 +54,19 @@ class Shadow {
       auto part = std::make_unique<Partition>();
       BOLT_CHECK(core::make_named_target(nf, part->local_reg, part->target),
                  "adversary: unknown target '" + nf + "'");
-      constexpr std::uint32_t kUnmapped = ~0u;
       part->pcv_slot.assign(part->local_reg.size(), kUnmapped);
       for (const perf::PcvId id : part->local_reg.all()) {
         const std::string& name = part->local_reg.name(id);
         if (reg.contains(name)) part->pcv_slot[id] = reg.require(name);
       }
-      const auto programs = part->target.programs();
-      for (std::size_t pr = 0; pr < programs.size(); ++pr) {
-        for (std::size_t l = 0; l < programs[pr]->loops.size(); ++l) {
-          const std::string& name = programs[pr]->loops[l];
-          if (reg.contains(name)) {
-            part->loop_slot.emplace(static_cast<std::int64_t>(pr) * 1000 +
-                                        static_cast<std::int64_t>(l),
-                                    reg.require(name));
-          }
-        }
-      }
       part->runner = part->target.make_runner(opts.framework, nullptr);
+      // Flat loop slot -> contract slot of the PCV named after the loop.
+      ir::RunLabels& labels = part->runner->labels();
+      part->loop_slot.assign(labels.loop_count(), kUnmapped);
+      for (std::size_t flat = 0; flat < labels.loop_count(); ++flat) {
+        const std::string& name = labels.loop_name(flat);
+        if (reg.contains(name)) part->loop_slot[flat] = reg.require(name);
+      }
       partitions_.push_back(std::move(part));
     }
   }
@@ -109,30 +106,22 @@ class Shadow {
     out.verdict = run.verdict;
     out.out_port = run.out_port;
 
-    std::vector<std::pair<std::string, std::string>> cases;
-    cases.reserve(run.calls.size());
-    for (const ir::CallSite& call : run.calls) {
-      auto it = part.target.methods().find(call.method);
-      cases.emplace_back(it != part.target.methods().end()
-                             ? it->second.name
-                             : "m" + std::to_string(call.method),
-                         call.case_label);
-    }
-    out.class_key = core::class_key(run.class_tags, cases);
+    out.class_key = core::class_key_of(run, &part.target.methods());
     const auto entry_it = entry_index_.find(out.class_key);
     if (entry_it != entry_index_.end()) {
       out.entry = static_cast<std::uint32_t>(entry_it->second);
     }
 
-    constexpr std::uint32_t kUnmapped = ~0u;
     for (const auto& [id, value] : run.pcvs.values()) {
       if (id < part.pcv_slot.size() && part.pcv_slot[id] != kUnmapped) {
         out.pcvs.set(part.pcv_slot[id], value);
       }
     }
-    for (const auto& [loop, trips] : run.loop_trips) {
-      const auto slot_it = part.loop_slot.find(loop);
-      if (slot_it != part.loop_slot.end()) out.pcvs.set(slot_it->second, trips);
+    for (std::size_t flat = 0; flat < run.loop_trips.size(); ++flat) {
+      const std::uint64_t trips = run.loop_trips[flat];
+      if (trips != 0 && part.loop_slot[flat] != kUnmapped) {
+        out.pcvs.set(part.loop_slot[flat], trips);
+      }
     }
     return out;
   }
@@ -146,7 +135,7 @@ class Shadow {
     perf::PcvRegistry local_reg;
     core::NfTarget target;
     std::vector<std::uint32_t> pcv_slot;
-    std::unordered_map<std::int64_t, std::uint32_t> loop_slot;
+    std::vector<std::uint32_t> loop_slot;  ///< by flat loop index
     std::unique_ptr<core::NfRunner> runner;
     bool have_epoch = false;
     std::uint64_t epoch = 0;

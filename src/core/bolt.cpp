@@ -31,7 +31,7 @@ class ReplayEnv final : public ir::StatefulEnv {
     ir::CallOutcome out;
     out.v0 = c.ret0->eval(path_.model);
     out.v1 = c.ret1->eval(path_.model);
-    out.case_label = c.case_label;
+    out.case_label = c.case_label.c_str();  // path_ outlives the interning
     return out;
   }
 
@@ -168,9 +168,9 @@ GenerationResult ContractGenerator::generate(const NfAnalysis& nf) {
     // The replay must follow exactly the symbolic path.
     BOLT_CHECK(env.calls_made() == path.calls.size(),
                nf.name + ": replay diverged (call count)");
-    BOLT_CHECK(run.class_tags == path.class_tags,
+    BOLT_CHECK(run.class_tag_names() == path.class_tags,
                nf.name + ": replay diverged (class tags)");
-    BOLT_CHECK(run.loop_trips == path.loop_trips,
+    BOLT_CHECK(run.loop_trips_map() == path.loop_trips,
                nf.name + ": replay diverged (loop trips)");
 
     report.stateless_instructions = run.instructions;

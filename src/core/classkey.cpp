@@ -20,4 +20,19 @@ std::string class_key(const std::vector<std::string>& tags,
   return key;
 }
 
+std::string class_key_of(const ir::RunResult& run,
+                         const dslib::MethodTable* methods) {
+  std::vector<std::pair<std::string, std::string>> cases;
+  cases.reserve(run.calls.size());
+  for (const ir::CallRec& c : run.calls) {
+    std::string name = "m" + std::to_string(c.method);
+    if (methods != nullptr) {
+      auto it = methods->find(c.method);
+      if (it != methods->end()) name = it->second.name;
+    }
+    cases.emplace_back(std::move(name), run.case_label_of(c));
+  }
+  return class_key(run.class_tag_names(), cases);
+}
+
 }  // namespace bolt::core

@@ -11,10 +11,20 @@
 #include <utility>
 #include <vector>
 
+#include "dslib/method.h"
+#include "ir/interp.h"
+
 namespace bolt::core {
 
 std::string class_key(const std::vector<std::string>& tags,
                       const std::vector<std::pair<std::string, std::string>>&
                           call_cases);
+
+/// Materialises the class key of a concrete run from its interned ids
+/// (through run.labels). `methods` maps call ids to names; unknown/absent
+/// ids render as "m<id>". This is the boundary where id-carrying results
+/// become strings — nothing on the per-packet fast path calls it.
+std::string class_key_of(const ir::RunResult& run,
+                         const dslib::MethodTable* methods);
 
 }  // namespace bolt::core

@@ -16,17 +16,7 @@ DistillerReport Distiller::run(std::vector<net::Packet>& packets) {
     const ir::RunResult run = runner_.process(packet);
 
     PacketRecord rec;
-    std::vector<std::pair<std::string, std::string>> cases;
-    cases.reserve(run.calls.size());
-    for (const ir::CallSite& c : run.calls) {
-      std::string name = "m" + std::to_string(c.method);
-      if (methods_ != nullptr) {
-        auto it = methods_->find(c.method);
-        if (it != methods_->end()) name = it->second.name;
-      }
-      cases.emplace_back(std::move(name), c.case_label);
-    }
-    rec.class_key = class_key(run.class_tags, cases);
+    rec.class_key = class_key_of(run, methods_);
     rec.pcvs = run.pcvs;
     rec.instructions = run.instructions;
     rec.mem_accesses = run.mem_accesses;

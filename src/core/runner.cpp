@@ -1,5 +1,6 @@
 #include "core/runner.h"
 
+#include "ir/decoded.h"
 #include "support/assert.h"
 
 namespace bolt::core {
@@ -8,9 +9,24 @@ NfRunner::NfRunner(std::vector<const ir::Program*> programs,
                    ir::StatefulEnv* env, ir::InterpreterOptions options)
     : programs_(std::move(programs)) {
   BOLT_CHECK(!programs_.empty(), "NfRunner needs at least one program");
-  interps_.reserve(programs_.size());
-  for (const ir::Program* p : programs_) {
-    interps_.emplace_back(*p, env, options);
+  labels_ = std::make_unique<ir::RunLabels>(programs_);
+  // The decoded engine folds conservative cycle accounting into per-record
+  // tables; a sink without a fast_meter() needs the exact per-event trace
+  // and silently falls back to the reference interpreter.
+  decoded_ = options.engine == ir::EngineKind::kDecoded &&
+             (options.sink == nullptr ||
+              options.sink->fast_meter() != nullptr);
+  engines_.reserve(programs_.size());
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    ir::LabelBinding binding{labels_.get(), labels_->tag_base(i),
+                             labels_->loop_base(i)};
+    if (decoded_) {
+      engines_.push_back(std::make_unique<ir::DecodedInterpreter>(
+          *programs_[i], env, options, binding));
+    } else {
+      engines_.push_back(std::make_unique<ir::Interpreter>(
+          *programs_[i], env, options, binding));
+    }
   }
 }
 
@@ -24,13 +40,15 @@ void NfRunner::process_into(net::Packet& packet, ir::RunResult& out) {
   // Single program (the common case): run straight into the caller's
   // buffer — no merge, no intermediate result.
   if (programs_.size() == 1) {
-    interps_[0].run_into(packet, out);
+    engines_[0]->run_into(packet, out);
     return;
   }
   out.clear();
+  out.labels = labels_.get();
+  out.loop_trips.assign(labels_->loop_count(), 0);
   ir::RunResult& r = chain_scratch_;
   for (std::size_t i = 0; i < programs_.size(); ++i) {
-    interps_[i].run_into(packet, r);
+    engines_[i]->run_into(packet, r);
     out.instructions += r.instructions;
     out.mem_accesses += r.mem_accesses;
     out.stateless_instructions += r.stateless_instructions;
@@ -38,12 +56,13 @@ void NfRunner::process_into(net::Packet& packet, ir::RunResult& out) {
     for (const auto& [id, v] : r.pcvs.values()) {
       if (v > out.pcvs.get(id)) out.pcvs.set(id, v);
     }
-    for (auto& call : r.calls) out.calls.push_back(std::move(call));
-    for (auto& tag : r.class_tags) {
-      out.class_tags.push_back(programs_[i]->name + ":" + tag);
-    }
-    for (const auto& [loop, trips] : r.loop_trips) {
-      out.loop_trips[static_cast<std::int64_t>(i) * 1000 + loop] += trips;
+    out.calls.insert(out.calls.end(), r.calls.begin(), r.calls.end());
+    // Tags and loop slots are already chain-global (each engine is bound
+    // to the shared label table at its own base offsets).
+    out.class_tags.insert(out.class_tags.end(), r.class_tags.begin(),
+                          r.class_tags.end());
+    for (std::size_t l = 0; l < r.loop_trips.size(); ++l) {
+      out.loop_trips[l] += r.loop_trips[l];
     }
     out.verdict = r.verdict;
     out.out_port = r.out_port;

@@ -2,13 +2,26 @@
 // merging per-program results the same way the symbolic executor does
 // (chain-prefixed class tags, chain-namespaced loop ids), so measured runs
 // and generated contracts speak the same class-key language.
+//
+// The runner owns one ir::RunLabels for the whole chain and binds every
+// engine to it, so the ids each engine records (tag ids, flat loop
+// indices, case tokens) are already chain-global: the chain merge is
+// integer appends and vector adds, with no string work.
+//
+// Engine selection: options.engine picks the decoded fast path (default)
+// or the reference interpreter. Sinks that need the exact per-event trace
+// (no fast_meter(), e.g. hw::RealisticSim) force the reference engine
+// regardless of the knob — the decoded engine cannot drive them without
+// changing semantics.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "hw/models.h"
 #include "ir/interp.h"
+#include "ir/labels.h"
 #include "ir/program.h"
 #include "ir/stateful.h"
 #include "net/packet.h"
@@ -40,14 +53,24 @@ class NfRunner {
 
   const std::vector<const ir::Program*>& programs() const { return programs_; }
 
+  /// The chain's label table (what the ids in this runner's RunResults
+  /// mean). Stable for the runner's lifetime.
+  ir::RunLabels& labels() { return *labels_; }
+
+  /// True if packets execute on the decoded fast path (false when the
+  /// engine knob or the sink forced the reference interpreter).
+  bool uses_decoded_engine() const { return decoded_; }
+
   /// Scratch memory of program `index` (for microbenchmark setup).
   std::vector<std::uint64_t>& scratch(std::size_t index) {
-    return interps_[index].scratch();
+    return engines_[index]->scratch();
   }
 
  private:
   std::vector<const ir::Program*> programs_;
-  std::vector<ir::Interpreter> interps_;
+  std::unique_ptr<ir::RunLabels> labels_;  ///< stable address across moves
+  std::vector<std::unique_ptr<ir::PacketEngine>> engines_;
+  bool decoded_ = false;
   ir::RunResult chain_scratch_;  ///< per-program scratch for process_into
 };
 

@@ -48,13 +48,17 @@ struct NfInstance {
     return a;
   }
 
-  /// Concrete runner (measurement side). `sink` may be null.
+  /// Concrete runner (measurement side). `sink` may be null. `engine`
+  /// selects the execution fast path (see ir::EngineKind; sinks without a
+  /// fast_meter() fall back to the reference engine regardless).
   std::unique_ptr<NfRunner> make_runner(
       const nf::FrameworkCosts& fw = nf::framework_full(),
-      ir::TraceSink* sink = nullptr) const {
+      ir::TraceSink* sink = nullptr,
+      ir::EngineKind engine = ir::EngineKind::kDecoded) const {
     ir::InterpreterOptions opts;
     nf::apply_framework(opts, fw);
     opts.sink = sink;
+    opts.engine = engine;
     return std::make_unique<NfRunner>(
         std::vector<const ir::Program*>{&program}, env.get(), opts);
   }

@@ -21,11 +21,13 @@ std::vector<const ir::Program*> NfTarget::programs() const {
 }
 
 std::unique_ptr<NfRunner> NfTarget::make_runner(const nf::FrameworkCosts& fw,
-                                                ir::TraceSink* sink) const {
-  if (!is_stateless) return instance.make_runner(fw, sink);
+                                                ir::TraceSink* sink,
+                                                ir::EngineKind engine) const {
+  if (!is_stateless) return instance.make_runner(fw, sink, engine);
   ir::InterpreterOptions opts;
   nf::apply_framework(opts, fw);
   opts.sink = sink;
+  opts.engine = engine;
   return std::make_unique<NfRunner>(programs(), nullptr, opts);
 }
 

@@ -40,10 +40,12 @@ struct NfTarget {
     return is_stateless ? no_methods : instance.methods;
   }
 
-  /// Concrete runner (measurement side). `sink` may be null.
+  /// Concrete runner (measurement side). `sink` may be null. `engine`
+  /// selects the execution fast path (see ir::EngineKind).
   std::unique_ptr<NfRunner> make_runner(
       const nf::FrameworkCosts& fw = nf::framework_full(),
-      ir::TraceSink* sink = nullptr) const;
+      ir::TraceSink* sink = nullptr,
+      ir::EngineKind engine = ir::EngineKind::kDecoded) const;
 
   /// The name contracts generated for this target carry (the analysis
   /// name; differs from the registry name for the LPM targets). Used to

@@ -1,54 +1,20 @@
 // Set-associative cache model with LRU replacement, used by both hardware
 // models (the conservative model's L1D must-hit analysis and the realistic
 // simulator's L1/L2/L3 hierarchy).
+//
+// The implementation moved to support/cache.h (header-only) so the decoded
+// interpreter's inline cycle meter can share it without depending on hw/;
+// these aliases keep the hw:: spelling every existing consumer uses.
 #pragma once
 
-#include <cstdint>
-#include <vector>
+#include "support/cache.h"
 
 namespace bolt::hw {
 
-inline constexpr std::uint32_t kCacheLineBytes = 64;
+inline constexpr std::uint32_t kCacheLineBytes = support::kCacheLineBytes;
 
-inline std::uint64_t line_of(std::uint64_t addr) {
-  return addr / kCacheLineBytes;
-}
+using support::line_of;
 
-class Cache {
- public:
-  /// `size_bytes` total capacity; `ways` associativity; LRU within sets.
-  Cache(std::size_t size_bytes, std::size_t ways);
-
-  /// Looks up (and on miss inserts) the line; returns true on hit.
-  bool access(std::uint64_t line);
-
-  /// Inserts without counting as a demand access (prefetch fills).
-  void insert(std::uint64_t line);
-
-  /// True if the line is currently resident (no LRU update).
-  bool contains(std::uint64_t line) const;
-
-  void clear();
-
-  std::size_t sets() const { return sets_; }
-  std::size_t ways() const { return ways_; }
-
- private:
-  struct Way {
-    std::uint64_t line = ~0ULL;
-    std::uint64_t lru = 0;    // higher = more recently used
-    std::uint64_t epoch = 0;  // valid only when == cache epoch (0 = never)
-  };
-
-  std::size_t set_of(std::uint64_t line) const { return line & (sets_ - 1); }
-  /// LRU rank with stale (pre-clear) entries reading as empty.
-  std::uint64_t lru_of(const Way& w) const { return w.epoch == epoch_ ? w.lru : 0; }
-
-  std::size_t sets_;
-  std::size_t ways_;
-  std::uint64_t tick_ = 0;
-  std::uint64_t epoch_ = 1;  // bumped by clear(); way.epoch 0 is pre-first-use
-  std::vector<Way> slots_;  // sets_ * ways_
-};
+using Cache = support::Cache;
 
 }  // namespace bolt::hw

@@ -3,14 +3,10 @@
 namespace bolt::hw {
 
 ConservativeModel::ConservativeModel(const CycleCosts& costs)
-    : costs_(costs), l1_(32 * 1024, 8) {}
-
-void ConservativeModel::begin_packet() {
-  // The contract may assume nothing about state left by earlier packets:
-  // the must-hit analysis starts cold every packet.
-  l1_.clear();
-  packet_start_ = cycles_;
-}
+    : costs_(costs),
+      meter_(ir::ConservativeCycleMeter::Costs{costs.cons_alu, 5,
+                                               costs.cons_l1,
+                                               costs.cons_dram}) {}
 
 std::uint64_t ConservativeModel::op_cycles(ir::Op op, const CycleCosts& costs) {
   switch (op) {
@@ -21,26 +17,6 @@ std::uint64_t ConservativeModel::op_cycles(ir::Op op, const CycleCosts& costs) {
       return costs.cons_alu;
     default:
       return costs.cons_alu;
-  }
-}
-
-void ConservativeModel::on_instruction(ir::Op op) {
-  cycles_ += op_cycles(op, costs_);
-}
-
-void ConservativeModel::on_metered_instructions(std::uint64_t n) {
-  cycles_ += n * costs_.cons_alu;
-}
-
-void ConservativeModel::on_access(std::uint64_t addr, std::uint32_t size,
-                                  bool /*is_write*/, bool /*dependent*/) {
-  // Accesses can straddle a line boundary; charge each touched line.
-  const std::uint64_t first = line_of(addr);
-  const std::uint64_t last = line_of(addr + (size == 0 ? 0 : size - 1));
-  for (std::uint64_t line = first; line <= last; ++line) {
-    // Must-hit: the line is provably resident only if this packet already
-    // touched it and it cannot have been evicted since (LRU simulation).
-    cycles_ += l1_.access(line) ? costs_.cons_l1 : costs_.cons_dram;
   }
 }
 

@@ -21,6 +21,7 @@
 
 #include "hw/cache.h"
 #include "ir/cost.h"
+#include "ir/cycle_meter.h"
 
 namespace bolt::hw {
 
@@ -72,29 +73,40 @@ class CycleModel : public ir::TraceSink {
 };
 
 /// Conservative, contract-grade model (per-packet must-hit L1D only).
+///
+/// A thin TraceSink adapter over ir::ConservativeCycleMeter: the meter owns
+/// all the arithmetic (per-op worst-case sums + the must-hit L1 stream), so
+/// the virtual event-stream path used by the reference interpreter and the
+/// inline path used by the decoded interpreter (via fast_meter()) cannot
+/// diverge — they are the same object.
 class ConservativeModel final : public CycleModel {
  public:
   explicit ConservativeModel(const CycleCosts& costs = default_cycle_costs());
 
-  void begin_packet() override;
-  std::uint64_t total_cycles() const override { return cycles_; }
+  void begin_packet() override { meter_.begin_packet(); }
+  std::uint64_t total_cycles() const override { return meter_.total_cycles(); }
   std::uint64_t packet_cycles() const override {
-    return cycles_ - packet_start_;
+    return meter_.packet_cycles();
   }
 
-  void on_instruction(ir::Op op) override;
-  void on_metered_instructions(std::uint64_t n) override;
-  void on_access(std::uint64_t addr, std::uint32_t size, bool is_write,
-                 bool dependent) override;
+  void on_instruction(ir::Op op) override {
+    meter_.add_cycles(op_cycles(op, costs_));
+  }
+  void on_metered_instructions(std::uint64_t n) override {
+    meter_.add_cycles(n * costs_.cons_alu);
+  }
+  void on_access(std::uint64_t addr, std::uint32_t size, bool /*is_write*/,
+                 bool /*dependent*/) override {
+    meter_.access(addr, size);
+  }
+  ir::ConservativeCycleMeter* fast_meter() override { return &meter_; }
 
   /// Worst-case cycles for one stateless IR instruction.
   static std::uint64_t op_cycles(ir::Op op, const CycleCosts& costs);
 
  private:
   CycleCosts costs_;
-  Cache l1_;  ///< must-hit analysis state, cleared per packet
-  std::uint64_t cycles_ = 0;
-  std::uint64_t packet_start_ = 0;
+  ir::ConservativeCycleMeter meter_;
 };
 
 /// Realistic testbed simulator (persistent hierarchy + prefetch).

@@ -26,6 +26,8 @@ inline constexpr std::uint64_t kScratchBase = 0x3000'0000ULL;
 inline constexpr std::uint64_t kArenaBase = 0x4000'0000ULL;
 inline constexpr std::uint64_t kArenaStride = 0x0100'0000ULL;  // 16 MiB each
 
+class ConservativeCycleMeter;  // ir/cycle_meter.h
+
 /// Receives the low-level event stream of one execution; implemented by the
 /// hardware models (conservative and realistic).
 class TraceSink {
@@ -40,6 +42,14 @@ class TraceSink {
   /// memory-level parallelism, which the realistic model cares about.
   virtual void on_access(std::uint64_t addr, std::uint32_t size, bool is_write,
                          bool dependent) = 0;
+  /// Devirtualization escape hatch for the decoded interpreter: a sink
+  /// whose cycle accounting is exactly the conservative meter's (order-
+  /// independent per-op sums + in-order must-hit access stream) returns its
+  /// meter here and the decoded engine drives it inline, bypassing the
+  /// three virtual calls per instruction. Sinks with richer semantics
+  /// (e.g. hw::RealisticSim's event-order-sensitive prefetch model) return
+  /// nullptr and keep the exact event stream via the reference interpreter.
+  virtual ConservativeCycleMeter* fast_meter() { return nullptr; }
 };
 
 /// Accumulates instruction and memory-access counts; forwards to an optional

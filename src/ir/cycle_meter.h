@@ -1,0 +1,70 @@
+// Inline conservative-cycle meter — the devirtualized core of the
+// conservative hardware model.
+//
+// The contract-grade cycle metric is a pure function of (a) how many
+// instructions ran, weighted by worst-case per-op costs, and (b) the
+// per-packet must-hit L1D analysis over the access stream, in order.
+// hw::ConservativeModel exposes exactly that arithmetic behind the virtual
+// TraceSink interface; the decoded interpreter instead drives this meter
+// directly (TraceSink::fast_meter() hands it over), so the hot loop pays an
+// inline cache probe per access and a single add per instruction batch
+// rather than three virtual calls per instruction.
+//
+// Instruction cycles are order-independent sums, so they may be batched;
+// access costs depend on L1 state and MUST be issued in execution order.
+// hw::ConservativeModel delegates to this meter, so both paths share one
+// implementation and cannot drift apart.
+#pragma once
+
+#include <cstdint>
+
+#include "support/cache.h"
+
+namespace bolt::ir {
+
+class ConservativeCycleMeter {
+ public:
+  /// Worst-case per-instruction costs; mirrors the conservative fields of
+  /// hw::CycleCosts (which constructs this meter from them).
+  struct Costs {
+    std::uint64_t alu = 2;    ///< worst-case cycles per instruction
+    std::uint64_t mul = 5;    ///< imul worst case
+    std::uint64_t l1 = 4;     ///< proven-L1 access
+    std::uint64_t dram = 200; ///< any unproven access
+  };
+
+  explicit ConservativeCycleMeter(const Costs& costs)
+      : costs_(costs), l1_(32 * 1024, 8) {}
+
+  /// The contract may assume nothing about state left by earlier packets:
+  /// the must-hit analysis starts cold every packet.
+  void begin_packet() {
+    l1_.clear();
+    packet_start_ = cycles_;
+  }
+
+  void add_cycles(std::uint64_t n) { cycles_ += n; }
+
+  /// One memory access: per touched line, L1 cost if this packet provably
+  /// keeps the line resident (LRU simulation), DRAM cost otherwise.
+  void access(std::uint64_t addr, std::uint32_t size) {
+    const std::uint64_t first = support::line_of(addr);
+    const std::uint64_t last =
+        support::line_of(addr + (size == 0 ? 0 : size - 1));
+    for (std::uint64_t line = first; line <= last; ++line) {
+      cycles_ += l1_.access(line) ? costs_.l1 : costs_.dram;
+    }
+  }
+
+  std::uint64_t total_cycles() const { return cycles_; }
+  std::uint64_t packet_cycles() const { return cycles_ - packet_start_; }
+  const Costs& costs() const { return costs_; }
+
+ private:
+  Costs costs_;
+  support::Cache l1_;  ///< must-hit analysis state, cleared per packet
+  std::uint64_t cycles_ = 0;
+  std::uint64_t packet_start_ = 0;
+};
+
+}  // namespace bolt::ir

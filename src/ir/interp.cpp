@@ -8,11 +8,38 @@ namespace bolt::ir {
 
 std::string RunResult::class_label() const {
   std::string out;
-  for (const auto& tag : class_tags) {
+  for (const std::uint32_t tag : class_tags) {
     if (!out.empty()) out += '/';
-    out += tag;
+    out += labels != nullptr ? labels->tag_name(tag) : std::to_string(tag);
   }
   return out.empty() ? "(untagged)" : out;
+}
+
+std::vector<std::string> RunResult::class_tag_names() const {
+  std::vector<std::string> out;
+  out.reserve(class_tags.size());
+  for (const std::uint32_t tag : class_tags) {
+    out.push_back(labels != nullptr ? labels->tag_name(tag)
+                                    : std::to_string(tag));
+  }
+  return out;
+}
+
+const std::string& RunResult::case_label_of(const CallRec& call) const {
+  BOLT_CHECK(labels != nullptr, "RunResult has no label table");
+  return labels->case_name(call.method, call.case_id);
+}
+
+std::map<std::int64_t, std::uint64_t> RunResult::loop_trips_map() const {
+  std::map<std::int64_t, std::uint64_t> out;
+  for (std::size_t flat = 0; flat < loop_trips.size(); ++flat) {
+    if (loop_trips[flat] == 0) continue;  // a map only held visited loops
+    const std::int64_t key =
+        labels != nullptr ? labels->loop_key(flat)
+                          : static_cast<std::int64_t>(flat);
+    out[key] += loop_trips[flat];
+  }
+  return out;
 }
 
 void RunResult::clear() {
@@ -22,20 +49,31 @@ void RunResult::clear() {
   mem_accesses = 0;
   stateless_instructions = 0;
   stateless_accesses = 0;
-  pcvs = perf::PcvBinding{};
+  pcvs.clear();
   calls.clear();
   class_tags.clear();
   loop_trips.clear();
+  labels = nullptr;
 }
 
 Interpreter::Interpreter(const Program& program, StatefulEnv* env,
-                         InterpreterOptions options)
-    : program_(program), env_(env), options_(options) {
+                         InterpreterOptions options, LabelBinding binding)
+    : program_(program), env_(env), options_(std::move(options)) {
   program_.validate();
+  if (binding.labels != nullptr) {
+    labels_ = binding.labels;
+    tag_base_ = binding.tag_base;
+    loop_base_ = binding.loop_base;
+  } else {
+    owned_labels_ = std::make_shared<RunLabels>(
+        std::vector<const Program*>{&program_});
+    labels_ = owned_labels_.get();
+  }
   regs_.resize(static_cast<std::size_t>(program_.num_regs), 0);
   locals_.resize(static_cast<std::size_t>(program_.num_locals), 0);
   scratch_.resize(program_.scratch_slots, 0);
   from_load_.resize(regs_.size(), false);
+  site_memo_.resize(program_.code.size());
   for (std::size_t i = 0;
        i < std::min(options_.scratch_init.size(), scratch_.size()); ++i) {
     scratch_[i] = options_.scratch_init[i];
@@ -50,6 +88,8 @@ RunResult Interpreter::run(net::Packet& packet) {
 
 void Interpreter::run_into(net::Packet& packet, RunResult& result) {
   result.clear();
+  result.labels = labels_;
+  result.loop_trips.resize(labels_->loop_count(), 0);
   CostMeter meter(options_.sink);
 
   // Framework rx cost (our DPDK/driver substitute): fixed instruction and
@@ -183,11 +223,18 @@ void Interpreter::run_into(net::Packet& packet, RunResult& result) {
         for (const auto& [id, v] : outcome.pcvs.values()) {
           if (v > result.pcvs.get(id)) result.pcvs.set(id, v);
         }
-        CallSite site;
-        site.method = ins.imm;
-        site.case_label = std::move(outcome.case_label);
-        site.pcvs = std::move(outcome.pcvs);
-        result.calls.push_back(std::move(site));
+        CallRec rec;
+        rec.method = ins.imm;
+        SiteMemo& memo = site_memo_[pc];
+        if (memo.ptr != nullptr && memo.ptr == outcome.case_label) {
+          rec.case_id = memo.case_id;
+          rec.token = memo.token;
+        } else {
+          rec.case_id = labels_->intern_case(ins.imm, outcome.case_label);
+          rec.token = labels_->case_token(ins.imm, rec.case_id);
+          memo = SiteMemo{outcome.case_label, rec.case_id, rec.token};
+        }
+        result.calls.push_back(rec);
         break;
       }
       case Op::kBr:
@@ -207,11 +254,11 @@ void Interpreter::run_into(net::Packet& packet, RunResult& result) {
         done = true;
         break;
       case Op::kClassTag:
-        result.class_tags.push_back(
-            program_.class_tags[static_cast<std::size_t>(ins.imm)]);
+        result.class_tags.push_back(tag_base_ +
+                                    static_cast<std::uint32_t>(ins.imm));
         break;
       case Op::kLoopHead:
-        ++result.loop_trips[ins.imm];
+        ++result.loop_trips[loop_base_ + static_cast<std::size_t>(ins.imm)];
         break;
     }
     pc = next;

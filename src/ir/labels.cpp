@@ -1,0 +1,122 @@
+#include "ir/labels.h"
+
+#include "ir/interp.h"
+#include "support/assert.h"
+
+namespace bolt::ir {
+
+RunLabels::RunLabels(const std::vector<const Program*>& programs) {
+  BOLT_CHECK(!programs.empty(), "RunLabels needs at least one program");
+  const bool chain = programs.size() > 1;
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    const Program& prog = *programs[p];
+    tag_base_.push_back(static_cast<std::uint32_t>(tag_names_.size()));
+    for (const std::string& tag : prog.class_tags) {
+      tag_names_.push_back(chain ? prog.name + ":" + tag : tag);
+    }
+    loop_base_.push_back(static_cast<std::uint32_t>(loop_keys_.size()));
+    for (std::size_t l = 0; l < prog.loops.size(); ++l) {
+      loop_keys_.push_back(static_cast<std::int64_t>(p) * 1000 +
+                           static_cast<std::int64_t>(l));
+      loop_names_.push_back(prog.loops[l]);
+    }
+  }
+  // Tag tokens are the tag ids themselves; case tokens allocate above them.
+  num_tokens_ = static_cast<std::uint32_t>(tag_names_.size());
+  width_ = num_tokens_ + 8;  // headroom so early case tokens avoid a regrow
+  trie_.assign(width_, 0);   // state 0 = root
+}
+
+std::uint32_t RunLabels::new_token() {
+  const std::uint32_t token = num_tokens_++;
+  if (token >= width_) {
+    // Widen every state's row. States keep their numbering; only the row
+    // stride changes. Rare: happens when a method reveals more distinct
+    // cases than the current headroom.
+    const std::uint32_t new_width = width_ * 2 + 8;
+    const std::size_t states = trie_.size() / width_;
+    std::vector<std::uint32_t> wider(states * new_width, 0);
+    for (std::size_t s = 0; s < states; ++s) {
+      for (std::uint32_t t = 0; t < width_; ++t) {
+        wider[s * new_width + t] = trie_[s * width_ + t];
+      }
+    }
+    trie_ = std::move(wider);
+    width_ = new_width;
+  }
+  return token;
+}
+
+std::uint32_t RunLabels::intern_case(std::int64_t method, const char* label) {
+  if (label == nullptr) label = "";
+  CaseTable* table = nullptr;
+  for (CaseTable& t : cases_) {
+    if (t.method == method) {
+      table = &t;
+      break;
+    }
+  }
+  if (table == nullptr) {
+    cases_.emplace_back();
+    table = &cases_.back();
+    table->method = method;
+  }
+  for (std::size_t i = 0; i < table->names.size(); ++i) {
+    if (table->names[i] == label) return static_cast<std::uint32_t>(i);
+  }
+  table->names.emplace_back(label);
+  table->tokens.push_back(new_token());
+  return static_cast<std::uint32_t>(table->names.size() - 1);
+}
+
+const std::string& RunLabels::case_name(std::int64_t method,
+                                        std::uint32_t case_id) const {
+  for (const CaseTable& t : cases_) {
+    if (t.method == method) {
+      BOLT_CHECK(case_id < t.names.size(), "case id out of range");
+      return t.names[case_id];
+    }
+  }
+  BOLT_CHECK(false, "case_name: unknown method");
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+std::uint32_t RunLabels::case_token(std::int64_t method,
+                                    std::uint32_t case_id) const {
+  for (const CaseTable& t : cases_) {
+    if (t.method == method) {
+      BOLT_CHECK(case_id < t.tokens.size(), "case id out of range");
+      return t.tokens[case_id];
+    }
+  }
+  BOLT_CHECK(false, "case_token: unknown method");
+  return 0;
+}
+
+std::uint32_t RunLabels::advance(std::uint32_t state, std::uint32_t token) {
+  BOLT_CHECK(token < num_tokens_, "path token out of range");
+  std::uint32_t& slot = trie_[static_cast<std::size_t>(state) * width_ + token];
+  if (slot == 0) {
+    const std::uint32_t next =
+        static_cast<std::uint32_t>(trie_.size() / width_);
+    trie_.resize(trie_.size() + width_, 0);
+    // resize can reallocate; re-derive the slot reference.
+    trie_[static_cast<std::size_t>(state) * width_ + token] = next;
+    return next;
+  }
+  return slot;
+}
+
+std::uint32_t RunLabels::path_of(const RunResult& result) {
+  std::uint32_t state = 0;
+  for (const std::uint32_t tag : result.class_tags) {
+    state = advance(state, tag);
+  }
+  for (const CallRec& call : result.calls) {
+    state = advance(state, call.token);
+  }
+  return state;
+}
+
+}  // namespace bolt::ir

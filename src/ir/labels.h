@@ -1,0 +1,102 @@
+// Label interning for concrete execution results.
+//
+// The execution engines record *ids* while a packet runs — class-tag ids,
+// per-method case ids, flat loop indices — and this table is what the ids
+// mean: the boundary where a report, a test, or an attribution miss needs
+// the actual strings. One RunLabels instance serves one NfRunner (one NF or
+// chain); chains get their tag names pre-prefixed ("prog:tag") and their
+// loop keys pre-namespaced (prog_index * 1000 + loop), so materialised
+// labels are byte-identical to the strings the symbolic executor and the
+// legacy string-carrying RunResult produced.
+//
+// It also interns class *paths*: the sequence of tag tokens and call-case
+// tokens a packet takes folds, through a lazily grown transition trie, into
+// a single integer. Two packets take the same class path iff they fold to
+// the same id, so the monitor's attribution memo is one integer compare
+// instead of a string build + compare per packet.
+//
+// Not thread-safe: one instance per runner, used from that runner's thread
+// (the same discipline every per-partition structure in the monitor obeys).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace bolt::ir {
+
+struct RunResult;  // ir/interp.h
+
+class RunLabels {
+ public:
+  /// `programs` is the chain in execution order (one element for a single
+  /// NF). Tag names and loop keys are chain-qualified iff the chain has
+  /// more than one program, matching symbex::Executor.
+  explicit RunLabels(const std::vector<const Program*>& programs);
+
+  // --- class tags (static: defined by the programs) ---
+  std::uint32_t num_tags() const {
+    return static_cast<std::uint32_t>(tag_names_.size());
+  }
+  const std::string& tag_name(std::uint32_t tag) const {
+    return tag_names_[tag];
+  }
+  /// First global tag id of chain position `prog`.
+  std::uint32_t tag_base(std::size_t prog) const { return tag_base_[prog]; }
+
+  // --- loops (static) ---
+  std::size_t loop_count() const { return loop_keys_.size(); }
+  /// Chain-namespaced loop key of flat loop index `flat`
+  /// (prog_index * 1000 + loop id; the raw loop id for single programs).
+  std::int64_t loop_key(std::size_t flat) const { return loop_keys_[flat]; }
+  const std::string& loop_name(std::size_t flat) const {
+    return loop_names_[flat];
+  }
+  std::uint32_t loop_base(std::size_t prog) const { return loop_base_[prog]; }
+
+  // --- call cases (discovered as execution observes them) ---
+  /// Interns `label` as a case of `method`; returns the per-method case id.
+  /// Execution order is deterministic, so two engines fed the same traffic
+  /// assign identical ids. `label` may be null (treated as "").
+  std::uint32_t intern_case(std::int64_t method, const char* label);
+  const std::string& case_name(std::int64_t method, std::uint32_t case_id) const;
+  /// The path-trie token for a (method, case) pair.
+  std::uint32_t case_token(std::int64_t method, std::uint32_t case_id) const;
+
+  // --- class paths ---
+  /// Folds the result's tag sequence and call-case sequence into one path
+  /// id (state of the transition trie). Ids are stable within this
+  /// instance; the root (empty path) is 0.
+  std::uint32_t path_of(const RunResult& result);
+
+  /// Trie transition: the state reached from `state` on `token` (a tag id
+  /// or a case_token). Grows the trie on first traversal.
+  std::uint32_t advance(std::uint32_t state, std::uint32_t token);
+
+ private:
+  std::uint32_t new_token();
+
+  std::vector<std::string> tag_names_;
+  std::vector<std::uint32_t> tag_base_;
+  std::vector<std::int64_t> loop_keys_;
+  std::vector<std::string> loop_names_;
+  std::vector<std::uint32_t> loop_base_;
+
+  struct CaseTable {
+    std::int64_t method = 0;
+    std::vector<std::string> names;    ///< case_id -> label
+    std::vector<std::uint32_t> tokens; ///< case_id -> trie token
+  };
+  std::vector<CaseTable> cases_;  ///< few methods; linear scan by id
+
+  // Transition trie: row per state, one slot per token. Slot 0 in a row
+  // means "no transition yet" (no edge ever returns to the root, so state
+  // id 0 doubles as the sentinel).
+  std::uint32_t width_ = 0;       ///< tokens currently representable
+  std::uint32_t num_tokens_ = 0;  ///< tokens actually allocated
+  std::vector<std::uint32_t> trie_;  ///< (num_states) x width_
+};
+
+}  // namespace bolt::ir

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 
 #include "ir/cost.h"
 #include "net/packet.h"
@@ -19,10 +18,17 @@ namespace bolt::ir {
 /// structure reports *which contract case* the call took (e.g. "hit" vs
 /// "miss") and the PCV values it induced (collisions, traversals, expired
 /// entries, ...). The Distiller and the accuracy experiments feed on these.
+///
+/// `case_label` is a borrowed pointer, not an owned string: every dslib
+/// implementation labels its cases with string literals, and the replay
+/// environment points into path data that outlives the call. The pointee
+/// must stay valid until the interpreter interns it (immediately after the
+/// call returns) — which also makes the common repeat-case fast path a
+/// single pointer compare per call instead of a string allocation.
 struct CallOutcome {
   std::uint64_t v0 = 0;
   std::uint64_t v1 = 0;
-  std::string case_label;
+  const char* case_label = "";
   perf::PcvBinding pcvs;
 };
 

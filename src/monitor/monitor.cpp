@@ -397,21 +397,30 @@ class MonitorEngine::QueueTask {
     }
   }
 
-  /// Builds the run's class key into the reused buffer — byte-identical
-  /// to core::class_key — and resolves it against the contract. Returns
-  /// kUnattributedEntry when no entry matches.
+  /// Resolves the run's input class against the contract. The run's tag
+  /// and call-case ids fold into a single interned path id
+  /// (ir::RunLabels::path_of); a path seen before resolves with one vector
+  /// index. Only the *first* packet of each distinct class materialises the
+  /// key string (byte-identical to core::class_key) and hashes it against
+  /// the contract's entry index. Returns kUnattributedEntry when no entry
+  /// matches.
   std::uint32_t resolve_entry(
-      const ir::RunResult& run,
+      const ir::RunResult& run, ir::RunLabels& labels,
       const std::unordered_map<std::int64_t, std::string>& method_names) {
+    const std::uint32_t path = labels.path_of(run);
+    if (path < path_entry_.size() && path_entry_[path] != kUnresolvedPath) {
+      if (tel_ != nullptr) ++tel_->attr_memo_hits;
+      return path_entry_[path];
+    }
     std::string& key = key_buf_;
     key.clear();
-    for (const auto& tag : run.class_tags) {
+    for (const std::uint32_t tag : run.class_tags) {
       if (!key.empty()) key += '/';
-      key += tag;
+      key += labels.tag_name(tag);
     }
     if (key.empty()) key = "(untagged)";
     bool first_call = true;
-    for (const ir::CallSite& call : run.calls) {
+    for (const ir::CallRec& call : run.calls) {
       key += first_call ? " | " : ",";
       first_call = false;
       const auto it = method_names.find(call.method);
@@ -422,22 +431,15 @@ class MonitorEngine::QueueTask {
         key += std::to_string(call.method);
       }
       key += '=';
-      key += call.case_label;
-    }
-    // Consecutive packets usually repeat a handful of hot classes; the
-    // one-entry memo turns the common case into a short string compare.
-    if (have_last_ && key == last_key_) {
-      if (tel_ != nullptr) ++tel_->attr_memo_hits;
-      return last_entry_;
+      key += labels.case_name(call.method, call.case_id);
     }
     const auto entry_it = e_.entry_index_.find(key);
     const std::uint32_t entry =
         entry_it == e_.entry_index_.end()
             ? kUnattributedEntry
             : static_cast<std::uint32_t>(entry_it->second);
-    have_last_ = true;
-    last_key_ = key;
-    last_entry_ = entry;
+    if (path >= path_entry_.size()) path_entry_.resize(path + 1, kUnresolvedPath);
+    path_entry_[path] = entry;
     return entry;
   }
 
@@ -455,20 +457,6 @@ class MonitorEngine::QueueTask {
       const std::string& name = local_reg.name(id);
       if (e_.reg_.contains(name)) pcv_slot[id] = e_.reg_.require(name);
     }
-    // Loop-trip PCVs (linearised loop families): chain-namespaced loop id
-    // -> contract slot of the PCV named after the loop.
-    std::unordered_map<std::int64_t, std::uint32_t> loop_slot;
-    const auto programs = target.programs();
-    for (std::size_t p = 0; p < programs.size(); ++p) {
-      for (std::size_t l = 0; l < programs[p]->loops.size(); ++l) {
-        const std::string& name = programs[p]->loops[l];
-        if (e_.reg_.contains(name)) {
-          loop_slot.emplace(static_cast<std::int64_t>(p) * 1000 +
-                                static_cast<std::int64_t>(l),
-                            e_.reg_.require(name));
-        }
-      }
-    }
     // Method id -> name, resolved once instead of per call site per packet.
     std::unordered_map<std::int64_t, std::string> method_names;
     for (const auto& [id, spec] : target.methods()) {
@@ -478,7 +466,20 @@ class MonitorEngine::QueueTask {
     hw::ConservativeModel cycles(e_.options_.cycle_costs);
     const bool check_cycles = e_.options_.check_cycles;
     const auto runner =
-        target.make_runner(e_.options_.framework, check_cycles ? &cycles : nullptr);
+        target.make_runner(e_.options_.framework,
+                           check_cycles ? &cycles : nullptr,
+                           e_.options_.engine);
+    ir::RunLabels& labels = runner->labels();
+    path_entry_.clear();  // path ids are scoped to this runner's labels
+
+    // Loop-trip PCVs (linearised loop families): flat loop slot -> contract
+    // slot of the PCV named after the loop (kUnmapped when the contract
+    // does not price that loop).
+    std::vector<std::uint32_t> loop_slot(labels.loop_count(), kUnmapped);
+    for (std::size_t flat = 0; flat < labels.loop_count(); ++flat) {
+      const std::string& name = labels.loop_name(flat);
+      if (e_.reg_.contains(name)) loop_slot[flat] = e_.reg_.require(name);
+    }
 
     // Deterministic epoch clock: driven purely by this partition's packet
     // timestamps (never wall-clock), so every crossing — and therefore
@@ -517,7 +518,7 @@ class MonitorEngine::QueueTask {
                                                  target.state_occupancy());
       }
 
-      const std::uint32_t entry = resolve_entry(run_, method_names);
+      const std::uint32_t entry = resolve_entry(run_, labels, method_names);
       if (attribution_ != nullptr) (*attribution_)[index] = entry;
       if (entry == kUnattributedEntry) {
         if (!out.any_unattributed || index < out.first_unattributed) {
@@ -537,9 +538,11 @@ class MonitorEngine::QueueTask {
           row[pcv_slot[id]] = value;
         }
       }
-      for (const auto& [loop, trips] : run_.loop_trips) {
-        const auto slot_it = loop_slot.find(loop);
-        if (slot_it != loop_slot.end()) row[slot_it->second] = trips;
+      for (std::size_t flat = 0; flat < run_.loop_trips.size(); ++flat) {
+        const std::uint64_t trips = run_.loop_trips[flat];
+        if (trips != 0 && loop_slot[flat] != kUnmapped) {
+          row[loop_slot[flat]] = trips;
+        }
       }
       b.measured[0][b.rows] = run_.instructions;
       b.measured[1][b.rows] = run_.mem_accesses;
@@ -571,10 +574,11 @@ class MonitorEngine::QueueTask {
   std::vector<SoaBatch> pending_;        ///< one open batch per entry
   net::Packet scratch_pkt_;              ///< reused packet copy
   ir::RunResult run_;                    ///< reused run result
-  std::string key_buf_;                  ///< reused class-key buffer
-  bool have_last_ = false;
-  std::string last_key_;                 ///< one-entry attribution memo
-  std::uint32_t last_entry_ = 0;
+  std::string key_buf_;                  ///< reused key buffer (miss path)
+  /// Attribution memo: interned path id -> contract entry (or
+  /// kUnattributedEntry). Dense — path ids are small and reused.
+  static constexpr std::uint32_t kUnresolvedPath = kUnattributedEntry - 1;
+  std::vector<std::uint32_t> path_entry_;
 };
 
 std::size_t partition_of(const net::Packet& packet, std::size_t partitions) {

@@ -139,6 +139,12 @@ struct MonitorOptions {
   /// per-packet tree walk; exists as the benchmark baseline and as a
   /// cross-check in tests).
   bool use_compiled_exprs = true;
+  /// Execution engine for the per-partition runners. Execution-only: the
+  /// decoded fast path (default) is report-byte-identical to the reference
+  /// interpreter — tests/test_decoded.cpp proves it over the knob grid —
+  /// and kReference exists as the oracle baseline for those tests and for
+  /// bench's interp_decoded_speedup metric.
+  ir::EngineKind engine = ir::EngineKind::kDecoded;
   /// Incremental reporting: emit one delta window every this many epochs
   /// (0 = off; needs epoch_ns > 0). Windows are keyed purely by packet
   /// timestamp (ts / (epoch_ns * delta_every)), so the delta stream is

@@ -46,19 +46,50 @@ std::vector<PcvId> PcvRegistry::all() const {
   return ids;
 }
 
-void PcvBinding::set(PcvId id, std::uint64_t value) { values_[id] = value; }
+void PcvBinding::set(PcvId id, std::uint64_t value) {
+  value_type* s = slots();
+  // Sorted insert by id; existing entries update in place. Bindings hold a
+  // handful of entries, so the scan is cheaper than any index structure.
+  std::size_t pos = 0;
+  while (pos < size_ && s[pos].first < id) ++pos;
+  if (pos < size_ && s[pos].first == id) {
+    s[pos].second = value;
+    return;
+  }
+  if (size_ < kInline) {
+    for (std::size_t i = size_; i > pos; --i) s[i] = s[i - 1];
+    s[pos] = {id, value};
+    ++size_;
+    return;
+  }
+  // Crossing (or already past) the inline capacity: everything lives in
+  // the spill vector from here on.
+  if (size_ == kInline) {
+    spill_.assign(inline_, inline_ + kInline);
+  }
+  spill_.insert(spill_.begin() + static_cast<std::ptrdiff_t>(pos),
+                {id, value});
+  ++size_;
+}
 
 std::uint64_t PcvBinding::get(PcvId id) const {
-  auto it = values_.find(id);
-  return it == values_.end() ? 0 : it->second;
+  for (const value_type& e : *this) {
+    if (e.first == id) return e.second;
+    if (e.first > id) break;
+  }
+  return 0;
 }
 
 bool PcvBinding::has(PcvId id) const {
-  return values_.find(id) != values_.end();
+  for (const value_type& e : *this) {
+    if (e.first == id) return true;
+    if (e.first > id) break;
+  }
+  return false;
 }
 
 void PcvBinding::merge(const PcvBinding& other) {
-  for (const auto& [id, v] : other.values_) values_[id] = v;
+  for (const auto& [id, v] : other) set(id, v);
 }
 
 }  // namespace bolt::perf

@@ -51,8 +51,19 @@ class PcvRegistry {
 
 /// A concrete assignment of values to PCVs, used to evaluate expressions.
 /// PCVs are counts and are therefore non-negative.
+///
+/// Stored as a flat array sorted by id — bindings are tiny (an NF induces a
+/// handful of PCVs per packet), so linear scans beat tree lookups and the
+/// whole structure fits in one or two cache lines. The first few entries
+/// live inline; per-packet bindings on the monitor's hot path therefore
+/// never touch the heap (the old std::map paid a node allocation per PCV
+/// per call). Iteration order (ascending id) matches the previous map, so
+/// every consumer that renders or accumulates in iteration order is
+/// byte-identical.
 class PcvBinding {
  public:
+  using value_type = std::pair<PcvId, std::uint64_t>;
+
   PcvBinding() = default;
 
   void set(PcvId id, std::uint64_t value);
@@ -60,13 +71,33 @@ class PcvBinding {
   std::uint64_t get(PcvId id) const;
   bool has(PcvId id) const;
 
-  const std::map<PcvId, std::uint64_t>& values() const { return values_; }
+  /// Iterable view over (id, value) pairs in ascending id order. Returns
+  /// the binding itself so existing `for (auto& [id, v] : b.values())`
+  /// call sites keep working unchanged.
+  const PcvBinding& values() const { return *this; }
+
+  const value_type* begin() const { return spilled() ? spill_.data() : inline_; }
+  const value_type* end() const { return begin() + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Forgets all entries but keeps any spill capacity, so a reused
+  /// per-packet binding stays allocation-free.
+  void clear() { size_ = 0; }
 
   /// Merge: entries in `other` overwrite entries here.
   void merge(const PcvBinding& other);
 
  private:
-  std::map<PcvId, std::uint64_t> values_;
+  static constexpr std::size_t kInline = 6;
+  bool spilled() const { return size_ > kInline; }
+  value_type* slots() { return spilled() ? spill_.data() : inline_; }
+
+  value_type inline_[kInline] = {};
+  std::uint32_t size_ = 0;
+  /// Overflow storage: once a binding exceeds kInline entries, all of them
+  /// live here (rare — only contract-side worst-case bindings get big).
+  std::vector<value_type> spill_;
 };
 
 }  // namespace bolt::perf

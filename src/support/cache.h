@@ -1,0 +1,121 @@
+// Set-associative cache model with LRU replacement and O(1) epoch clear.
+//
+// Lives in support/ (header-only) so both the hardware models in hw/ and
+// the decoded interpreter's inline conservative-cycle meter in ir/ can use
+// it without a layering inversion: ir/ must not depend on hw/, but both sit
+// above support/. Keeping the implementation inline also lets the decoded
+// engine's per-access must-hit lookup inline into its dispatch loop instead
+// of paying an out-of-line call per memory access.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace bolt::support {
+
+inline constexpr std::uint32_t kCacheLineBytes = 64;
+
+inline std::uint64_t line_of(std::uint64_t addr) {
+  return addr / kCacheLineBytes;
+}
+
+class Cache {
+ public:
+  /// `size_bytes` total capacity; `ways` associativity; LRU within sets.
+  Cache(std::size_t size_bytes, std::size_t ways) : ways_(ways) {
+    BOLT_CHECK(ways >= 1, "cache needs at least one way");
+    const std::size_t lines = size_bytes / kCacheLineBytes;
+    BOLT_CHECK(lines >= ways, "cache too small for its associativity");
+    sets_ = lines / ways;
+    BOLT_CHECK((sets_ & (sets_ - 1)) == 0,
+               "cache set count must be a power of 2");
+    slots_.resize(sets_ * ways_);
+  }
+
+  /// Looks up (and on miss inserts) the line; returns true on hit.
+  bool access(std::uint64_t line) {
+    const std::size_t base = set_of(line) * ways_;
+    ++tick_;
+    std::size_t victim = base;
+    std::uint64_t victim_lru = lru_of(slots_[base]);
+    for (std::size_t w = 0; w < ways_; ++w) {
+      Way& way = slots_[base + w];
+      if (way.epoch == epoch_ && way.line == line) {
+        way.lru = tick_;
+        return true;
+      }
+      const std::uint64_t lru = lru_of(way);
+      if (lru < victim_lru) {
+        victim = base + w;
+        victim_lru = lru;
+      }
+    }
+    slots_[victim] = Way{line, tick_, epoch_};
+    return false;
+  }
+
+  /// Inserts without counting as a demand access (prefetch fills).
+  void insert(std::uint64_t line) {
+    const std::size_t base = set_of(line) * ways_;
+    ++tick_;
+    std::size_t victim = base;
+    std::uint64_t victim_lru = lru_of(slots_[base]);
+    for (std::size_t w = 0; w < ways_; ++w) {
+      Way& way = slots_[base + w];
+      if (way.epoch == epoch_ && way.line == line) {
+        return;  // already resident; prefetch is a no-op
+      }
+      const std::uint64_t lru = lru_of(way);
+      if (lru < victim_lru) {
+        victim = base + w;
+        victim_lru = lru;
+      }
+    }
+    slots_[victim] = Way{line, tick_, epoch_};
+  }
+
+  /// True if the line is currently resident (no LRU update).
+  bool contains(std::uint64_t line) const {
+    const std::size_t base = set_of(line) * ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      const Way& way = slots_[base + w];
+      if (way.epoch == epoch_ && way.line == line) return true;
+    }
+    return false;
+  }
+
+  void clear() {
+    // O(1) epoch invalidation: entries stamped with an older epoch read as
+    // empty (line ~0, LRU 0), exactly as if the array had been rewritten.
+    // The conservative model clears per packet/path, so an eager rewrite
+    // of sets*ways slots would be a real per-packet cost.
+    ++epoch_;
+    tick_ = 0;
+  }
+
+  std::size_t sets() const { return sets_; }
+  std::size_t ways() const { return ways_; }
+
+ private:
+  struct Way {
+    std::uint64_t line = ~0ULL;
+    std::uint64_t lru = 0;    // higher = more recently used
+    std::uint64_t epoch = 0;  // valid only when == cache epoch (0 = never)
+  };
+
+  std::size_t set_of(std::uint64_t line) const { return line & (sets_ - 1); }
+  /// LRU rank with stale (pre-clear) entries reading as empty.
+  std::uint64_t lru_of(const Way& w) const {
+    return w.epoch == epoch_ ? w.lru : 0;
+  }
+
+  std::size_t sets_;
+  std::size_t ways_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t epoch_ = 1;  // bumped by clear(); way.epoch 0 is pre-first-use
+  std::vector<Way> slots_;   // sets_ * ways_
+};
+
+}  // namespace bolt::support

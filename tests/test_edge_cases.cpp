@@ -215,7 +215,7 @@ TEST(ChainEdge, DropInFirstNfStopsTheChain) {
   net::Packet pkt = min_packet();
   const auto r = runner.process(pkt);
   EXPECT_EQ(r.verdict, net::NfVerdict::kDrop);
-  EXPECT_EQ(r.class_tags, std::vector<std::string>{"first:dropped_here"});
+  EXPECT_EQ(r.class_tag_names(), std::vector<std::string>{"first:dropped_here"});
 }
 
 TEST(ChainEdge, RewritesPropagateDownstream) {

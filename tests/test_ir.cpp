@@ -108,7 +108,7 @@ TEST(Interp, CountersCountInstructionsAndAccesses) {
   const RunResult r = interp.run(pkt);
   EXPECT_EQ(r.instructions, 3u);
   EXPECT_EQ(r.mem_accesses, 1u);
-  EXPECT_EQ(r.class_tags, std::vector<std::string>{"tagged"});
+  EXPECT_EQ(r.class_tag_names(), std::vector<std::string>{"tagged"});
 }
 
 TEST(Interp, FrameworkCostsAreAdded) {
@@ -201,7 +201,7 @@ TEST(Interp, StatefulCallsFlowThrough) {
   const RunResult r = interp.run(pkt);
   EXPECT_EQ(r.out_port, 3u + 4u + 99u);
   ASSERT_EQ(r.calls.size(), 1u);
-  EXPECT_EQ(r.calls[0].case_label, "stub");
+  EXPECT_EQ(r.case_label_of(r.calls[0]), "stub");
   EXPECT_EQ(r.pcvs.get(0), 7u);
   // Metered cost is included in totals but not in stateless counters.
   EXPECT_EQ(r.instructions, r.stateless_instructions + 10);

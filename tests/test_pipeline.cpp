@@ -276,7 +276,7 @@ TEST(Pipeline, SymbexAndReplayAgreeOnStatelessCounts) {
         ir::CallOutcome out;
         out.v0 = c.ret0->eval(path_.model);
         out.v1 = c.ret1->eval(path_.model);
-        out.case_label = c.case_label;
+        out.case_label = c.case_label.c_str();
         return out;
       }
       const symbex::PathResult& path_;
@@ -286,7 +286,7 @@ TEST(Pipeline, SymbexAndReplayAgreeOnStatelessCounts) {
     const ir::RunResult run = interp.run(packet);
     EXPECT_EQ(run.stateless_instructions, path.symbex_instructions);
     EXPECT_EQ(run.stateless_accesses, path.symbex_accesses);
-    EXPECT_EQ(run.class_tags, path.class_tags);
+    EXPECT_EQ(run.class_tag_names(), path.class_tags);
   }
 }
 
