@@ -1,0 +1,123 @@
+// Hunter + minimiser cost profile.
+//
+// The hunt is a CI gate (`bolt_cli hunt` exits 1 on a find), so its cost
+// IS its deployability: a hunt too slow to run per-commit protects
+// nothing. Three measurements, archived in BENCH_hunter_search.json when
+// BOLT_BENCH_JSON is set:
+//
+//  1. Seeded find: wall time for the hunt to locate the injected
+//     epoch-straddle fault on the NAT, plus the (deterministic) replay
+//     and generation counts.
+//  2. Minimisation: wall time and oracle replays to shrink the find to
+//     its 1-minimal witness, plus the witness size — the headline
+//     artifact a human reads.
+//  3. Clean sweep: replays/sec over the full default budget with the bug
+//     off — the steady-state cost of hunting on every commit.
+//
+// The counts are pure functions of the seed, so they are gated: a change
+// in `minimized_packets` or `hunt_seeded_replays` means the search or the
+// minimiser changed behaviour, not the host.
+#include <cstdio>
+
+#include "adversary/adversary.h"
+#include "adversary/hunter.h"
+#include "adversary/minimize.h"
+#include "core/bolt.h"
+#include "core/targets.h"
+#include "support/bench.h"
+
+using namespace bolt;
+
+namespace {
+
+constexpr int kReps = 3;
+constexpr std::uint64_t kSeed = 7;
+
+adversary::HunterOptions hunter_options(bool inject_bug) {
+  adversary::HunterOptions opts;
+  opts.seed = kSeed;
+  opts.adversary.seed = kSeed;
+  opts.monitor.inject_straddle_bug = inject_bug;
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  support::BenchReport bench("hunter_search");
+
+  perf::PcvRegistry reg;
+  core::NfTarget target;
+  core::make_named_target("nat", reg, target);
+  core::ContractGenerator gen(reg);
+  const core::GenerationResult generated = gen.generate(target.analysis());
+
+  // --- 1. seeded find ----------------------------------------------------
+  double find_seconds = 1e300;
+  adversary::HunterResult found;
+  for (int rep = 0; rep < kReps; ++rep) {
+    support::BenchTimer timer;
+    found = adversary::hunt("nat", generated.contract, reg,
+                            hunter_options(true), &generated.path_reports);
+    find_seconds = std::min(find_seconds, timer.elapsed_ms() / 1000.0);
+  }
+  if (!found.violation_found) {
+    std::fprintf(stderr, "bench: seeded hunt failed to find the fault!\n");
+    return 1;
+  }
+  std::printf("seeded hunt (NAT, straddle fault): found in generation %zu, "
+              "%llu replays, %.3f s\n",
+              found.violation_generation,
+              static_cast<unsigned long long>(found.replays), find_seconds);
+  bench.metric("hunt_seeded_seconds", find_seconds, "s");
+  bench.metric("hunt_seeded_replays", static_cast<double>(found.replays),
+               "replays");
+  bench.metric("hunt_find_generation",
+               static_cast<double>(found.violation_generation), "gen");
+
+  // --- 2. minimisation ---------------------------------------------------
+  double min_seconds = 1e300;
+  adversary::MinimizeResult minimized;
+  for (int rep = 0; rep < kReps; ++rep) {
+    adversary::MinimizeOptions mopts;
+    mopts.adversary = hunter_options(true).adversary;
+    mopts.monitor = hunter_options(true).monitor;
+    support::BenchTimer timer;
+    minimized = adversary::minimize("nat", generated.contract, reg,
+                                    found.best.packets, mopts);
+    min_seconds = std::min(min_seconds, timer.elapsed_ms() / 1000.0);
+  }
+  std::printf("minimise: %zu -> %zu packets, %llu oracle replays, %.3f s "
+              "(1-minimal: %s)\n",
+              minimized.original_packets, minimized.minimized_packets,
+              static_cast<unsigned long long>(minimized.replays), min_seconds,
+              minimized.one_minimal ? "yes" : "no");
+  bench.metric("minimize_seconds", min_seconds, "s");
+  bench.metric("minimize_replays", static_cast<double>(minimized.replays),
+               "replays");
+  bench.metric("minimized_packets",
+               static_cast<double>(minimized.minimized_packets), "packets");
+
+  // --- 3. clean full-budget sweep ----------------------------------------
+  double clean_seconds = 1e300;
+  adversary::HunterResult clean;
+  for (int rep = 0; rep < kReps; ++rep) {
+    support::BenchTimer timer;
+    clean = adversary::hunt("nat", generated.contract, reg,
+                            hunter_options(false), &generated.path_reports);
+    clean_seconds = std::min(clean_seconds, timer.elapsed_ms() / 1000.0);
+  }
+  if (clean.violation_found || clean.divergence_found) {
+    std::fprintf(stderr, "bench: clean hunt found a violation!\n");
+    return 1;
+  }
+  const double replays_per_sec =
+      clean_seconds > 0 ? static_cast<double>(clean.replays) / clean_seconds
+                        : 0.0;
+  std::printf("clean hunt: %llu replays in %.3f s (%.1f replays/s)\n",
+              static_cast<unsigned long long>(clean.replays), clean_seconds,
+              replays_per_sec);
+  bench.metric("hunt_clean_seconds", clean_seconds, "s");
+  bench.metric("hunt_clean_replays_per_sec", replays_per_sec, "replays/s");
+  return 0;
+}

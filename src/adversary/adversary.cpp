@@ -701,4 +701,49 @@ AdversarialTrace adversarial_traffic(
   return trace;
 }
 
+AdversarialTrace plan_packets(const std::string& nf_name,
+                              const perf::Contract& contract,
+                              const perf::PcvRegistry& reg,
+                              std::vector<net::Packet> packets,
+                              const AdversaryOptions& options) {
+  AdversaryOptions opts = options;
+  if (opts.partitions == 0) opts.partitions = 1;
+
+  AdversarialTrace trace;
+  trace.nf = nf_name;
+  trace.contract_nf = contract.nf_name();
+  trace.seed = opts.seed;
+  trace.partitions = opts.partitions;
+  trace.epoch_ns = opts.epoch_ns;
+  trace.classes.reserve(contract.entries().size());
+  for (const perf::ContractEntry& entry : contract.entries()) {
+    ClassPlan cp;
+    cp.input_class = entry.input_class;
+    trace.classes.push_back(std::move(cp));
+  }
+
+  Shadow shadow(nf_name, contract, reg, opts);
+  trace.packets = std::move(packets);
+  trace.plans.reserve(trace.packets.size());
+  for (const net::Packet& p : trace.packets) {
+    const Shadow::Outcome out = shadow.commit(p);
+    PacketPlan plan;
+    plan.entry = out.entry;
+    if (out.entry != kNoEntry) {
+      const perf::ContractEntry& entry = contract.entries()[out.entry];
+      for (const Metric m : kAllMetrics) {
+        plan.predicted[metric_index(m)] = entry.perf.get(m).eval(out.pcvs);
+      }
+      ClassPlan& cp = trace.classes[out.entry];
+      ++cp.packets;
+      cp.reached = true;
+    }
+    trace.plans.push_back(plan);
+  }
+  for (ClassPlan& cp : trace.classes) {
+    if (!cp.reached && cp.note.empty()) cp.note = "not exercised by this trace";
+  }
+  return trace;
+}
+
 }  // namespace bolt::adversary

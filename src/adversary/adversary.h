@@ -114,4 +114,19 @@ AdversarialTrace adversarial_traffic(
     const perf::PcvRegistry& reg, const AdversaryOptions& options = {},
     const std::vector<core::PathReport>* path_reports = nullptr);
 
+/// Re-plans an arbitrary packet sequence through a fresh shadow: rebuilds
+/// the plans (attribution + predicted bounds at the shadow-observed PCVs)
+/// and per-class summaries for `packets` exactly as the replay will observe
+/// them. Packets are taken verbatim — timestamps and in_ports included —
+/// so the caller owns clock discipline (per-partition timestamps must be
+/// non-decreasing, the standing replay assumption). This is the primitive
+/// the hunter and the trace minimizer are built on: a mutated or subsetted
+/// packet sequence invalidates its old plans (state histories shift, so
+/// attributions and bounds move), and adversary::replay demands plans
+/// parallel to packets.
+AdversarialTrace plan_packets(
+    const std::string& nf_name, const perf::Contract& contract,
+    const perf::PcvRegistry& reg, std::vector<net::Packet> packets,
+    const AdversaryOptions& options = {});
+
 }  // namespace bolt::adversary

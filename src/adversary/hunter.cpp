@@ -1,0 +1,163 @@
+#include "adversary/hunter.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "net/mutate.h"
+#include "support/random.h"
+
+namespace bolt::adversary {
+
+bool operator<(const HunterFitness& a, const HunterFitness& b) {
+  return std::tie(a.violations, a.margin_p99_pm, a.worst_util_pm,
+                  a.total_util_pm) < std::tie(b.violations, b.margin_p99_pm,
+                                              b.worst_util_pm,
+                                              b.total_util_pm);
+}
+
+bool operator==(const HunterFitness& a, const HunterFitness& b) {
+  return std::tie(a.violations, a.margin_p99_pm, a.worst_util_pm,
+                  a.total_util_pm) == std::tie(b.violations, b.margin_p99_pm,
+                                               b.worst_util_pm,
+                                               b.total_util_pm);
+}
+
+HunterFitness fitness_of(const GapReport& report) {
+  HunterFitness f;
+  f.violations = report.monitor.violations;
+  for (const monitor::ClassReport& c : report.monitor.classes) {
+    f.margin_p99_pm = std::max(f.margin_p99_pm, c.violation_margin_pm.p99);
+  }
+  for (const ClassGap& c : report.classes) {
+    f.worst_util_pm = std::max(f.worst_util_pm, c.best_p99_util_pm);
+    f.total_util_pm += c.best_p99_util_pm;
+  }
+  return f;
+}
+
+namespace {
+
+/// One mutation from the move set, drawn deterministically from `rng`.
+/// Weighted toward the epoch-boundary moves — the straddle is the bug
+/// class the synthesiser structurally cannot produce (its clock ticks in
+/// gap_ns strides from start_ns, so it never lands on a sweep edge).
+/// Failed moves (out-of-range picks, growth cap) are deliberate no-ops:
+/// the rng stream stays aligned, so the hunt is reproducible either way.
+void mutate_once(std::vector<net::Packet>& pkts, support::Rng& rng,
+                 std::uint64_t epoch_ns, std::size_t max_packets) {
+  if (pkts.empty()) return;
+  const std::size_t n = pkts.size();
+  std::uint64_t move = rng.below(8);
+  if (epoch_ns == 0 && move <= 3) move = 4 + (move & 3);  // no epoch clock
+  switch (move) {
+    case 0:
+    case 1:
+    case 2:  // straddle: land a packet exactly on a sweep edge
+      net::snap_to_boundary(pkts, rng.below(n), epoch_ns);
+      break;
+    case 3: {  // idle gap: push the tail across extra boundaries
+      const std::uint64_t delta = epoch_ns / 4 + rng.below(2 * epoch_ns);
+      net::stretch_gap(pkts, rng.below(n), delta);
+      break;
+    }
+    case 4:
+    case 5:  // cross-class interleaving against a fixed clock
+      net::swap_contents(pkts, rng.below(n), rng.below(n));
+      break;
+    case 6:  // localised reordering storm
+      net::rotate_window(pkts, rng.below(n), 2 + rng.below(6));
+      break;
+    default:  // burst doubling, capped so the trace cannot balloon
+      if (n < max_packets) net::duplicate_at(pkts, rng.below(n));
+      break;
+  }
+}
+
+std::string fitness_str(const HunterFitness& f) {
+  return std::to_string(f.violations) + "/" + std::to_string(f.margin_p99_pm) +
+         "/" + std::to_string(f.worst_util_pm) + "/" +
+         std::to_string(f.total_util_pm);
+}
+
+}  // namespace
+
+HunterResult hunt(const std::string& nf_name, const perf::Contract& contract,
+                  const perf::PcvRegistry& reg, HunterOptions options,
+                  const std::vector<core::PathReport>* path_reports) {
+  HunterOptions opts = options;
+  if (opts.population == 0) opts.population = 1;
+  if (opts.mutations_per_child == 0) opts.mutations_per_child = 1;
+  const std::size_t budget =
+      opts.budget > 0 ? opts.budget
+                      : opts.generations * opts.population + 1;
+
+  HunterResult result;
+
+  // Generation 0: the synthesised seed trace, replayed as-is. A violation
+  // here means the contract (or the monitor) is broken before any search.
+  AdversarialTrace incumbent =
+      adversarial_traffic(nf_name, contract, reg, opts.adversary, path_reports);
+  GapReport incumbent_report = replay(incumbent, contract, reg, opts.monitor);
+  ++result.replays;
+  HunterFitness incumbent_fit = fitness_of(incumbent_report);
+  result.divergence_found = incumbent_report.mismatched > 0;
+  result.history.push_back("gen 0: fitness " + fitness_str(incumbent_fit) +
+                           " packets " +
+                           std::to_string(incumbent.packets.size()));
+
+  const std::size_t max_packets = incumbent.packets.size() * 2;
+  support::Rng rng(opts.seed);
+
+  bool done = incumbent_fit.violations > 0 || result.divergence_found ||
+              result.replays >= budget;
+  for (std::size_t gen = 1; gen <= opts.generations && !done; ++gen) {
+    for (std::size_t child = 0; child < opts.population; ++child) {
+      if (result.replays >= budget) {
+        done = true;
+        break;
+      }
+      std::vector<net::Packet> pkts = incumbent.packets;
+      for (std::size_t m = 0; m < opts.mutations_per_child; ++m) {
+        mutate_once(pkts, rng, opts.adversary.epoch_ns, max_packets);
+      }
+      AdversarialTrace candidate =
+          plan_packets(nf_name, contract, reg, std::move(pkts), opts.adversary);
+      GapReport report = replay(candidate, contract, reg, opts.monitor);
+      ++result.replays;
+      const HunterFitness fit = fitness_of(report);
+      if (report.mismatched > 0) {
+        // Shadow/monitor divergence: the fitness signal is meaningless past
+        // this point, and the trace itself is the finding. Surface it.
+        result.divergence_found = true;
+        incumbent = std::move(candidate);
+        incumbent_report = std::move(report);
+        incumbent_fit = fit;
+        result.violation_generation = gen;
+        done = true;
+        break;
+      }
+      if (incumbent_fit < fit) {
+        incumbent = std::move(candidate);
+        incumbent_report = std::move(report);
+        incumbent_fit = fit;
+        if (fit.violations > 0) {
+          result.violation_generation = gen;
+          done = true;
+          break;
+        }
+      }
+    }
+    result.history.push_back("gen " + std::to_string(gen) + ": fitness " +
+                             fitness_str(incumbent_fit) + " replays " +
+                             std::to_string(result.replays));
+  }
+
+  result.violation_found = incumbent_fit.violations > 0;
+  result.fitness = incumbent_fit;
+  result.best = std::move(incumbent);
+  result.report = std::move(incumbent_report);
+  return result;
+}
+
+}  // namespace bolt::adversary

@@ -1,0 +1,155 @@
+#include "adversary/minimize.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bolt::adversary {
+
+namespace {
+
+/// The reproduction oracle: re-plan a candidate subsequence through a
+/// fresh shadow, replay it through the real monitor, and call it violating
+/// when the replay shows a broken bound (or a plan/attribution divergence
+/// — when minimising a divergence find, the oracle must keep chasing it).
+class Oracle {
+ public:
+  Oracle(const std::string& nf, const perf::Contract& contract,
+         const perf::PcvRegistry& reg, const MinimizeOptions& opts)
+      : nf_(nf), contract_(contract), reg_(reg), opts_(opts) {}
+
+  bool spent() const {
+    return opts_.max_replays > 0 && replays_ >= opts_.max_replays;
+  }
+  std::uint64_t replays() const { return replays_; }
+
+  bool violates(std::vector<net::Packet> pkts) {
+    ++replays_;
+    const AdversarialTrace trace = plan_packets(
+        nf_, contract_, reg_, std::move(pkts), opts_.adversary);
+    const GapReport report = replay(trace, contract_, reg_, opts_.monitor);
+    return report.monitor.violations > 0 || report.mismatched > 0;
+  }
+
+ private:
+  const std::string& nf_;
+  const perf::Contract& contract_;
+  const perf::PcvRegistry& reg_;
+  const MinimizeOptions& opts_;
+  std::uint64_t replays_ = 0;
+};
+
+std::vector<net::Packet> prefix_of(const std::vector<net::Packet>& pkts,
+                                   std::size_t n) {
+  return std::vector<net::Packet>(pkts.begin(), pkts.begin() + n);
+}
+
+/// cur minus the index range [from, to).
+std::vector<net::Packet> without_range(const std::vector<net::Packet>& cur,
+                                       std::size_t from, std::size_t to) {
+  std::vector<net::Packet> out;
+  out.reserve(cur.size() - (to - from));
+  out.insert(out.end(), cur.begin(), cur.begin() + from);
+  out.insert(out.end(), cur.begin() + to, cur.end());
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize(const std::string& nf_name,
+                        const perf::Contract& contract,
+                        const perf::PcvRegistry& reg,
+                        const std::vector<net::Packet>& packets,
+                        MinimizeOptions options) {
+  MinimizeResult result;
+  result.original_packets = packets.size();
+
+  Oracle oracle(nf_name, contract, reg, options);
+
+  // Phase 0: the input must reproduce, or there is nothing to minimise.
+  result.reproduced = !packets.empty() && oracle.violates(packets);
+  if (!result.reproduced) {
+    result.trace = plan_packets(nf_name, contract, reg, packets,
+                                options.adversary);
+    result.report = replay(result.trace, contract, reg, options.monitor);
+    result.minimized_packets = packets.size();
+    result.replays = oracle.replays();
+    return result;
+  }
+
+  // Phase 1: shortest violating prefix, by binary search. Soundness leans
+  // on the streaming measurement model: a packet's cost depends only on
+  // earlier packets of its partition, so prefix violation is monotone in
+  // the prefix length. `hi` is violating at every step.
+  std::size_t lo = 1, hi = packets.size();
+  while (lo < hi && !oracle.spent()) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (oracle.violates(prefix_of(packets, mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<net::Packet> cur = prefix_of(packets, hi);
+
+  // Phase 2: ddmin over the prefix. Try dropping chunks at increasing
+  // granularity (complement tests); every successful drop restarts one
+  // level coarser. Timestamps travel with their packets — candidates are
+  // subsequences, so the epoch geometry of the survivors is untouched.
+  std::size_t chunks = 2;
+  while (cur.size() >= 2 && !oracle.spent()) {
+    const std::size_t chunk_len = std::max<std::size_t>(1, cur.size() / chunks);
+    bool reduced = false;
+    for (std::size_t from = 0; from < cur.size() && !oracle.spent();
+         from += chunk_len) {
+      const std::size_t to = std::min(cur.size(), from + chunk_len);
+      if (to - from == cur.size()) continue;  // never test the empty trace
+      std::vector<net::Packet> candidate = without_range(cur, from, to);
+      if (oracle.violates(candidate)) {
+        cur = std::move(candidate);
+        chunks = std::max<std::size_t>(2, chunks - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunks >= cur.size()) break;  // singleton drops all failed
+      chunks = std::min(cur.size(), chunks * 2);
+    }
+  }
+
+  // Phase 3: 1-minimality sweep — the explicit verification that dropping
+  // ANY single packet loses the violation (and the safety net when the
+  // replay cap truncated ddmin mid-granularity). one_minimal is only
+  // claimed for a COMPLETE clean pass; a pass cut short by the replay cap
+  // leaves it false, never vacuously true.
+  bool verified = cur.size() == 1;  // the empty trace cannot violate
+  while (cur.size() >= 2) {
+    bool reduced = false;
+    bool complete = true;
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      if (oracle.spent()) {
+        complete = false;
+        break;
+      }
+      std::vector<net::Packet> candidate = without_range(cur, i, i + 1);
+      if (oracle.violates(candidate)) {
+        cur = std::move(candidate);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+    verified = complete;
+    break;
+  }
+  result.one_minimal = verified || cur.size() == 1;
+
+  result.trace =
+      plan_packets(nf_name, contract, reg, std::move(cur), options.adversary);
+  result.report = replay(result.trace, contract, reg, options.monitor);
+  result.minimized_packets = result.trace.packets.size();
+  result.replays = oracle.replays();
+  return result;
+}
+
+}  // namespace bolt::adversary

@@ -1,0 +1,85 @@
+// Delta-debugging trace minimisation — from a ~4k-packet violating trace
+// to an actionable witness.
+//
+// A hunter find is only useful if a human can read it: the violating
+// packet plus the minimal state history that sets it up. minimize() shrinks
+// a violating packet sequence in three phases, re-planning (plan_packets)
+// and re-replaying through the *real* monitor at every step — the
+// reproduction oracle is always the production measurement path, never a
+// model of it:
+//
+//   1. Prefix truncation. A packet's measured cost depends only on packets
+//      before it in its partition, so "prefix [0, n) violates" is monotone
+//      in n; binary search finds the shortest violating prefix in O(log N)
+//      replays. The last packet of that prefix is the violating packet.
+//   2. ddmin (Zeller's delta debugging) over the prefix's interior:
+//      partition the kept packets into chunks at increasing granularity,
+//      try dropping each chunk (complement test), restart coarse after
+//      every successful reduction. Packets keep their original timestamps
+//      when others are dropped — a subsequence, not a re-synthesis — so
+//      epoch geometry survives minimisation.
+//   3. 1-minimality sweep: drop each remaining packet individually; any
+//      drop that still reproduces is taken (and the sweep restarts). The
+//      result is 1-minimal by construction: removing ANY single packet
+//      loses the violation.
+//
+// Deterministic end to end: no randomness anywhere, so the minimised trace
+// is a pure function of (input sequence, contract, options) — the property
+// tests in tests/test_hunter.cpp pin reproduction, 1-minimality, and
+// byte-determinism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "adversary/report.h"
+#include "monitor/monitor.h"
+#include "net/packet.h"
+#include "perf/contract.h"
+#include "perf/pcv.h"
+
+namespace bolt::adversary {
+
+struct MinimizeOptions {
+  /// Shadow re-planning parameters (partitions/epoch must match the ones
+  /// the violating trace was planned with).
+  AdversaryOptions adversary;
+  /// Replay knobs, inject_straddle_bug included when minimising a seeded
+  /// find (the oracle must keep seeing the bug it is isolating).
+  monitor::MonitorOptions monitor;
+  /// Hard cap on reproduction replays (0 = no cap). ddmin is O(n^2) in the
+  /// worst case; the cap turns a pathological input into a coarser — still
+  /// violating — witness instead of an endless run.
+  std::size_t max_replays = 0;
+};
+
+struct MinimizeResult {
+  /// The input reproduced under the oracle. When false, nothing was
+  /// minimised: `trace` is the re-planned input, and the caller's
+  /// "violating trace" claim was wrong.
+  bool reproduced = false;
+  /// Verified by the final sweep: dropping any single packet of `trace`
+  /// loses the violation.
+  bool one_minimal = false;
+  std::size_t original_packets = 0;
+  std::size_t minimized_packets = 0;
+  std::uint64_t replays = 0;  ///< oracle invocations spent
+  /// The minimised trace, re-planned through the shadow (fresh plans +
+  /// class summaries), ready for save_trace / regression check-in.
+  AdversarialTrace trace;
+  /// Replay report of the minimised trace (violations > 0 iff reproduced).
+  GapReport report;
+};
+
+/// Minimises `packets` (a violating sequence, e.g. HunterResult::best's
+/// packets) against the reproduction oracle "replay shows at least one
+/// monitor violation or plan mismatch". See the file comment for phases.
+MinimizeResult minimize(const std::string& nf_name,
+                        const perf::Contract& contract,
+                        const perf::PcvRegistry& reg,
+                        const std::vector<net::Packet>& packets,
+                        MinimizeOptions options = {});
+
+}  // namespace bolt::adversary

@@ -97,10 +97,14 @@ AdversarialTrace load_trace(const std::string& prefix) {
   trace.seed = static_cast<std::uint64_t>(r.integer());
   r.expect(',');
   r.key("partitions");
-  trace.partitions = static_cast<std::size_t>(r.integer());
+  const std::int64_t partitions = r.integer();
+  if (partitions < 1) r.fail("partitions must be positive");
+  trace.partitions = static_cast<std::size_t>(partitions);
   r.expect(',');
   r.key("epoch_ns");
-  trace.epoch_ns = static_cast<std::uint64_t>(r.integer());
+  const std::int64_t epoch_ns = r.integer();
+  if (epoch_ns < 0) r.fail("epoch_ns must be non-negative");
+  trace.epoch_ns = static_cast<std::uint64_t>(epoch_ns);
   r.expect(',');
   r.key("classes");
   r.expect('[');
@@ -133,10 +137,23 @@ AdversarialTrace load_trace(const std::string& prefix) {
       PacketPlan plan;
       r.key("entry");
       const std::int64_t entry = r.integer();
+      // -1 is the explicit "no contract entry" marker; anything else must
+      // index the class table this very sidecar declared above.
+      if (entry < -1) r.fail("packet plan entry below -1");
+      if (entry >= 0 &&
+          static_cast<std::uint64_t>(entry) >= trace.classes.size()) {
+        r.fail("packet plan entry " + std::to_string(entry) +
+               " out of range (sidecar declares " +
+               std::to_string(trace.classes.size()) + " classes)");
+      }
       plan.entry = entry < 0 ? kNoEntry : static_cast<std::uint32_t>(entry);
       r.expect(',');
       r.key("in_port");
-      const std::uint16_t in_port = static_cast<std::uint16_t>(r.integer());
+      const std::int64_t in_port = r.integer();
+      if (in_port < 0 || in_port > 0xffff) {
+        r.fail("in_port " + std::to_string(in_port) +
+               " outside the 16-bit port range");
+      }
       r.expect(',');
       r.key("predicted");
       r.expect('[');
@@ -147,19 +164,31 @@ AdversarialTrace load_trace(const std::string& prefix) {
       plan.predicted[2] = r.integer();
       r.expect(']');
       r.expect('}');
-      // PCAP carries no ingress-port column; restore it from the sidecar.
-      if (trace.plans.size() < trace.packets.size()) {
-        trace.packets[trace.plans.size()].set_in_port(in_port);
+      // Every plan must have its packet: a sidecar that outruns the pcap
+      // is a mismatched pair, reported at the offending plan's offset
+      // rather than silently dropping in_ports on the floor.
+      if (trace.plans.size() >= trace.packets.size()) {
+        r.fail("sidecar plan " + std::to_string(trace.plans.size()) +
+               " has no pcap packet (pcap carries " +
+               std::to_string(trace.packets.size()) + ")");
       }
+      // PCAP carries no ingress-port column; restore it from the sidecar.
+      trace.packets[trace.plans.size()].set_in_port(
+          static_cast<std::uint16_t>(in_port));
       trace.plans.push_back(plan);
     } while (r.try_consume(','));
     r.expect(']');
   }
   r.expect('}');
   r.end();
-  BOLT_CHECK(trace.plans.size() == trace.packets.size(),
-             "adversarial trace '" + prefix +
-                 "': pcap and sidecar packet counts disagree");
+  // The converse truncation: fewer plans than packets (a cut-off plan
+  // array still closing its brackets cleanly, or a sidecar paired with the
+  // wrong pcap).
+  if (trace.plans.size() != trace.packets.size()) {
+    r.fail("sidecar carries " + std::to_string(trace.plans.size()) +
+           " packet plans but the pcap carries " +
+           std::to_string(trace.packets.size()) + " packets");
+  }
   return trace;
 }
 

@@ -495,6 +495,7 @@ class MonitorEngine::QueueTask {
     const std::size_t stride = e_.slot_stride_;
     const std::uint64_t delta_window_ns = e_.delta_window_ns_;
     for (const std::uint64_t index : indices) {
+      std::uint64_t straddle_leak = 0;
       if (epochs_on) {
         const std::uint64_t ts = packets_[index].timestamp_ns();
         if (!have_epoch) {
@@ -507,6 +508,13 @@ class MonitorEngine::QueueTask {
               target.expire_state(epoch * e_.options_.epoch_ns);
           ++out.epoch_sweeps;
           next_boundary = (epoch + 1) * e_.options_.epoch_ns;
+          // Test-only seeded bug (MonitorOptions::inject_straddle_bug):
+          // leak one instruction of sweep cost into a packet sitting
+          // exactly on the boundary it just triggered.
+          if (e_.options_.inject_straddle_bug &&
+              ts == epoch * e_.options_.epoch_ns) {
+            straddle_leak = 1;
+          }
         }
       }
 
@@ -544,7 +552,7 @@ class MonitorEngine::QueueTask {
           row[loop_slot[flat]] = trips;
         }
       }
-      b.measured[0][b.rows] = run_.instructions;
+      b.measured[0][b.rows] = run_.instructions + straddle_leak;
       b.measured[1][b.rows] = run_.mem_accesses;
       b.measured[2][b.rows] = check_cycles ? cycles.packet_cycles() : 0;
       b.indices[b.rows] = index;

@@ -159,6 +159,16 @@ struct MonitorOptions {
   /// report bytes are identical with this on or off, and the overhead is
   /// gated at 5% by bench/monitor_throughput.cpp.
   bool telemetry = false;
+  /// TEST ONLY — deliberately mis-measures the epoch-straddle case: when a
+  /// partition's sweep fires on a packet whose timestamp lands *exactly* on
+  /// the epoch boundary (ts == k * epoch_ns), one instruction of the sweep's
+  /// maintenance cost leaks into that packet's measured count. This is the
+  /// off-by-one bug class the violation hunter's straddle mutator exists to
+  /// catch (epoch maintenance must never be attributable to a packet — see
+  /// the epoch-clock contract above); the hunter's end-to-end falsification
+  /// proof (tests/test_hunter.cpp, CI smoke) seeds it, hunts it, and
+  /// delta-debugs the witness trace. Never set outside tests/CI.
+  bool inject_straddle_bug = false;
 };
 
 class MonitorEngine {

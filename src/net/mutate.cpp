@@ -1,0 +1,73 @@
+#include "net/mutate.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bolt::net {
+
+bool snap_to_boundary(std::vector<Packet>& packets, std::size_t i,
+                      std::uint64_t epoch_ns) {
+  if (i >= packets.size() || epoch_ns == 0) return false;
+  const TimestampNs ts = packets[i].timestamp_ns();
+  // Next boundary strictly after ts, except an off-boundary packet snaps
+  // to the boundary it is approaching (ceil); an on-boundary one advances.
+  const TimestampNs snapped = ts % epoch_ns == 0
+                                  ? ts + epoch_ns
+                                  : (ts / epoch_ns + 1) * epoch_ns;
+  if (snapped < ts) return false;  // wrapped
+  packets[i].set_timestamp_ns(snapped);
+  for (std::size_t j = i + 1; j < packets.size(); ++j) {
+    if (packets[j].timestamp_ns() >= snapped) break;  // already monotone
+    packets[j].set_timestamp_ns(snapped);
+  }
+  return true;
+}
+
+bool stretch_gap(std::vector<Packet>& packets, std::size_t i,
+                 std::uint64_t delta_ns) {
+  if (i >= packets.size() || delta_ns == 0) return false;
+  if (packets.back().timestamp_ns() + delta_ns < delta_ns) return false;
+  for (std::size_t j = i; j < packets.size(); ++j) {
+    packets[j].set_timestamp_ns(packets[j].timestamp_ns() + delta_ns);
+  }
+  return true;
+}
+
+namespace {
+
+/// Contents-only exchange: Packet owns {bytes, timestamp, in_port}; swap
+/// the whole objects, then hand the timestamps back to their positions.
+void exchange_contents(Packet& a, Packet& b) {
+  const TimestampNs ta = a.timestamp_ns();
+  const TimestampNs tb = b.timestamp_ns();
+  std::swap(a, b);
+  a.set_timestamp_ns(ta);
+  b.set_timestamp_ns(tb);
+}
+
+}  // namespace
+
+bool swap_contents(std::vector<Packet>& packets, std::size_t i,
+                   std::size_t j) {
+  if (i >= packets.size() || j >= packets.size() || i == j) return false;
+  exchange_contents(packets[i], packets[j]);
+  return true;
+}
+
+bool rotate_window(std::vector<Packet>& packets, std::size_t i,
+                   std::size_t len) {
+  if (len < 2 || i >= packets.size() || len > packets.size() - i) return false;
+  for (std::size_t k = 0; k + 1 < len; ++k) {
+    exchange_contents(packets[i + k], packets[i + k + 1]);
+  }
+  return true;
+}
+
+bool duplicate_at(std::vector<Packet>& packets, std::size_t i) {
+  if (i >= packets.size()) return false;
+  packets.insert(packets.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                 packets[i]);
+  return true;
+}
+
+}  // namespace bolt::net

@@ -201,6 +201,20 @@ void Solver::propagate_into(DomainStore& store, ExprPtr c) const {
     return true;
   };
 
+  // Truthiness of the asserted constraint itself: `c` holds, so its value
+  // is non-zero, i.e. >= 1 unsigned. Recorded as a view on c's own interned
+  // node so that a later negation of the same guard — the executor emits
+  // `(guard) == 0` for the false arm of a compound disjunction it cannot
+  // mirror into a single comparison — contradicts it by pointer identity.
+  // The per-symbol pass cannot catch this pair: a disjunction pins no
+  // individual symbol's interval, so X ∧ (X == 0) used to survive all the
+  // way to the bounded search and come back kUnknown (the fw→NAT
+  // firewall:no_options/nat:invalid path).
+  if (!view_constrain(c, ExprOp::kGeU, 1)) {
+    store.infeasible = true;
+    return;
+  }
+
   ExprPtr a = c->lhs();
   ExprPtr b = c->rhs();
   // Normalise to have the constant on the right where possible.

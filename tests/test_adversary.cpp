@@ -25,6 +25,7 @@
 #include "monitor/report.h"
 #include "net/pcap.h"
 #include "perf/contract_io.h"
+#include "support/io.h"
 
 namespace bolt::adversary {
 namespace {
@@ -202,6 +203,96 @@ TEST(AdversaryTraceIo, TracePairRoundTripsThroughDisk) {
   const GapReport from_disk = replay(reloaded, loop.contract, loop.reg);
   EXPECT_EQ(monitor::report_to_json(from_disk.monitor),
             monitor::report_to_json(direct.monitor));
+}
+
+// load_trace hardening (ISSUE 9 satellite): a corrupt or mismatched trace
+// pair must die loudly — with the offending construct and its byte offset
+// in the message — never load skewed data. Each test patches one defect
+// into an otherwise-valid pair.
+class AdversaryTraceIoDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    loop_ = run_loop("lpm", small_options());
+    prefix_ = ::testing::TempDir() + "/trace_death";
+    ASSERT_TRUE(save_trace(prefix_, loop_.trace));
+    sidecar_ = support::read_file_or_die(prefix_ + ".json", "sidecar");
+  }
+
+  /// Rewrites the sidecar with `from` (which must occur) replaced by `to`.
+  void corrupt(const std::string& from, const std::string& to) {
+    const std::size_t pos = sidecar_.find(from);
+    ASSERT_NE(pos, std::string::npos) << "sidecar lacks '" << from << "'";
+    std::string patched = sidecar_;
+    patched.replace(pos, from.size(), to);
+    ASSERT_TRUE(support::write_file(prefix_ + ".json", patched));
+  }
+
+  /// Replaces the (numeric) value of `key` with `value`.
+  void patch_value(const std::string& key, const std::string& value) {
+    std::string patched = sidecar_;
+    const std::size_t pos = patched.find(key);
+    ASSERT_NE(pos, std::string::npos) << "sidecar lacks '" << key << "'";
+    const std::size_t val = pos + key.size();
+    const std::size_t end = patched.find(',', val);
+    ASSERT_NE(end, std::string::npos);
+    patched.replace(val, end - val, value);
+    ASSERT_TRUE(support::write_file(prefix_ + ".json", patched));
+  }
+
+  Loop loop_;
+  std::string prefix_;
+  std::string sidecar_;
+};
+
+TEST_F(AdversaryTraceIoDeathTest, UnsupportedSchemaVersionIsRejected) {
+  corrupt("\"version\":1", "\"version\":99");
+  EXPECT_DEATH(load_trace(prefix_), "unsupported trace schema version");
+}
+
+TEST_F(AdversaryTraceIoDeathTest, ZeroPartitionsAreRejected) {
+  patch_value("\"partitions\":", "0");
+  EXPECT_DEATH(load_trace(prefix_), "partitions must be positive");
+}
+
+TEST_F(AdversaryTraceIoDeathTest, NegativeEpochIsRejected) {
+  patch_value("\"epoch_ns\":", "-5");
+  EXPECT_DEATH(load_trace(prefix_), "epoch_ns must be non-negative");
+}
+
+TEST_F(AdversaryTraceIoDeathTest, PlanEntryBelowMinusOneIsRejected) {
+  // Prefixing the first plan's entry with "-7" makes it <= -70.
+  corrupt("\"packets\":[{\"entry\":", "\"packets\":[{\"entry\":-7");
+  EXPECT_DEATH(load_trace(prefix_), "packet plan entry below -1");
+}
+
+TEST_F(AdversaryTraceIoDeathTest, PlanEntryBeyondClassTableIsRejected) {
+  // Prefixing with "9" makes the first entry >= 9; lpm declares 3 classes.
+  corrupt("\"packets\":[{\"entry\":", "\"packets\":[{\"entry\":9");
+  EXPECT_DEATH(load_trace(prefix_), "out of range");
+}
+
+TEST_F(AdversaryTraceIoDeathTest, InPortBeyondSixteenBitsIsRejected) {
+  corrupt("\"in_port\":", "\"in_port\":99999");
+  EXPECT_DEATH(load_trace(prefix_), "outside the 16-bit port range");
+}
+
+TEST_F(AdversaryTraceIoDeathTest, SidecarOutrunningThePcapIsRejected) {
+  // Drop the last pcap packet: the sidecar's final plan has no packet.
+  std::vector<net::Packet> pkts = loop_.trace.packets;
+  ASSERT_FALSE(pkts.empty());
+  pkts.pop_back();
+  net::write_pcap(prefix_ + ".pcap", pkts);
+  EXPECT_DEATH(load_trace(prefix_), "has no pcap packet");
+}
+
+TEST_F(AdversaryTraceIoDeathTest, PcapOutrunningTheSidecarIsRejected) {
+  // One fewer plan than packets: the pair no longer matches.
+  AdversarialTrace shorter = loop_.trace;
+  ASSERT_FALSE(shorter.plans.empty());
+  shorter.plans.pop_back();
+  ASSERT_TRUE(save_trace(prefix_, shorter));
+  // save_trace writes len(plans) sidecar entries but keeps every packet.
+  EXPECT_DEATH(load_trace(prefix_), "packet plans but the pcap carries");
 }
 
 TEST(AdversaryAmplification, CollisionChainRaisesPredictedTraversalCost) {

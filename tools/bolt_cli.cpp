@@ -13,6 +13,10 @@
 //                                    With --contract FILE.json the stored
 //                                    artifact is validated instead — the
 //                                    operator workflow, no symbex at all.
+//   bolt hunt <nf> [...]             feedback-directed search for contract
+//                                    violations past the synthesised edge;
+//                                    a find is delta-debugged to a minimal
+//                                    witness trace and fails the gate
 //   bolt gen <kind> <out.pcap> [n]   write a workload PCAP
 //                                    (kind: uniform | churn | zipf | bridge
 //                                     | attack | heartbeat | longrun)
@@ -26,6 +30,8 @@
 #include <string>
 
 #include "adversary/adversary.h"
+#include "adversary/hunter.h"
+#include "adversary/minimize.h"
 #include "adversary/report.h"
 #include "adversary/trace.h"
 #include "core/bolt.h"
@@ -527,6 +533,192 @@ int cmd_adversary(const std::string& nf, const AdversaryCliArgs& args) {
   return 0;
 }
 
+struct HuntCliArgs {
+  std::string contract;   // stored artifact; empty = generate in-process
+  std::string out;        // minimised-trace pair prefix (written on a find)
+  std::string report;     // hunt-report JSON file
+  std::uint64_t seed = 1;
+  std::size_t generations = 6;
+  std::size_t population = 4;
+  std::size_t budget = 0;       // 0 = generations * population + 1
+  std::size_t max_replays = 0;  // minimiser replay cap (0 = uncapped)
+  std::size_t probes = 12;
+  std::size_t partitions = 8;
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  std::uint64_t epoch_ns = 1'000'000'000;
+  bool inject_straddle_bug = false;  // test-only measurement fault
+  bool json = false;
+};
+
+std::string hunt_to_json(const std::string& nf, const HuntCliArgs& args,
+                         const adversary::HunterResult& hunt,
+                         const adversary::MinimizeResult* minimized) {
+  using support::json_quote_into;
+  std::string out = "{\"version\":1,\"nf\":";
+  json_quote_into(out, nf);
+  out += ",\"seed\":" + std::to_string(args.seed);
+  out += ",\"violation_found\":" +
+         std::string(hunt.violation_found ? "true" : "false");
+  out += ",\"divergence_found\":" +
+         std::string(hunt.divergence_found ? "true" : "false");
+  out += ",\"violation_generation\":" +
+         std::to_string(hunt.violation_generation);
+  out += ",\"replays\":" + std::to_string(hunt.replays);
+  out += ",\"fitness\":{\"violations\":" +
+         std::to_string(hunt.fitness.violations);
+  out += ",\"margin_p99_pm\":" + std::to_string(hunt.fitness.margin_p99_pm);
+  out += ",\"worst_util_pm\":" + std::to_string(hunt.fitness.worst_util_pm);
+  out += ",\"total_util_pm\":" + std::to_string(hunt.fitness.total_util_pm);
+  out += "},\"packets\":" + std::to_string(hunt.best.packets.size());
+  out += ",\"history\":[";
+  bool first = true;
+  for (const std::string& line : hunt.history) {
+    if (!first) out += ',';
+    first = false;
+    json_quote_into(out, line);
+  }
+  out += "],\"minimized\":";
+  if (minimized == nullptr) {
+    out += "null";
+  } else {
+    out += "{\"reproduced\":" +
+           std::string(minimized->reproduced ? "true" : "false");
+    out += ",\"one_minimal\":" +
+           std::string(minimized->one_minimal ? "true" : "false");
+    out += ",\"original_packets\":" +
+           std::to_string(minimized->original_packets);
+    out += ",\"packets\":" + std::to_string(minimized->minimized_packets);
+    out += ",\"replays\":" + std::to_string(minimized->replays);
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+int cmd_hunt(const std::string& nf, const HuntCliArgs& args) {
+  perf::PcvRegistry reg;
+  perf::Contract contract("");
+  core::NfTarget probe;
+  {
+    perf::PcvRegistry probe_reg;
+    if (!core::make_named_target(nf, probe_reg, probe)) return usage();
+  }
+  // Same contract conventions as 'adversary': stored artifact or in-process
+  // generation, whose path reports double as seed-trace witnesses.
+  core::GenerationResult generated;
+  const std::vector<core::PathReport>* witnesses = nullptr;
+  if (!args.contract.empty()) {
+    contract = perf::load_contract(args.contract, reg);
+    if (contract.nf_name() != probe.contract_name()) {
+      std::fprintf(stderr,
+                   "error: contract '%s' was generated for nf '%s', not "
+                   "'%s'\n",
+                   args.contract.c_str(), contract.nf_name().c_str(),
+                   probe.contract_name().c_str());
+      return 2;
+    }
+  } else {
+    core::NfTarget target;
+    if (!core::make_named_target(nf, reg, target)) return usage();
+    core::BoltOptions options;
+    options.threads = args.threads;
+    core::ContractGenerator generator(reg, options);
+    generated = generator.generate(target.analysis());
+    contract = generated.contract;
+    witnesses = &generated.path_reports;
+  }
+
+  adversary::HunterOptions opts;
+  opts.seed = args.seed;
+  opts.generations = args.generations;
+  opts.population = args.population;
+  opts.budget = args.budget;
+  opts.adversary.seed = args.seed;
+  opts.adversary.partitions = args.partitions;
+  opts.adversary.epoch_ns = args.epoch_ns;
+  opts.adversary.probes_per_class = args.probes;
+  opts.adversary.threads = args.threads;
+  opts.monitor.shards = args.shards;
+  opts.monitor.threads = args.threads;
+  opts.monitor.inject_straddle_bug = args.inject_straddle_bug;
+
+  const adversary::HunterResult hunt =
+      adversary::hunt(nf, contract, reg, opts, witnesses);
+  const bool found = hunt.violation_found || hunt.divergence_found;
+
+  // A find is only actionable minimised: shrink it through the same oracle
+  // (bug injection included) and persist the witness pair for regression
+  // check-in.
+  adversary::MinimizeResult minimized;
+  if (found) {
+    adversary::MinimizeOptions mopts;
+    mopts.adversary = opts.adversary;
+    mopts.monitor = opts.monitor;
+    mopts.max_replays = args.max_replays;
+    minimized =
+        adversary::minimize(nf, contract, reg, hunt.best.packets, mopts);
+    if (!args.out.empty()) {
+      if (!adversary::save_trace(args.out, minimized.trace)) {
+        std::fprintf(stderr,
+                     "error: cannot write trace pair '%s.{pcap,json}'\n",
+                     args.out.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "stored minimised violating trace (%zu packets, from %zu)"
+                   " in %s.pcap + %s.json\n",
+                   minimized.minimized_packets, minimized.original_packets,
+                   args.out.c_str(), args.out.c_str());
+    }
+  }
+
+  const std::string hunt_json =
+      hunt_to_json(nf, args, hunt, found ? &minimized : nullptr);
+  if (!args.report.empty() &&
+      !support::write_file(args.report, hunt_json + "\n")) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 args.report.c_str());
+    return 1;
+  }
+  if (args.json) {
+    std::printf("%s\n", hunt_json.c_str());
+  } else {
+    for (const std::string& line : hunt.history) {
+      std::printf("%s\n", line.c_str());
+    }
+    if (found) {
+      std::printf("%s: %s in generation %zu (%llu replays)\n", nf.c_str(),
+                  hunt.violation_found ? "VIOLATION" : "PLAN DIVERGENCE",
+                  hunt.violation_generation,
+                  static_cast<unsigned long long>(hunt.replays));
+      std::printf("minimised %zu -> %zu packets (%s, %llu oracle replays)\n",
+                  minimized.original_packets, minimized.minimized_packets,
+                  minimized.one_minimal ? "1-minimal"
+                                        : "replay budget spent",
+                  static_cast<unsigned long long>(minimized.replays));
+      std::printf("%s", minimized.report.str().c_str());
+    } else {
+      std::printf("%s: no violation in %llu replays (best fitness "
+                  "%llu/%llu/%llu/%llu)\n",
+                  nf.c_str(), static_cast<unsigned long long>(hunt.replays),
+                  static_cast<unsigned long long>(hunt.fitness.violations),
+                  static_cast<unsigned long long>(hunt.fitness.margin_p99_pm),
+                  static_cast<unsigned long long>(hunt.fitness.worst_util_pm),
+                  static_cast<unsigned long long>(hunt.fitness.total_util_pm));
+    }
+  }
+
+  // The gate: a hunt that finds a violation (or a shadow/monitor
+  // divergence) fails the build — the minimised witness is the repro.
+  if (found) {
+    std::fprintf(stderr, "error: contract %s found\n",
+                 hunt.violation_found ? "violation" : "plan divergence");
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_scenarios(std::size_t threads) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"Scenario", "Pred IC", "Meas IC", "Pred cycles",
@@ -627,12 +819,14 @@ int main(int argc, char** argv) {
     return v;
   };
   AdversaryCliArgs aargs;
+  HuntCliArgs hargs;
   // Positionals (nf names, paths, counts, k=v bindings) pass through; a
   // flag that is unknown — or known but inapplicable to this subcommand —
   // must not be silently ignored: the monitor exit code is a CI gate, and
   // a typo'd or misplaced flag would change what it gates on.
   const bool is_monitor = cmd == "monitor";
   const bool is_adversary = cmd == "adversary";
+  const bool is_hunt = cmd == "hunt";
   auto only_for = [&](bool applies, const char* flag) {
     if (applies) return;
     std::fprintf(stderr, "error: flag '%s' does not apply to '%s'\n", flag,
@@ -642,47 +836,64 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       only_for(cmd == "contract" || cmd == "paths" || is_monitor ||
-                   is_adversary,
+                   is_adversary || is_hunt,
                "--json");
       json = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       only_for(cmd == "contract" || cmd == "paths" || cmd == "scenarios" ||
-                   is_monitor || is_adversary,
+                   is_monitor || is_adversary || is_hunt,
                "--threads");
       threads = numeric(i, "--threads");
     } else if (std::strcmp(argv[i], "--packets") == 0) {
       only_for(is_monitor, "--packets");
       margs.packets = numeric(i, "--packets");
     } else if (std::strcmp(argv[i], "--shards") == 0) {
-      only_for(is_monitor || is_adversary, "--shards");
-      margs.shards = aargs.shards = numeric(i, "--shards");
+      only_for(is_monitor || is_adversary || is_hunt, "--shards");
+      margs.shards = aargs.shards = hargs.shards = numeric(i, "--shards");
     } else if (std::strcmp(argv[i], "--partitions") == 0) {
-      only_for(is_monitor || is_adversary, "--partitions");
-      margs.partitions = aargs.partitions = numeric(i, "--partitions");
+      only_for(is_monitor || is_adversary || is_hunt, "--partitions");
+      margs.partitions = aargs.partitions = hargs.partitions =
+          numeric(i, "--partitions");
     } else if (std::strcmp(argv[i], "--epoch-ns") == 0) {
-      only_for(is_monitor || is_adversary, "--epoch-ns");
-      margs.epoch_ns = aargs.epoch_ns = numeric(i, "--epoch-ns");
+      only_for(is_monitor || is_adversary || is_hunt, "--epoch-ns");
+      margs.epoch_ns = aargs.epoch_ns = hargs.epoch_ns =
+          numeric(i, "--epoch-ns");
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      only_for(is_adversary, "--seed");
-      aargs.seed = numeric(i, "--seed");
+      only_for(is_adversary || is_hunt, "--seed");
+      aargs.seed = hargs.seed = numeric(i, "--seed");
     } else if (std::strcmp(argv[i], "--probes") == 0) {
-      only_for(is_adversary, "--probes");
-      aargs.probes = numeric(i, "--probes");
+      only_for(is_adversary || is_hunt, "--probes");
+      aargs.probes = hargs.probes = numeric(i, "--probes");
     } else if (std::strcmp(argv[i], "--min-reached-pct") == 0) {
       only_for(is_adversary, "--min-reached-pct");
       aargs.min_reached_pct = numeric(i, "--min-reached-pct");
+    } else if (std::strcmp(argv[i], "--generations") == 0) {
+      only_for(is_hunt, "--generations");
+      hargs.generations = numeric(i, "--generations");
+    } else if (std::strcmp(argv[i], "--population") == 0) {
+      only_for(is_hunt, "--population");
+      hargs.population = numeric(i, "--population");
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      only_for(is_hunt, "--budget");
+      hargs.budget = numeric(i, "--budget");
+    } else if (std::strcmp(argv[i], "--max-replays") == 0) {
+      only_for(is_hunt, "--max-replays");
+      hargs.max_replays = numeric(i, "--max-replays");
+    } else if (std::strcmp(argv[i], "--inject-straddle-bug") == 0) {
+      only_for(is_hunt, "--inject-straddle-bug");
+      hargs.inject_straddle_bug = true;
     } else if (std::strcmp(argv[i], "--contract") == 0) {
-      only_for(is_monitor || is_adversary, "--contract");
+      only_for(is_monitor || is_adversary || is_hunt, "--contract");
       if (i + 1 >= argc) return usage();
-      margs.contract = aargs.contract = argv[++i];
+      margs.contract = aargs.contract = hargs.contract = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0) {
-      only_for(is_monitor || is_adversary, "--report");
+      only_for(is_monitor || is_adversary || is_hunt, "--report");
       if (i + 1 >= argc) return usage();
-      margs.report = aargs.report = argv[++i];
+      margs.report = aargs.report = hargs.report = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0) {
-      only_for(cmd == "contract" || is_adversary, "--out");
+      only_for(cmd == "contract" || is_adversary || is_hunt, "--out");
       if (i + 1 >= argc) return usage();
-      out_file = aargs.out = argv[++i];
+      out_file = aargs.out = hargs.out = argv[++i];
     } else if (std::strcmp(argv[i], "--violation-threshold") == 0) {
       only_for(is_monitor, "--violation-threshold");
       margs.violation_threshold = numeric(i, "--violation-threshold");
@@ -753,6 +964,8 @@ int main(int argc, char** argv) {
   margs.json = json;
   aargs.threads = threads;
   aargs.json = json;
+  hargs.threads = threads;
+  hargs.json = json;
   if (cmd == "contract" && argc >= 3) {
     return cmd_contract(argv[2], false, json, threads, out_file);
   }
@@ -763,6 +976,7 @@ int main(int argc, char** argv) {
   if (cmd == "predict" && argc >= 3) return cmd_predict(argv[2], argc, argv, 3);
   if (cmd == "monitor" && argc >= 3) return cmd_monitor(argv[2], margs);
   if (cmd == "adversary" && argc >= 3) return cmd_adversary(argv[2], aargs);
+  if (cmd == "hunt" && argc >= 3) return cmd_hunt(argv[2], hargs);
   if (cmd == "gen" && argc >= 4) {
     // The count is positional; don't mistake a trailing flag for it.
     std::size_t count = 10'000;
