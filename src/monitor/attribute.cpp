@@ -1,0 +1,54 @@
+#include "monitor/attribute.h"
+
+namespace bolt::monitor {
+
+void ClassResolver::bind(const core::NfTarget& target) {
+  // Method id -> name, resolved once instead of per call site per packet.
+  method_names_.clear();
+  for (const auto& [id, spec] : target.methods()) {
+    method_names_.emplace(id, spec.name);
+  }
+  path_entry_.clear();  // path ids are scoped to one runner's labels
+}
+
+std::uint32_t ClassResolver::resolve(const ir::RunResult& run,
+                                     ir::RunLabels& labels,
+                                     std::uint32_t unattributed,
+                                     std::uint64_t* memo_hits) {
+  const std::uint32_t path = labels.path_of(run);
+  if (path < path_entry_.size() && path_entry_[path] != kUnresolvedPath) {
+    if (memo_hits != nullptr) ++*memo_hits;
+    return path_entry_[path];
+  }
+  std::string& key = key_buf_;
+  key.clear();
+  for (const std::uint32_t tag : run.class_tags) {
+    if (!key.empty()) key += '/';
+    key += labels.tag_name(tag);
+  }
+  if (key.empty()) key = "(untagged)";
+  bool first_call = true;
+  for (const ir::CallRec& call : run.calls) {
+    key += first_call ? " | " : ",";
+    first_call = false;
+    const auto it = method_names_.find(call.method);
+    if (it != method_names_.end()) {
+      key += it->second;
+    } else {
+      key += 'm';
+      key += std::to_string(call.method);
+    }
+    key += '=';
+    key += labels.case_name(call.method, call.case_id);
+  }
+  const auto entry_it = entry_index_->find(key);
+  const std::uint32_t entry =
+      entry_it == entry_index_->end()
+          ? unattributed
+          : static_cast<std::uint32_t>(entry_it->second);
+  if (path >= path_entry_.size()) path_entry_.resize(path + 1, kUnresolvedPath);
+  path_entry_[path] = entry;
+  return entry;
+}
+
+}  // namespace bolt::monitor

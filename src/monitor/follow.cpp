@@ -1,0 +1,366 @@
+#include "monitor/follow.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/runner.h"
+#include "monitor/attribute.h"
+#include "obs/delta.h"
+#include "support/assert.h"
+
+namespace bolt::monitor {
+
+namespace {
+
+using perf::Metric;
+using perf::kAllMetrics;
+using perf::metric_index;
+
+}  // namespace
+
+/// One flow-affine partition's live state: a fresh NF instance, its cycle
+/// model, the class resolver bound to it, the PCV/loop slot maps into the
+/// contract registry, and the deterministic epoch clock — exactly the
+/// per-partition state the batch engine's QueueTask::run_partition keeps
+/// on its stack, kept alive here because the stream never ends.
+struct StreamMonitor::Partition {
+  perf::PcvRegistry local_reg;
+  core::NfTarget target;
+  hw::ConservativeModel cycles;
+  std::unique_ptr<core::NfRunner> runner;
+  ClassResolver resolver;
+  std::vector<std::uint32_t> pcv_slot;
+  std::vector<std::uint32_t> loop_slot;
+  bool epochs_on = false;
+  bool have_epoch = false;
+  std::uint64_t next_boundary = 0;
+  net::Packet scratch_pkt;  ///< reused packet copy (the NF mutates headers)
+  ir::RunResult run;        ///< reused run result
+
+  Partition(const StreamMonitor& m)
+      : cycles(m.options_.cycle_costs), resolver(&m.entry_index_) {
+    constexpr std::uint32_t kUnmapped = ~0u;
+    target = m.factory_(local_reg);
+    pcv_slot.assign(local_reg.size(), kUnmapped);
+    for (const perf::PcvId id : local_reg.all()) {
+      const std::string& name = local_reg.name(id);
+      if (m.reg_.contains(name)) pcv_slot[id] = m.reg_.require(name);
+    }
+    resolver.bind(target);
+    runner = target.make_runner(
+        m.options_.framework, m.options_.check_cycles ? &cycles : nullptr,
+        m.options_.engine);
+    ir::RunLabels& labels = runner->labels();
+    loop_slot.assign(labels.loop_count(), kUnmapped);
+    for (std::size_t flat = 0; flat < labels.loop_count(); ++flat) {
+      const std::string& name = labels.loop_name(flat);
+      if (m.reg_.contains(name)) loop_slot[flat] = m.reg_.require(name);
+    }
+    epochs_on = m.options_.epoch_ns > 0 && target.has_state_observers();
+  }
+};
+
+struct StreamMonitor::WindowData {
+  std::vector<ClassAccum> accums;  ///< per contract entry
+  WindowStats stats;
+};
+
+StreamMonitor::StreamMonitor(const perf::Contract& contract,
+                             const perf::PcvRegistry& reg,
+                             const MonitorEngine::TargetFactory& factory,
+                             MonitorOptions options, FleetOptions fleet,
+                             WindowFn on_window)
+    : contract_(contract),
+      reg_(reg),
+      factory_(factory),
+      options_(options),
+      fleet_(std::move(fleet)),
+      on_window_(std::move(on_window)),
+      detector_(options.drift) {
+  if (options_.partitions == 0) options_.partitions = 1;
+  if (fleet_.instances == 0) fleet_.instances = 1;
+  BOLT_CHECK(fleet_.instance < fleet_.instances,
+             "stream monitor: instance id out of range");
+  BOLT_CHECK(fleet_.owners.empty() || fleet_.owners.size() == options_.partitions,
+             "stream monitor: owners map must cover every partition");
+  for (const std::uint32_t owner : fleet_.owners) {
+    BOLT_CHECK(owner < fleet_.instances,
+               "stream monitor: partition owner out of range");
+  }
+  // Compiled per-entry bounds + slot stride, same construction as
+  // MonitorEngine — identical predicted values by construction.
+  slot_stride_ = std::max<std::size_t>(reg_.size(), 1);
+  vms_.reserve(contract_.entries().size());
+  entry_names_.reserve(contract_.entries().size());
+  for (std::size_t i = 0; i < contract_.entries().size(); ++i) {
+    const perf::ContractEntry& entry = contract_.entries()[i];
+    std::array<perf::CompiledExpr, 3> exprs;
+    for (const Metric m : kAllMetrics) {
+      exprs[metric_index(m)] = perf::CompiledExpr::compile(entry.perf.get(m));
+      slot_stride_ = std::max(slot_stride_, exprs[metric_index(m)].slot_count());
+    }
+    vms_.push_back(std::move(exprs));
+    entry_index_.emplace(entry.input_class, i);
+    entry_names_.push_back(entry.input_class);
+  }
+  if (options_.delta_every > 0 && options_.epoch_ns > 0) {
+    delta_window_ns_ = options_.epoch_ns * options_.delta_every;
+  }
+  partitions_.resize(options_.partitions);
+  total_accums_.assign(contract_.entries().size(), ClassAccum{});
+  row_buf_.assign(slot_stride_, 0);
+  // Probe the factory once for the state-observer flag: the batch engine
+  // reports state_tracked for every run regardless of traffic, and so
+  // must an instance that happened to own only quiet partitions.
+  {
+    perf::PcvRegistry probe_reg;
+    track_state_ = factory_(probe_reg).has_state_observers();
+  }
+  totals_.state_tracked = track_state_;
+}
+
+StreamMonitor::~StreamMonitor() = default;
+
+bool StreamMonitor::owned(std::size_t partition) const {
+  const std::uint32_t owner =
+      fleet_.owners.empty()
+          ? static_cast<std::uint32_t>(partition % fleet_.instances)
+          : fleet_.owners[partition];
+  return owner == fleet_.instance;
+}
+
+void StreamMonitor::validate_row(std::uint64_t index, std::uint64_t window,
+                                 std::uint32_t entry, const std::uint64_t* row,
+                                 const std::array<std::uint64_t, 3>& measured) {
+  (void)window;
+  ClassAccum& acc = open_->accums[entry];
+  ++acc.packets;
+  Offender worst;
+  bool has_offender = false;
+  std::int64_t predicted = 0;
+  for (const Metric m : kAllMetrics) {
+    const int mi = metric_index(m);
+    if (m == Metric::kCycles && !options_.check_cycles) continue;
+    vms_[entry][mi].eval_batch(row, slot_stride_, 1, &predicted, scratch_);
+    if (options_.telemetry) ++tel_.vm_batch_evals;
+    const std::uint64_t value = measured[mi];
+    acc.metrics[mi].record(index, value, predicted);
+    if (static_cast<std::int64_t>(value) > predicted) {
+      acc.violation_margin_pm.add(
+          predicted > 0 ? (value - static_cast<std::uint64_t>(predicted)) *
+                              1000 / static_cast<std::uint64_t>(predicted)
+                        : kDegenerateUtilPm);
+    }
+    if (!has_offender ||
+        util_cmp(value, predicted, worst.measured, worst.predicted) > 0) {
+      has_offender = true;
+      worst.packet_index = index;
+      worst.metric = m;
+      worst.predicted = predicted;
+      worst.measured = value;
+    }
+  }
+  if (has_offender) acc.add_offender(worst, options_.max_offenders);
+  if (options_.telemetry) ++tel_.rows_validated;
+}
+
+void StreamMonitor::feed(const net::Packet& packet) {
+  BOLT_CHECK(!finished_, "stream monitor: feed after finish");
+  const std::uint64_t index = next_index_++;
+  const std::uint64_t ts = packet.timestamp_ns();
+  const std::uint64_t w = delta_window_ns_ > 0 ? ts / delta_window_ns_ : 0;
+
+  // The window clock advances on *every* packet of the global stream
+  // (owned or not), so all fleet instances close the same windows at the
+  // same stream positions.
+  if (!have_open_) {
+    open_ = std::make_unique<WindowData>();
+    open_->accums.assign(contract_.entries().size(), ClassAccum{});
+    have_open_ = true;
+    open_window_ = w;
+  } else if (w > open_window_) {
+    close_open(/*provisional=*/false);
+    open_->accums.assign(contract_.entries().size(), ClassAccum{});
+    open_->stats = WindowStats{};
+    open_window_ = w;
+  }
+
+  const std::size_t p = partition_of(packet, options_.partitions);
+  if (!owned(p)) return;
+  if (w < open_window_) ++open_->stats.late_packets;
+  ++open_->stats.packets;
+  open_dirty_ = true;
+
+  if (partitions_[p] == nullptr) {
+    partitions_[p] = std::make_unique<Partition>(*this);
+  }
+  Partition& part = *partitions_[p];
+
+  std::uint64_t straddle_leak = 0;
+  if (part.epochs_on) {
+    if (!part.have_epoch) {
+      part.have_epoch = true;
+      part.next_boundary =
+          (ts / options_.epoch_ns + 1) * options_.epoch_ns;
+    } else if (ts >= part.next_boundary) {
+      const std::uint64_t epoch = ts / options_.epoch_ns;
+      open_->stats.expired_idle +=
+          part.target.expire_state(epoch * options_.epoch_ns);
+      ++open_->stats.epoch_sweeps;
+      part.next_boundary = (epoch + 1) * options_.epoch_ns;
+      if (options_.inject_straddle_bug && ts == epoch * options_.epoch_ns) {
+        straddle_leak = 1;
+      }
+    }
+  }
+
+  part.scratch_pkt = packet;
+  if (options_.check_cycles) part.cycles.begin_packet();
+  part.runner->process_into(part.scratch_pkt, part.run);
+  if (part.target.has_state_observers()) {
+    open_->stats.high_water = std::max<std::uint64_t>(
+        open_->stats.high_water, part.target.state_occupancy());
+  }
+  if (options_.telemetry) ++tel_.packets_executed;
+
+  const std::uint32_t entry = part.resolver.resolve(
+      part.run, part.runner->labels(), kUnattributedEntry,
+      options_.telemetry ? &tel_.attr_memo_hits : nullptr);
+  if (entry == kUnattributedEntry) {
+    WindowStats& st = open_->stats;
+    if (!st.any_unattributed || index < st.first_unattributed) {
+      st.any_unattributed = true;
+      st.first_unattributed = index;
+    }
+    ++st.unattributed;
+    return;
+  }
+
+  constexpr std::uint32_t kUnmapped = ~0u;
+  std::fill(row_buf_.begin(), row_buf_.end(), 0);
+  for (const auto& [id, value] : part.run.pcvs.values()) {
+    if (id < part.pcv_slot.size() && part.pcv_slot[id] != kUnmapped) {
+      row_buf_[part.pcv_slot[id]] = value;
+    }
+  }
+  for (std::size_t flat = 0; flat < part.run.loop_trips.size(); ++flat) {
+    const std::uint64_t trips = part.run.loop_trips[flat];
+    if (trips != 0 && part.loop_slot[flat] != kUnmapped) {
+      row_buf_[part.loop_slot[flat]] = trips;
+    }
+  }
+  const std::array<std::uint64_t, 3> measured = {
+      part.run.instructions + straddle_leak,
+      part.run.mem_accesses,
+      options_.check_cycles ? part.cycles.packet_cycles() : 0,
+  };
+  validate_row(index, w, entry, row_buf_.data(), measured);
+}
+
+void StreamMonitor::close_open(bool provisional) {
+  if (!have_open_) return;
+  if (provisional && !open_dirty_) return;  // nothing new since last flush
+
+  ClosedWindow cw;
+  cw.window = open_window_;
+  cw.window_ns = delta_window_ns_;
+  cw.provisional = provisional;
+  cw.accums = &open_->accums;
+  cw.stats = &open_->stats;
+
+  // Render a delta window only when there is attributed traffic — the
+  // batch stream never contains a window without it.
+  std::uint64_t attributed = 0;
+  for (const ClassAccum& acc : open_->accums) attributed += acc.packets;
+  if (delta_window_ns_ > 0 && attributed > 0) {
+    std::vector<DeltaEntryAccum> slices;
+    slices.reserve(open_->accums.size());
+    for (const ClassAccum& acc : open_->accums) {
+      slices.push_back(delta_slice(acc));
+    }
+    if (provisional) {
+      // A provisional emission must not advance the drift detector (the
+      // authoritative close will); a throwaway detector with a single
+      // window can never reach min_points, so alerts stay empty.
+      obs::DriftDetector scratch(options_.drift);
+      cw.delta = build_delta_window(open_window_, delta_window_ns_,
+                                    entry_names_, slices, scratch, nullptr);
+    } else {
+      cw.delta = build_delta_window(open_window_, delta_window_ns_,
+                                    entry_names_, slices, detector_, &alerts_);
+    }
+    cw.has_delta = true;
+  }
+
+  if (on_window_ != nullptr) on_window_(cw);
+  open_dirty_ = false;
+  if (provisional) return;  // keep accumulating into the same window
+
+  if (cw.has_delta) ++windows_emitted_;
+  for (std::size_t e = 0; e < total_accums_.size(); ++e) {
+    total_accums_[e].merge(open_->accums[e], options_.max_offenders);
+  }
+  RunTotals wt;
+  wt.unattributed = open_->stats.unattributed;
+  wt.first_unattributed = open_->stats.first_unattributed;
+  wt.any_unattributed = open_->stats.any_unattributed;
+  wt.epoch_sweeps = open_->stats.epoch_sweeps;
+  wt.expired_idle = open_->stats.expired_idle;
+  wt.high_water = open_->stats.high_water;
+  totals_.merge(wt);
+}
+
+obs::MonitorTelemetry StreamMonitor::telemetry_snapshot() const {
+  obs::MonitorTelemetry t = tel_;
+  t.epoch_sweeps = totals_.epoch_sweeps;
+  t.state_high_water = totals_.high_water;
+  t.delta_windows = windows_emitted_;
+  t.drift_alerts = alerts_.size();
+  return t;
+}
+
+void StreamMonitor::idle_flush() {
+  BOLT_CHECK(!finished_, "stream monitor: idle_flush after finish");
+  close_open(/*provisional=*/true);
+}
+
+StreamResult StreamMonitor::finish() {
+  BOLT_CHECK(!finished_, "stream monitor: finish called twice");
+  finished_ = true;
+  close_open(/*provisional=*/false);
+  have_open_ = false;
+  open_.reset();
+
+  // Residents match the batch engine, which instantiates every partition
+  // (even traffic-free ones) and sums end-of-run occupancy. An instance
+  // only answers for partitions it owns — summed across a fleet, every
+  // partition is counted exactly once, same as a single monitor.
+  if (track_state_) {
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      if (!owned(p)) continue;
+      if (partitions_[p] == nullptr) {
+        partitions_[p] = std::make_unique<Partition>(*this);
+      }
+      totals_.residents += partitions_[p]->target.state_occupancy();
+    }
+  }
+
+  StreamResult out;
+  std::vector<ClassAccum> merged = std::move(total_accums_);
+  total_accums_.assign(contract_.entries().size(), ClassAccum{});
+  out.report = build_report(contract_.nf_name(), next_index_,
+                            options_.partitions, options_.check_cycles,
+                            options_.epoch_ns, entry_names_, std::move(merged),
+                            totals_);
+  out.observations.alerts = alerts_;
+  // Merge-time facts are mirrored whether or not counter collection was on
+  // — same as the batch engine (counters stay zero when telemetry is off).
+  tel_.epoch_sweeps = out.report.epoch_sweeps;
+  tel_.state_high_water = out.report.state_high_water;
+  tel_.delta_windows = windows_emitted_;
+  tel_.drift_alerts = alerts_.size();
+  out.observations.telemetry = tel_;
+  return out;
+}
+
+}  // namespace bolt::monitor

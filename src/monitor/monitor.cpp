@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "core/classkey.h"
+#include "monitor/accum.h"
+#include "monitor/attribute.h"
 #include "net/flow.h"
 #include "net/headers.h"
 #include "obs/delta.h"
@@ -18,156 +20,17 @@
 
 namespace bolt::monitor {
 
+// The accumulators (MetricAccum/ClassAccum/DeltaEntryAccum), the exact
+// utilization arithmetic, and the report/delta-window rendering all live
+// in monitor/accum.h — shared with the streaming monitor (follow.cpp) and
+// the fleet merger (obs/fleet.cpp), which must produce byte-identical
+// output to this engine.
+
 namespace {
 
 using perf::Metric;
 using perf::kAllMetrics;
 using perf::metric_index;
-
-/// Per-mille utilization recorded for a degenerate bound (predicted <= 0
-/// with measured work): effectively infinite, clamped so the sketch stays
-/// in integer range.
-constexpr std::uint64_t kDegenerateUtilPm = 1'000'000'000ull;
-
-/// Exact utilization comparison between two (measured, predicted) pairs
-/// without floating point: u(m, p) = m/p for p > 0; 0 when m == 0; and
-/// +inf when p <= 0 but work was measured (a degenerate bound is an
-/// automatic violation). Returns <0, 0, >0 like strcmp.
-int util_cmp(std::uint64_t ma, std::int64_t pa, std::uint64_t mb,
-             std::int64_t pb) {
-  const bool inf_a = pa <= 0 && ma > 0;
-  const bool inf_b = pb <= 0 && mb > 0;
-  if (inf_a || inf_b) {
-    if (inf_a && inf_b) return ma < mb ? -1 : ma > mb ? 1 : 0;
-    return inf_a ? 1 : -1;
-  }
-  // Both finite; p <= 0 implies m == 0 here, i.e. utilization 0.
-  const std::uint64_t na = pa > 0 ? ma : 0;
-  const std::uint64_t da = pa > 0 ? static_cast<std::uint64_t>(pa) : 1;
-  const std::uint64_t nb = pb > 0 ? mb : 0;
-  const std::uint64_t db = pb > 0 ? static_cast<std::uint64_t>(pb) : 1;
-  const unsigned __int128 lhs = static_cast<unsigned __int128>(na) * db;
-  const unsigned __int128 rhs = static_cast<unsigned __int128>(nb) * da;
-  return lhs < rhs ? -1 : lhs > rhs ? 1 : 0;
-}
-
-/// Decile bucket for a compliant packet, kViolationBucket for a violation.
-std::size_t util_bucket(std::uint64_t measured, std::int64_t predicted) {
-  if (static_cast<std::int64_t>(measured) > predicted) return kViolationBucket;
-  if (predicted <= 0 || measured == 0) return 0;
-  const std::uint64_t b =
-      measured * 10 / static_cast<std::uint64_t>(predicted);
-  return std::min<std::uint64_t>(b, kViolationBucket - 1);
-}
-
-/// Utilization in per-mille of the bound (the sketch's unit).
-std::uint64_t util_pm(std::uint64_t measured, std::int64_t predicted) {
-  if (predicted <= 0) return measured > 0 ? kDegenerateUtilPm : 0;
-  return measured * 1000 / static_cast<std::uint64_t>(predicted);
-}
-
-// Every accumulator below merges order-independently: counters are sums,
-// worsts are maxima under a *total* order (utilization, ties by packet
-// index), the bounded offender list is a top-k under the same total order,
-// and the sketches are merge-order independent by property test. That is
-// what lets statistics accumulate per work queue (whose composition
-// depends on the execution-only shards/grouping knobs) and still merge to
-// byte-identical reports.
-
-struct MetricAccum {
-  std::uint64_t violations = 0;
-  bool has_worst = false;
-  std::uint64_t worst_packet = 0;
-  std::int64_t worst_predicted = 0;
-  std::uint64_t worst_measured = 0;
-  std::array<std::uint64_t, kUtilizationBuckets> histogram{};
-  perf::QuantileSketch headroom_pm;
-
-  void record(std::uint64_t packet, std::uint64_t measured,
-              std::int64_t predicted) {
-    if (static_cast<std::int64_t>(measured) > predicted) ++violations;
-    ++histogram[util_bucket(measured, predicted)];
-    headroom_pm.add(util_pm(measured, predicted));
-    const int cmp =
-        util_cmp(measured, predicted, worst_measured, worst_predicted);
-    if (!has_worst || cmp > 0 || (cmp == 0 && packet < worst_packet)) {
-      has_worst = true;
-      worst_packet = packet;
-      worst_predicted = predicted;
-      worst_measured = measured;
-    }
-  }
-
-  void merge(const MetricAccum& other) {
-    violations += other.violations;
-    for (std::size_t b = 0; b < kUtilizationBuckets; ++b) {
-      histogram[b] += other.histogram[b];
-    }
-    headroom_pm.merge(other.headroom_pm);
-    if (!other.has_worst) return;
-    const int cmp = util_cmp(other.worst_measured, other.worst_predicted,
-                             worst_measured, worst_predicted);
-    if (!has_worst || cmp > 0 ||
-        (cmp == 0 && other.worst_packet < worst_packet)) {
-      has_worst = true;
-      worst_packet = other.worst_packet;
-      worst_predicted = other.worst_predicted;
-      worst_measured = other.worst_measured;
-    }
-  }
-};
-
-/// Strictly-higher-utilization-first ordering (ties: lower packet index).
-bool offender_before(const Offender& a, const Offender& b) {
-  const int cmp = util_cmp(a.measured, a.predicted, b.measured, b.predicted);
-  if (cmp != 0) return cmp > 0;
-  return a.packet_index < b.packet_index;
-}
-
-struct ClassAccum {
-  std::uint64_t packets = 0;
-  std::array<MetricAccum, 3> metrics;
-  perf::QuantileSketch violation_margin_pm;
-  std::vector<Offender> offenders;  // sorted by offender_before, bounded
-
-  void add_offender(const Offender& o, std::size_t cap) {
-    if (cap == 0) return;
-    const auto pos =
-        std::lower_bound(offenders.begin(), offenders.end(), o, offender_before);
-    if (pos == offenders.end() && offenders.size() >= cap) return;
-    offenders.insert(pos, o);
-    if (offenders.size() > cap) offenders.pop_back();
-  }
-
-  void merge(const ClassAccum& other, std::size_t cap) {
-    packets += other.packets;
-    for (std::size_t m = 0; m < metrics.size(); ++m) {
-      metrics[m].merge(other.metrics[m]);
-    }
-    violation_margin_pm.merge(other.violation_margin_pm);
-    for (const Offender& o : other.offenders) add_offender(o, cap);
-  }
-};
-
-using perf::summarize;
-
-/// Per-(window, contract entry) accumulation for delta-report mode: the
-/// same headroom values the main report's sketches see, bucketed by the
-/// semantic window id. Merging every window's sketches reproduces the
-/// end-of-run sketch state (tests/test_obs.cpp locks that down).
-struct DeltaEntryAccum {
-  std::uint64_t packets = 0;
-  std::array<std::uint64_t, 3> violations{};
-  std::array<perf::QuantileSketch, 3> headroom_pm;
-
-  void merge(const DeltaEntryAccum& other) {
-    packets += other.packets;
-    for (std::size_t m = 0; m < 3; ++m) {
-      violations[m] += other.violations[m];
-      headroom_pm[m].merge(other.headroom_pm[m]);
-    }
-  }
-};
 
 }  // namespace
 
@@ -397,52 +260,6 @@ class MonitorEngine::QueueTask {
     }
   }
 
-  /// Resolves the run's input class against the contract. The run's tag
-  /// and call-case ids fold into a single interned path id
-  /// (ir::RunLabels::path_of); a path seen before resolves with one vector
-  /// index. Only the *first* packet of each distinct class materialises the
-  /// key string (byte-identical to core::class_key) and hashes it against
-  /// the contract's entry index. Returns kUnattributedEntry when no entry
-  /// matches.
-  std::uint32_t resolve_entry(
-      const ir::RunResult& run, ir::RunLabels& labels,
-      const std::unordered_map<std::int64_t, std::string>& method_names) {
-    const std::uint32_t path = labels.path_of(run);
-    if (path < path_entry_.size() && path_entry_[path] != kUnresolvedPath) {
-      if (tel_ != nullptr) ++tel_->attr_memo_hits;
-      return path_entry_[path];
-    }
-    std::string& key = key_buf_;
-    key.clear();
-    for (const std::uint32_t tag : run.class_tags) {
-      if (!key.empty()) key += '/';
-      key += labels.tag_name(tag);
-    }
-    if (key.empty()) key = "(untagged)";
-    bool first_call = true;
-    for (const ir::CallRec& call : run.calls) {
-      key += first_call ? " | " : ",";
-      first_call = false;
-      const auto it = method_names.find(call.method);
-      if (it != method_names.end()) {
-        key += it->second;
-      } else {
-        key += 'm';
-        key += std::to_string(call.method);
-      }
-      key += '=';
-      key += labels.case_name(call.method, call.case_id);
-    }
-    const auto entry_it = e_.entry_index_.find(key);
-    const std::uint32_t entry =
-        entry_it == e_.entry_index_.end()
-            ? kUnattributedEntry
-            : static_cast<std::uint32_t>(entry_it->second);
-    if (path >= path_entry_.size()) path_entry_.resize(path + 1, kUnresolvedPath);
-    path_entry_[path] = entry;
-    return entry;
-  }
-
   void run_partition(const std::vector<std::uint64_t>& indices) {
     QueueResult& out = results_[queue_];
 
@@ -457,11 +274,7 @@ class MonitorEngine::QueueTask {
       const std::string& name = local_reg.name(id);
       if (e_.reg_.contains(name)) pcv_slot[id] = e_.reg_.require(name);
     }
-    // Method id -> name, resolved once instead of per call site per packet.
-    std::unordered_map<std::int64_t, std::string> method_names;
-    for (const auto& [id, spec] : target.methods()) {
-      method_names.emplace(id, spec.name);
-    }
+    resolver_.bind(target);
 
     hw::ConservativeModel cycles(e_.options_.cycle_costs);
     const bool check_cycles = e_.options_.check_cycles;
@@ -470,7 +283,6 @@ class MonitorEngine::QueueTask {
                            check_cycles ? &cycles : nullptr,
                            e_.options_.engine);
     ir::RunLabels& labels = runner->labels();
-    path_entry_.clear();  // path ids are scoped to this runner's labels
 
     // Loop-trip PCVs (linearised loop families): flat loop slot -> contract
     // slot of the PCV named after the loop (kUnmapped when the contract
@@ -526,7 +338,9 @@ class MonitorEngine::QueueTask {
                                                  target.state_occupancy());
       }
 
-      const std::uint32_t entry = resolve_entry(run_, labels, method_names);
+      const std::uint32_t entry =
+          resolver_.resolve(run_, labels, kUnattributedEntry,
+                            tel_ != nullptr ? &tel_->attr_memo_hits : nullptr);
       if (attribution_ != nullptr) (*attribution_)[index] = entry;
       if (entry == kUnattributedEntry) {
         if (!out.any_unattributed || index < out.first_unattributed) {
@@ -582,11 +396,7 @@ class MonitorEngine::QueueTask {
   std::vector<SoaBatch> pending_;        ///< one open batch per entry
   net::Packet scratch_pkt_;              ///< reused packet copy
   ir::RunResult run_;                    ///< reused run result
-  std::string key_buf_;                  ///< reused key buffer (miss path)
-  /// Attribution memo: interned path id -> contract entry (or
-  /// kUnattributedEntry). Dense — path ids are small and reused.
-  static constexpr std::uint32_t kUnresolvedPath = kUnattributedEntry - 1;
-  std::vector<std::uint32_t> path_entry_;
+  ClassResolver resolver_{&e_.entry_index_};  ///< class-key attribution
 };
 
 std::size_t partition_of(const net::Packet& packet, std::size_t partitions) {
@@ -752,67 +562,34 @@ MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
   }
 
   // Deterministic merge in queue order (order-independent accumulators, so
-  // any queue composition yields the same bytes).
+  // any queue composition yields the same bytes), rendered through the
+  // shared build_report path (monitor/accum.h).
+  std::vector<std::string> entry_names;
+  entry_names.reserve(contract_.entries().size());
+  for (const perf::ContractEntry& entry : contract_.entries()) {
+    entry_names.push_back(entry.input_class);
+  }
   std::vector<ClassAccum> merged(contract_.entries().size());
-  std::uint64_t unattributed = 0, first_unattributed = 0;
-  bool any_unattributed = false;
-  MonitorReport report;
+  RunTotals totals;
   for (const QueueResult& qr : queue_results) {
     for (std::size_t e = 0; e < merged.size(); ++e) {
       merged[e].merge(qr.classes[e], options_.max_offenders);
     }
-    if (qr.unattributed > 0) {
-      unattributed += qr.unattributed;
-      if (!any_unattributed || qr.first_unattributed < first_unattributed) {
-        any_unattributed = true;
-        first_unattributed = qr.first_unattributed;
-      }
-    }
-    report.epoch_sweeps += qr.epoch_sweeps;
-    report.state_expired_idle += qr.expired_idle;
-    report.state_high_water =
-        std::max(report.state_high_water, qr.high_water);
-    report.state_residents += qr.residents;
-    report.state_tracked = report.state_tracked || qr.state_tracked;
+    RunTotals qt;
+    qt.unattributed = qr.unattributed;
+    qt.first_unattributed = qr.first_unattributed;
+    qt.any_unattributed = qr.any_unattributed;
+    qt.epoch_sweeps = qr.epoch_sweeps;
+    qt.expired_idle = qr.expired_idle;
+    qt.high_water = qr.high_water;
+    qt.residents = qr.residents;
+    qt.state_tracked = qr.state_tracked;
+    totals.merge(qt);
   }
-
-  report.nf = contract_.nf_name();
-  report.packets = packets.size();
-  report.unattributed = unattributed;
-  report.first_unattributed_packet = first_unattributed;
-  report.attributed = packets.size() - unattributed;
-  report.partitions = partitions;
-  report.cycles_checked = options_.check_cycles;
-  // A target with no state observers never runs epoch maintenance, no
-  // matter what the option says — report the effective value.
-  report.epoch_ns = report.state_tracked ? options_.epoch_ns : 0;
-  report.classes.reserve(merged.size());
-  for (std::size_t e = 0; e < merged.size(); ++e) {
-    ClassReport cr;
-    cr.input_class = contract_.entries()[e].input_class;
-    cr.packets = merged[e].packets;
-    for (std::size_t m = 0; m < 3; ++m) {
-      const MetricAccum& acc = merged[e].metrics[m];
-      MetricReport& mr = cr.metrics[m];
-      mr.violations = acc.violations;
-      mr.worst_packet = acc.worst_packet;
-      mr.worst_predicted = acc.worst_predicted;
-      mr.worst_measured = acc.worst_measured;
-      mr.histogram = acc.histogram;
-      mr.headroom_pm = summarize(acc.headroom_pm);
-      report.violations += acc.violations;
-    }
-    cr.violation_margin_pm = summarize(merged[e].violation_margin_pm);
-    cr.offenders = std::move(merged[e].offenders);
-    report.classes.push_back(std::move(cr));
-  }
-  // Classes sorted by input class for stable human output (contract
-  // entries already arrive sorted from the generator; enforce anyway for
-  // hand-built contracts).
-  std::stable_sort(report.classes.begin(), report.classes.end(),
-                   [](const ClassReport& a, const ClassReport& b) {
-                     return a.input_class < b.input_class;
-                   });
+  MonitorReport report =
+      build_report(contract_.nf_name(), packets.size(), partitions,
+                   options_.check_cycles, options_.epoch_ns, entry_names,
+                   std::move(merged), totals);
 
   if (observations != nullptr) {
     *observations = obs::RunObservations{};
@@ -834,45 +611,9 @@ MonitorReport MonitorEngine::run(const std::vector<net::Packet>& packets,
       obs::DriftDetector detector(options_.drift);
       observations->deltas.reserve(windows.size());
       for (const auto& [w, accums] : windows) {
-        obs::DeltaWindow dw;
-        dw.window = w;
-        dw.window_ns = delta_window_ns_;
-        for (std::size_t e = 0; e < entries; ++e) {
-          const DeltaEntryAccum& ea = accums[e];
-          if (ea.packets == 0) continue;
-          obs::DeltaClass dc;
-          dc.input_class = contract_.entries()[e].input_class;
-          dc.packets = ea.packets;
-          dw.packets += ea.packets;
-          for (const Metric m : kAllMetrics) {
-            const int mi = metric_index(m);
-            dc.metrics[mi].violations = ea.violations[mi];
-            dc.metrics[mi].headroom_pm = ea.headroom_pm[mi];
-            dw.violations += ea.violations[mi];
-          }
-          dw.classes.push_back(std::move(dc));
-        }
-        std::stable_sort(
-            dw.classes.begin(), dw.classes.end(),
-            [](const obs::DeltaClass& a, const obs::DeltaClass& b) {
-              return a.input_class < b.input_class;
-            });
-        // Drift detection over exactly the stream the operator sees: one
-        // p99 point per (class, metric) per window, in window order.
-        for (const obs::DeltaClass& dc : dw.classes) {
-          for (const Metric m : kAllMetrics) {
-            const perf::QuantileSketch& sk =
-                dc.metrics[metric_index(m)].headroom_pm;
-            if (sk.count() == 0) continue;
-            obs::DriftAlert alert;
-            if (detector.observe(dc.input_class, m, w, sk.quantile(0.99),
-                                 &alert)) {
-              dw.alerts.push_back(alert);
-              observations->alerts.push_back(std::move(alert));
-            }
-          }
-        }
-        observations->deltas.push_back(std::move(dw));
+        observations->deltas.push_back(
+            build_delta_window(w, delta_window_ns_, entry_names, accums,
+                               detector, &observations->alerts));
       }
     }
     // Fold the per-queue telemetry halves, then mirror the merge-time

@@ -134,6 +134,75 @@ std::vector<Packet> read_pcap(const std::string& path) {
   return parse_pcap(bytes);
 }
 
+PcapTail::PcapTail(std::string path) : path_(std::move(path)) {}
+
+PcapTail::~PcapTail() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+std::vector<Packet> PcapTail::poll() {
+  std::vector<Packet> out;
+  if (f_ == nullptr) {
+    f_ = std::fopen(path_.c_str(), "rb");
+    if (f_ == nullptr) return out;  // not created yet
+  }
+  // Append everything currently readable to the carry-over buffer. The
+  // writer may be mid-record; whatever does not parse as complete records
+  // stays buffered for the next poll.
+  char chunk[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(chunk, 1, sizeof chunk, f_);
+    if (got > 0) {
+      buf_.insert(buf_.end(), chunk, chunk + got);
+    }
+    if (got < sizeof chunk) {
+      std::clearerr(f_);  // clear EOF so the next poll sees appended bytes
+      break;
+    }
+  }
+
+  std::size_t pos = 0;
+  if (!header_done_) {
+    if (buf_.size() < 24) return out;
+    std::uint32_t magic;
+    std::memcpy(&magic, buf_.data(), 4);
+    switch (magic) {
+      case kMagicMicro: break;
+      case kMagicNano: nano_ = true; break;
+      case kMagicMicroSwapped: swapped_ = true; break;
+      case kMagicNanoSwapped:
+        swapped_ = true;
+        nano_ = true;
+        break;
+      default: BOLT_UNREACHABLE("pcap tail: bad magic number");
+    }
+    Cursor cur{buf_.data(), buf_.size(), 20, swapped_};
+    const std::uint32_t link_type = cur.u32();
+    BOLT_CHECK(link_type == kLinkTypeEthernet,
+               "pcap tail: only EN10MB supported");
+    header_done_ = true;
+    pos = 24;
+  }
+
+  while (buf_.size() - pos >= 16) {
+    Cursor cur{buf_.data(), buf_.size(), pos, swapped_};
+    const std::uint64_t ts_sec = cur.u32();
+    const std::uint64_t ts_frac = cur.u32();
+    const std::uint32_t incl_len = cur.u32();
+    cur.u32();  // orig_len
+    if (buf_.size() - cur.pos < incl_len) break;  // partial record: retry
+    std::vector<std::uint8_t> data(
+        buf_.begin() + std::ptrdiff_t(cur.pos),
+        buf_.begin() + std::ptrdiff_t(cur.pos + incl_len));
+    const TimestampNs ts =
+        ts_sec * 1'000'000'000ULL + (nano_ ? ts_frac : ts_frac * 1'000ULL);
+    out.emplace_back(std::move(data), ts);
+    pos = cur.pos + incl_len;
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + std::ptrdiff_t(pos));
+  return out;
+}
+
 void write_pcap(const std::string& path, const std::vector<Packet>& packets) {
   const std::vector<std::uint8_t> bytes = serialize_pcap(packets);
   std::FILE* f = std::fopen(path.c_str(), "wb");

@@ -24,4 +24,36 @@ void write_pcap(const std::string& path, const std::vector<Packet>& packets);
 std::vector<Packet> parse_pcap(const std::vector<std::uint8_t>& bytes);
 std::vector<std::uint8_t> serialize_pcap(const std::vector<Packet>& packets);
 
+/// Incremental reader for a pcap file that is still being written — the
+/// daemon-mode (`bolt_cli monitor --follow`) input path. Each poll() reads
+/// whatever complete records have been appended since the last poll and
+/// returns them; a partially-written trailing record (or a file that does
+/// not exist yet, or one shorter than its global header) is simply "no
+/// data yet" and is retried on the next poll. Both timestamp resolutions
+/// and byte orders are accepted; a *malformed* header (bad magic, non-
+/// Ethernet link type) still aborts loudly, exactly like read_pcap — a
+/// tailed file must be a pcap, it is only allowed to be unfinished.
+class PcapTail {
+ public:
+  explicit PcapTail(std::string path);
+  ~PcapTail();
+  PcapTail(const PcapTail&) = delete;
+  PcapTail& operator=(const PcapTail&) = delete;
+
+  /// Drains newly completed records. Returns an empty vector when nothing
+  /// new is available (not yet created / no new complete records).
+  std::vector<Packet> poll();
+
+  /// True once the global header has been read and validated.
+  bool header_seen() const { return header_done_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  bool header_done_ = false;
+  bool swapped_ = false;
+  bool nano_ = false;
+  std::vector<std::uint8_t> buf_;  ///< carried-over partial record bytes
+};
+
 }  // namespace bolt::net

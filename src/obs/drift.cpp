@@ -26,6 +26,10 @@ bool slope_less(const Slope& a, const Slope& b) {
 DriftDetector::DriftDetector(const DriftOptions& opts) : opts_(opts) {
   if (opts_.window_ring < 2) opts_.window_ring = 2;
   if (opts_.min_points < 2) opts_.min_points = 2;
+  if (opts_.baseline_min < 2) opts_.baseline_min = 2;
+  if (opts_.baseline_ring < opts_.baseline_min) {
+    opts_.baseline_ring = opts_.baseline_min;
+  }
 }
 
 bool DriftDetector::observe(const std::string& input_class,
@@ -60,18 +64,51 @@ bool DriftDetector::observe(const std::string& input_class,
                    slope_less);
   const Slope med = slopes[mid];
 
+  // The median slope in milli-pm per window, signed (C++ integer division
+  // truncates toward zero for either sign): the value the baseline history
+  // records for every observation, trending or not, so seasonal descents
+  // and plateaus shape the band as much as ascents do.
+  const std::int64_t raw_mpm =
+      med.dy * 1000 / static_cast<std::int64_t>(med.dx);
+
+  // Adaptive per-series threshold: the learned band (median + k * MAD of
+  // the slope history, exact integer arithmetic, lower medians) once
+  // enough history exists; only the min_slope_mpm floor during warmup.
+  bool banded = false;
+  std::int64_t band = 0;
+  if (opts_.adaptive && s.slope_history.size() >= opts_.baseline_min) {
+    std::vector<std::int64_t> h = s.slope_history;
+    const std::size_t hm = (h.size() - 1) / 2;
+    std::nth_element(h.begin(), h.begin() + hm, h.end());
+    const std::int64_t med_h = h[hm];
+    for (std::int64_t& v : h) v = v >= med_h ? v - med_h : med_h - v;
+    std::nth_element(h.begin(), h.begin() + hm, h.end());
+    band = med_h + opts_.baseline_mad_k * h[hm];
+    banded = true;
+  }
+
   const std::uint64_t last_pm = s.points.back().second;
   bool trending = false;
   std::uint64_t eta = 0;
   std::int64_t slope_mpm = 0;
   if (med.dy > 0 && last_pm < opts_.bound_pm) {
-    slope_mpm = med.dy * 1000 / static_cast<std::int64_t>(med.dx);
+    slope_mpm = raw_mpm;
     // Projected windows until the series reaches the bound at the median
     // slope (ceiling division; exact integers throughout).
     const std::uint64_t gap = opts_.bound_pm - last_pm;
     eta = (gap * med.dx + static_cast<std::uint64_t>(med.dy) - 1) /
           static_cast<std::uint64_t>(med.dy);
-    trending = slope_mpm >= opts_.min_slope_mpm && eta <= opts_.horizon_windows;
+    // Strictly above the learned band: a slope the series has made normal
+    // (band == typical slope) is not drift, it is the season.
+    trending = slope_mpm >= opts_.min_slope_mpm &&
+               (!banded || slope_mpm > band) && eta <= opts_.horizon_windows;
+  }
+
+  // Record the slope *after* the decision — today's slope must not raise
+  // the bar it is being judged against.
+  s.slope_history.push_back(raw_mpm);
+  if (s.slope_history.size() > opts_.baseline_ring) {
+    s.slope_history.erase(s.slope_history.begin());
   }
 
   if (!trending) {

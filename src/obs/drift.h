@@ -41,8 +41,27 @@ struct DriftOptions {
   /// Alert when the projected crossing is at most this many windows away.
   std::uint64_t horizon_windows = 32;
   /// Ignore slopes below this (milli-per-mille per window): stationary
-  /// series jitter around zero and must not page anyone.
+  /// series jitter around zero and must not page anyone. With the adaptive
+  /// baseline (below) this is the *floor* — the warmup threshold while a
+  /// series' slope history is still short, and the lower bound the learned
+  /// threshold can never drop under.
   std::int64_t min_slope_mpm = 500;
+  /// Per-(class, metric) adaptive baseline: each series keeps a rolling
+  /// history of its own Theil–Sen slopes (every computed slope, trending
+  /// or not — so seasonal swings populate it) and a slope only counts as
+  /// trending when it clears the learned band, median(history) +
+  /// baseline_mad_k * MAD(history), *strictly*. Seasonal workloads whose
+  /// p99 routinely ramps learn their own ramps and go quiet after the
+  /// first period; a genuinely novel erosion still trips at the floor
+  /// during warmup. Disable to recover the fixed global threshold.
+  bool adaptive = true;
+  /// Slope-history samples kept per series (the learning window).
+  std::size_t baseline_ring = 16;
+  /// History needed before the learned band arms; until then only the
+  /// min_slope_mpm floor applies (so short-lived series still alert).
+  std::size_t baseline_min = 6;
+  /// Band width: median + this many MADs (median absolute deviations).
+  std::int64_t baseline_mad_k = 4;
 };
 
 /// A structured drift alert: "class X's metric M p99 headroom is trending
@@ -72,6 +91,9 @@ class DriftDetector {
  private:
   struct Series {
     std::vector<std::pair<std::uint64_t, std::uint64_t>> points;  // (x, y)
+    /// Ring of recent Theil–Sen slopes (milli-pm per window, signed) — the
+    /// per-series baseline the adaptive band is learned from.
+    std::vector<std::int64_t> slope_history;
     bool alerted = false;  ///< hysteresis latch
   };
 

@@ -125,6 +125,33 @@ std::string QuantileSketch::serialize() const {
   return out;
 }
 
+QuantileSketch QuantileSketch::restore(
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets,
+    std::uint64_t count, std::uint64_t min, std::uint64_t max) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    BOLT_CHECK(buckets[i].second > 0, "sketch restore: zero bucket count");
+    BOLT_CHECK(i == 0 || buckets[i - 1].first < buckets[i].first,
+               "sketch restore: unsorted or duplicate buckets");
+    total += buckets[i].second;
+  }
+  BOLT_CHECK(total == count, "sketch restore: bucket counts disagree with n");
+  QuantileSketch out;
+  if (count == 0) {
+    BOLT_CHECK(min == 0 && max == 0, "sketch restore: empty with bounds");
+    return out;
+  }
+  BOLT_CHECK(min <= max, "sketch restore: min > max");
+  BOLT_CHECK(bucket_of(min) == buckets.front().first &&
+                 bucket_of(max) == buckets.back().first,
+             "sketch restore: min/max outside recorded buckets");
+  out.buckets_ = std::move(buckets);
+  out.count_ = count;
+  out.min_ = min;
+  out.max_ = max;
+  return out;
+}
+
 bool QuantileSketch::operator==(const QuantileSketch& other) const {
   return count_ == other.count_ && min() == other.min() &&
          max() == other.max() && buckets_ == other.buckets_;

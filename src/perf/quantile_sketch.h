@@ -73,6 +73,22 @@ class QuantileSketch {
   static std::uint64_t bucket_lo(std::uint32_t bucket);
   static std::uint64_t bucket_hi(std::uint32_t bucket);
 
+  /// The raw sparse state, exposed for external serialisation (the fleet
+  /// partial format in obs/fleet.cpp). Sorted by bucket index; counts are
+  /// strictly positive.
+  const std::vector<std::pair<std::uint32_t, std::uint64_t>>& buckets() const {
+    return buckets_;
+  }
+
+  /// Rebuilds a sketch from externally serialised state (the inverse of
+  /// buckets()/count()/min()/max()). Aborts if the state is inconsistent:
+  /// unsorted or duplicate buckets, zero counts, a count mismatch, or
+  /// min/max outside the recorded buckets' range — a fleet partial that
+  /// fails this was corrupted in transit.
+  static QuantileSketch restore(
+      std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets,
+      std::uint64_t count, std::uint64_t min, std::uint64_t max);
+
  private:
   /// Sorted by bucket index; counts are strictly positive.
   std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets_;

@@ -44,7 +44,8 @@ TEST(CliHelp, DocumentsEveryMonitorFlag) {
       "--no-pipeline", "--epoch-ns", "--violation-threshold",
       "--inflate",  "--no-cycles", "--pcap",     "--json",
       "--report",   "--delta-every", "--delta-out", "--metrics-out",
-      "--metrics-format", "--watch", "--help",
+      "--metrics-format", "--watch", "--follow", "--spool", "--fleet",
+      "--idle-flush-ns", "--idle-exit-ms", "--help",
   };
   const std::string help = cli_usage_text();
   for (const std::string& flag : flags) {

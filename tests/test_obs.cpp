@@ -13,7 +13,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -88,6 +90,50 @@ TEST(DriftDetector, SeriesAtOrPastTheBoundDoesNotAlert) {
                            nullptr);
   }
   EXPECT_FALSE(alerted);
+}
+
+TEST(DriftDetector, AdaptiveBaselineLearnsSeasonalRamps) {
+  // A sawtooth whose ramp repeats every period: the per-series slope
+  // history learns the recurring ramp slope, so after warmup the learned
+  // band absorbs it. The fixed global threshold pages on every single
+  // period — the operator noise the adaptive baseline exists to remove.
+  const auto count_alerts = [](bool adaptive) {
+    DriftOptions o;
+    o.adaptive = adaptive;
+    DriftDetector det(o);
+    std::size_t alerts = 0;
+    std::uint64_t w = 0;
+    for (int period = 0; period < 6; ++period) {
+      for (std::uint64_t s = 0; s < 8; ++s) {
+        if (det.observe("c", Metric::kInstructions, w++, 700 + 20 * s,
+                        nullptr)) {
+          ++alerts;
+        }
+      }
+    }
+    return alerts;
+  };
+  EXPECT_EQ(count_alerts(false), 6u);  // one page per period, forever
+  EXPECT_EQ(count_alerts(true), 1u);   // warmup only; then learned silence
+}
+
+TEST(DriftDetector, AdaptiveWarmupFloorStillCatchesNovelErosion) {
+  // A series with a long flat habit (slope history full of ~zero slopes)
+  // must still page when a genuinely novel erosion starts: the learned
+  // band sits near zero, so the new ramp clears it immediately.
+  DriftDetector det;  // defaults: adaptive on
+  std::uint64_t w = 0;
+  for (; w < 12; ++w) {
+    EXPECT_FALSE(det.observe("c", Metric::kInstructions, w,
+                             500 + (w % 2) * 2, nullptr));
+  }
+  std::size_t alerts = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (det.observe("c", Metric::kInstructions, w++, 700 + 25 * i, nullptr)) {
+      ++alerts;
+    }
+  }
+  EXPECT_EQ(alerts, 1u);
 }
 
 TEST(DriftDetector, ReArmsAfterTheTrendBreaks) {
@@ -169,6 +215,41 @@ TEST(Telemetry, JsonAndPrometheusExposition) {
             std::string::npos);
   EXPECT_NE(prom.find("bolt_monitor_batch_fill_count{nf=\"nat\"} 2"),
             std::string::npos);
+}
+
+TEST(Telemetry, PrometheusExpositionMatchesGoldenByteForByte) {
+  // Full-exposition golden: every series must carry # HELP and # TYPE,
+  // counters must end in _total, and the batch_fill summary must expose
+  // quantiles + _sum/_count. The input is hand-built (telemetry from a
+  // live run is execution-shaped and not reproducible); regenerate
+  // tests/data/telemetry.prom from this exact struct after an intentional
+  // exposition change.
+  MonitorTelemetry t;
+  t.packets_executed = 100;
+  t.attr_memo_hits = 42;
+  t.batches_emitted = 4;
+  t.batch_rows = 100;
+  t.batch_fill.add(10);
+  t.batch_fill.add(20);
+  t.batch_fill.add(30);
+  t.batch_fill.add(40);
+  t.ring_pushes = 4;
+  t.ring_stalls = 1;
+  t.ring_occupancy_high_water = 3;
+  t.recycle_hits = 3;
+  t.recycle_misses = 1;
+  t.vm_batch_evals = 12;
+  t.rows_validated = 100;
+  t.epoch_sweeps = 2;
+  t.state_high_water = 17;
+  t.delta_windows = 5;
+  t.drift_alerts = 1;
+  std::ifstream in(std::string(BOLT_TEST_DATA_DIR) + "/telemetry.prom",
+                   std::ios::binary);
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  ASSERT_FALSE(golden.str().empty()) << "missing tests/data/telemetry.prom";
+  EXPECT_EQ(telemetry_to_prometheus(t, "nat"), golden.str());
 }
 
 TEST(Telemetry, MergeSumsCountersAndKeepsHighWaters) {

@@ -13,6 +13,13 @@
 //                                    With --contract FILE.json the stored
 //                                    artifact is validated instead — the
 //                                    operator workflow, no symbex at all.
+//                                    --follow tails a growing pcap as a
+//                                    daemon; --fleet I/N + --spool DIR
+//                                    run one instance of a fleet.
+//   bolt merge <nf> --spool DIR      fold a fleet's spooled partials into
+//                                    the fleet-wide delta stream + report
+//                                    (byte-identical to a single monitor
+//                                    over the combined traffic)
 //   bolt hunt <nf> [...]             feedback-directed search for contract
 //                                    violations past the synthesised edge;
 //                                    a find is delta-debugged to a minimal
@@ -24,10 +31,16 @@
 //
 // <nf> is one of: bridge, nat, nat-b (allocator B), lb, lpm, lpm-simple,
 // firewall, router, fw+router (the chain).
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "adversary/adversary.h"
 #include "adversary/hunter.h"
@@ -39,10 +52,12 @@
 #include "core/distiller.h"
 #include "core/experiments.h"
 #include "core/targets.h"
+#include "monitor/follow.h"
 #include "monitor/monitor.h"
 #include "net/pcap.h"
 #include "net/workload.h"
 #include "obs/delta.h"
+#include "obs/fleet.h"
 #include "obs/telemetry.h"
 #include "perf/contract_io.h"
 #include "support/bench.h"
@@ -270,7 +285,258 @@ struct MonitorCliArgs {
   std::string metrics_out;       // write the telemetry snapshot here
   std::string metrics_format = "json";  // json | prom
   bool watch = false;            // stream delta windows to stdout
+  // Fleet mode (monitor/follow.h + obs/fleet.h).
+  bool follow = false;           // daemon: tail --pcap as it grows
+  std::string spool;             // write fleet partials here (also: merge)
+  std::uint64_t idle_flush_ns = 0;   // follow: provisional flush after quiet
+  std::uint64_t idle_exit_ms = 0;    // follow: clean exit after quiet (0=run)
+  std::uint32_t fleet_instance = 0;  // --fleet I/N
+  std::uint32_t fleet_instances = 1;
 };
+
+/// SIGINT/SIGTERM drain flag for --follow (sig_atomic_t: all a handler may
+/// touch). The loop finishes the current poll, then drains and reports.
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+
+bool write_metrics_file(const MonitorCliArgs& args,
+                        const obs::MonitorTelemetry& tel,
+                        const std::string& nf) {
+  const std::string metrics =
+      args.metrics_format == "prom"
+          ? obs::telemetry_to_prometheus(tel, nf)
+          : obs::telemetry_to_json(tel, nf) + "\n";
+  if (!support::write_file(args.metrics_out, metrics)) {
+    std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                 args.metrics_out.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Shared gate tail for 'monitor' (batch + streaming) and 'merge': exit 1
+/// on unattributed packets or over-threshold violations, 3 on drift alerts
+/// ("about to violate"), 0 clean.
+int monitor_exit_code(const monitor::MonitorReport& report,
+                      std::uint64_t violation_threshold, std::size_t alerts) {
+  if (report.unattributed > 0) {
+    std::fprintf(stderr,
+                 "error: %llu packets not attributable to any contract "
+                 "entry (first at %llu)\n",
+                 static_cast<unsigned long long>(report.unattributed),
+                 static_cast<unsigned long long>(
+                     report.first_unattributed_packet));
+    return 1;
+  }
+  if (report.violations > violation_threshold) {
+    std::fprintf(stderr, "error: %llu violations (threshold %llu)\n",
+                 static_cast<unsigned long long>(report.violations),
+                 static_cast<unsigned long long>(violation_threshold));
+    return 1;
+  }
+  if (alerts > 0) {
+    std::fprintf(stderr,
+                 "warning: %zu contract-drift alert(s) raised (no violation "
+                 "yet; details in the delta stream)\n",
+                 alerts);
+    return 3;
+  }
+  return 0;
+}
+
+/// Streaming/fleet monitor path: one StreamMonitor fed packet-by-packet
+/// (from the preloaded trace, or by tailing --pcap in --follow mode),
+/// emitting delta lines, spool partials and metrics refreshes as windows
+/// close. The final report goes through the same gates as the batch path.
+int run_stream_monitor(const std::string& nf, const perf::Contract& contract,
+                       const perf::PcvRegistry& reg,
+                       monitor::MonitorOptions options,
+                       const MonitorCliArgs& args,
+                       const std::vector<net::Packet>& packets) {
+  monitor::FleetOptions fleet;
+  fleet.instance = args.fleet_instance;
+  fleet.instances = args.fleet_instances;
+
+  if (!args.spool.empty()) {
+    // One level of mkdir (EEXIST is fine): a fleet's instances race to
+    // create the shared spool, and either winning is correct.
+    if (::mkdir(args.spool.c_str(), 0777) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "error: cannot create spool directory '%s'\n",
+                   args.spool.c_str());
+      return 1;
+    }
+  }
+
+  std::FILE* delta_file = nullptr;
+  if (!args.delta_out.empty()) {
+    delta_file = std::fopen(args.delta_out.c_str(), "wb");
+    if (delta_file == nullptr) {
+      std::fprintf(stderr, "error: cannot write delta stream to '%s'\n",
+                   args.delta_out.c_str());
+      return 1;
+    }
+  }
+
+  // Contract entry names in contract order — same layout entry_names()
+  // reports, available before the monitor exists (the callback needs them).
+  std::vector<std::string> entry_names;
+  for (const auto& entry : contract.entries()) {
+    entry_names.push_back(entry.input_class);
+  }
+
+  bool spool_write_failed = false;
+  auto on_window = [&](const monitor::ClosedWindow& cw) {
+    // Delta lines are authoritative-only (a provisional flush has no drift
+    // pass and would duplicate the window); each line is flushed whole so
+    // a tail -f never sees a torn JSON object.
+    if (cw.has_delta && !cw.provisional) {
+      const std::string line = obs::delta_window_to_json(cw.delta) + "\n";
+      if (args.watch) {
+        std::fputs(line.c_str(), stdout);
+        std::fflush(stdout);
+      }
+      if (delta_file != nullptr) {
+        std::fputs(line.c_str(), delta_file);
+        std::fflush(delta_file);
+      }
+    }
+    // Spool partials upsert by filename: a provisional emission is
+    // overwritten by the authoritative close of the same window.
+    if (!args.spool.empty() && cw.stats->packets > 0) {
+      obs::WindowPartial wp;
+      wp.nf = contract.nf_name();
+      wp.instance = fleet.instance;
+      wp.instances = fleet.instances;
+      wp.window = cw.window;
+      wp.window_ns = cw.window_ns;
+      for (std::size_t e = 0; e < cw.accums->size(); ++e) {
+        const monitor::ClassAccum& acc = (*cw.accums)[e];
+        if (acc.packets == 0) continue;
+        wp.classes.push_back(entry_names[e]);
+        wp.accums.push_back(acc);
+      }
+      wp.packets = cw.stats->packets;
+      wp.unattributed = cw.stats->unattributed;
+      wp.first_unattributed = cw.stats->first_unattributed;
+      wp.any_unattributed = cw.stats->any_unattributed;
+      wp.epoch_sweeps = cw.stats->epoch_sweeps;
+      wp.expired_idle = cw.stats->expired_idle;
+      wp.high_water = cw.stats->high_water;
+      wp.late_packets = cw.stats->late_packets;
+      const std::string path =
+          obs::spool_window_path(args.spool, nf, fleet.instance, cw.window);
+      if (!support::write_file(path, obs::window_partial_to_json(wp) + "\n")) {
+        std::fprintf(stderr, "error: cannot write spool partial '%s'\n",
+                     path.c_str());
+        spool_write_failed = true;
+      }
+    }
+  };
+
+  monitor::StreamMonitor sm(contract, reg, monitor::MonitorEngine::named_factory(nf),
+                            options, fleet, on_window);
+
+  auto refresh_metrics = [&]() {
+    // Mid-run refreshes are best-effort; the final write is the gated one.
+    if (options.telemetry && !args.metrics_out.empty()) {
+      write_metrics_file(args, sm.telemetry_snapshot(), contract.nf_name());
+    }
+  };
+
+  support::BenchTimer timer;
+  if (args.follow) {
+    // Daemon: tail the pcap as it grows; SIGINT/SIGTERM drains cleanly.
+    std::signal(SIGINT, handle_stop);
+    std::signal(SIGTERM, handle_stop);
+    net::PcapTail tail(args.pcap);
+    constexpr std::uint64_t kPollNs = 20'000'000;  // 20 ms
+    std::uint64_t idle_ns = 0;
+    bool flushed_idle = false;
+    while (g_stop == 0) {
+      const std::vector<net::Packet> chunk = tail.poll();
+      if (chunk.empty()) {
+        if (args.idle_exit_ms > 0 &&
+            idle_ns >= args.idle_exit_ms * 1'000'000) {
+          break;
+        }
+        if (args.idle_flush_ns > 0 && idle_ns >= args.idle_flush_ns &&
+            !flushed_idle) {
+          sm.idle_flush();
+          refresh_metrics();
+          flushed_idle = true;  // once per quiet spell; new data re-arms
+        }
+        std::this_thread::sleep_for(std::chrono::nanoseconds(kPollNs));
+        idle_ns += kPollNs;
+        continue;
+      }
+      idle_ns = 0;
+      flushed_idle = false;
+      for (const net::Packet& p : chunk) sm.feed(p);
+      refresh_metrics();
+    }
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  } else {
+    for (const net::Packet& p : packets) sm.feed(p);
+  }
+
+  monitor::StreamResult result = sm.finish();
+  const double elapsed_ms = timer.elapsed_ms();
+  const std::uint64_t fed = sm.packets_fed();
+
+  if (delta_file != nullptr && std::fclose(delta_file) != 0) {
+    std::fprintf(stderr, "error: cannot write delta stream to '%s'\n",
+                 args.delta_out.c_str());
+    return 1;
+  }
+  if (!args.spool.empty()) {
+    obs::FinalPartial fp;
+    fp.nf = contract.nf_name();
+    fp.instance = fleet.instance;
+    fp.instances = fleet.instances;
+    fp.stream_packets = fed;
+    fp.partitions = std::max<std::size_t>(std::size_t{1}, options.partitions);
+    fp.cycles_checked = options.check_cycles;
+    fp.epoch_ns = options.epoch_ns;
+    fp.max_offenders = options.max_offenders;
+    fp.entries = entry_names;
+    fp.residents = result.report.state_residents;
+    fp.state_tracked = result.report.state_tracked;
+    fp.has_telemetry = options.telemetry;
+    fp.telemetry = result.observations.telemetry;
+    const std::string path = obs::spool_final_path(args.spool, nf, fleet.instance);
+    if (!support::write_file(path, obs::final_partial_to_json(fp) + "\n")) {
+      std::fprintf(stderr, "error: cannot write spool partial '%s'\n",
+                   path.c_str());
+      spool_write_failed = true;
+    }
+  }
+  if (!args.metrics_out.empty() &&
+      !write_metrics_file(args, result.observations.telemetry,
+                          result.report.nf)) {
+    return 1;
+  }
+  if (!args.report.empty() &&
+      !support::write_file(args.report,
+                           monitor::report_to_json(result.report) + "\n")) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 args.report.c_str());
+    return 1;
+  }
+  if (args.json) {
+    std::printf("%s\n", monitor::report_to_json(result.report).c_str());
+  } else if (!args.watch) {
+    std::printf("%s", result.report.str().c_str());
+    const double pps = elapsed_ms > 0.0
+                           ? static_cast<double>(fed) / (elapsed_ms / 1000.0)
+                           : 0.0;
+    std::printf("\nprocessed %llu packets in %.1f ms (%.2f Mpps)\n",
+                static_cast<unsigned long long>(fed), elapsed_ms, pps / 1e6);
+  }
+  if (spool_write_failed) return 1;
+  return monitor_exit_code(result.report, args.violation_threshold,
+                           result.observations.alerts.size());
+}
 
 int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
   perf::PcvRegistry reg;
@@ -301,16 +567,24 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
     contract = generator.generate(target.analysis()).contract;
   }
 
-  // Traffic side.
-  std::vector<net::Packet> packets;
-  if (!args.pcap.empty()) {
-    packets = net::read_pcap(args.pcap);
-  } else {
-    packets = monitor_workload(nf, args.workload, args.packets);
+  if (args.follow && args.pcap.empty()) {
+    std::fprintf(stderr, "error: --follow requires --pcap FILE to tail\n");
+    return 2;
   }
-  if (packets.empty()) {
-    std::fprintf(stderr, "error: no packets to monitor\n");
-    return usage();
+
+  // Traffic side. --follow tails the pcap itself (the file may not even
+  // exist yet), so nothing is preloaded.
+  std::vector<net::Packet> packets;
+  if (!args.follow) {
+    if (!args.pcap.empty()) {
+      packets = net::read_pcap(args.pcap);
+    } else {
+      packets = monitor_workload(nf, args.workload, args.packets);
+    }
+    if (packets.empty()) {
+      std::fprintf(stderr, "error: no packets to monitor\n");
+      return usage();
+    }
   }
 
   monitor::MonitorOptions options;
@@ -339,6 +613,16 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
     options.framework.tx_accesses +=
         options.framework.tx_accesses * args.inflate_pct / 100;
   }
+  // Daemon / fleet runs go through the streaming monitor: it feeds one
+  // packet at a time, closes windows on packet timestamps and emits delta
+  // lines / spool partials as it goes, then drains through the same
+  // build_report path as the batch engine (byte-identical final report).
+  const bool streaming =
+      args.follow || !args.spool.empty() || args.fleet_instances > 1;
+  if (streaming) {
+    return run_stream_monitor(nf, contract, reg, options, args, packets);
+  }
+
   monitor::MonitorEngine engine(contract, reg, options);
 
   obs::RunObservations observations;
@@ -349,30 +633,38 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
                  want_obs ? &observations : nullptr);
   const double elapsed_ms = timer.elapsed_ms();
 
-  // Delta stream: one JSON line per window. Stdout in watch mode (the
-  // tail-able operator view), a file via --delta-out, or both.
-  std::string delta_lines;
-  for (const obs::DeltaWindow& w : observations.deltas) {
-    delta_lines += obs::delta_window_to_json(w);
-    delta_lines += '\n';
+  // Delta stream: one JSON line per window, written and flushed per line —
+  // stdout in watch mode (the tail-able operator view), a file via
+  // --delta-out, or both. A reader tailing either stream only ever sees
+  // complete JSON lines, exactly as in --follow mode.
+  std::FILE* delta_file = nullptr;
+  if (!args.delta_out.empty()) {
+    delta_file = std::fopen(args.delta_out.c_str(), "wb");
+    if (delta_file == nullptr) {
+      std::fprintf(stderr, "error: cannot write delta stream to '%s'\n",
+                   args.delta_out.c_str());
+      return 1;
+    }
   }
-  if (args.watch) std::fputs(delta_lines.c_str(), stdout);
-  if (!args.delta_out.empty() &&
-      !support::write_file(args.delta_out, delta_lines)) {
+  for (const obs::DeltaWindow& w : observations.deltas) {
+    const std::string line = obs::delta_window_to_json(w) + "\n";
+    if (args.watch) {
+      std::fputs(line.c_str(), stdout);
+      std::fflush(stdout);
+    }
+    if (delta_file != nullptr) {
+      std::fputs(line.c_str(), delta_file);
+      std::fflush(delta_file);
+    }
+  }
+  if (delta_file != nullptr && std::fclose(delta_file) != 0) {
     std::fprintf(stderr, "error: cannot write delta stream to '%s'\n",
                  args.delta_out.c_str());
     return 1;
   }
-  if (!args.metrics_out.empty()) {
-    const std::string metrics =
-        args.metrics_format == "prom"
-            ? obs::telemetry_to_prometheus(observations.telemetry, report.nf)
-            : obs::telemetry_to_json(observations.telemetry, report.nf) + "\n";
-    if (!support::write_file(args.metrics_out, metrics)) {
-      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
-                   args.metrics_out.c_str());
-      return 1;
-    }
+  if (!args.metrics_out.empty() &&
+      !write_metrics_file(args, observations.telemetry, report.nf)) {
+    return 1;
   }
 
   // Never leave a truncated report behind for CI to archive as valid
@@ -397,31 +689,84 @@ int cmd_monitor(const std::string& nf, const MonitorCliArgs& args) {
     std::printf("\nprocessed %zu packets in %.1f ms (%.2f Mpps)\n",
                 packets.size(), elapsed_ms, pps / 1e6);
   }
-  if (report.unattributed > 0) {
-    std::fprintf(stderr,
-                 "error: %llu packets not attributable to any contract "
-                 "entry (first at %llu)\n",
-                 static_cast<unsigned long long>(report.unattributed),
-                 static_cast<unsigned long long>(
-                     report.first_unattributed_packet));
-    return 1;
-  }
-  if (report.violations > args.violation_threshold) {
-    std::fprintf(stderr, "error: %llu violations (threshold %llu)\n",
-                 static_cast<unsigned long long>(report.violations),
-                 static_cast<unsigned long long>(args.violation_threshold));
-    return 1;
-  }
   // Drift alerts get their own exit code so CI can distinguish "about to
   // violate" (3) from "violating" (1) and "clean" (0).
-  if (!observations.alerts.empty()) {
-    std::fprintf(stderr,
-                 "warning: %zu contract-drift alert(s) raised (no violation "
-                 "yet; details in the delta stream)\n",
-                 observations.alerts.size());
-    return 3;
+  return monitor_exit_code(report, args.violation_threshold,
+                           observations.alerts.size());
+}
+
+/// 'bolt merge <nf> --spool DIR': fold a fleet's spooled partials into the
+/// fleet-wide delta stream and final report. Same output surfaces and exit
+/// codes as 'monitor'; the result is byte-identical to a single monitor
+/// over the combined traffic, regardless of how many instances spooled or
+/// in what order their files land.
+int cmd_merge(const std::string& nf, const MonitorCliArgs& args) {
+  if (args.spool.empty()) {
+    std::fprintf(stderr, "error: 'merge' requires --spool DIR\n");
+    return 2;
   }
-  return 0;
+  std::vector<obs::WindowPartial> windows;
+  std::vector<obs::FinalPartial> finals;
+  obs::read_spool(args.spool, nf, &windows, &finals);
+  if (finals.empty()) {
+    std::fprintf(stderr,
+                 "error: no fleet partials for '%s' under '%s' (need at "
+                 "least one final partial)\n",
+                 nf.c_str(), args.spool.c_str());
+    return 2;
+  }
+  // Instances run with the default drift tuning (the monitor CLI exposes
+  // no drift knobs), so the replayed detector matches their alerts.
+  const obs::FleetMergeResult merged =
+      obs::merge_partials(windows, finals, obs::DriftOptions{});
+
+  std::FILE* delta_file = nullptr;
+  if (!args.delta_out.empty()) {
+    delta_file = std::fopen(args.delta_out.c_str(), "wb");
+    if (delta_file == nullptr) {
+      std::fprintf(stderr, "error: cannot write delta stream to '%s'\n",
+                   args.delta_out.c_str());
+      return 1;
+    }
+  }
+  for (const obs::DeltaWindow& w : merged.observations.deltas) {
+    const std::string line = obs::delta_window_to_json(w) + "\n";
+    if (args.watch) {
+      std::fputs(line.c_str(), stdout);
+      std::fflush(stdout);
+    }
+    if (delta_file != nullptr) {
+      std::fputs(line.c_str(), delta_file);
+      std::fflush(delta_file);
+    }
+  }
+  if (delta_file != nullptr && std::fclose(delta_file) != 0) {
+    std::fprintf(stderr, "error: cannot write delta stream to '%s'\n",
+                 args.delta_out.c_str());
+    return 1;
+  }
+  if (!args.metrics_out.empty() &&
+      !write_metrics_file(args, merged.observations.telemetry,
+                          merged.report.nf)) {
+    return 1;
+  }
+  if (!args.report.empty() &&
+      !support::write_file(args.report,
+                           monitor::report_to_json(merged.report) + "\n")) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 args.report.c_str());
+    return 1;
+  }
+  if (args.json) {
+    std::printf("%s\n", monitor::report_to_json(merged.report).c_str());
+  } else if (!args.watch) {
+    std::printf("%s", merged.report.str().c_str());
+  }
+  std::fprintf(stderr, "merged %zu window partial(s) from %zu file(s) across "
+               "the fleet\n",
+               merged.observations.deltas.size(), windows.size() + finals.size());
+  return monitor_exit_code(merged.report, args.violation_threshold,
+                           merged.observations.alerts.size());
 }
 
 struct AdversaryCliArgs {
@@ -825,6 +1170,7 @@ int main(int argc, char** argv) {
   // must not be silently ignored: the monitor exit code is a CI gate, and
   // a typo'd or misplaced flag would change what it gates on.
   const bool is_monitor = cmd == "monitor";
+  const bool is_merge = cmd == "merge";
   const bool is_adversary = cmd == "adversary";
   const bool is_hunt = cmd == "hunt";
   auto only_for = [&](bool applies, const char* flag) {
@@ -836,7 +1182,7 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       only_for(cmd == "contract" || cmd == "paths" || is_monitor ||
-                   is_adversary || is_hunt,
+                   is_merge || is_adversary || is_hunt,
                "--json");
       json = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
@@ -887,7 +1233,7 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       margs.contract = aargs.contract = hargs.contract = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0) {
-      only_for(is_monitor || is_adversary || is_hunt, "--report");
+      only_for(is_monitor || is_merge || is_adversary || is_hunt, "--report");
       if (i + 1 >= argc) return usage();
       margs.report = aargs.report = hargs.report = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0) {
@@ -895,7 +1241,7 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       out_file = aargs.out = hargs.out = argv[++i];
     } else if (std::strcmp(argv[i], "--violation-threshold") == 0) {
-      only_for(is_monitor, "--violation-threshold");
+      only_for(is_monitor || is_merge, "--violation-threshold");
       margs.violation_threshold = numeric(i, "--violation-threshold");
     } else if (std::strcmp(argv[i], "--inflate") == 0) {
       only_for(is_monitor, "--inflate");
@@ -926,15 +1272,15 @@ int main(int argc, char** argv) {
       only_for(is_monitor, "--delta-every");
       margs.delta_every = numeric(i, "--delta-every");
     } else if (std::strcmp(argv[i], "--delta-out") == 0) {
-      only_for(is_monitor, "--delta-out");
+      only_for(is_monitor || is_merge, "--delta-out");
       if (i + 1 >= argc) return usage();
       margs.delta_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
-      only_for(is_monitor, "--metrics-out");
+      only_for(is_monitor || is_merge, "--metrics-out");
       if (i + 1 >= argc) return usage();
       margs.metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-format") == 0) {
-      only_for(is_monitor, "--metrics-format");
+      only_for(is_monitor || is_merge, "--metrics-format");
       if (i + 1 >= argc) return usage();
       const std::string fmt = argv[++i];
       if (fmt != "json" && fmt != "prom") {
@@ -945,8 +1291,49 @@ int main(int argc, char** argv) {
       }
       margs.metrics_format = fmt;
     } else if (std::strcmp(argv[i], "--watch") == 0) {
-      only_for(is_monitor, "--watch");
+      only_for(is_monitor || is_merge, "--watch");
       margs.watch = true;
+    } else if (std::strcmp(argv[i], "--follow") == 0) {
+      only_for(is_monitor, "--follow");
+      margs.follow = true;
+    } else if (std::strcmp(argv[i], "--spool") == 0) {
+      only_for(is_monitor || is_merge, "--spool");
+      if (i + 1 >= argc) return usage();
+      margs.spool = argv[++i];
+    } else if (std::strcmp(argv[i], "--idle-flush-ns") == 0) {
+      only_for(is_monitor, "--idle-flush-ns");
+      margs.idle_flush_ns = numeric(i, "--idle-flush-ns");
+    } else if (std::strcmp(argv[i], "--idle-exit-ms") == 0) {
+      only_for(is_monitor, "--idle-exit-ms");
+      margs.idle_exit_ms = numeric(i, "--idle-exit-ms");
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      only_for(is_monitor, "--fleet");
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --fleet requires a value\n");
+        return 2;
+      }
+      const std::string spec = argv[++i];
+      const auto slash = spec.find('/');
+      bool ok = slash != std::string::npos && slash > 0 &&
+                slash + 1 < spec.size();
+      if (ok) {
+        char* end = nullptr;
+        margs.fleet_instance = static_cast<std::uint32_t>(
+            std::strtoul(spec.c_str(), &end, 10));
+        ok = end == spec.c_str() + slash;
+        if (ok) {
+          margs.fleet_instances = static_cast<std::uint32_t>(
+              std::strtoul(spec.c_str() + slash + 1, &end, 10));
+          ok = *end == '\0';
+        }
+      }
+      if (!ok || margs.fleet_instances == 0 ||
+          margs.fleet_instance >= margs.fleet_instances) {
+        std::fprintf(stderr,
+                     "error: bad --fleet value '%s' (want I/N with I < N)\n",
+                     spec.c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--workload") == 0) {
       only_for(is_monitor, "--workload");
       if (i + 1 >= argc) return usage();
@@ -975,6 +1362,7 @@ int main(int argc, char** argv) {
   if (cmd == "distill" && argc >= 4) return cmd_distill(argv[2], argv[3]);
   if (cmd == "predict" && argc >= 3) return cmd_predict(argv[2], argc, argv, 3);
   if (cmd == "monitor" && argc >= 3) return cmd_monitor(argv[2], margs);
+  if (cmd == "merge" && argc >= 3) return cmd_merge(argv[2], margs);
   if (cmd == "adversary" && argc >= 3) return cmd_adversary(argv[2], aargs);
   if (cmd == "hunt" && argc >= 3) return cmd_hunt(argv[2], hargs);
   if (cmd == "gen" && argc >= 4) {
